@@ -1,0 +1,184 @@
+//! Seeded Poisson event-sequence generation.
+//!
+//! §6.2: "Figure 8 shows the accuracy each application achieves on an
+//! event sequence drawn from a Poisson distribution. The event sequence
+//! for TA contains 50 events over 120 minutes, and for GRC and CSR —
+//! 80 events over 42 minutes." §6.2 (Figure 10) repeats the measurement
+//! "for event sequences drawn from Poisson distributions with decreasing
+//! means."
+
+use capy_units::{SimDuration, SimTime};
+use rand::Rng;
+
+/// Draws `count` event instants whose inter-arrival times are exponential
+/// with the given mean, starting after one mean interval. Consecutive
+/// events are kept at least `min_gap` apart so stimulus windows (a
+/// pendulum pass, a temperature excursion) never overlap — the physical
+/// rigs cannot overlap events either.
+///
+/// # Examples
+///
+/// ```
+/// use capy_apps::events::poisson_events;
+/// use capy_units::SimDuration;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let events = poisson_events(
+///     &mut rng,
+///     SimDuration::from_secs(30),
+///     80,
+///     SimDuration::from_secs(2),
+/// );
+/// assert_eq!(events.len(), 80);
+/// assert!(events.windows(2).all(|w| w[1] - w[0] >= SimDuration::from_secs(2)));
+/// ```
+pub fn poisson_events(
+    rng: &mut impl Rng,
+    mean_interarrival: SimDuration,
+    count: usize,
+    min_gap: SimDuration,
+) -> Vec<SimTime> {
+    let mean = mean_interarrival.as_secs_f64();
+    let mut events = Vec::with_capacity(count);
+    let mut t = SimTime::ZERO;
+    for _ in 0..count {
+        // Inverse-CDF exponential draw; clamp the uniform sample away from
+        // 0 to keep ln finite.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let gap = SimDuration::from_secs_f64(-mean * u.ln()).max(min_gap);
+        t = t.saturating_add(gap);
+        events.push(t);
+    }
+    events
+}
+
+/// Rescales a schedule so its last event lands at `span`, preserving the
+/// relative (Poisson) structure. The paper's sequences are delivered
+/// within the measurement window ("50 events over 120 minutes"), so the
+/// generated schedule must fit the experiment horizon.
+pub fn fit_span(events: &mut [SimTime], span: SimDuration) {
+    let Some(&last) = events.last() else { return };
+    if last == SimTime::ZERO {
+        return;
+    }
+    let scale = span.as_secs_f64() / last.as_secs_f64();
+    for e in events.iter_mut() {
+        *e = SimTime::ZERO + SimDuration::from_secs_f64(e.as_secs_f64() * scale);
+    }
+}
+
+/// The TA event schedule from §6.2: 50 events over 120 minutes
+/// (mean inter-arrival 144 s), fitted so the last event leaves time for
+/// its report before the horizon.
+pub fn ta_schedule(rng: &mut impl Rng) -> Vec<SimTime> {
+    let mut events = poisson_events(
+        rng,
+        SimDuration::from_secs(144),
+        50,
+        SimDuration::from_secs(45),
+    );
+    fit_span(&mut events, SimDuration::from_secs(118 * 60));
+    events
+}
+
+/// The GRC/CSR event schedule from §6.2: 80 events over 42 minutes
+/// (mean inter-arrival 31.5 s), fitted inside the horizon.
+pub fn grc_schedule(rng: &mut impl Rng) -> Vec<SimTime> {
+    let mut events = poisson_events(
+        rng,
+        SimDuration::from_micros(31_500_000),
+        80,
+        SimDuration::from_secs(4),
+    );
+    fit_span(&mut events, SimDuration::from_secs(41 * 60));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_are_strictly_increasing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ev = poisson_events(&mut rng, SimDuration::from_secs(10), 200, SimDuration::from_secs(1));
+        assert!(ev.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mean_interarrival_is_close_to_requested() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = SimDuration::from_secs(30);
+        let ev = poisson_events(&mut rng, mean, 5_000, SimDuration::ZERO);
+        let total = (*ev.last().unwrap() - ev[0]).as_secs_f64();
+        let measured = total / (ev.len() - 1) as f64;
+        assert!(
+            (measured - 30.0).abs() < 2.0,
+            "measured mean = {measured}"
+        );
+    }
+
+    #[test]
+    fn min_gap_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gap = SimDuration::from_secs(5);
+        let ev = poisson_events(&mut rng, SimDuration::from_secs(1), 500, gap);
+        assert!(ev.windows(2).all(|w| w[1] - w[0] >= gap));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ta_schedule(&mut StdRng::seed_from_u64(42));
+        let b = ta_schedule(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = ta_schedule(&mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fit_span_rescales_to_target() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ev = poisson_events(&mut rng, SimDuration::from_secs(100), 20, SimDuration::ZERO);
+        fit_span(&mut ev, SimDuration::from_secs(1_000));
+        assert_eq!(*ev.last().unwrap(), SimTime::ZERO + SimDuration::from_secs(1_000));
+        assert!(ev.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+
+    #[test]
+    fn fit_span_handles_degenerate_inputs() {
+        let mut empty: Vec<SimTime> = Vec::new();
+        fit_span(&mut empty, SimDuration::from_secs(10));
+        assert!(empty.is_empty());
+        let mut zero = vec![SimTime::ZERO];
+        fit_span(&mut zero, SimDuration::from_secs(10));
+        assert_eq!(zero, vec![SimTime::ZERO]);
+    }
+
+    #[test]
+    fn schedules_fit_inside_their_horizons() {
+        for seed in 0..20 {
+            let ta = ta_schedule(&mut StdRng::seed_from_u64(seed));
+            assert!(*ta.last().unwrap() <= SimTime::from_secs(118 * 60));
+            let grc = grc_schedule(&mut StdRng::seed_from_u64(seed));
+            assert!(*grc.last().unwrap() <= SimTime::from_secs(41 * 60));
+        }
+    }
+
+    #[test]
+    fn paper_schedules_have_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ta = ta_schedule(&mut rng);
+        assert_eq!(ta.len(), 50);
+        // ~120 minutes of events (generous tolerance for a stochastic sum).
+        let span_min = ta.last().unwrap().as_secs_f64() / 60.0;
+        assert!((60.0..=260.0).contains(&span_min), "span = {span_min} min");
+
+        let grc = grc_schedule(&mut rng);
+        assert_eq!(grc.len(), 80);
+        let span_min = grc.last().unwrap().as_secs_f64() / 60.0;
+        assert!((20.0..=90.0).contains(&span_min), "span = {span_min} min");
+    }
+}

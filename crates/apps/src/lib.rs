@@ -1,0 +1,45 @@
+//! The three reactive sensing applications of the Capybara evaluation
+//! (§6.1), implemented against the public `capybara` API, together with
+//! the experimental apparatus that drives them:
+//!
+//! * [`grc`] — the Wireless Gesture-activated Remote Control, in its
+//!   *Fast* (joined gesture+TX atomic task) and *Compact* (separate tasks,
+//!   smaller peak bank) variants;
+//! * [`ta`] — the Temperature Monitor with Alarm;
+//! * [`csr`] — Correlated Sensing and Report (magnetometer + distance
+//!   ranging + LED + BLE);
+//! * [`events`] — seeded Poisson event-sequence generation (§6.2);
+//! * [`mod@env`] — the servo-pendulum and heater/cooler stimulus rigs
+//!   (Figure 7) as deterministic functions of simulated time;
+//! * [`observer`] — the BLE-sniffer/ground-truth instrumentation;
+//! * [`metrics`] — event-detection accuracy, report latency, and
+//!   inter-sample statistics (Figures 8–11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod env;
+pub mod federated;
+pub mod events;
+pub mod grc;
+pub mod metrics;
+pub mod observer;
+pub mod ta;
+pub mod vibration;
+
+/// Convenient glob-import for experiment drivers.
+pub mod prelude {
+    pub use crate::csr::{self, CsrReport};
+    pub use crate::env::{HeatsinkRig, PendulumRig};
+    pub use crate::federated::{FederatedGrc, FederatedReport};
+    pub use crate::events::poisson_events;
+    pub use crate::grc::{self, GrcReport, GrcVariant};
+    pub use crate::metrics::{
+        accuracy_fractions, latency_stats, intersample_histogram, EventOutcome, LatencyStats,
+    };
+    pub use crate::observer::{GestureOutcome, PacketLog, SampleLog};
+    pub use crate::ta::{self, TaReport};
+    pub use crate::vibration::{self, VibrationReport};
+    pub use capybara::prelude::*;
+}

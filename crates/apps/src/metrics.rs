@@ -1,0 +1,275 @@
+//! Shared experiment metrics: the accuracy taxonomy of Figure 8, the
+//! latency statistics of Figure 9, and the inter-sample analysis of
+//! Figure 11.
+
+use capy_units::{SimDuration, SimTime};
+
+use crate::observer::{PacketLog, SampleLog};
+
+/// Per-event outcome, matching the Figure 8 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventOutcome {
+    /// Reported with correct content.
+    Correct,
+    /// Reported, but the decoded content was wrong.
+    Misclassified,
+    /// Proximity was detected and the sensor activated, but no gesture was
+    /// reported (GRC-specific failure class).
+    ProximityOnly,
+    /// The event produced no report at all.
+    Missed,
+}
+
+/// The fractions of each outcome class across an event sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccuracyBreakdown {
+    /// Fraction reported correctly.
+    pub correct: f64,
+    /// Fraction misclassified.
+    pub misclassified: f64,
+    /// Fraction with proximity-only detection.
+    pub proximity_only: f64,
+    /// Fraction missed entirely.
+    pub missed: f64,
+}
+
+/// Aggregates outcomes into fractions (Figure 8's stacked bars).
+#[must_use]
+pub fn accuracy_fractions(outcomes: &[EventOutcome]) -> AccuracyBreakdown {
+    if outcomes.is_empty() {
+        return AccuracyBreakdown::default();
+    }
+    let n = outcomes.len() as f64;
+    let count = |k: EventOutcome| outcomes.iter().filter(|&&o| o == k).count() as f64 / n;
+    AccuracyBreakdown {
+        correct: count(EventOutcome::Correct),
+        misclassified: count(EventOutcome::Misclassified),
+        proximity_only: count(EventOutcome::ProximityOnly),
+        missed: count(EventOutcome::Missed),
+    }
+}
+
+/// Classifies a report-only application (TA, CSR): each event is
+/// [`EventOutcome::Correct`] if some packet reported it, else
+/// [`EventOutcome::Missed`].
+#[must_use]
+pub fn classify_reported(event_count: usize, packets: &PacketLog) -> Vec<EventOutcome> {
+    (0..event_count)
+        .map(|id| {
+            if packets.first_for_event(id).is_some() {
+                EventOutcome::Correct
+            } else {
+                EventOutcome::Missed
+            }
+        })
+        .collect()
+}
+
+/// Summary statistics over per-event report latencies (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of reported events contributing.
+    pub count: usize,
+    /// Mean latency in seconds.
+    pub mean: f64,
+    /// Median latency in seconds.
+    pub median: f64,
+    /// 95th-percentile latency in seconds.
+    pub p95: f64,
+    /// Maximum latency in seconds.
+    pub max: f64,
+}
+
+/// Computes latency statistics from raw per-event latencies.
+///
+/// Returns `None` when no events were reported.
+#[must_use]
+pub fn latency_stats(latencies: &[SimDuration]) -> Option<LatencyStats> {
+    if latencies.is_empty() {
+        return None;
+    }
+    let mut secs: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64()).collect();
+    secs.sort_by(f64::total_cmp);
+    let n = secs.len();
+    let pct = |q: f64| secs[((n as f64 - 1.0) * q).round() as usize];
+    Some(LatencyStats {
+        count: n,
+        mean: secs.iter().sum::<f64>() / n as f64,
+        median: pct(0.5),
+        p95: pct(0.95),
+        max: secs[n - 1],
+    })
+}
+
+/// Latency of the first report of each event: `packet.at − event`.
+#[must_use]
+pub fn event_latencies(events: &[SimTime], packets: &PacketLog) -> Vec<SimDuration> {
+    (0..events.len())
+        .filter_map(|id| {
+            packets
+                .first_for_event(id)
+                .map(|p| p.at.saturating_since(events[id]))
+        })
+        .collect()
+}
+
+/// One inter-sample interval, classified for Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalClass {
+    /// Interval length.
+    pub length: SimDuration,
+    /// `true` when the interval is sub-second ("back-to-back" samples of
+    /// limited utility, the gray bars).
+    pub back_to_back: bool,
+    /// Number of stimulus events whose onset fell inside this interval
+    /// (and was therefore necessarily missed by sampling).
+    pub events_inside: usize,
+}
+
+/// The §6.4 back-to-back threshold: "the sub-second intervals between
+/// back-to-back samples are colored gray".
+pub const BACK_TO_BACK: SimDuration = SimDuration::from_secs(1);
+
+/// Classifies every inter-sample interval of a run against the event
+/// schedule (Figure 11's raw data).
+///
+/// An event is counted as *necessarily missed* inside an interval only
+/// when its whole detectable window (`onset .. onset + window`) falls
+/// within the sampling gap — an event that is still observable when the
+/// next sample lands is not missed by that gap.
+#[must_use]
+pub fn intersample_histogram(
+    samples: &SampleLog,
+    events: &[SimTime],
+    window: SimDuration,
+) -> Vec<IntervalClass> {
+    let times = samples.times();
+    times
+        .windows(2)
+        .map(|w| {
+            let length = w[1] - w[0];
+            let events_inside = events
+                .iter()
+                .filter(|&&e| e > w[0] && e.saturating_add(window) <= w[1])
+                .count();
+            IntervalClass {
+                length,
+                back_to_back: length < BACK_TO_BACK,
+                events_inside,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate view of an inter-sample classification (the totals printed in
+/// each Figure 11 panel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntersampleSummary {
+    /// Count of sub-second intervals.
+    pub back_to_back: usize,
+    /// Count of ≥1 s intervals containing no event onset.
+    pub quiet: usize,
+    /// Count of ≥1 s intervals containing at least one event onset.
+    pub with_missed_events: usize,
+    /// Total events falling inside ≥1 s intervals.
+    pub events_missed_in_gaps: usize,
+}
+
+/// Summarizes an interval classification.
+#[must_use]
+pub fn intersample_summary(intervals: &[IntervalClass]) -> IntersampleSummary {
+    let mut s = IntersampleSummary::default();
+    for i in intervals {
+        if i.back_to_back {
+            s.back_to_back += 1;
+        } else if i.events_inside > 0 {
+            s.with_missed_events += 1;
+            s.events_missed_in_gaps += i.events_inside;
+        } else {
+            s.quiet += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let outcomes = [
+            EventOutcome::Correct,
+            EventOutcome::Correct,
+            EventOutcome::Missed,
+            EventOutcome::ProximityOnly,
+        ];
+        let f = accuracy_fractions(&outcomes);
+        assert!((f.correct - 0.5).abs() < 1e-12);
+        assert!((f.correct + f.misclassified + f.proximity_only + f.missed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_outcomes_are_all_zero() {
+        let f = accuracy_fractions(&[]);
+        assert_eq!(f.correct, 0.0);
+        assert_eq!(f.missed, 0.0);
+    }
+
+    #[test]
+    fn classify_reported_marks_missing_events() {
+        let mut packets = PacketLog::new();
+        packets.record(SimTime::from_secs(10), Some(0), true);
+        packets.record(SimTime::from_secs(30), Some(2), true);
+        let outcomes = classify_reported(4, &packets);
+        assert_eq!(
+            outcomes,
+            vec![
+                EventOutcome::Correct,
+                EventOutcome::Missed,
+                EventOutcome::Correct,
+                EventOutcome::Missed
+            ]
+        );
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let lats: Vec<SimDuration> = (1..=100).map(SimDuration::from_secs).collect();
+        let s = latency_stats(&lats).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.median - 50.0).abs() < 1.01);
+        assert!((s.p95 - 95.0).abs() < 1.01);
+        assert_eq!(s.max, 100.0);
+        assert!(latency_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn event_latencies_skip_unreported() {
+        let events = vec![SimTime::from_secs(10), SimTime::from_secs(50)];
+        let mut packets = PacketLog::new();
+        packets.record(SimTime::from_secs(12), Some(0), true);
+        let lats = event_latencies(&events, &packets);
+        assert_eq!(lats, vec![SimDuration::from_secs(2)]);
+    }
+
+    #[test]
+    fn intersample_classification() {
+        let mut samples = SampleLog::new();
+        for us in [0u64, 200_000, 400_000, 5_000_000, 5_200_000, 60_000_000] {
+            samples.record(SimTime::from_micros(us));
+        }
+        // The event at t=30 s (10 s window) is swallowed by the
+        // 5.2 s → 60 s gap; the one at t=58 s is still observable at the
+        // next sample and therefore not missed.
+        let events = vec![SimTime::from_secs(30), SimTime::from_secs(58)];
+        let classes = intersample_histogram(&samples, &events, SimDuration::from_secs(10));
+        assert_eq!(classes.len(), 5);
+        let summary = intersample_summary(&classes);
+        assert_eq!(summary.back_to_back, 3);
+        assert_eq!(summary.quiet, 1);
+        assert_eq!(summary.with_missed_events, 1);
+        assert_eq!(summary.events_missed_in_gaps, 1);
+    }
+}

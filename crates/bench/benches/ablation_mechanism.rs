@@ -1,0 +1,43 @@
+//! Ablation (§5.2): reconfiguration-mechanism alternatives — switched
+//! banks (control C) vs charge-threshold (control V_top) vs
+//! discharge-floor (control V_bottom) — compared on cold-start time, board
+//! area, leakage, and wear.
+
+use capy_bench::figure_header;
+use capy_power::booster::OutputBooster;
+use capy_power::mechanism::Mechanism;
+use capy_units::{Farads, Volts, Watts};
+
+fn main() {
+    figure_header(
+        "Ablation (5.2)",
+        "capacity-reconfiguration mechanism comparison",
+    );
+    let small = Farads::from_micro(400.0);
+    let large = Farads::from_milli(8.5);
+    let full = Volts::new(2.8);
+    let booster = OutputBooster::prototype();
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>8} {:>9} {:>6}",
+        "mechanism", "cold@0.5mW(s)", "cold@5mW(s)", "area", "leakage", "wear"
+    );
+    for m in Mechanism::ALL {
+        let cold_dim = m.cold_start(small, large, full, &booster, Watts::from_micro(500.0));
+        let cold_bright = m.cold_start(small, large, full, &booster, Watts::from_milli(5.0));
+        println!(
+            "{:<26} {:>14.1} {:>14.2} {:>7.1}x {:>8.1}x {:>6}",
+            m.label(),
+            cold_dim.as_secs_f64(),
+            cold_bright.as_secs_f64(),
+            m.relative_area(),
+            m.relative_leakage(),
+            if m.wears_out() { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("Paper: 'The shortest cold-start time is achieved by controlling");
+    println!("C'; the threshold prototype 'occupies twice the area and");
+    println!("consumes 1.5x the leakage current', and its EEPROM write");
+    println!("endurance limits device lifetime.");
+}

@@ -1,0 +1,59 @@
+//! Ablation: the intermittent model's "charging is negligible during
+//! operation" simplification (§2).
+//!
+//! The paper's execution model keeps the processor off while charging and
+//! ignores harvested input while operating, which is accurate when active
+//! power dwarfs harvested power. On the GRC platform the two are closest
+//! (CC2650 at ~9 mW vs a 10 mW bench harvester), so this ablation re-runs
+//! GRC with concurrent harvesting modeled and reports how much the
+//! simplification changes the headline numbers.
+
+use capy_apps::events::grc_schedule;
+use capy_apps::grc::{self, GrcVariant};
+use capy_apps::metrics::accuracy_fractions;
+use capy_bench::{figure_header, pct, FIGURE_SEED};
+use capybara::variant::Variant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    figure_header(
+        "Ablation (2)",
+        "'charging is negligible during operation' vs concurrent harvesting",
+    );
+    let events = grc_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    println!(
+        "{:<8} {:>18} {:>18}",
+        "system", "paper model", "with harvesting"
+    );
+    for v in [Variant::Fixed, Variant::CapyP] {
+        let mut results = Vec::new();
+        for harvesting in [false, true] {
+            let mut sim =
+                grc::build_with_model(v, GrcVariant::Fast, events.clone(), FIGURE_SEED, harvesting);
+            sim.run_until(grc::HORIZON);
+            let report_events = sim.ctx().attempts.clone();
+            let _ = report_events;
+            let packets = sim.ctx().packets.clone();
+            let correct = packets.packets().iter().filter(|p| p.correct).count() as f64
+                / events.len() as f64;
+            results.push(correct);
+        }
+        println!(
+            "{:<8} {:>18} {:>18}",
+            v.label(),
+            pct(results[0]),
+            pct(results[1])
+        );
+    }
+    // Context: the accuracy scale of the main experiment.
+    let base = grc::run(Variant::CapyP, GrcVariant::Fast, events, FIGURE_SEED);
+    let f = accuracy_fractions(&base.classify());
+    println!("\n(reference CB-P correct fraction incl. classification: {})", pct(f.correct));
+    println!();
+    println!("Expected shape: concurrent harvesting stretches every on-period");
+    println!("(net drain 9-x mW instead of 9 mW), lifting the Fixed baseline's");
+    println!("duty cycle noticeably while Capybara — already recharging in");
+    println!("sub-second bursts — gains less. The paper's simplification is");
+    println!("conservative for its own system.");
+}

@@ -1,0 +1,69 @@
+//! Ablation (§7): maximum-power-point tracking in the input booster.
+//!
+//! "Capybara leverages maximum power point tracking in its input
+//! booster." This ablation quantifies what that buys: harvested power and
+//! the resulting TA small-bank recharge time with the booster's
+//! fractional-V_oc tracking versus a direct (pinned-at-capacitor-voltage)
+//! charger.
+
+use capy_bench::figure_header;
+use capy_power::capacitor;
+use capy_power::mppt::{harvested_power, PvCurve, Tracking};
+use capy_units::{Farads, Volts};
+
+fn main() {
+    figure_header(
+        "Ablation (7)",
+        "MPPT vs direct charging from the TrisolX pair",
+    );
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>12}",
+        "irradiance", "MPP (uW)", "tracked (uW)", "pinned (uW)", "capture"
+    );
+    let small_bank = Farads::from_micro(400.0);
+    for irr in [0.1, 0.25, 0.42, 0.7, 1.0] {
+        // Two wings in series: double the voltage at the same current.
+        let pv = PvCurve::new(
+            PvCurve::trisolx(irr).i_sc,
+            Volts::new(2.4),
+            10.0,
+        );
+        let (_, p_mpp) = pv.mpp();
+        let tracked = harvested_power(&pv, Tracking::prototype());
+        // A direct charger pins the panel near the capacitor's mid-charge
+        // voltage (here ~1.0 V, below the MPP of the series pair).
+        let pinned = harvested_power(&pv, Tracking::PinnedAt(Volts::new(1.0)));
+        println!(
+            "{:>12.2} {:>12.0} {:>14.0} {:>14.0} {:>11.0}%",
+            irr,
+            p_mpp.get() * 1e6,
+            tracked.get() * 1e6,
+            pinned.get() * 1e6,
+            tracked.get() / p_mpp.get() * 100.0
+        );
+        if (irr - 0.42).abs() < 1e-9 {
+            let t_mppt = capacitor::time_to_charge(
+                small_bank,
+                Volts::new(0.9),
+                Volts::new(2.8),
+                tracked * 0.8,
+            );
+            let t_pinned = capacitor::time_to_charge(
+                small_bank,
+                Volts::new(0.9),
+                Volts::new(2.8),
+                pinned * 0.8,
+            );
+            println!(
+                "    at the TA operating point: small-bank recharge {:.1} s (MPPT) vs {:.1} s (direct)",
+                t_mppt.as_secs_f64(),
+                t_pinned.as_secs_f64()
+            );
+        }
+    }
+    println!();
+    println!("Expected shape: fractional-Voc tracking captures >95% of the");
+    println!("panel's available power across irradiance levels, while a");
+    println!("direct charger pinned at the capacitor voltage loses roughly");
+    println!("half — doubling every recharge interval in the TA experiment.");
+}

@@ -1,0 +1,42 @@
+//! §6.5 Characterization: board-area accounting and switch-latch
+//! retention on the 6×6 cm prototype.
+//!
+//! "Solar panels occupy 700 mm², the Capybara power system circuits occupy
+//! 640 mm², and one reconfiguration switch occupies 80 mm² … the switch
+//! uses a 4.7 µF latch capacitor and retains state for approximately
+//! 3 minutes."
+
+use capy_bench::figure_header;
+use capy_capysat::area::BoardAreas;
+use capy_power::switch::{BankSwitch, SwitchKind, LATCH_CAPACITANCE};
+
+fn main() {
+    figure_header("Section 6.5", "prototype characterization");
+    let areas = BoardAreas::prototype();
+    println!("board area (6x6 cm prototype = 3600 mm^2):");
+    println!("  solar panels:        {:>6.0} mm^2", areas.solar.get());
+    println!("  power system:        {:>6.0} mm^2", areas.power_system.get());
+    println!("  one switch module:   {:>6.0} mm^2", areas.switch_module.get());
+    println!(
+        "  five switch modules: {:>6.0} mm^2",
+        (areas.switch_module * 5.0).get()
+    );
+
+    println!();
+    println!(
+        "latch capacitor: {:.1} uF",
+        LATCH_CAPACITANCE.as_micro()
+    );
+    let retention = BankSwitch::prototype_retention();
+    println!(
+        "latch retention: {:.0} s (paper: approximately 3 minutes)",
+        retention.as_secs_f64()
+    );
+    let no = BankSwitch::new(SwitchKind::NormallyOpen);
+    let nc = BankSwitch::new(SwitchKind::NormallyClosed);
+    println!(
+        "default on latch decay: NO -> {:?}, NC -> {:?}",
+        no.kind().default_state(),
+        nc.kind().default_state()
+    );
+}

@@ -1,0 +1,75 @@
+//! Criterion performance benches for the simulator substrate itself:
+//! analytic charging, ESR-aware discharge, and a full Temperature Alarm
+//! minute. These guard the hybrid analytic/adaptive integration strategy
+//! that keeps multi-hour experiments fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use capy_apps::ta;
+use capy_power::capacitor;
+use capy_power::prelude::*;
+use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
+use capybara::variant::Variant;
+
+fn bench_charge(c: &mut Criterion) {
+    c.bench_function("power_system_charge_until_full", |b| {
+        let bank = Bank::builder("bench")
+            .with(parts::ceramic_x5r_400uf())
+            .with(parts::tantalum_330uf())
+            .build();
+        let sys = PowerSystem::builder()
+            .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+            .bank(bank, SwitchKind::NormallyClosed)
+            .build();
+        b.iter(|| {
+            let mut sys = sys.clone();
+            let mut now = SimTime::ZERO;
+            black_box(sys.charge_until_full(&mut now).expect("charges"));
+        });
+    });
+}
+
+fn bench_discharge(c: &mut Criterion) {
+    c.bench_function("esr_discharge_deep", |b| {
+        b.iter(|| {
+            black_box(capacitor::discharge(
+                Farads::from_milli(11.0),
+                Ohms::new(120.0),
+                Volts::new(2.8),
+                Watts::from_milli(4.0),
+                Volts::new(0.9),
+                SimDuration::from_secs(10),
+            ))
+        });
+    });
+    c.bench_function("esr_discharge_shallow", |b| {
+        b.iter(|| {
+            black_box(capacitor::discharge(
+                Farads::from_milli(11.0),
+                Ohms::new(120.0),
+                Volts::new(2.8),
+                Watts::from_milli(1.0),
+                Volts::new(0.9),
+                SimDuration::from_millis(10),
+            ))
+        });
+    });
+}
+
+fn bench_ta_minute(c: &mut Criterion) {
+    c.bench_function("temp_alarm_one_minute_capy_p", |b| {
+        let events = vec![SimTime::from_secs(30)];
+        b.iter(|| {
+            black_box(ta::run_for(
+                Variant::CapyP,
+                events.clone(),
+                7,
+                SimTime::from_secs(60),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_charge, bench_discharge, bench_ta_minute);
+criterion_main!(benches);

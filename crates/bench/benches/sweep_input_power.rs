@@ -1,0 +1,60 @@
+//! Extension experiment: detection accuracy vs harvested input power.
+//!
+//! The paper sweeps event inter-arrival time (Figure 10); the other axis
+//! of the deployment envelope is how much power the environment supplies.
+//! This sweep runs the TA experiment across harvester strengths and shows
+//! where each power system's accuracy collapses — Capybara degrades
+//! gracefully (its small mode keeps sampling on weak input; only alarm
+//! latency suffers) while the Fixed system falls off a cliff once its big
+//! buffer cannot recharge between events.
+
+use capy_apps::events::poisson_events;
+use capy_apps::metrics::{accuracy_fractions, classify_reported};
+use capy_apps::ta;
+use capy_bench::{figure_header, FIGURE_SEED};
+use capy_units::{SimDuration, SimTime};
+use capybara::variant::Variant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    figure_header(
+        "Extension",
+        "TA detection accuracy vs harvested input power",
+    );
+    let mut events = poisson_events(
+        &mut StdRng::seed_from_u64(FIGURE_SEED),
+        SimDuration::from_secs(144),
+        25,
+        SimDuration::from_secs(45),
+    );
+    capy_apps::events::fit_span(&mut events, SimDuration::from_secs(3_500));
+    let horizon = SimTime::from_secs(3_600);
+
+    println!(
+        "{:>16} {:>8} {:>8} {:>8}",
+        "irradiance", "Fixed", "CB-R", "CB-P"
+    );
+    for irradiance in [0.15, 0.25, 0.42, 0.7, 1.0] {
+        let mut cols = Vec::new();
+        for v in [Variant::Fixed, Variant::CapyR, Variant::CapyP] {
+            let mut sim = ta::build(v, events.clone(), FIGURE_SEED);
+            sim.power_mut().harvester_mut().set_irradiance(irradiance);
+            sim.run_until(horizon);
+            let packets = sim.ctx().packets.clone();
+            let f = accuracy_fractions(&classify_reported(events.len(), &packets));
+            cols.push(f.correct);
+        }
+        println!(
+            "{:>16.2} {:>8.2} {:>8.2} {:>8.2}",
+            irradiance, cols[0], cols[1], cols[2]
+        );
+    }
+    println!();
+    println!("Expected shape: all systems lose accuracy as input power drops.");
+    println!("Capy-P degrades most gracefully: its off-critical-path precharge");
+    println!("eventually completes even on weak input. At the weakest inputs");
+    println!("Capy-R collapses below even Fixed — charging the alarm bank on");
+    println!("the critical path no longer finishes before the excursion ends —");
+    println!("which sharpens the paper's case for pre-charged bursts.");
+}

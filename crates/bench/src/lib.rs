@@ -1,0 +1,40 @@
+//! Shared scaffolding for the figure-regeneration benches.
+//!
+//! Each `benches/figN_*.rs` target is a `harness = false` binary that
+//! regenerates one table or figure of the paper's evaluation: it builds
+//! the workload, sweeps the parameters, runs every system variant, and
+//! prints the same rows/series the paper reports, in a stable
+//! whitespace-separated format suitable for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+
+/// The seed used by every figure bench, so the printed numbers are
+/// reproducible run to run.
+pub const FIGURE_SEED: u64 = 0xCA9B_2018;
+
+/// Prints the standard figure header.
+pub fn figure_header(id: &str, caption: &str) {
+    println!("################################################################");
+    println!("# {id}: {caption}");
+    println!("################################################################");
+}
+
+/// Formats a fraction as a fixed-width percentage.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_fixed_width() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal ASCII plotting for the figure benches: line charts for traces
+//! and sweeps, horizontal bars for histograms. Keeps the regenerated
+//! figures legible in a terminal without any plotting dependency.
+
+/// Renders `series` (each a named list of `(x, y)` points) as an ASCII
+/// line chart of `width`×`height` characters. Each series is drawn with
+/// its own glyph; axes are annotated with the data ranges.
+#[must_use]
+pub fn line_chart(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if points.is_empty() || width < 8 || height < 2 {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_max:>10.3} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>10.3} ┼"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "           {:<width$.3}{:>.3}\n",
+        x_min,
+        x_max,
+        width = width - 3
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("           {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out
+}
+
+/// Renders labelled counts as horizontal bars scaled to `width`.
+#[must_use]
+pub fn bar_chart(bins: &[(String, usize)], width: usize) -> String {
+    let max = bins.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    if max == 0 {
+        return String::from("(empty histogram)\n");
+    }
+    let label_w = bins.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, n) in bins {
+        let bar = "█".repeat((n * width).div_ceil(max).min(width));
+        out.push_str(&format!("{label:>label_w$} │{bar} {n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_extremes() {
+        let s = vec![("f", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)])];
+        let chart = line_chart(&s, 20, 6);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("4.000"));
+        assert!(chart.contains("0.000"));
+        assert!(chart.contains("* f"));
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_degenerate() {
+        assert_eq!(line_chart(&[], 20, 6), "(no data)\n");
+        let flat = vec![("f", vec![(1.0, 2.0), (2.0, 2.0)])];
+        let chart = line_chart(&flat, 20, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn line_chart_distinguishes_series() {
+        let s = vec![
+            ("up", vec![(0.0, 0.0), (1.0, 1.0)]),
+            ("down", vec![(0.0, 1.0), (1.0, 0.0)]),
+        ];
+        let chart = line_chart(&s, 24, 8);
+        assert!(chart.contains("* up"));
+        assert!(chart.contains("o down"));
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let bins = vec![("a".to_string(), 10), ("bb".to_string(), 5), ("c".to_string(), 0)];
+        let chart = bar_chart(&bins, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].matches('█').count() == 10);
+        assert!(lines[1].matches('█').count() == 5);
+        assert!(lines[2].matches('█').count() == 0);
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        assert_eq!(bar_chart(&[], 10), "(empty histogram)\n");
+    }
+}

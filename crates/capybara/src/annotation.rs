@@ -1,0 +1,94 @@
+//! Task energy annotations: the declarative interface of §4.
+//!
+//! A programmer annotates each task with its energy demand instead of
+//! writing imperative power-control code. The three annotations mirror the
+//! paper's `config`, `burst`, and `preburst` keywords (Figure 5).
+
+use crate::mode::EnergyMode;
+
+/// The energy annotation attached to a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskEnergy {
+    /// No annotation: the task runs under whatever configuration is
+    /// current (an "intermittent task" with no special demands).
+    Unannotated,
+    /// `config (mode)`: execute with the bank configuration of `mode`,
+    /// charging it fully first. Expresses a capacity constraint (the mode
+    /// buffers enough energy for the task) or a temporal one (the mode is
+    /// small, so recharges are short).
+    Config(EnergyMode),
+    /// `burst (mode)`: spend the pre-charged banks of `mode` immediately,
+    /// with no recharge pause — for tasks that are both
+    /// capacity-constrained and reactive (§4.2).
+    Burst(EnergyMode),
+    /// `preburst (burst, exec)`: off the critical path, charge the banks
+    /// of `burst` ahead of time, then execute this task under `exec`
+    /// (§4.2).
+    Preburst {
+        /// The mode to pre-charge for a later [`TaskEnergy::Burst`] task.
+        burst: EnergyMode,
+        /// The mode this task itself executes under.
+        exec: EnergyMode,
+    },
+}
+
+impl TaskEnergy {
+    /// The mode this task executes under, if any.
+    #[must_use]
+    pub fn exec_mode(self) -> Option<EnergyMode> {
+        match self {
+            TaskEnergy::Unannotated => None,
+            TaskEnergy::Config(m) | TaskEnergy::Burst(m) => Some(m),
+            TaskEnergy::Preburst { exec, .. } => Some(exec),
+        }
+    }
+
+    /// The mode this task pre-charges, if any.
+    #[must_use]
+    pub fn precharge_mode(self) -> Option<EnergyMode> {
+        match self {
+            TaskEnergy::Preburst { burst, .. } => Some(burst),
+            _ => None,
+        }
+    }
+
+    /// `true` for burst-annotated tasks.
+    #[must_use]
+    pub fn is_burst(self) -> bool {
+        matches!(self, TaskEnergy::Burst(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_resolution() {
+        let m0 = EnergyMode(0);
+        let m1 = EnergyMode(1);
+        assert_eq!(TaskEnergy::Unannotated.exec_mode(), None);
+        assert_eq!(TaskEnergy::Config(m0).exec_mode(), Some(m0));
+        assert_eq!(TaskEnergy::Burst(m1).exec_mode(), Some(m1));
+        assert_eq!(
+            TaskEnergy::Preburst { burst: m1, exec: m0 }.exec_mode(),
+            Some(m0)
+        );
+    }
+
+    #[test]
+    fn precharge_mode_only_for_preburst() {
+        let m = EnergyMode(2);
+        assert_eq!(TaskEnergy::Config(m).precharge_mode(), None);
+        assert_eq!(
+            TaskEnergy::Preburst { burst: m, exec: EnergyMode(0) }.precharge_mode(),
+            Some(m)
+        );
+    }
+
+    #[test]
+    fn burst_predicate() {
+        assert!(TaskEnergy::Burst(EnergyMode(0)).is_burst());
+        assert!(!TaskEnergy::Config(EnergyMode(0)).is_burst());
+    }
+}

@@ -1,0 +1,113 @@
+//! **Capybara**: a reconfigurable energy storage architecture for
+//! energy-harvesting devices — a full-system reproduction of
+//! Colin, Ruppel & Lucia, ASPLOS 2018.
+//!
+//! Batteryless devices buffer harvested energy in capacitors and operate
+//! intermittently. A fixed-capacity buffer cannot serve an application
+//! whose tasks have both *capacity* constraints (a radio packet needs a
+//! large, atomic quantum of energy) and *temporal* constraints (a sampling
+//! task must recharge quickly to stay reactive). Capybara resolves the
+//! conflict with capacitor banks that software reconfigures at runtime:
+//!
+//! * a task annotated [`TaskEnergy::Config`] runs with the bank
+//!   configuration of its *energy mode*;
+//! * a task annotated [`TaskEnergy::Burst`] spends a *pre-charged* bank
+//!   immediately, without a recharge pause on the critical path;
+//! * a task annotated [`TaskEnergy::Preburst`] pays the burst's recharge
+//!   latency ahead of time, off the critical path.
+//!
+//! This crate binds the substrates (`capy-power`, `capy-device`,
+//! `capy-intermittent`) into a whole-device simulator, [`sim::Simulator`],
+//! that executes annotated task graphs under four power-system variants
+//! ([`Variant`]): continuously powered, fixed capacity, Capy-R
+//! (reconfiguration only), and Capy-P (reconfiguration + pre-charged
+//! bursts) — the four systems compared throughout the paper's evaluation.
+//!
+//! # Example: a sense→process→alert application
+//!
+//! ```
+//! use capybara::prelude::*;
+//! use capy_units::{SimTime, SimDuration, Watts, Volts};
+//!
+//! #[derive(Default)]
+//! struct App {
+//!     alerts: NvVar<u32>,
+//! }
+//! impl NvState for App {
+//!     fn commit_all(&mut self) { self.alerts.commit(); }
+//!     fn abort_all(&mut self) { self.alerts.abort(); }
+//! }
+//! impl SimContext for App {
+//!     fn set_now(&mut self, _now: SimTime) {}
+//! }
+//!
+//! let mcu = Mcu::msp430fr5969();
+//! let small = Bank::builder("small").with(parts::ceramic_x5r_400uf()).build();
+//! let big = Bank::builder("big").with(parts::edlc_7_5mf()).build();
+//! let power = PowerSystem::builder()
+//!     .harvester(ConstantHarvester::new(Watts::from_milli(5.0), Volts::new(3.0)))
+//!     .bank(small, SwitchKind::NormallyClosed)
+//!     .bank(big, SwitchKind::NormallyOpen)
+//!     .build();
+//!
+//! let mut sim = Simulator::builder(Variant::CapyP, power, mcu)
+//!     .mode("sense-mode", &[BankId(0)])
+//!     .mode("alert-mode", &[BankId(1)])
+//!     .task(
+//!         "sense",
+//!         TaskEnergy::Config(EnergyMode(0)),
+//!         |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(10))),
+//!         |_app: &mut App| Transition::To(TaskId(1)),
+//!     )
+//!     .task(
+//!         "alert",
+//!         TaskEnergy::Burst(EnergyMode(1)),
+//!         |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(50))),
+//!         |app: &mut App| {
+//!             app.alerts.update(|n| n + 1);
+//!             Transition::Stop
+//!         },
+//!     )
+//!     .build(App::default());
+//!
+//! sim.run_until(SimTime::from_secs(600));
+//! assert_eq!(sim.ctx().alerts.get(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocate;
+pub mod annotation;
+pub mod mode;
+pub mod provision;
+pub mod runtime;
+pub mod sim;
+pub mod variant;
+
+pub use annotation::TaskEnergy;
+pub use mode::{EnergyMode, ModeTable};
+pub use variant::Variant;
+
+/// Convenient glob-import of this crate plus the substrate types an
+/// application needs.
+pub mod prelude {
+    pub use crate::allocate::{allocate, AllocationOptions, AllocationPlan, TaskDemand};
+    pub use crate::annotation::TaskEnergy;
+    pub use crate::mode::{EnergyMode, ModeTable};
+    pub use crate::provision::{provision_bank_units, ProvisioningReport};
+    pub use crate::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder, StepResult};
+    pub use crate::variant::Variant;
+
+    pub use capy_device::load::{LoadPhase, TaskLoad};
+    pub use capy_device::mcu::Mcu;
+    pub use capy_intermittent::nv::{NvState, NvVar, NvVec};
+    pub use capy_intermittent::task::{TaskId, Transition};
+    pub use capy_power::bank::{Bank, BankId};
+    pub use capy_power::harvester::{
+        ConstantHarvester, Harvester, RegulatedSupply, RfHarvester, SolarPanel, TraceHarvester,
+    };
+    pub use capy_power::switch::{SwitchKind, SwitchState};
+    pub use capy_power::system::{PowerSystem, PowerSystemBuilder};
+    pub use capy_power::technology::parts;
+}

@@ -1,0 +1,1080 @@
+//! The whole-device simulator: binds the power system, the MCU and
+//! peripheral load models, the intermittent execution machine, and the
+//! Capybara runtime into one intermittently-powered device.
+//!
+//! The simulator advances in *task-grain* steps. Each [`Simulator::step`]:
+//!
+//! 1. asks the runtime planner ([`crate::runtime::plan`]) what power-system
+//!    actions the pending task's annotation requires (reconfigure, charge,
+//!    pre-charge, activate burst);
+//! 2. executes those actions, advancing simulated time through the
+//!    analytic charging model — the device is off while charging and
+//!    reboots when the buffer fills (the intermittent execution model of
+//!    §2);
+//! 3. draws the task's load phases from the capacitor rail; a brown-out
+//!    mid-phase is an intermittent power failure: uncommitted state is
+//!    discarded and the same task retries after a recharge;
+//! 4. on completion, runs the task body (which observes the simulated
+//!    clock via [`SimContext::set_now`]) and commits.
+//!
+//! Everything is deterministic: same inputs, same schedule.
+
+use capy_device::load::TaskLoad;
+use capy_device::mcu::Mcu;
+use capy_intermittent::machine::{ExecStats, ExecutionMachine};
+use capy_intermittent::nv::NvState;
+use capy_intermittent::task::{TaskGraph, TaskId, Transition};
+use capy_power::bank::BankId;
+use capy_power::harvester::Harvester;
+use capy_power::switch::SwitchState;
+use capy_power::system::{ChargeOutcome, PowerSystem};
+use capy_units::{SimDuration, SimTime, Volts};
+
+use crate::annotation::TaskEnergy;
+use crate::mode::{EnergyMode, ModeTable};
+use crate::runtime::{plan, validate_annotations, RuntimeState, Step};
+use crate::variant::Variant;
+
+/// Application context requirements: non-volatile commit/abort plus clock
+/// observation.
+pub trait SimContext: NvState {
+    /// Called with the current simulated time immediately before each task
+    /// body runs, so sensor reads inside the body observe the environment
+    /// at the right instant.
+    fn set_now(&mut self, now: SimTime);
+}
+
+impl SimContext for () {
+    fn set_now(&mut self, _now: SimTime) {}
+}
+
+/// A timeline event recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// The device booted (buffer full, or continuously powered start).
+    Boot {
+        /// Boot instant.
+        at: SimTime,
+    },
+    /// The runtime reconfigured the bank array.
+    Reconfigure {
+        /// Command instant.
+        at: SimTime,
+        /// The target energy mode.
+        mode: EnergyMode,
+    },
+    /// A charging pause.
+    Charge {
+        /// Charging began (device powered down).
+        start: SimTime,
+        /// Buffer reached its target (device about to boot).
+        end: SimTime,
+        /// Rail voltage at start.
+        from: Volts,
+        /// Rail voltage at end.
+        to: Volts,
+        /// `true` when this was a burst pre-charge.
+        precharge: bool,
+    },
+    /// A burst activation (no charging pause).
+    BurstActivated {
+        /// Activation instant.
+        at: SimTime,
+        /// The burst's energy mode.
+        mode: EnergyMode,
+    },
+    /// An intermittent power failure mid-task.
+    PowerFailure {
+        /// Brown-out instant.
+        at: SimTime,
+        /// The task that was cut short.
+        task: TaskId,
+    },
+    /// Charging stalled with no input power; the simulation cannot
+    /// proceed.
+    Stalled {
+        /// Stall instant.
+        at: SimTime,
+    },
+}
+
+/// Checks the structural invariants of a recorded event log and returns a
+/// description of the first violation, if any:
+///
+/// 1. events are time-ordered;
+/// 2. every `Charge` is followed by a `Boot` (the device boots when the
+///    buffer fills) unless the log ends or the run stalled;
+/// 3. `BurstActivated` is never directly preceded by a `Charge` ending at
+///    the same instant (bursts exist to avoid the on-path charge);
+/// 4. at most one `Stalled`, and nothing after it.
+///
+/// Integration tests run this over every application's timeline.
+#[must_use]
+pub fn validate_event_log(events: &[SimEvent]) -> Option<String> {
+    fn at(e: &SimEvent) -> SimTime {
+        match e {
+            SimEvent::Boot { at }
+            | SimEvent::Reconfigure { at, .. }
+            | SimEvent::BurstActivated { at, .. }
+            | SimEvent::PowerFailure { at, .. }
+            | SimEvent::Stalled { at } => *at,
+            SimEvent::Charge { end, .. } => *end,
+        }
+    }
+    let mut prev = SimTime::ZERO;
+    for (i, e) in events.iter().enumerate() {
+        let t = at(e);
+        if t < prev {
+            return Some(format!("event {i} at {t} precedes {prev}"));
+        }
+        prev = t;
+        match e {
+            SimEvent::Charge { start, end, .. } => {
+                if start > end {
+                    return Some(format!("charge {i} ends before it starts"));
+                }
+                match events.get(i + 1) {
+                    Some(SimEvent::Boot { .. }) | None => {}
+                    Some(SimEvent::Stalled { .. }) => {}
+                    Some(other) => {
+                        return Some(format!(
+                            "charge {i} followed by {other:?} instead of a boot"
+                        ))
+                    }
+                }
+            }
+            SimEvent::BurstActivated { at, .. } => {
+                if let Some(SimEvent::Charge { end, .. }) = i.checked_sub(1).map(|j| &events[j]) {
+                    if end == at {
+                        return Some(format!(
+                            "burst at {at} immediately after an on-path charge"
+                        ));
+                    }
+                }
+            }
+            SimEvent::Stalled { .. }
+                if i + 1 != events.len() => {
+                    return Some(format!("events continue after stall at index {i}"));
+                }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The outcome of one simulator step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// A task attempt ran (it may have completed or failed).
+    Progress,
+    /// The application returned [`Transition::Stop`].
+    Stopped,
+    /// The harvester cannot charge the buffer; no further progress is
+    /// possible.
+    Stalled,
+}
+
+/// A task's load model: given the context and MCU, the phases the task
+/// draws.
+type LoadFn<C> = Box<dyn Fn(&C, &Mcu) -> TaskLoad + Send>;
+
+/// A task body as stored by the builder.
+type BodyFn<C> = Box<dyn FnMut(&mut C) -> Transition + Send>;
+
+struct TaskMeta<C> {
+    energy: TaskEnergy,
+    load: LoadFn<C>,
+}
+
+/// The intermittently-powered device simulator.
+///
+/// Construct with [`Simulator::builder`]; see the
+/// [crate-level example](crate) for an end-to-end application.
+pub struct Simulator<H, C> {
+    variant: Variant,
+    power: PowerSystem<H>,
+    mcu: Mcu,
+    machine: ExecutionMachine<C>,
+    metas: Vec<TaskMeta<C>>,
+    modes: ModeTable,
+    state: RuntimeState,
+    ctx: C,
+    now: SimTime,
+    on: bool,
+    needs_charge: bool,
+    stalled: bool,
+    events: Vec<SimEvent>,
+    trace: Option<Vec<(SimTime, Volts)>>,
+    reconfig_overhead: SimDuration,
+    harvest_during_operation: bool,
+}
+
+/// Builder assembling the task graph, annotations, loads, and mode table
+/// in one place so task ids stay aligned (§C-BUILDER).
+pub struct SimulatorBuilder<H, C> {
+    variant: Variant,
+    power: PowerSystem<H>,
+    mcu: Mcu,
+    modes: ModeTable,
+    names: Vec<&'static str>,
+    metas: Vec<TaskMeta<C>>,
+    bodies: Vec<BodyFn<C>>,
+    entry: Option<&'static str>,
+    record_trace: bool,
+    harvest_during_operation: bool,
+}
+
+impl<H: Harvester, C: SimContext> Simulator<H, C> {
+    /// Starts building a simulator for `variant` over the given power
+    /// system and MCU.
+    #[must_use]
+    pub fn builder(variant: Variant, power: PowerSystem<H>, mcu: Mcu) -> SimulatorBuilder<H, C> {
+        SimulatorBuilder {
+            variant,
+            power,
+            mcu,
+            modes: ModeTable::new(),
+            names: Vec::new(),
+            metas: Vec::new(),
+            bodies: Vec::new(),
+            entry: None,
+            record_trace: false,
+            harvest_during_operation: false,
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The executing variant.
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Shared access to the application context.
+    #[must_use]
+    pub fn ctx(&self) -> &C {
+        &self.ctx
+    }
+
+    /// Mutable access to the application context (e.g. to install
+    /// experiment stimuli between runs).
+    pub fn ctx_mut(&mut self) -> &mut C {
+        &mut self.ctx
+    }
+
+    /// The power system.
+    #[must_use]
+    pub fn power(&self) -> &PowerSystem<H> {
+        &self.power
+    }
+
+    /// Mutable access to the power system (e.g. to vary irradiance).
+    pub fn power_mut(&mut self) -> &mut PowerSystem<H> {
+        &mut self.power
+    }
+
+    /// Execution statistics from the intermittent machine.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.machine.stats()
+    }
+
+    /// The recorded timeline events.
+    #[must_use]
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// The recorded `(time, rail voltage)` trace, when enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&[(SimTime, Volts)]> {
+        self.trace.as_deref()
+    }
+
+    /// The runtime's persistent state (current mode, pre-charge flags).
+    #[must_use]
+    pub fn runtime_state(&self) -> &RuntimeState {
+        &self.state
+    }
+
+    /// Mutable runtime state (for ablations, e.g. the pre-charge deficit).
+    pub fn runtime_state_mut(&mut self) -> &mut RuntimeState {
+        &mut self.state
+    }
+
+    /// The mode table.
+    #[must_use]
+    pub fn modes(&self) -> &ModeTable {
+        &self.modes
+    }
+
+    /// Runs steps until `end` (simulated), the application stops, or the
+    /// harvester stalls. Returns the terminal condition.
+    pub fn run_until(&mut self, end: SimTime) -> StepResult {
+        loop {
+            if self.now >= end {
+                return StepResult::Progress;
+            }
+            match self.step() {
+                StepResult::Progress => {}
+                other => return other,
+            }
+        }
+    }
+
+    /// Executes one task attempt (with whatever runtime actions precede
+    /// it).
+    pub fn step(&mut self) -> StepResult {
+        if self.machine.is_stopped() {
+            return StepResult::Stopped;
+        }
+        if self.stalled {
+            return StepResult::Stalled;
+        }
+        if self.variant == Variant::Continuous {
+            return self.step_continuous();
+        }
+
+        let task = self.machine.current();
+        let energy = self.metas[task.0].energy;
+        let steps = plan(self.variant, energy, &self.state, self.needs_charge);
+        for step in steps {
+            let ok = match step {
+                Step::ConfigureAndCharge(mode) => self.configure_and_charge(mode, false),
+                Step::Precharge(mode) => {
+                    let ok = self.configure_and_charge(mode, true);
+                    if ok {
+                        self.state.mark_precharged(mode);
+                    }
+                    ok
+                }
+                Step::ActivateBurst(mode) => {
+                    self.reconfigure(mode);
+                    self.events.push(SimEvent::BurstActivated {
+                        at: self.now,
+                        mode,
+                    });
+                    true
+                }
+                Step::ChargeCurrent => self.charge_current(),
+            };
+            if !ok {
+                return StepResult::Stalled;
+            }
+        }
+
+        if !self.on && !self.ensure_on() {
+            return StepResult::Stalled;
+        }
+
+        // Execute the task's load phases against the rail.
+        self.machine.begin();
+        let load = (self.metas[task.0].load)(&self.ctx, &self.mcu);
+        let regulated = self.power.output_booster().output_voltage();
+        for phase in load.phases() {
+            assert!(
+                phase.min_voltage() <= regulated,
+                "task '{}' phase '{}' needs {} but the output booster regulates {}",
+                self.machine.current_name(),
+                phase.label(),
+                phase.min_voltage(),
+                regulated
+            );
+            let outcome = if self.harvest_during_operation {
+                self.power
+                    .draw_with_harvesting(phase.power(), phase.duration(), &mut self.now)
+            } else {
+                self.power.draw(phase.power(), phase.duration(), &mut self.now)
+            };
+            if !outcome.is_complete() {
+                self.power_failed(task, energy);
+                return StepResult::Progress;
+            }
+        }
+        self.trace_point();
+
+        // The task completed on buffered energy: run its logic and commit.
+        self.ctx.set_now(self.now);
+        let transition = self.machine.peek_body(&mut self.ctx);
+        self.machine.complete(&mut self.ctx, transition);
+        if let (TaskEnergy::Burst(mode), true) = (energy, self.variant.supports_burst()) {
+            // The burst's stored energy is spent; the next preburst task
+            // must refill it.
+            self.state.consume_precharge(mode);
+        }
+        if let Transition::Sleep { duration, .. } = transition {
+            // The processor sleeps but the power system stays on; its
+            // quiescent overhead keeps draining the buffer (§6.4: "it will
+            // discharge during sampling despite the sleep mode, due to the
+            // power overhead of the power system that remains on").
+            let outcome = self
+                .power
+                .draw(self.mcu.sleep_power(), duration, &mut self.now);
+            if !outcome.is_complete() {
+                self.on = false;
+                self.needs_charge = true;
+                self.events.push(SimEvent::PowerFailure {
+                    at: self.now,
+                    task: self.machine.current(),
+                });
+                self.trace_point();
+            }
+        }
+        StepResult::Progress
+    }
+
+    fn step_continuous(&mut self) -> StepResult {
+        if !self.on {
+            self.on = true;
+            self.events.push(SimEvent::Boot { at: self.now });
+        }
+        let task = self.machine.current();
+        self.machine.begin();
+        let load = (self.metas[task.0].load)(&self.ctx, &self.mcu);
+        self.now = self.now.saturating_add(load.duration());
+        self.ctx.set_now(self.now);
+        let transition = self.machine.peek_body(&mut self.ctx);
+        self.machine.complete(&mut self.ctx, transition);
+        if let Transition::Sleep { duration, .. } = transition {
+            self.now = self.now.saturating_add(duration);
+        }
+        StepResult::Progress
+    }
+
+    /// Charges the current configuration to full and boots. Returns
+    /// `false` on harvester stall.
+    fn charge_current(&mut self) -> bool {
+        self.on = false;
+        let start = self.now;
+        let from = self.power.rail_voltage(self.now);
+        match self.power.charge_until_full(&mut self.now) {
+            Ok(_) => {
+                self.events.push(SimEvent::Charge {
+                    start,
+                    end: self.now,
+                    from,
+                    to: self.power.rail_voltage(self.now),
+                    precharge: false,
+                });
+                self.needs_charge = false;
+                self.boot();
+                true
+            }
+            Err(_) => {
+                self.stall();
+                false
+            }
+        }
+    }
+
+    /// Reconfigures to `mode` and charges it (to the pre-charge ceiling
+    /// when `precharge`), then boots. Returns `false` on harvester stall.
+    fn configure_and_charge(&mut self, mode: EnergyMode, precharge: bool) -> bool {
+        if !self.ensure_on() {
+            return false;
+        }
+        self.reconfigure(mode);
+        self.on = false;
+        let start = self.now;
+        let from = self.power.rail_voltage(self.now);
+        let mut target = self.power.full_voltage(self.now);
+        if precharge {
+            target = (target - self.state.precharge_deficit()).max(Volts::ZERO);
+        }
+        match self.power.charge_until(target, &mut self.now) {
+            Ok(ChargeOutcome::Reached(_)) => {
+                self.events.push(SimEvent::Charge {
+                    start,
+                    end: self.now,
+                    from,
+                    to: self.power.rail_voltage(self.now),
+                    precharge,
+                });
+                self.needs_charge = false;
+                self.boot();
+                true
+            }
+            Ok(ChargeOutcome::Stalled(_)) | Err(_) => {
+                self.stall();
+                false
+            }
+        }
+    }
+
+    /// Issues the switch commands for `mode`: non-members open first, then
+    /// members close (avoiding spurious charge-sharing through the rail).
+    fn reconfigure(&mut self, mode: EnergyMode) {
+        // The runtime's GPIO traffic costs a sliver of active time.
+        let _ = self
+            .power
+            .draw(self.mcu.active_power(), self.reconfig_overhead, &mut self.now);
+        for i in 0..self.power.bank_count() {
+            if !self.modes.contains(mode, BankId(i)) {
+                let _ = self
+                    .power
+                    .command_switch(BankId(i), SwitchState::Open, self.now);
+            }
+        }
+        for i in 0..self.power.bank_count() {
+            if self.modes.contains(mode, BankId(i)) {
+                let _ = self
+                    .power
+                    .command_switch(BankId(i), SwitchState::Closed, self.now);
+            }
+        }
+        self.state.set_current_mode(mode);
+        self.events.push(SimEvent::Reconfigure { at: self.now, mode });
+        self.trace_point();
+    }
+
+    /// Boots the device from a charged rail: pays the boot load, records
+    /// the boot, refreshes switch latches.
+    fn boot(&mut self) {
+        let boot = self.mcu.boot_load();
+        let _ = self.power.draw(boot.power(), boot.duration(), &mut self.now);
+        self.power.refresh_switches(self.now);
+        self.machine.reboot();
+        self.on = true;
+        self.events.push(SimEvent::Boot { at: self.now });
+        self.trace_point();
+    }
+
+    /// Brings the device on-line if it is off, charging the *current*
+    /// configuration first (a cold boot must run on the default/previous
+    /// configuration before the runtime can issue any switch commands).
+    fn ensure_on(&mut self) -> bool {
+        if self.on {
+            return true;
+        }
+        self.charge_current()
+    }
+
+    fn power_failed(&mut self, task: TaskId, energy: TaskEnergy) {
+        self.machine.fail(&mut self.ctx);
+        self.on = false;
+        self.needs_charge = true;
+        if let (TaskEnergy::Burst(mode), true) = (energy, self.variant.supports_burst()) {
+            self.state.consume_precharge(mode);
+        }
+        self.events.push(SimEvent::PowerFailure { at: self.now, task });
+        self.trace_point();
+    }
+
+    fn stall(&mut self) {
+        self.stalled = true;
+        self.events.push(SimEvent::Stalled { at: self.now });
+    }
+
+    fn trace_point(&mut self) {
+        if let Some(trace) = &mut self.trace {
+            trace.push((self.now, self.power.rail_voltage(self.now)));
+        }
+    }
+}
+
+impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
+    /// Registers an energy mode backed by `banks`; ids are assigned in
+    /// registration order (`EnergyMode(0)`, `EnergyMode(1)`, …).
+    #[must_use]
+    pub fn mode(mut self, name: &'static str, banks: &[BankId]) -> Self {
+        let _ = self.modes.add(name, banks);
+        self
+    }
+
+    /// Adds a task: its name, energy annotation, load model, and body.
+    /// Task ids are assigned in insertion order.
+    #[must_use]
+    pub fn task(
+        mut self,
+        name: &'static str,
+        energy: TaskEnergy,
+        load: impl Fn(&C, &Mcu) -> TaskLoad + Send + 'static,
+        body: impl FnMut(&mut C) -> Transition + Send + 'static,
+    ) -> Self {
+        self.names.push(name);
+        self.metas.push(TaskMeta {
+            energy,
+            load: Box::new(load),
+        });
+        self.bodies.push(Box::new(body));
+        self
+    }
+
+    /// Sets the entry task by name (defaults to the first task).
+    #[must_use]
+    pub fn entry(mut self, name: &'static str) -> Self {
+        self.entry = Some(name);
+        self
+    }
+
+    /// Enables `(time, rail voltage)` trace recording (Figure 2).
+    #[must_use]
+    pub fn record_trace(mut self, enable: bool) -> Self {
+        self.record_trace = enable;
+        self
+    }
+
+    /// Models harvesting that continues while tasks run, relaxing the
+    /// intermittent model's "charging is negligible during operation"
+    /// simplification (§2). Off by default, matching the paper.
+    #[must_use]
+    pub fn harvest_during_operation(mut self, enable: bool) -> Self {
+        self.harvest_during_operation = enable;
+        self
+    }
+
+    /// Finishes the simulator around the initial application context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tasks were added, the entry name is unknown, a mode
+    /// references a bank outside the power system, or an annotation
+    /// references an unregistered mode.
+    #[must_use]
+    pub fn build(self, ctx: C) -> Simulator<H, C> {
+        assert!(!self.metas.is_empty(), "a simulator needs at least one task");
+        if let Some(max) = self.modes.max_bank_index() {
+            assert!(
+                max < self.power.bank_count(),
+                "energy mode references bank {max} but the power system has {} banks",
+                self.power.bank_count()
+            );
+        }
+        let annotations: Vec<TaskEnergy> = self.metas.iter().map(|m| m.energy).collect();
+        validate_annotations(&self.modes, &annotations);
+
+        let entry = match self.entry {
+            Some(name) => TaskId(
+                self.names
+                    .iter()
+                    .position(|n| *n == name)
+                    .unwrap_or_else(|| panic!("unknown entry task '{name}'")),
+            ),
+            None => TaskId(0),
+        };
+        let mut graph_builder = TaskGraph::builder();
+        for (name, body) in self.names.iter().zip(self.bodies) {
+            graph_builder = graph_builder.task(name, body);
+        }
+        let graph = graph_builder.build(entry);
+
+        let state = RuntimeState::new(self.modes.len());
+        Simulator {
+            variant: self.variant,
+            power: self.power,
+            mcu: self.mcu,
+            machine: ExecutionMachine::new(graph),
+            metas: self.metas,
+            modes: self.modes,
+            state,
+            ctx,
+            now: SimTime::ZERO,
+            on: false,
+            needs_charge: true,
+            stalled: false,
+            events: Vec::new(),
+            trace: self.record_trace.then(Vec::new),
+            reconfig_overhead: SimDuration::from_micros(500),
+            harvest_during_operation: self.harvest_during_operation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capy_device::load::TaskLoad;
+    use capy_intermittent::nv::NvVar;
+    use capy_power::harvester::ConstantHarvester;
+    use capy_power::switch::SwitchKind;
+    use capy_power::technology::parts;
+    use capy_power::prelude::Bank;
+    use capy_units::Watts;
+
+    struct Counter {
+        n: NvVar<u64>,
+        last_seen: SimTime,
+    }
+
+    impl NvState for Counter {
+        fn commit_all(&mut self) {
+            self.n.commit();
+        }
+        fn abort_all(&mut self) {
+            self.n.abort();
+        }
+    }
+
+    impl SimContext for Counter {
+        fn set_now(&mut self, now: SimTime) {
+            self.last_seen = now;
+        }
+    }
+
+    fn counter() -> Counter {
+        Counter {
+            n: NvVar::new(0),
+            last_seen: SimTime::ZERO,
+        }
+    }
+
+    fn bench_power() -> PowerSystem<ConstantHarvester> {
+        PowerSystem::builder()
+            .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+            .bank(
+                Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+                SwitchKind::NormallyClosed,
+            )
+            .bank(
+                Bank::builder("big").with(parts::edlc_7_5mf()).build(),
+                SwitchKind::NormallyOpen,
+            )
+            .build()
+    }
+
+    fn sampling_sim(variant: Variant) -> Simulator<ConstantHarvester, Counter> {
+        Simulator::builder(variant, bench_power(), Mcu::msp430fr5969())
+            .mode("small", &[BankId(0)])
+            .mode("big", &[BankId(1)])
+            .task(
+                "sample",
+                TaskEnergy::Config(EnergyMode(0)),
+                |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                |c: &mut Counter| {
+                    c.n.update(|x| x + 1);
+                    Transition::Stay
+                },
+            )
+            .build(counter())
+    }
+
+    #[test]
+    fn continuous_runs_without_charging() {
+        let mut sim = sampling_sim(Variant::Continuous);
+        sim.run_until(SimTime::from_secs(1));
+        // 20 ms per iteration → ~50 completions per second, no failures.
+        let n = sim.ctx().n.get();
+        assert!((48..=52).contains(&n), "n = {n}");
+        assert_eq!(sim.exec_stats().failures, 0);
+        assert!(!sim.events().iter().any(|e| matches!(e, SimEvent::Charge { .. })));
+    }
+
+    #[test]
+    fn intermittent_sampler_cycles_charge_and_run() {
+        let mut sim = sampling_sim(Variant::CapyR);
+        sim.run_until(SimTime::from_secs(30));
+        let stats = sim.exec_stats();
+        assert!(stats.completions > 50, "completions = {}", stats.completions);
+        assert!(stats.failures > 0, "an intermittent device must fail sometimes");
+        assert!(stats.reboots > 1);
+        // Charges happened, all on the small bank (mode never changes).
+        let charges = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Charge { .. }))
+            .count();
+        assert!(charges > 1);
+        // Clock observed by the body advances.
+        assert!(sim.ctx().last_seen > SimTime::ZERO);
+    }
+
+    #[test]
+    fn failed_attempts_do_not_leak_counter_increments() {
+        let mut sim = sampling_sim(Variant::CapyR);
+        sim.run_until(SimTime::from_secs(30));
+        // Every committed increment corresponds to a completion.
+        assert_eq!(sim.ctx().n.get(), sim.exec_stats().completions);
+    }
+
+    #[test]
+    fn burst_task_runs_without_critical_path_charge() {
+        // preburst charges the big bank ahead of time; the burst then
+        // activates instantly.
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::CapyP, bench_power(), Mcu::msp430fr5969())
+                .mode("small", &[BankId(0)])
+                .mode("big", &[BankId(1)])
+                .task(
+                    "prep",
+                    TaskEnergy::Preburst {
+                        burst: EnergyMode(1),
+                        exec: EnergyMode(0),
+                    },
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(5))),
+                    |_c: &mut Counter| Transition::To(TaskId(1)),
+                )
+                .task(
+                    "burst",
+                    TaskEnergy::Burst(EnergyMode(1)),
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(100))),
+                    |c: &mut Counter| {
+                        c.n.update(|x| x + 1);
+                        Transition::Stop
+                    },
+                )
+                .build(counter());
+        sim.run_until(SimTime::from_secs(300));
+        assert_eq!(sim.ctx().n.get(), 1);
+        // Exactly one pre-charge, one burst activation, and no Charge
+        // event between the burst activation and completion.
+        let events = sim.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::Charge { precharge: true, .. })));
+        let burst_at = events
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::BurstActivated { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("burst must activate");
+        assert!(!events.iter().any(|e| matches!(
+            e,
+            SimEvent::Charge { start, .. } if *start >= burst_at
+        )));
+    }
+
+    #[test]
+    fn precharge_tops_out_below_full() {
+        // §6.4: pre-charge reaches a strictly lower voltage (≈0.3 V) than
+        // a normal charge.
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::CapyP, bench_power(), Mcu::msp430fr5969())
+                .mode("small", &[BankId(0)])
+                .mode("big", &[BankId(1)])
+                .task(
+                    "prep",
+                    TaskEnergy::Preburst {
+                        burst: EnergyMode(1),
+                        exec: EnergyMode(0),
+                    },
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(5))),
+                    |_c: &mut Counter| Transition::Stop,
+                )
+                .build(counter());
+        sim.run_until(SimTime::from_secs(300));
+        let precharge_to = sim
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::Charge {
+                    precharge: true,
+                    to,
+                    ..
+                } => Some(*to),
+                _ => None,
+            })
+            .expect("pre-charge must occur");
+        assert!(
+            (precharge_to.get() - 2.5).abs() < 0.01,
+            "pre-charge ceiling = {precharge_to}"
+        );
+    }
+
+    #[test]
+    fn capy_r_charges_burst_mode_on_critical_path() {
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::CapyR, bench_power(), Mcu::msp430fr5969())
+                .mode("small", &[BankId(0)])
+                .mode("big", &[BankId(1)])
+                .task(
+                    "burst",
+                    TaskEnergy::Burst(EnergyMode(1)),
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(100))),
+                    |c: &mut Counter| {
+                        c.n.update(|x| x + 1);
+                        Transition::Stop
+                    },
+                )
+                .build(counter());
+        sim.run_until(SimTime::from_secs(300));
+        assert_eq!(sim.ctx().n.get(), 1);
+        // No burst activation events under Capy-R; a full charge of the
+        // big mode happened instead.
+        assert!(!sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::BurstActivated { .. })));
+    }
+
+    #[test]
+    fn stalls_cleanly_in_the_dark() {
+        let power = PowerSystem::builder()
+            .harvester(ConstantHarvester::dark())
+            .bank(
+                Bank::builder("only").with(parts::ceramic_x5r_400uf()).build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
+                .task(
+                    "sample",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                    |_c: &mut Counter| Transition::Stay,
+                )
+                .build(counter());
+        assert_eq!(sim.run_until(SimTime::from_secs(10)), StepResult::Stalled);
+        assert_eq!(sim.ctx().n.get(), 0);
+        assert!(sim.events().iter().any(|e| matches!(e, SimEvent::Stalled { .. })));
+    }
+
+    #[test]
+    fn trace_recording_captures_voltage_motion() {
+        let mut sim = sampling_sim(Variant::Fixed);
+        let mut sim_traced: Simulator<ConstantHarvester, Counter> = {
+            // Rebuild with tracing on.
+            let _ = &mut sim;
+            Simulator::builder(Variant::Fixed, bench_power(), Mcu::msp430fr5969())
+                .task(
+                    "sample",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                    |_c: &mut Counter| Transition::Stay,
+                )
+                .record_trace(true)
+                .build(counter())
+        };
+        sim_traced.run_until(SimTime::from_secs(5));
+        let trace = sim_traced.trace().expect("tracing enabled");
+        assert!(trace.len() > 4);
+        // Voltage moves between near-full and near-empty.
+        let max = trace.iter().map(|(_, v)| v.get()).fold(0.0, f64::max);
+        let min = trace.iter().map(|(_, v)| v.get()).fold(f64::MAX, f64::min);
+        assert!(max > 2.5, "max = {max}");
+        assert!(min < 1.2, "min = {min}");
+    }
+
+    #[test]
+    #[should_panic(expected = "references bank")]
+    fn builder_rejects_mode_with_unknown_bank() {
+        let _: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::CapyP, bench_power(), Mcu::msp430fr5969())
+                .mode("bad", &[BankId(9)])
+                .task(
+                    "t",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(1))),
+                    |_c: &mut Counter| Transition::Stop,
+                )
+                .build(counter());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown entry task")]
+    fn builder_rejects_unknown_entry() {
+        let _: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::Fixed, bench_power(), Mcu::msp430fr5969())
+                .task(
+                    "t",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(1))),
+                    |_c: &mut Counter| Transition::Stop,
+                )
+                .entry("nope")
+                .build(counter());
+    }
+
+    #[test]
+    fn continuous_variant_records_a_boot() {
+        let mut sim = sampling_sim(Variant::Continuous);
+        sim.run_until(SimTime::from_micros(100_000));
+        assert!(matches!(sim.events().first(), Some(SimEvent::Boot { .. })));
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let sim = sampling_sim(Variant::CapyP);
+        assert_eq!(sim.variant(), Variant::CapyP);
+        assert_eq!(sim.modes().len(), 2);
+        assert_eq!(sim.modes().name(EnergyMode(0)), "small");
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert!(sim.runtime_state().current_mode().is_none());
+    }
+
+    #[test]
+    fn dimming_harvester_slows_progress() {
+        // Exercise power_mut/harvester_mut: halve the input power mid-run
+        // and observe the completion rate drop.
+        let mut sim = sampling_sim(Variant::CapyR);
+        sim.run_until(SimTime::from_secs(20));
+        let first = sim.exec_stats().completions;
+        *sim.power_mut().harvester_mut() =
+            ConstantHarvester::new(Watts::from_micro(500.0), Volts::new(3.0));
+        sim.run_until(SimTime::from_secs(40));
+        let second = sim.exec_stats().completions - first;
+        assert!(
+            second * 2 < first,
+            "dim phase {second} should complete far less than bright {first}"
+        );
+    }
+
+    #[test]
+    fn precharge_deficit_is_tunable() {
+        let mut sim = sampling_sim(Variant::CapyP);
+        sim.runtime_state_mut().set_precharge_deficit(Volts::new(0.0));
+        assert_eq!(sim.runtime_state().precharge_deficit(), Volts::new(0.0));
+    }
+
+    #[test]
+    fn sleep_transition_paces_without_powering_down() {
+        // A sampler that sleeps 1 s between samples: the device stays on
+        // (sleep power + quiescent only) and time advances by the sleep.
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::Fixed, bench_power(), Mcu::msp430fr5969())
+                .task(
+                    "paced",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(10))),
+                    |c: &mut Counter| {
+                        c.n.update(|x| x + 1);
+                        Transition::Sleep {
+                            duration: SimDuration::from_secs(1),
+                            then: TaskId(0),
+                        }
+                    },
+                )
+                .build(counter());
+        sim.run_until(SimTime::from_secs(30));
+        let n = sim.ctx().n.get();
+        // ~1 sample per second of pacing.
+        assert!((25..=32).contains(&n), "n = {n}");
+        // No power failures: sleep draw is tiny relative to the 730 µF
+        // bank over 30 s (≈21 µW × 30 s ≈ 0.6 mJ of ~2.6 mJ usable).
+        assert_eq!(sim.exec_stats().failures, 0);
+    }
+
+    #[test]
+    fn long_sleep_eventually_browns_out() {
+        // Sleeping does not stop the power system's quiescent drain: a
+        // sleep far longer than the buffer sustains ends in a brown-out
+        // and a recharge (the §6.4 argument).
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::Fixed, bench_power(), Mcu::msp430fr5969())
+                .task(
+                    "oversleep",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(5))),
+                    |c: &mut Counter| {
+                        c.n.update(|x| x + 1);
+                        Transition::Sleep {
+                            duration: SimDuration::from_secs(1_000),
+                            then: TaskId(0),
+                        }
+                    },
+                )
+                .build(counter());
+        sim.run_until(SimTime::from_secs(600));
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::PowerFailure { .. })));
+        assert!(sim.ctx().n.get() >= 2, "recovers and continues");
+    }
+}

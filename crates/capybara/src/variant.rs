@@ -1,0 +1,91 @@
+//! The four power-system variants compared in the evaluation (§6).
+
+/// Which power system executes the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Continuously powered reference ("Cont." / "Pwr" in the figures):
+    /// tasks always complete; no charging ever.
+    Continuous,
+    /// Statically provisioned fixed capacity ("Fixed"): a single energy
+    /// buffer sized for the largest atomic task; annotations are ignored.
+    Fixed,
+    /// Capybara-Reconfigurable ("Capy-R" / "CB-R"): honours `config`
+    /// annotations but "excludes burst task support and requires
+    /// recharging after every energy mode reconfiguration".
+    CapyR,
+    /// Full Capybara with pre-charged bursts ("Capy-P" / "CB-P").
+    CapyP,
+}
+
+impl Variant {
+    /// All variants in the order the paper's figures present them.
+    pub const ALL: [Variant; 4] = [
+        Variant::Continuous,
+        Variant::Fixed,
+        Variant::CapyR,
+        Variant::CapyP,
+    ];
+
+    /// The figure label used in the paper ("Pwr", "Fixed", "CB-R", "CB-P").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Continuous => "Pwr",
+            Variant::Fixed => "Fixed",
+            Variant::CapyR => "CB-R",
+            Variant::CapyP => "CB-P",
+        }
+    }
+
+    /// `true` when the variant honours `config` reconfiguration.
+    #[must_use]
+    pub fn reconfigures(self) -> bool {
+        matches!(self, Variant::CapyR | Variant::CapyP)
+    }
+
+    /// `true` when the variant supports pre-charged bursts.
+    #[must_use]
+    pub fn supports_burst(self) -> bool {
+        matches!(self, Variant::CapyP)
+    }
+
+    /// `true` when the variant executes intermittently (can fail).
+    #[must_use]
+    pub fn is_intermittent(self) -> bool {
+        !matches!(self, Variant::Continuous)
+    }
+}
+
+impl core::fmt::Display for Variant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Variant::Continuous.label(), "Pwr");
+        assert_eq!(Variant::Fixed.label(), "Fixed");
+        assert_eq!(Variant::CapyR.label(), "CB-R");
+        assert_eq!(Variant::CapyP.label(), "CB-P");
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(!Variant::Fixed.reconfigures());
+        assert!(Variant::CapyR.reconfigures());
+        assert!(Variant::CapyP.supports_burst());
+        assert!(!Variant::CapyR.supports_burst());
+        assert!(!Variant::Continuous.is_intermittent());
+        assert!(Variant::Fixed.is_intermittent());
+    }
+
+    #[test]
+    fn all_lists_four() {
+        assert_eq!(Variant::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Board-area accounting for the CapySat power topology (§6.5–§6.6).
+//!
+//! The general-purpose Capybara switch module occupies 80 mm² per bank.
+//! Because CapySat runs its two energy modes on two concurrent MCUs, the
+//! programmable switch degenerates into a diode splitter "that always
+//! connects both banks to the harvester but only one bank to each of the
+//! MCUs … at 20% of the area".
+
+use capy_power::switch::SWITCH_AREA;
+use capy_units::SquareMm;
+
+/// Area of a general-purpose switch array for `banks` banks.
+#[must_use]
+pub fn switch_array_area(banks: usize) -> SquareMm {
+    SWITCH_AREA * banks as f64
+}
+
+/// Area of the CapySat diode splitter serving the same two banks: 20% of
+/// the two-switch array it replaces.
+#[must_use]
+pub fn splitter_area() -> SquareMm {
+    switch_array_area(2) * 0.20
+}
+
+/// §6.5 prototype-board area breakdown (6 × 6 cm board).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoardAreas {
+    /// Solar panel area, mm².
+    pub solar: SquareMm,
+    /// Power-system circuit area (limiter, boosters, bypass), mm².
+    pub power_system: SquareMm,
+    /// One reconfiguration switch module, mm².
+    pub switch_module: SquareMm,
+}
+
+impl BoardAreas {
+    /// The measured prototype numbers from §6.5.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self {
+            solar: SquareMm::new(700.0),
+            power_system: SquareMm::new(640.0),
+            switch_module: SWITCH_AREA,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_is_one_fifth_of_the_switches() {
+        let switches = switch_array_area(2);
+        let splitter = splitter_area();
+        assert!((splitter / switches - 0.2).abs() < 1e-12);
+        assert!((splitter.get() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prototype_areas_match_section_6_5() {
+        let b = BoardAreas::prototype();
+        assert_eq!(b.solar, SquareMm::new(700.0));
+        assert_eq!(b.power_system, SquareMm::new(640.0));
+        assert_eq!(b.switch_module, SquareMm::new(80.0));
+        // Everything fits on the 6×6 cm prototype with room for the MCU
+        // and sensors.
+        let total = b.solar + b.power_system + b.switch_module * 5.0;
+        assert!(total.get() < 3_600.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Component eligibility under the CapySat volume and temperature
+//! constraints (§6.6).
+
+use capy_power::capacitor::CapacitorSpec;
+use capy_power::technology::Technology;
+
+/// The KickSat-deployable form factor and environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeoConstraints {
+    /// Total board volume budget, mm³ (1.7 × 1.7 × 0.15 in, including the
+    /// solar panels).
+    pub volume_budget_mm3: f64,
+    /// Volume already committed to panels, MCUs, sensors, and radio, mm³.
+    pub fixed_overhead_mm3: f64,
+    /// Coldest survival temperature, °C.
+    pub min_temperature_c: f64,
+}
+
+impl LeoConstraints {
+    /// The §6.6 constraints: 1.7 in × 1.7 in × 0.15 in ≈ 7100 mm³ total
+    /// with roughly 80% committed to panels and electronics, −40 °C.
+    #[must_use]
+    pub fn kicksat() -> Self {
+        let inch = 25.4;
+        Self {
+            volume_budget_mm3: (1.7 * inch) * (1.7 * inch) * (0.15 * inch),
+            fixed_overhead_mm3: 5_700.0,
+            min_temperature_c: -40.0,
+        }
+    }
+
+    /// Volume available for energy-storage components.
+    #[must_use]
+    pub fn storage_budget_mm3(&self) -> f64 {
+        (self.volume_budget_mm3 - self.fixed_overhead_mm3).max(0.0)
+    }
+}
+
+/// Whether a capacitor technology family survives −40 °C operation.
+///
+/// Batteries (not modelled as capacitors at all) are disqualified outright;
+/// standard aqueous-electrolyte EDLC supercapacitors freeze and are
+/// likewise out, which is the "many supercapacitors" the paper excludes.
+/// Ceramic and solid-tantalum capacitors are rated to −55 °C.
+#[must_use]
+pub fn technology_survives_cold(tech: Technology) -> bool {
+    match tech {
+        Technology::CeramicX5r | Technology::Tantalum => true,
+        // EDLC aqueous electrolytes freeze; any future technology must be
+        // qualified explicitly before flying.
+        _ => false,
+    }
+}
+
+/// Full eligibility check: the part must survive the cold and fit within
+/// the remaining storage volume.
+#[must_use]
+pub fn eligible_for_leo(spec: &CapacitorSpec, constraints: &LeoConstraints) -> bool {
+    technology_survives_cold(spec.technology())
+        && spec.volume_mm3() <= constraints.storage_budget_mm3()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capy_power::technology::parts;
+
+    #[test]
+    fn kicksat_budget_is_tiny() {
+        let c = LeoConstraints::kicksat();
+        assert!(c.volume_budget_mm3 < 7_200.0);
+        assert!(c.storage_budget_mm3() > 100.0);
+        assert!(c.storage_budget_mm3() < 2_000.0);
+    }
+
+    #[test]
+    fn ceramics_and_tantalum_are_eligible() {
+        let c = LeoConstraints::kicksat();
+        assert!(eligible_for_leo(&parts::ceramic_x5r_100uf(), &c));
+        assert!(eligible_for_leo(&parts::tantalum_330uf(), &c));
+    }
+
+    #[test]
+    fn edlc_supercaps_are_disqualified_by_cold() {
+        let c = LeoConstraints::kicksat();
+        assert!(!eligible_for_leo(&parts::edlc_cph3225a(), &c));
+        assert!(!eligible_for_leo(&parts::edlc_22_5mf(), &c));
+    }
+
+    #[test]
+    fn oversized_parts_are_disqualified_by_volume() {
+        let c = LeoConstraints {
+            fixed_overhead_mm3: c_total() - 10.0,
+            ..LeoConstraints::kicksat()
+        };
+        assert!(!eligible_for_leo(&parts::ceramic_x5r_100uf(), &c));
+    }
+
+    fn c_total() -> f64 {
+        LeoConstraints::kicksat().volume_budget_mm3
+    }
+}

@@ -1,0 +1,34 @@
+//! **CapySat**: the board-scale low-earth-orbit nano-satellite case study
+//! of §6.6, deployable via a KickSat carrier.
+//!
+//! The satellite specializes the Capybara power-system architecture under
+//! severe constraints:
+//!
+//! * **Volume** — 1.7 × 1.7 × 0.15 in (≈ 7 cm³) including solar panels,
+//!   and **temperature** down to −40 °C, together "disqualifying all
+//!   batteries, including thin-film, and many supercapacitors"
+//!   ([`eligibility`]).
+//! * **Two energy modes** (sampling and Earth communication) served by two
+//!   MCUs running concurrently, each exercising one mode — which lets the
+//!   bank switch degenerate into a **diode splitter** that always connects
+//!   both banks to the harvester but each bank to only one MCU, at 20% of
+//!   the switch module's board area ([`area`]).
+//! * An **extreme atomicity requirement**: transmitting a single byte to
+//!   Earth keeps the radio on for 250 ms at 30 mA because of a redundant
+//!   encoding with a 1064× bit-length overhead ([`radio`]).
+//!
+//! The [`sat`] module simulates the dual-MCU satellite through sunlit and
+//! eclipse phases of an orbit and reports sampling and beacon activity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod eligibility;
+pub mod radio;
+pub mod sat;
+
+pub use area::{splitter_area, switch_array_area};
+pub use eligibility::{eligible_for_leo, LeoConstraints};
+pub use radio::{beacon_load, BEACON_BITS, BEACON_DURATION, ENCODING_OVERHEAD};
+pub use sat::{CapySat, OrbitReport};

@@ -1,0 +1,64 @@
+//! The Earth-link beacon: "to transmit a 1-byte radio packet to Earth the
+//! satellite must keep the radio on for 250 ms while draining 30 mA of
+//! current, due to a redundant encoding with a 1064× bit length overhead"
+//! (§6.6).
+
+use capy_device::load::{LoadPhase, TaskLoad};
+use capy_units::{SimDuration, Volts, Watts};
+
+/// Redundant-encoding bit-length overhead factor.
+pub const ENCODING_OVERHEAD: u32 = 1_064;
+
+/// Payload size of one beacon, bytes.
+pub const BEACON_PAYLOAD_BYTES: u32 = 1;
+
+/// Bits on the air per beacon.
+pub const BEACON_BITS: u32 = BEACON_PAYLOAD_BYTES * 8 * ENCODING_OVERHEAD;
+
+/// Radio-on time per beacon.
+pub const BEACON_DURATION: SimDuration = SimDuration::from_millis(250);
+
+/// Radio supply current while transmitting.
+const BEACON_CURRENT_MA: f64 = 30.0;
+
+/// The atomic load of one beacon transmission at a `rail` supply voltage.
+#[must_use]
+pub fn beacon_load(rail: Volts) -> TaskLoad {
+    let power = Watts::new(rail.get() * BEACON_CURRENT_MA * 1e-3);
+    TaskLoad::new().then(LoadPhase::with_min_voltage(
+        "beacon",
+        BEACON_DURATION,
+        power,
+        Volts::new(2.0),
+    ))
+}
+
+/// Effective on-air bit rate implied by the beacon parameters.
+#[must_use]
+pub fn beacon_bitrate_bps() -> f64 {
+    f64::from(BEACON_BITS) / BEACON_DURATION.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beacon_carries_8512_bits() {
+        assert_eq!(BEACON_BITS, 8_512);
+    }
+
+    #[test]
+    fn beacon_energy_at_3v() {
+        // 250 ms × 90 mW = 22.5 mJ: the "extreme atomicity requirement".
+        let load = beacon_load(Volts::new(3.0));
+        assert!((load.energy().as_milli() - 22.5).abs() < 1e-9);
+        assert_eq!(load.duration(), BEACON_DURATION);
+    }
+
+    #[test]
+    fn bitrate_is_tens_of_kbps() {
+        let r = beacon_bitrate_bps();
+        assert!((30_000.0..40_000.0).contains(&r), "rate = {r}");
+    }
+}

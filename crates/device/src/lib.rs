@@ -1,0 +1,34 @@
+//! Digital device substrate for the Capybara reproduction: datasheet-style
+//! load models for the microcontroller, sensors, and radio that the
+//! paper's platforms carry (Figure 1, §6.1).
+//!
+//! Everything a task does on the device is expressed as a sequence of
+//! [`load::LoadPhase`]s — spans of constant power draw at the regulated
+//! rail. The power system (in `capy-power`) integrates those phases
+//! against the stored energy to decide whether a task completes or is cut
+//! short by an intermittent power failure.
+//!
+//! * [`mcu`] — an MSP430FR5969-class microcontroller: active/sleep power,
+//!   ALU throughput (the "Mops" axis of Figures 3–4), boot cost.
+//! * [`peripherals`] — the sensor suite and CC2650-class BLE radio with
+//!   per-operation load phases calibrated to the task durations the paper
+//!   quotes (8 ms sensor sample, 35 ms 25-byte BLE packet, 250 ms gesture
+//!   window).
+//! * [`load`] — the [`load::LoadPhase`]/[`load::TaskLoad`] vocabulary and
+//!   energy accounting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod mcu;
+pub mod peripherals;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::load::{LoadPhase, TaskLoad};
+    pub use crate::mcu::Mcu;
+    pub use crate::peripherals::{
+        Apds9960, BleRadio, Led, Magnetometer, Phototransistor, ProximitySensor, Tmp36,
+    };
+}

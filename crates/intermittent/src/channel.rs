@@ -1,0 +1,375 @@
+//! Chain-style channels: task-to-task communication through non-volatile
+//! memory with task-granularity atomicity.
+//!
+//! In Chain, tasks never share mutable state directly; they communicate
+//! through *channels* whose contents only change when the writing task
+//! commits. This module provides the two shapes the evaluation
+//! applications use:
+//!
+//! * [`NvChannel`] — a single-slot mailbox (latest value wins), e.g. the
+//!   "alarm pending for excursion N" handoff between the detection and
+//!   transmission tasks;
+//! * [`NvQueue`] — a FIFO with staged pushes *and* pops, e.g. a sample
+//!   buffer drained by a reporting task. A power failure mid-task
+//!   restores both ends of the queue, so re-executed tasks neither lose
+//!   nor duplicate items.
+
+use crate::nv::NvState;
+
+/// A single-slot, latest-value-wins non-volatile mailbox.
+///
+/// # Examples
+///
+/// ```
+/// use capy_intermittent::channel::NvChannel;
+///
+/// let mut ch: NvChannel<u32> = NvChannel::new();
+/// ch.send(7);
+/// assert_eq!(ch.peek(), Some(&7)); // the sender observes its own write
+/// ch.abort();                       // power failed before commit
+/// assert_eq!(ch.peek(), None);
+/// ch.send(8);
+/// ch.commit();
+/// assert_eq!(ch.take(), Some(8));  // staged consume...
+/// ch.commit();                      // ...published
+/// assert_eq!(ch.peek(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvChannel<T: Clone> {
+    committed: Option<T>,
+    working: Option<Option<T>>,
+}
+
+impl<T: Clone> NvChannel<T> {
+    /// Creates an empty channel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            committed: None,
+            working: None,
+        }
+    }
+
+    /// Stages a value into the channel (replacing any staged or committed
+    /// value once committed).
+    pub fn send(&mut self, value: T) {
+        self.working = Some(Some(value));
+    }
+
+    /// The task-visible value, if any.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        match &self.working {
+            Some(w) => w.as_ref(),
+            None => self.committed.as_ref(),
+        }
+    }
+
+    /// Stages consumption of the value and returns it.
+    pub fn take(&mut self) -> Option<T> {
+        let current = match &self.working {
+            Some(w) => w.clone(),
+            None => self.committed.clone(),
+        };
+        self.working = Some(None);
+        current
+    }
+
+    /// `true` when no task-visible value exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.peek().is_none()
+    }
+
+    /// Publishes staged changes.
+    pub fn commit(&mut self) {
+        if let Some(w) = self.working.take() {
+            self.committed = w;
+        }
+    }
+
+    /// Discards staged changes.
+    pub fn abort(&mut self) {
+        self.working = None;
+    }
+}
+
+impl<T: Clone> Default for NvChannel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> NvState for NvChannel<T> {
+    fn commit_all(&mut self) {
+        self.commit();
+    }
+    fn abort_all(&mut self) {
+        self.abort();
+    }
+}
+
+/// A non-volatile FIFO with staged pushes and pops.
+///
+/// Pops performed during a task are staged as a *consumption count* and
+/// only applied at commit, so a re-executed task pops the same items
+/// again rather than losing them — Chain's exactly-once consumption.
+///
+/// # Examples
+///
+/// ```
+/// use capy_intermittent::channel::NvQueue;
+///
+/// let mut q: NvQueue<u8> = NvQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// q.commit();
+///
+/// // A task pops an item, then power fails before commit:
+/// assert_eq!(q.pop(), Some(1));
+/// q.abort();
+/// // The retry sees the item again — nothing was lost.
+/// assert_eq!(q.pop(), Some(1));
+/// q.commit();
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvQueue<T: Clone> {
+    committed: Vec<T>,
+    staged_pushes: Vec<T>,
+    staged_pops: usize,
+}
+
+impl<T: Clone> NvQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            committed: Vec::new(),
+            staged_pushes: Vec::new(),
+            staged_pops: 0,
+        }
+    }
+
+    /// Stages a push at the back.
+    pub fn push(&mut self, value: T) {
+        self.staged_pushes.push(value);
+    }
+
+    /// Stages a pop from the front and returns the popped item, observing
+    /// earlier staged operations.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.staged_pops < self.committed.len() {
+            let item = self.committed[self.staged_pops].clone();
+            self.staged_pops += 1;
+            Some(item)
+        } else if self.staged_pops - self.committed.len() < self.staged_pushes.len() {
+            let idx = self.staged_pops - self.committed.len();
+            let item = self.staged_pushes[idx].clone();
+            self.staged_pops += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    /// Task-visible length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.committed.len() + self.staged_pushes.len() - self.staged_pops
+    }
+
+    /// `true` when no task-visible items remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Task-visible front item without consuming it.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        if self.staged_pops < self.committed.len() {
+            Some(&self.committed[self.staged_pops])
+        } else {
+            self.staged_pushes.get(self.staged_pops - self.committed.len())
+        }
+    }
+
+    /// Publishes staged pushes and pops.
+    pub fn commit(&mut self) {
+        let mut items = std::mem::take(&mut self.committed);
+        items.append(&mut self.staged_pushes);
+        items.drain(..self.staged_pops.min(items.len()));
+        self.staged_pops = 0;
+        self.committed = items;
+    }
+
+    /// Discards staged pushes and pops.
+    pub fn abort(&mut self) {
+        self.staged_pushes.clear();
+        self.staged_pops = 0;
+    }
+}
+
+impl<T: Clone> Default for NvQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> NvState for NvQueue<T> {
+    fn commit_all(&mut self) {
+        self.commit();
+    }
+    fn abort_all(&mut self) {
+        self.abort();
+    }
+}
+
+impl<T: Clone> FromIterator<T> for NvQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self {
+            committed: iter.into_iter().collect(),
+            staged_pushes: Vec::new(),
+            staged_pops: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn channel_send_commit_take_cycle() {
+        let mut ch: NvChannel<&str> = NvChannel::new();
+        assert!(ch.is_empty());
+        ch.send("alarm");
+        assert_eq!(ch.peek(), Some(&"alarm"));
+        ch.commit();
+        assert_eq!(ch.take(), Some("alarm"));
+        // Consumption staged but not committed; abort restores.
+        ch.abort();
+        assert_eq!(ch.peek(), Some(&"alarm"));
+        let _ = ch.take();
+        ch.commit();
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn channel_overwrites_latest_wins() {
+        let mut ch = NvChannel::new();
+        ch.send(1);
+        ch.send(2);
+        ch.commit();
+        assert_eq!(ch.take(), Some(2));
+    }
+
+    #[test]
+    fn queue_pop_is_idempotent_across_failures() {
+        let mut q: NvQueue<u8> = [1, 2, 3].into_iter().collect();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.abort();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.commit();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front(), Some(&3));
+    }
+
+    #[test]
+    fn queue_pops_reach_into_staged_pushes() {
+        let mut q: NvQueue<u8> = NvQueue::new();
+        q.push(10);
+        q.push(11);
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        q.commit();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_front_observes_staging() {
+        let mut q: NvQueue<u8> = [5].into_iter().collect();
+        assert_eq!(q.front(), Some(&5));
+        let _ = q.pop();
+        assert_eq!(q.front(), None);
+        q.push(6);
+        assert_eq!(q.front(), Some(&6));
+    }
+
+    #[test]
+    fn nv_state_impls_forward() {
+        let mut ch: NvChannel<u8> = NvChannel::new();
+        ch.send(1);
+        NvState::abort_all(&mut ch);
+        assert!(ch.is_empty());
+        let mut q: NvQueue<u8> = NvQueue::new();
+        q.push(1);
+        NvState::commit_all(&mut q);
+        assert_eq!(q.len(), 1);
+    }
+
+    proptest! {
+        /// Model check: the queue with interleaved commit/abort behaves
+        /// like a plain VecDeque that only applies committed batches.
+        #[test]
+        fn prop_queue_matches_model(
+            ops in proptest::collection::vec((0u8..3, any::<u8>()), 0..60),
+        ) {
+            use std::collections::VecDeque;
+            let mut q: NvQueue<u8> = NvQueue::new();
+            let mut model: VecDeque<u8> = VecDeque::new();
+            let mut staged: VecDeque<u8> = VecDeque::new();
+            let mut staged_pops = 0usize;
+            for (op, val) in ops {
+                match op {
+                    0 => {
+                        q.push(val);
+                        staged.push_back(val);
+                    }
+                    1 => {
+                        // Pop through the combined view.
+                        let expect = {
+                            let mut view: VecDeque<u8> = model.iter().chain(staged.iter()).copied().collect();
+                            let mut popped = None;
+                            for _ in 0..=staged_pops {
+                                popped = view.pop_front();
+                            }
+                            popped
+                        };
+                        let got = q.pop();
+                        prop_assert_eq!(got, expect);
+                        if got.is_some() {
+                            staged_pops += 1;
+                        }
+                    }
+                    _ => {
+                        if val % 2 == 0 {
+                            q.commit();
+                            model.extend(staged.drain(..));
+                            for _ in 0..staged_pops {
+                                model.pop_front();
+                            }
+                        } else {
+                            q.abort();
+                            staged.clear();
+                        }
+                        staged_pops = 0;
+                    }
+                }
+            }
+            q.commit();
+            model.extend(staged.drain(..));
+            for _ in 0..staged_pops {
+                model.pop_front();
+            }
+            let contents: Vec<u8> = std::iter::from_fn(|| q.pop()).collect();
+            let expected: Vec<u8> = model.into_iter().collect();
+            prop_assert_eq!(contents, expected);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! A dynamic-checkpointing execution model (Hibernus / QuickRecall
+//! class), for comparison with the task-based model.
+//!
+//! §7 situates Capybara among intermittent runtimes: task-based systems
+//! (Chain, Alpaca) restart the *current task* after a power failure, while
+//! "dynamic checkpointing approaches are less amenable to use with
+//! Capybara because checkpoints occur arbitrarily". This module models the
+//! checkpointing class at a discrete granularity — a task's execution is a
+//! sequence of *progress units* (the simulator maps them to load phases),
+//! and a checkpoint may be taken at any unit boundary. After a power
+//! failure, execution resumes at the last checkpoint instead of the task's
+//! beginning.
+//!
+//! Two semantic differences from [`crate::machine::ExecutionMachine`]:
+//!
+//! * **No rollback** — checkpointing persists whatever state existed at
+//!   the checkpoint; there is no task-granularity abort. (Keeping such
+//!   state consistent is the problem DINO/Alpaca address; here the caller
+//!   is responsible for only mutating state at completion.)
+//! * **Partial progress survives** — a long computational task completes
+//!   across failures even when no buffer sustains it whole. The flip side
+//!   is that *atomic* operations (a radio packet, a sensor warm-up) cannot
+//!   resume mid-way on real hardware; callers must mark them
+//!   single-unit.
+
+use crate::task::{TaskGraph, TaskId, Transition};
+
+/// Statistics for a checkpointed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointStats {
+    /// Task attempts (boot-to-failure or boot-to-completion spans).
+    pub attempts: u64,
+    /// Tasks completed.
+    pub completions: u64,
+    /// Power failures absorbed.
+    pub failures: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Progress units re-executed because they followed the last
+    /// checkpoint (the checkpointing system's residual waste).
+    pub reexecuted_units: u64,
+}
+
+/// A checkpointing execution machine over the same task graphs as the
+/// task-based machine.
+///
+/// # Examples
+///
+/// ```
+/// use capy_intermittent::checkpoint::CheckpointedMachine;
+/// use capy_intermittent::task::{TaskGraph, TaskId, Transition};
+///
+/// let graph: TaskGraph<u32> = TaskGraph::builder()
+///     .task("long", |c| { *c += 1; Transition::Stop })
+///     .build(TaskId(0));
+/// let mut m = CheckpointedMachine::new(graph);
+///
+/// // Five units of progress, failure after unit 3 (checkpointed at 2):
+/// m.begin(5);
+/// m.advance(2);
+/// m.checkpoint();
+/// m.advance(1);
+/// m.fail();
+/// // The next attempt resumes at unit 2, not unit 0.
+/// assert_eq!(m.resume_unit(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CheckpointedMachine<C> {
+    graph: TaskGraph<C>,
+    current: TaskId,
+    /// Progress units completed and checkpointed for the current task.
+    checkpointed: usize,
+    /// Volatile progress since the last checkpoint.
+    volatile: usize,
+    /// Units in the current attempt's task.
+    task_units: usize,
+    stopped: bool,
+    stats: CheckpointStats,
+}
+
+impl<C> CheckpointedMachine<C> {
+    /// Creates a machine at the graph's entry task.
+    #[must_use]
+    pub fn new(graph: TaskGraph<C>) -> Self {
+        let current = graph.entry();
+        Self {
+            graph,
+            current,
+            checkpointed: 0,
+            volatile: 0,
+            task_units: 0,
+            stopped: false,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// The task currently executing.
+    #[must_use]
+    pub fn current(&self) -> TaskId {
+        self.current
+    }
+
+    /// The unit index execution resumes from after a boot.
+    #[must_use]
+    pub fn resume_unit(&self) -> usize {
+        self.checkpointed
+    }
+
+    /// `true` once a task has returned [`Transition::Stop`].
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+
+    /// Starts an attempt of the current task, which consists of
+    /// `task_units` progress units. Any units re-run because they followed
+    /// the last checkpoint are counted as re-execution waste.
+    pub fn begin(&mut self, task_units: usize) {
+        self.stats.attempts += 1;
+        self.task_units = task_units;
+        self.volatile = 0;
+    }
+
+    /// Records `units` of volatile progress.
+    pub fn advance(&mut self, units: usize) {
+        self.volatile += units;
+    }
+
+    /// Takes a checkpoint: volatile progress becomes persistent.
+    pub fn checkpoint(&mut self) {
+        self.checkpointed += self.volatile;
+        self.volatile = 0;
+        self.stats.checkpoints += 1;
+    }
+
+    /// Remaining units the current attempt must execute (from the resume
+    /// point to the end of the task).
+    #[must_use]
+    pub fn remaining_units(&self) -> usize {
+        self.task_units
+            .saturating_sub(self.checkpointed + self.volatile)
+    }
+
+    /// A power failure: volatile progress is lost and will be re-executed.
+    pub fn fail(&mut self) {
+        self.stats.failures += 1;
+        self.stats.reexecuted_units += self.volatile as u64;
+        self.volatile = 0;
+    }
+
+    /// The task finished all its units: run its body and advance.
+    pub fn complete(&mut self, ctx: &mut C) -> Transition {
+        let transition = self.graph.run(self.current, ctx);
+        self.stats.completions += 1;
+        self.checkpointed = 0;
+        self.volatile = 0;
+        match transition {
+            Transition::To(next) | Transition::Sleep { then: next, .. } => {
+                assert!(next.0 < self.graph.len(), "transition to unknown task");
+                self.current = next;
+            }
+            Transition::Stay => {}
+            Transition::Stop => self.stopped = true,
+        }
+        transition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_task() -> TaskGraph<u32> {
+        TaskGraph::builder()
+            .task("work", |c| {
+                *c += 1;
+                Transition::Stay
+            })
+            .build(TaskId(0))
+    }
+
+    #[test]
+    fn resumes_from_checkpoint_not_task_start() {
+        let mut m = CheckpointedMachine::new(one_task());
+        m.begin(10);
+        m.advance(4);
+        m.checkpoint();
+        m.advance(3);
+        m.fail();
+        assert_eq!(m.resume_unit(), 4);
+        assert_eq!(m.stats().reexecuted_units, 3);
+        // Second attempt finishes the remaining 6 units.
+        m.begin(10);
+        assert_eq!(m.remaining_units(), 6);
+        m.advance(6);
+        let mut ctx = 0;
+        m.complete(&mut ctx);
+        assert_eq!(ctx, 1);
+        assert_eq!(m.resume_unit(), 0, "progress resets after completion");
+    }
+
+    #[test]
+    fn completes_long_task_across_many_failures() {
+        // 100 units, only 7 sustainable per charge: a task-based machine
+        // livelocks; the checkpointing machine finishes in ~15 attempts.
+        let mut m = CheckpointedMachine::new(one_task());
+        let mut ctx = 0u32;
+        let per_charge = 7;
+        let mut guard = 0;
+        while ctx == 0 {
+            guard += 1;
+            assert!(guard < 100, "must converge");
+            m.begin(100);
+            let step = per_charge.min(m.remaining_units());
+            m.advance(step);
+            m.checkpoint();
+            if m.remaining_units() == 0 {
+                m.complete(&mut ctx);
+            } else {
+                m.fail();
+            }
+        }
+        assert_eq!(ctx, 1);
+        assert_eq!(m.stats().completions, 1);
+        assert!(m.stats().attempts >= 14);
+        // Checkpoint-before-failure means zero re-executed units here.
+        assert_eq!(m.stats().reexecuted_units, 0);
+    }
+
+    #[test]
+    fn unchecked_progress_is_reexecuted() {
+        let mut m = CheckpointedMachine::new(one_task());
+        m.begin(10);
+        m.advance(9);
+        m.fail(); // never checkpointed
+        assert_eq!(m.resume_unit(), 0);
+        assert_eq!(m.stats().reexecuted_units, 9);
+    }
+
+    #[test]
+    fn stop_transition_halts() {
+        let graph: TaskGraph<u32> = TaskGraph::builder()
+            .task("once", |_| Transition::Stop)
+            .build(TaskId(0));
+        let mut m = CheckpointedMachine::new(graph);
+        m.begin(1);
+        m.advance(1);
+        let mut ctx = 0;
+        assert_eq!(m.complete(&mut ctx), Transition::Stop);
+        assert!(m.is_stopped());
+    }
+}

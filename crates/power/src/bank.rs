@@ -1,0 +1,338 @@
+//! Capacitor banks: named parallel compositions of capacitors that form one
+//! switchable unit of the reconfigurable energy reservoir.
+//!
+//! A bank is provisioned at design time (§3: "partition a set of capacitors
+//! into one or more banks such that the capacitance needs of all energy
+//! modes can be met by activating some subset of the banks") and is the
+//! granularity at which the runtime reconfigures capacity.
+
+use capy_units::{Amps, Farads, Joules, Ohms, SimDuration, Volts};
+
+use crate::capacitor::{self, CapacitorSpec, CapacitorState};
+
+/// Index of a bank within a [`crate::system::PowerSystem`]'s array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankId(pub usize);
+
+impl core::fmt::Display for BankId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+/// A named parallel group of capacitors sharing one voltage node.
+///
+/// # Examples
+///
+/// ```
+/// use capy_power::prelude::*;
+/// use capy_units::Volts;
+///
+/// // The Temperature Alarm small bank: 300 µF ceramic + 100 µF tantalum.
+/// let bank = Bank::builder("ta-small")
+///     .with(parts::ceramic_x5r_300uf())
+///     .with(parts::tantalum_100uf())
+///     .build();
+/// assert!((bank.capacitance().as_micro() - 400.0).abs() < 1e-6);
+/// assert!(bank.rated_voltage() >= Volts::new(3.3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bank {
+    name: &'static str,
+    members: Vec<CapacitorSpec>,
+    state: CapacitorState,
+}
+
+impl Bank {
+    /// Starts building a bank with the given design-time name.
+    #[must_use]
+    pub fn builder(name: &'static str) -> BankBuilder {
+        BankBuilder {
+            name,
+            members: Vec::new(),
+        }
+    }
+
+    /// The bank's design-time name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The member capacitor specifications.
+    #[must_use]
+    pub fn members(&self) -> &[CapacitorSpec] {
+        &self.members
+    }
+
+    /// Total parallel capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Farads {
+        self.members.iter().map(CapacitorSpec::capacitance).sum()
+    }
+
+    /// Combined ESR of the parallel group (`1/R = Σ 1/Rᵢ`). Members with
+    /// zero ESR short the combination to zero.
+    #[must_use]
+    pub fn esr(&self) -> Ohms {
+        let mut inv = 0.0f64;
+        for m in &self.members {
+            let r = m.esr().get();
+            if r <= 0.0 {
+                return Ohms::ZERO;
+            }
+            inv += 1.0 / r;
+        }
+        if inv == 0.0 {
+            Ohms::ZERO
+        } else {
+            Ohms::new(1.0 / inv)
+        }
+    }
+
+    /// Total leakage current.
+    #[must_use]
+    pub fn leakage(&self) -> Amps {
+        self.members.iter().map(CapacitorSpec::leakage).sum()
+    }
+
+    /// The lowest member voltage rating — the bank's safe charging limit.
+    #[must_use]
+    pub fn rated_voltage(&self) -> Volts {
+        self.members
+            .iter()
+            .map(CapacitorSpec::rated_voltage)
+            .fold(Volts::new(f64::INFINITY), Volts::min)
+    }
+
+    /// Total board volume in mm³.
+    #[must_use]
+    pub fn volume_mm3(&self) -> f64 {
+        self.members.iter().map(CapacitorSpec::volume_mm3).sum()
+    }
+
+    /// Current open-circuit voltage.
+    #[must_use]
+    pub fn voltage(&self) -> Volts {
+        self.state.voltage()
+    }
+
+    /// Sets the open-circuit voltage (charge sharing, charging steps).
+    pub fn set_voltage(&mut self, v: Volts) {
+        self.state
+            .set_voltage(v.min(self.rated_voltage()).max(Volts::ZERO));
+    }
+
+    /// Completed deep-discharge cycle count (EDLC wear accounting).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.state.cycles()
+    }
+
+    /// Records a completed deep-discharge cycle.
+    pub fn record_cycle(&mut self) {
+        self.state.record_cycle();
+    }
+
+    /// Stored charge `Q = C·V` in coulombs — the conserved quantity when
+    /// banks are connected in parallel.
+    #[must_use]
+    pub fn charge(&self) -> f64 {
+        self.capacitance().get() * self.voltage().get()
+    }
+
+    /// Energy stored above the reference voltage `bottom`.
+    #[must_use]
+    pub fn energy_above(&self, bottom: Volts) -> Joules {
+        self.capacitance().energy_between(self.voltage(), bottom)
+    }
+
+    /// Applies leakage decay over an idle interval.
+    pub fn apply_leakage(&mut self, dt: SimDuration) {
+        let v = capacitor::leak(self.capacitance(), self.voltage(), self.leakage(), dt);
+        self.state.set_voltage(v);
+    }
+}
+
+/// Incremental builder for [`Bank`] (§C-BUILDER).
+#[derive(Debug)]
+pub struct BankBuilder {
+    name: &'static str,
+    members: Vec<CapacitorSpec>,
+}
+
+impl BankBuilder {
+    /// Adds one capacitor to the parallel group.
+    #[must_use]
+    pub fn with(mut self, spec: CapacitorSpec) -> Self {
+        self.members.push(spec);
+        self
+    }
+
+    /// Adds `n` copies of a capacitor to the parallel group.
+    #[must_use]
+    pub fn with_n(mut self, spec: CapacitorSpec, n: usize) -> Self {
+        for _ in 0..n {
+            self.members.push(spec.clone());
+        }
+        self
+    }
+
+    /// Finishes the bank, initially fully discharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no capacitors were added.
+    #[must_use]
+    pub fn build(self) -> Bank {
+        assert!(
+            !self.members.is_empty(),
+            "a bank must contain at least one capacitor"
+        );
+        Bank {
+            name: self.name,
+            members: self.members,
+            state: CapacitorState::empty(),
+        }
+    }
+}
+
+/// Merges the charge of several parallel-connected banks onto a common
+/// voltage: `V = ΣQᵢ / ΣCᵢ`. Charge is conserved; energy is not (the
+/// resistive redistribution loss when closing a switch between banks at
+/// different voltages).
+///
+/// Returns the common voltage; callers apply it to each participating bank.
+#[must_use]
+pub fn share_charge(banks: &[&Bank]) -> Volts {
+    let total_c: f64 = banks.iter().map(|b| b.capacitance().get()).sum();
+    if total_c <= 0.0 {
+        return Volts::ZERO;
+    }
+    let total_q: f64 = banks.iter().map(|b| b.charge()).sum();
+    Volts::new(total_q / total_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::parts;
+    use proptest::prelude::*;
+
+    fn small_bank() -> Bank {
+        Bank::builder("small")
+            .with(parts::ceramic_x5r_400uf())
+            .with(parts::tantalum_330uf())
+            .build()
+    }
+
+    #[test]
+    fn capacitance_sums_members() {
+        assert!((small_bank().capacitance().as_micro() - 730.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn esr_combines_in_parallel() {
+        let bank = Bank::builder("pair")
+            .with_n(parts::edlc_cph3225a(), 2)
+            .build();
+        assert!((bank.esr().get() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rated_voltage_is_weakest_member() {
+        let bank = Bank::builder("mixed")
+            .with(parts::ceramic_x5r_100uf()) // 6.3 V
+            .with(parts::edlc_cph3225a()) // 3.3 V
+            .build();
+        assert_eq!(bank.rated_voltage(), Volts::new(3.3));
+    }
+
+    #[test]
+    fn set_voltage_clamps_to_rating() {
+        let mut bank = Bank::builder("edlc").with(parts::edlc_cph3225a()).build();
+        bank.set_voltage(Volts::new(9.0));
+        assert_eq!(bank.voltage(), Volts::new(3.3));
+        bank.set_voltage(Volts::new(-2.0));
+        assert_eq!(bank.voltage(), Volts::ZERO);
+    }
+
+    #[test]
+    fn leakage_decay_applies() {
+        let mut bank = small_bank();
+        bank.set_voltage(Volts::new(2.8));
+        bank.apply_leakage(SimDuration::from_secs(60));
+        assert!(bank.voltage() < Volts::new(2.8));
+        assert!(bank.voltage() > Volts::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacitor")]
+    fn empty_bank_rejected() {
+        let _ = Bank::builder("empty").build();
+    }
+
+    #[test]
+    fn charge_sharing_conserves_charge() {
+        let mut a = Bank::builder("a").with(parts::ceramic_x5r_100uf()).build();
+        let mut b = Bank::builder("b").with(parts::tantalum_330uf()).build();
+        a.set_voltage(Volts::new(2.8));
+        b.set_voltage(Volts::new(1.0));
+        let q_before = a.charge() + b.charge();
+        let v = share_charge(&[&a, &b]);
+        a.set_voltage(v);
+        b.set_voltage(v);
+        let q_after = a.charge() + b.charge();
+        assert!((q_before - q_after).abs() < 1e-12);
+        // Final voltage lies between the inputs.
+        assert!(v > Volts::new(1.0) && v < Volts::new(2.8));
+    }
+
+    #[test]
+    fn charge_sharing_loses_energy() {
+        let mut a = Bank::builder("a").with(parts::ceramic_x5r_100uf()).build();
+        let mut b = Bank::builder("b").with(parts::ceramic_x5r_100uf()).build();
+        a.set_voltage(Volts::new(2.8));
+        b.set_voltage(Volts::ZERO);
+        let e_before = a.energy_above(Volts::ZERO) + b.energy_above(Volts::ZERO);
+        let v = share_charge(&[&a, &b]);
+        a.set_voltage(v);
+        b.set_voltage(v);
+        let e_after = a.energy_above(Volts::ZERO) + b.energy_above(Volts::ZERO);
+        // Equal caps: half the energy is dissipated in the interconnect.
+        assert!((e_after.get() - e_before.get() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_of_bank_id() {
+        assert_eq!(BankId(2).to_string(), "bank2");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_share_charge_bounded_by_extremes(v1 in 0.0f64..3.3, v2 in 0.0f64..3.3) {
+            let mut a = Bank::builder("a").with(parts::edlc_cph3225a()).build();
+            let mut b = Bank::builder("b").with(parts::ceramic_x5r_100uf()).build();
+            a.set_voltage(Volts::new(v1));
+            b.set_voltage(Volts::new(v2));
+            let v = share_charge(&[&a, &b]);
+            let lo = v1.min(v2);
+            let hi = v1.max(v2);
+            prop_assert!(v.get() >= lo - 1e-12 && v.get() <= hi + 1e-12);
+        }
+
+        #[test]
+        fn prop_share_charge_never_gains_energy(v1 in 0.0f64..3.3, v2 in 0.0f64..3.3) {
+            let mut a = Bank::builder("a").with(parts::edlc_7_5mf()).build();
+            let mut b = Bank::builder("b").with(parts::tantalum_1000uf()).build();
+            a.set_voltage(Volts::new(v1));
+            b.set_voltage(Volts::new(v2));
+            let e_before = a.energy_above(Volts::ZERO) + b.energy_above(Volts::ZERO);
+            let v = share_charge(&[&a, &b]);
+            a.set_voltage(v);
+            b.set_voltage(v);
+            let e_after = a.energy_above(Volts::ZERO) + b.energy_above(Volts::ZERO);
+            prop_assert!(e_after.get() <= e_before.get() + 1e-12);
+        }
+    }
+}

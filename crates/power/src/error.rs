@@ -1,0 +1,75 @@
+//! Error types for the power substrate.
+
+use core::fmt;
+
+use capy_units::{SimTime, Volts, Watts};
+
+/// Errors produced by power-system operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// The harvester is producing no usable power, so a charging operation
+    /// can never complete.
+    NoInputPower {
+        /// Time at which charging stalled.
+        at: SimTime,
+    },
+    /// The requested load power cannot be delivered from the current bank
+    /// configuration even at full charge — the ESR droop or the energy
+    /// budget makes the operating point infeasible (left of the Figure 3
+    /// frontier).
+    LoadInfeasible {
+        /// The requested load power.
+        requested: Watts,
+        /// The bank terminal voltage at which delivery failed.
+        at_voltage: Volts,
+    },
+    /// A referenced bank index does not exist in the system.
+    UnknownBank {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// No bank switch is currently closed; there is nowhere to store or
+    /// draw energy.
+    NoActiveBank,
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::NoInputPower { at } => {
+                write!(f, "harvester supplies no usable power at {at}")
+            }
+            PowerError::LoadInfeasible {
+                requested,
+                at_voltage,
+            } => write!(
+                f,
+                "load of {requested} infeasible at bank voltage {at_voltage}"
+            ),
+            PowerError::UnknownBank { index } => write!(f, "unknown bank index {index}"),
+            PowerError::NoActiveBank => write!(f, "no capacitor bank is connected"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let err = PowerError::NoActiveBank;
+        let msg = err.to_string();
+        assert!(msg.starts_with("no "));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<PowerError>();
+    }
+}

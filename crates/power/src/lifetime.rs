@@ -1,0 +1,165 @@
+//! Wear and lifetime accounting for cycle-limited capacitors.
+//!
+//! §5.2 motivates wear levelling: "Another advantage of controlling C is
+//! its natural wear leveling for capacitors with limited charge-discharge
+//! cycles (e.g. EDLC supercapacitors). Taking inspiration from the
+//! concept of caching, dense but fragile capacitors can be dedicated to a
+//! bank and used only when another bank with less dense but more robust
+//! capacitors is insufficient." This module quantifies that advantage:
+//! per-bank cycle counts (maintained by the power system) are turned into
+//! wear fractions and projected lifetimes.
+
+use capy_units::SimDuration;
+
+use crate::bank::Bank;
+use crate::technology::Technology;
+
+/// Typical charge-discharge cycle life per technology family.
+///
+/// Ceramic and tantalum capacitors are effectively unlimited (`None`);
+/// EDLC supercapacitors are rated for ~500k full cycles.
+#[must_use]
+pub fn typical_cycle_life(tech: Technology) -> Option<u64> {
+    match tech {
+        Technology::CeramicX5r | Technology::Tantalum => None,
+        Technology::Edlc => Some(500_000),
+    }
+}
+
+/// Wear state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearReport {
+    /// Deep charge-discharge cycles completed.
+    pub cycles: u64,
+    /// Rated cycle life of the weakest member, if any member is limited.
+    pub cycle_life: Option<u64>,
+    /// Fraction of rated life consumed (0.0 for unlimited banks).
+    pub consumed: f64,
+}
+
+impl WearReport {
+    /// `true` when the bank has exceeded its rated cycle life.
+    #[must_use]
+    pub fn is_worn_out(&self) -> bool {
+        self.consumed >= 1.0
+    }
+}
+
+/// Computes the wear report for a bank from its recorded cycles.
+///
+/// # Examples
+///
+/// ```
+/// use capy_power::bank::Bank;
+/// use capy_power::lifetime::bank_wear;
+/// use capy_power::technology::parts;
+///
+/// let mut bank = Bank::builder("alarm").with(parts::edlc_7_5mf()).build();
+/// for _ in 0..5_000 {
+///     bank.record_cycle();
+/// }
+/// let wear = bank_wear(&bank);
+/// assert_eq!(wear.cycle_life, Some(500_000));
+/// assert!((wear.consumed - 0.01).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn bank_wear(bank: &Bank) -> WearReport {
+    let cycle_life = bank
+        .members()
+        .iter()
+        .filter_map(|m| typical_cycle_life(m.technology()))
+        .min();
+    let consumed = match cycle_life {
+        Some(life) if life > 0 => bank.cycles() as f64 / life as f64,
+        _ => 0.0,
+    };
+    WearReport {
+        cycles: bank.cycles(),
+        cycle_life,
+        consumed,
+    }
+}
+
+/// Projects how long a bank lasts if it continues cycling at the observed
+/// rate (`cycles` over `observed`). Returns `None` for unlimited banks or
+/// a zero observed rate.
+#[must_use]
+pub fn projected_lifetime(
+    report: &WearReport,
+    observed: SimDuration,
+) -> Option<SimDuration> {
+    let life = report.cycle_life?;
+    if report.cycles == 0 || observed.is_zero() {
+        return None;
+    }
+    let rate = report.cycles as f64 / observed.as_secs_f64(); // cycles/s
+    Some(SimDuration::from_secs_f64(life as f64 / rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::parts;
+    use capy_units::Volts;
+
+    #[test]
+    fn cycle_life_by_technology() {
+        assert_eq!(typical_cycle_life(Technology::CeramicX5r), None);
+        assert_eq!(typical_cycle_life(Technology::Tantalum), None);
+        assert_eq!(typical_cycle_life(Technology::Edlc), Some(500_000));
+    }
+
+    #[test]
+    fn mixed_bank_inherits_weakest_member_life() {
+        let mut bank = Bank::builder("mixed")
+            .with(parts::ceramic_x5r_100uf())
+            .with(parts::edlc_7_5mf())
+            .build();
+        bank.set_voltage(Volts::new(2.0));
+        for _ in 0..1_000 {
+            bank.record_cycle();
+        }
+        let report = bank_wear(&bank);
+        assert_eq!(report.cycle_life, Some(500_000));
+        assert!((report.consumed - 0.002).abs() < 1e-12);
+        assert!(!report.is_worn_out());
+    }
+
+    #[test]
+    fn unlimited_bank_never_wears() {
+        let mut bank = Bank::builder("ceramic").with(parts::ceramic_x5r_100uf()).build();
+        for _ in 0..10_000_000u32 {
+            if bank.cycles() > 1_000 {
+                break;
+            }
+            bank.record_cycle();
+        }
+        let report = bank_wear(&bank);
+        assert_eq!(report.cycle_life, None);
+        assert_eq!(report.consumed, 0.0);
+        assert!(projected_lifetime(&report, SimDuration::from_secs(1_000)).is_none());
+    }
+
+    #[test]
+    fn projection_scales_with_rate() {
+        let report = WearReport {
+            cycles: 1_000,
+            cycle_life: Some(500_000),
+            consumed: 0.002,
+        };
+        // 1000 cycles in a day → 500 days of life.
+        let day = SimDuration::from_secs(86_400);
+        let life = projected_lifetime(&report, day).unwrap();
+        assert_eq!(life, day * 500);
+    }
+
+    #[test]
+    fn worn_out_detection() {
+        let report = WearReport {
+            cycles: 600_000,
+            cycle_life: Some(500_000),
+            consumed: 1.2,
+        };
+        assert!(report.is_worn_out());
+    }
+}

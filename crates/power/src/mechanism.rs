@@ -1,0 +1,202 @@
+//! The §5.2 design-alternative study: mechanisms for reconfiguring stored
+//! energy `E = ½·C·(V_top² − V_bottom²)`.
+//!
+//! Capacity can be reconfigured by controlling any of the three terms:
+//!
+//! * **C-control** (Capybara's choice) — switched capacitor banks. Cold
+//!   start charges only the small default bank, so it is fastest; latch
+//!   switches add negligible leakage; wear levelling falls out naturally
+//!   because dense, fragile banks can be cycled rarely.
+//! * **V_top-control** — a non-volatile threshold (EEPROM digital
+//!   potentiometer + voltage supervisor) decides when "full" is reached.
+//!   The paper prototyped this and measured **2× the board area and 1.5×
+//!   the leakage current** of the switch design, plus EEPROM write
+//!   endurance limiting device lifetime.
+//! * **V_bottom-control** — an MCU-internal comparator stops discharge
+//!   early. Cold start is worst: the *entire* capacitance must charge to
+//!   the full top threshold even for a small atomicity requirement.
+//!
+//! All three must charge past the output booster's startup voltage
+//! (1.6 V) before any usable energy exists, which is why the voltage-based
+//! mechanisms cold-start so slowly on large arrays.
+
+use capy_units::{Farads, SimDuration, Volts, Watts};
+
+use crate::booster::OutputBooster;
+use crate::capacitor;
+
+/// A capacity-reconfiguration mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use capy_power::mechanism::Mechanism;
+/// use capy_power::booster::OutputBooster;
+/// use capy_units::{Farads, Volts, Watts};
+///
+/// let booster = OutputBooster::prototype();
+/// let cold = |m: Mechanism| m.cold_start(
+///     Farads::from_micro(400.0),
+///     Farads::from_milli(8.5),
+///     Volts::new(2.8),
+///     &booster,
+///     Watts::from_micro(500.0),
+/// );
+/// // §5.2: "The shortest cold-start time is achieved by controlling C."
+/// assert!(cold(Mechanism::SwitchedBanks) < cold(Mechanism::TopThreshold));
+/// assert!(cold(Mechanism::TopThreshold) < cold(Mechanism::BottomThreshold));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Switched capacitor banks (control `C`).
+    SwitchedBanks,
+    /// Non-volatile charge-threshold control (control `V_top`).
+    TopThreshold,
+    /// Discharge-floor control via the MCU comparator (control
+    /// `V_bottom`).
+    BottomThreshold,
+}
+
+impl Mechanism {
+    /// All mechanisms, in the order §5.2 discusses them.
+    pub const ALL: [Mechanism; 3] = [
+        Mechanism::SwitchedBanks,
+        Mechanism::TopThreshold,
+        Mechanism::BottomThreshold,
+    ];
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::SwitchedBanks => "switched banks (C)",
+            Mechanism::TopThreshold => "top threshold (Vtop)",
+            Mechanism::BottomThreshold => "bottom threshold (Vbot)",
+        }
+    }
+
+    /// Relative board area versus the switch design (the paper measured
+    /// the threshold prototype at 2×).
+    #[must_use]
+    pub fn relative_area(self) -> f64 {
+        match self {
+            Mechanism::SwitchedBanks => 1.0,
+            Mechanism::TopThreshold | Mechanism::BottomThreshold => 2.0,
+        }
+    }
+
+    /// Relative leakage current versus the switch design (paper: 1.5×).
+    #[must_use]
+    pub fn relative_leakage(self) -> f64 {
+        match self {
+            Mechanism::SwitchedBanks => 1.0,
+            Mechanism::TopThreshold | Mechanism::BottomThreshold => 1.5,
+        }
+    }
+
+    /// Whether the mechanism's non-volatile element wears out (EEPROM
+    /// write endurance on the digital potentiometer).
+    #[must_use]
+    pub fn wears_out(self) -> bool {
+        matches!(self, Mechanism::TopThreshold)
+    }
+
+    /// Cold-start time: from completely empty storage until the device can
+    /// first boot and run a task of the *small* energy mode, for an array
+    /// with a `small` default bank and a `large` auxiliary bank, charged at
+    /// constant `power` into the capacitors.
+    ///
+    /// * Switched banks charge only `small` (the default/NO state).
+    /// * `V_top` control has all capacitance connected but may set the
+    ///   threshold just past the booster's startup voltage.
+    /// * `V_bottom` control must charge all capacitance to the full top
+    ///   voltage.
+    #[must_use]
+    pub fn cold_start(
+        self,
+        small: Farads,
+        large: Farads,
+        full: Volts,
+        booster: &OutputBooster,
+        power: Watts,
+    ) -> SimDuration {
+        let startup = booster.startup_voltage();
+        match self {
+            Mechanism::SwitchedBanks => {
+                capacitor::time_to_charge(small, Volts::ZERO, full, power)
+            }
+            Mechanism::TopThreshold => {
+                // Best case: threshold set to the minimum boostable level,
+                // but the whole array charges together.
+                capacitor::time_to_charge(small + large, Volts::ZERO, startup, power)
+            }
+            Mechanism::BottomThreshold => {
+                capacitor::time_to_charge(small + large, Volts::ZERO, full, power)
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Farads, Farads, Volts, OutputBooster, Watts) {
+        (
+            Farads::from_micro(400.0),
+            Farads::from_milli(8.5),
+            Volts::new(2.8),
+            OutputBooster::prototype(),
+            Watts::from_micro(470.0),
+        )
+    }
+
+    #[test]
+    fn switched_banks_cold_start_is_shortest() {
+        // §5.2: "The shortest cold-start time is achieved by controlling C."
+        let (s, l, full, booster, p) = setup();
+        let times: Vec<f64> = Mechanism::ALL
+            .iter()
+            .map(|m| m.cold_start(s, l, full, &booster, p).as_secs_f64())
+            .collect();
+        assert!(times[0] < times[1], "C {} vs Vtop {}", times[0], times[1]);
+        assert!(times[1] < times[2], "Vtop {} vs Vbot {}", times[1], times[2]);
+    }
+
+    #[test]
+    fn bottom_threshold_cold_start_dominated_by_full_array() {
+        // §5.2: "With Vbottom control, cold-start time is longer than with
+        // Vtop, because the capacitor must charge to the top threshold even
+        // for a low atomicity requirement."
+        let (s, l, full, booster, p) = setup();
+        let vbot = Mechanism::BottomThreshold.cold_start(s, l, full, &booster, p);
+        let vtop = Mechanism::TopThreshold.cold_start(s, l, full, &booster, p);
+        let ratio = vbot.as_secs_f64() / vtop.as_secs_f64();
+        // Full voltage vs startup voltage on the same capacitance:
+        // (2.8/1.6)² ≈ 3.1.
+        assert!((2.5..4.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn threshold_mechanism_costs_area_leakage_and_wear() {
+        assert_eq!(Mechanism::SwitchedBanks.relative_area(), 1.0);
+        assert_eq!(Mechanism::TopThreshold.relative_area(), 2.0);
+        assert_eq!(Mechanism::TopThreshold.relative_leakage(), 1.5);
+        assert!(Mechanism::TopThreshold.wears_out());
+        assert!(!Mechanism::SwitchedBanks.wears_out());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = Mechanism::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Maximum-power-point tracking (§7: "Capybara leverages maximum power
+//! point tracking in its input booster").
+//!
+//! A photovoltaic source is not a constant-power supply: its current-
+//! voltage curve has a *maximum power point* (MPP), and a charger that
+//! pins the panel away from that point harvests only a fraction of the
+//! available power. The bq25504-class input booster the prototype uses
+//! performs fractional-V_oc MPPT: it periodically samples the panel's
+//! open-circuit voltage and regulates its input to a fixed fraction of it
+//! (~78% for silicon cells), which lands near the MPP across irradiance
+//! levels.
+//!
+//! [`PvCurve`] models the panel's IV characteristic with the standard
+//! single-diode shape; [`harvested_power`] evaluates the operating point a
+//! given tracking policy reaches.
+
+use capy_units::{Amps, Volts, Watts};
+
+/// A photovoltaic panel's electrical characteristic at a given irradiance.
+///
+/// # Examples
+///
+/// ```
+/// use capy_power::mppt::{harvested_power, PvCurve, Tracking};
+///
+/// let panel = PvCurve::trisolx(0.42);
+/// let (_, p_mpp) = panel.mpp();
+/// let tracked = harvested_power(&panel, Tracking::prototype());
+/// // Fractional-Voc tracking lands within a few percent of the MPP.
+/// assert!(tracked.get() > 0.95 * p_mpp.get());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvCurve {
+    /// Short-circuit current (scales linearly with irradiance).
+    pub i_sc: Amps,
+    /// Open-circuit voltage (nearly irradiance-independent).
+    pub v_oc: Volts,
+    /// Diode ideality sharpness: larger = squarer knee. Silicon cells in
+    /// small panels land around 8–15.
+    pub sharpness: f64,
+}
+
+impl PvCurve {
+    /// Creates a curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i_sc`, `v_oc`, and `sharpness` are strictly
+    /// positive.
+    #[must_use]
+    pub fn new(i_sc: Amps, v_oc: Volts, sharpness: f64) -> Self {
+        assert!(i_sc.get() > 0.0, "short-circuit current must be positive");
+        assert!(v_oc.get() > 0.0, "open-circuit voltage must be positive");
+        assert!(sharpness > 0.0, "sharpness must be positive");
+        Self {
+            i_sc,
+            v_oc,
+            sharpness,
+        }
+    }
+
+    /// A TrisolX-class wing at the given irradiance fraction.
+    #[must_use]
+    pub fn trisolx(irradiance: f64) -> Self {
+        Self::new(
+            Amps::from_milli(6.0 * irradiance.max(1e-6)),
+            Volts::new(1.2),
+            10.0,
+        )
+    }
+
+    /// Panel current at terminal voltage `v` (single-diode shape):
+    /// `I(V) = I_sc · (1 − (V/V_oc)^sharpness)`, floored at zero.
+    #[must_use]
+    pub fn current_at(&self, v: Volts) -> Amps {
+        if v.get() <= 0.0 {
+            return self.i_sc;
+        }
+        if v >= self.v_oc {
+            return Amps::ZERO;
+        }
+        let frac = (v.get() / self.v_oc.get()).powf(self.sharpness);
+        Amps::new(self.i_sc.get() * (1.0 - frac))
+    }
+
+    /// Output power at terminal voltage `v`.
+    #[must_use]
+    pub fn power_at(&self, v: Volts) -> Watts {
+        v * self.current_at(v)
+    }
+
+    /// The maximum power point, found by golden-section search over the
+    /// curve (monotone-unimodal in `[0, V_oc]`).
+    #[must_use]
+    pub fn mpp(&self) -> (Volts, Watts) {
+        let (mut lo, mut hi) = (0.0f64, self.v_oc.get());
+        const PHI: f64 = 0.618_033_988_749_894_8;
+        for _ in 0..80 {
+            let a = hi - (hi - lo) * PHI;
+            let b = lo + (hi - lo) * PHI;
+            if self.power_at(Volts::new(a)) < self.power_at(Volts::new(b)) {
+                lo = a;
+            } else {
+                hi = b;
+            }
+        }
+        let v = Volts::new((lo + hi) / 2.0);
+        (v, self.power_at(v))
+    }
+}
+
+/// The input-tracking policy of a charger front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tracking {
+    /// Fractional-V_oc MPPT (the prototype's booster): regulate the panel
+    /// at the given fraction of its open-circuit voltage.
+    FractionalVoc(f64),
+    /// No tracking: the panel is pinned at the storage-capacitor voltage
+    /// (a direct/diode charger), wherever that happens to be.
+    PinnedAt(Volts),
+}
+
+impl Tracking {
+    /// The prototype's policy: 78% of V_oc.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Tracking::FractionalVoc(0.78)
+    }
+}
+
+/// Power a charger with the given `tracking` policy extracts from `panel`.
+#[must_use]
+pub fn harvested_power(panel: &PvCurve, tracking: Tracking) -> Watts {
+    let v = match tracking {
+        Tracking::FractionalVoc(f) => Volts::new(panel.v_oc.get() * f.clamp(0.0, 1.0)),
+        Tracking::PinnedAt(v) => v,
+    };
+    panel.power_at(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iv_curve_endpoints() {
+        let pv = PvCurve::trisolx(1.0);
+        assert_eq!(pv.current_at(Volts::ZERO), pv.i_sc);
+        assert_eq!(pv.current_at(pv.v_oc), Amps::ZERO);
+        assert_eq!(pv.power_at(pv.v_oc), Watts::ZERO);
+    }
+
+    #[test]
+    fn mpp_sits_near_fractional_voc() {
+        // The fractional-V_oc heuristic exists because the MPP of silicon
+        // cells sits at ~75-85% of V_oc.
+        let pv = PvCurve::trisolx(1.0);
+        let (v_mpp, p_mpp) = pv.mpp();
+        let frac = v_mpp.get() / pv.v_oc.get();
+        assert!((0.7..=0.9).contains(&frac), "MPP at {frac:.2} of Voc");
+        assert!(p_mpp.get() > 0.0);
+    }
+
+    #[test]
+    fn fractional_voc_tracking_captures_most_of_mpp() {
+        let pv = PvCurve::trisolx(0.42);
+        let (_, p_mpp) = pv.mpp();
+        let p_tracked = harvested_power(&pv, Tracking::prototype());
+        assert!(
+            p_tracked.get() > 0.95 * p_mpp.get(),
+            "tracked {p_tracked} vs MPP {p_mpp}"
+        );
+    }
+
+    #[test]
+    fn pinned_operation_loses_substantial_power() {
+        // A direct charger pins the panel at the (low) capacitor voltage:
+        // far below the MPP voltage, most available power is lost.
+        let pv = PvCurve::trisolx(1.0);
+        let (_, p_mpp) = pv.mpp();
+        let pinned = harvested_power(&pv, Tracking::PinnedAt(Volts::new(0.3)));
+        assert!(
+            pinned.get() < 0.45 * p_mpp.get(),
+            "pinned {pinned} vs MPP {p_mpp}"
+        );
+    }
+
+    #[test]
+    fn mpp_power_scales_with_irradiance() {
+        let bright = PvCurve::trisolx(1.0).mpp().1;
+        let dim = PvCurve::trisolx(0.25).mpp().1;
+        let ratio = bright.get() / dim.get();
+        assert!((3.5..=4.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "short-circuit current")]
+    fn rejects_non_positive_current() {
+        let _ = PvCurve::new(Amps::ZERO, Volts::new(1.0), 10.0);
+    }
+}

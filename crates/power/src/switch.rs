@@ -1,0 +1,271 @@
+//! The state-retaining capacitor-bank switch (§5.2, Figure 6(b)).
+//!
+//! Each bank connects to the storage rail through a P-channel MOSFET
+//! high-side switch whose gate state is held by a small *latch capacitor*
+//! (`C_latch`, 4.7 µF on the prototype). While the device is powered, a
+//! replenishment circuit keeps the latch topped up, so the commanded state
+//! persists indefinitely. When input power is lost, the latch leaks; after
+//! the *retention time* (~3 minutes on the prototype, §6.5) the switch
+//! reverts to its technology-determined default:
+//!
+//! * **Normally-open (NO)** — reverts to *disconnected*. On reboot only the
+//!   small default bank is active; it charges quickly, but a task needing a
+//!   bigger mode wastes its first execution attempt (and can livelock under
+//!   adversarial input power).
+//! * **Normally-closed (NC)** — reverts to *connected*. On reboot the
+//!   maximum capacity is active; first charge is slow but the first
+//!   execution attempt is guaranteed to have enough energy.
+
+use capy_units::{Amps, Farads, SimDuration, SimTime, SquareMm, Volts};
+
+/// Which default the switch falls back to when its latch capacitor decays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchKind {
+    /// Open (bank disconnected) by default.
+    NormallyOpen,
+    /// Closed (bank connected) by default.
+    NormallyClosed,
+}
+
+impl SwitchKind {
+    /// The connection state this kind reverts to on latch decay.
+    #[must_use]
+    pub fn default_state(self) -> SwitchState {
+        match self {
+            SwitchKind::NormallyOpen => SwitchState::Open,
+            SwitchKind::NormallyClosed => SwitchState::Closed,
+        }
+    }
+}
+
+/// Electrical state of a bank switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchState {
+    /// Bank disconnected from the storage rail.
+    Open,
+    /// Bank connected to the storage rail.
+    Closed,
+}
+
+impl SwitchState {
+    /// `true` when the bank is connected.
+    #[must_use]
+    pub fn is_closed(self) -> bool {
+        matches!(self, SwitchState::Closed)
+    }
+}
+
+/// Board area of one replicable switch module on the prototype, including
+/// both NO and NC variants and debug circuitry (§6.5).
+pub const SWITCH_AREA: SquareMm = SquareMm::new(80.0);
+
+/// Latch capacitance used on the prototype (§6.5).
+pub const LATCH_CAPACITANCE: Farads = Farads::new(4.7e-6);
+
+/// Latch gate threshold: below this latch voltage the MOSFET gate no longer
+/// holds the commanded state.
+const LATCH_THRESHOLD: Volts = Volts::new(1.0);
+
+/// Latch charge voltage while the device is powered.
+const LATCH_FULL: Volts = Volts::new(2.5);
+
+/// Latch leakage chosen so that retention ≈ 3 minutes, matching the
+/// prototype measurement in §6.5: `t = C·ΔV/I = 4.7µF·1.5V/39nA ≈ 180 s`.
+const LATCH_LEAKAGE: Amps = Amps::new(39.2e-9);
+
+/// A programmable, state-retaining bank switch.
+///
+/// # Examples
+///
+/// ```
+/// use capy_power::switch::{BankSwitch, SwitchKind, SwitchState};
+/// use capy_units::{SimTime, SimDuration};
+///
+/// let mut sw = BankSwitch::new(SwitchKind::NormallyOpen);
+/// let t0 = SimTime::ZERO;
+/// sw.command(SwitchState::Closed, t0);
+/// // Still closed two minutes after power loss...
+/// assert_eq!(sw.state(t0 + SimDuration::from_secs(120)), SwitchState::Closed);
+/// // ...but reverted to the default after the latch decays.
+/// assert_eq!(sw.state(t0 + SimDuration::from_secs(400)), SwitchState::Open);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSwitch {
+    kind: SwitchKind,
+    commanded: SwitchState,
+    /// Last instant at which the latch was known full (a command or a
+    /// powered refresh).
+    last_refresh: SimTime,
+    retention: SimDuration,
+}
+
+impl BankSwitch {
+    /// Creates a switch in its default state with the prototype's latch
+    /// retention (~3 minutes).
+    #[must_use]
+    pub fn new(kind: SwitchKind) -> Self {
+        Self::with_retention(kind, Self::prototype_retention())
+    }
+
+    /// Creates a switch with an explicit retention time (for design-space
+    /// exploration).
+    #[must_use]
+    pub fn with_retention(kind: SwitchKind, retention: SimDuration) -> Self {
+        Self {
+            kind,
+            commanded: kind.default_state(),
+            last_refresh: SimTime::ZERO,
+            retention,
+        }
+    }
+
+    /// The retention implied by the prototype latch: 4.7 µF decaying from
+    /// full to the gate threshold under latch leakage.
+    #[must_use]
+    pub fn prototype_retention() -> SimDuration {
+        crate::capacitor::leak_time(LATCH_CAPACITANCE, LATCH_FULL, LATCH_LEAKAGE, LATCH_THRESHOLD)
+    }
+
+    /// The switch's default-state variant.
+    #[must_use]
+    pub fn kind(&self) -> SwitchKind {
+        self.kind
+    }
+
+    /// The configured latch retention time.
+    #[must_use]
+    pub fn retention(&self) -> SimDuration {
+        self.retention
+    }
+
+    /// Commands the switch into `state` at time `now` (the MCU charges or
+    /// discharges the latch through the GPIO interface circuit).
+    pub fn command(&mut self, state: SwitchState, now: SimTime) {
+        self.commanded = state;
+        self.last_refresh = now;
+    }
+
+    /// Tops up the latch capacitor; called periodically while the device is
+    /// powered (the replenishment circuit in Figure 6(b)).
+    ///
+    /// Replenishment can only *maintain* a held state: if the latch already
+    /// decayed, the physical switch has reverted to its default, and that
+    /// default is what gets maintained from here on. (The runtime cannot
+    /// observe this — §5.2 — which is exactly the NO-switch hazard.)
+    pub fn refresh(&mut self, now: SimTime) {
+        if self.latch_decayed(now) {
+            self.commanded = self.kind.default_state();
+        }
+        self.last_refresh = self.last_refresh.max(now);
+    }
+
+    /// The effective state at `now`: the commanded state while the latch
+    /// retains charge, the default state once it has decayed.
+    #[must_use]
+    pub fn state(&self, now: SimTime) -> SwitchState {
+        if now.saturating_since(self.last_refresh) > self.retention {
+            self.kind.default_state()
+        } else {
+            self.commanded
+        }
+    }
+
+    /// Whether the latch has decayed (i.e. the commanded state was lost) by
+    /// `now`. The runtime cannot observe this directly on real hardware —
+    /// §5.2 notes an introspection circuit would ruin retention — which is
+    /// why the NO/NC semantics matter; the simulator exposes it for tests.
+    #[must_use]
+    pub fn latch_decayed(&self, now: SimTime) -> bool {
+        now.saturating_since(self.last_refresh) > self.retention
+    }
+
+    /// The instant at which the latch will decay and the switch revert to
+    /// its default, absent further refreshes. Returns [`SimTime::MAX`] when
+    /// the commanded state already equals the default (decay would be
+    /// unobservable).
+    #[must_use]
+    pub fn decay_deadline(&self) -> SimTime {
+        if self.commanded == self.kind.default_state() {
+            SimTime::MAX
+        } else {
+            self.last_refresh.saturating_add(self.retention)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prototype_retention_is_about_three_minutes() {
+        let r = BankSwitch::prototype_retention();
+        let secs = r.as_secs_f64();
+        assert!((150.0..=210.0).contains(&secs), "retention = {secs} s");
+    }
+
+    #[test]
+    fn commanded_state_holds_while_refreshed() {
+        let mut sw = BankSwitch::new(SwitchKind::NormallyOpen);
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            t += SimDuration::from_secs(60);
+            sw.refresh(t); // device powered: replenishment active
+            assert_eq!(sw.state(t), SwitchState::Closed);
+        }
+    }
+
+    #[test]
+    fn no_switch_reverts_to_open() {
+        let mut sw = BankSwitch::new(SwitchKind::NormallyOpen);
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        assert_eq!(sw.state(SimTime::from_secs(1_000)), SwitchState::Open);
+    }
+
+    #[test]
+    fn nc_switch_reverts_to_closed() {
+        let mut sw = BankSwitch::new(SwitchKind::NormallyClosed);
+        sw.command(SwitchState::Open, SimTime::ZERO);
+        assert_eq!(sw.state(SimTime::from_secs(170)), SwitchState::Open);
+        assert_eq!(sw.state(SimTime::from_secs(1_000)), SwitchState::Closed);
+    }
+
+    #[test]
+    fn refresh_does_not_move_backwards() {
+        let mut sw = BankSwitch::new(SwitchKind::NormallyOpen);
+        sw.command(SwitchState::Closed, SimTime::from_secs(100));
+        sw.refresh(SimTime::from_secs(50)); // stale refresh must be ignored
+        assert!(!sw.latch_decayed(SimTime::from_secs(100) + sw.retention()));
+    }
+
+    #[test]
+    fn custom_retention_is_respected() {
+        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        assert_eq!(sw.state(SimTime::from_secs(9)), SwitchState::Closed);
+        assert_eq!(sw.state(SimTime::from_secs(11)), SwitchState::Open);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_state_is_commanded_before_retention_default_after(
+            cmd_closed in proptest::bool::ANY,
+            kind_nc in proptest::bool::ANY,
+            offset_s in 0u64..10_000,
+        ) {
+            let kind = if kind_nc { SwitchKind::NormallyClosed } else { SwitchKind::NormallyOpen };
+            let cmd = if cmd_closed { SwitchState::Closed } else { SwitchState::Open };
+            let mut sw = BankSwitch::new(kind);
+            sw.command(cmd, SimTime::ZERO);
+            let t = SimTime::from_secs(offset_s);
+            let expected = if t.elapsed_since_origin() > sw.retention() {
+                kind.default_state()
+            } else {
+                cmd
+            };
+            prop_assert_eq!(sw.state(t), expected);
+        }
+    }
+}

@@ -1,0 +1,937 @@
+//! The composed reconfigurable power system (Figure 6(a)): harvester →
+//! limiter → input booster (with bypass) → switched capacitor-bank array →
+//! output booster → load.
+//!
+//! [`PowerSystem`] owns the bank array and the distribution circuits and
+//! provides the three primitive operations the device simulator is built
+//! from:
+//!
+//! * [`PowerSystem::charge_until`] — advance simulated time while the
+//!   harvester charges the *connected* banks to a target voltage, in
+//!   closed form per piecewise-constant segment;
+//! * [`PowerSystem::draw`] — drain a constant load through the output
+//!   booster, detecting brown-out (intermittent power failure);
+//! * [`PowerSystem::idle`] — let everything leak while the device is off
+//!   and the harvester is dark.
+//!
+//! All three maintain the parallel-connection invariant: every bank whose
+//! switch is closed shares one rail voltage, with charge-conserving (and
+//! therefore lossy) redistribution whenever the closed set changes —
+//! including implicit changes when an unpowered switch's latch decays.
+
+use capy_units::{Farads, Joules, Ohms, SimDuration, SimTime, Volts, Watts};
+
+use crate::bank::{share_charge, Bank, BankId};
+use crate::booster::{Bypass, ChargeRegime, InputBooster, OutputBooster, VoltageLimiter};
+use crate::capacitor::{self, Discharge};
+use crate::harvester::Harvester;
+use crate::switch::{BankSwitch, SwitchKind, SwitchState};
+use crate::PowerError;
+
+/// Result of a charging operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChargeOutcome {
+    /// The target voltage was reached after the given span.
+    Reached(SimDuration),
+    /// Charging stalled (no usable input power) at the given rail voltage.
+    Stalled(Volts),
+}
+
+impl ChargeOutcome {
+    /// The elapsed charging time, if the target was reached.
+    #[must_use]
+    pub fn elapsed(self) -> Option<SimDuration> {
+        match self {
+            ChargeOutcome::Reached(d) => Some(d),
+            ChargeOutcome::Stalled(_) => None,
+        }
+    }
+}
+
+/// Result of a load-draw operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DrawOutcome {
+    /// The load ran for the full requested duration.
+    Complete,
+    /// The rail browned out after the given span — an intermittent power
+    /// failure.
+    Failed(SimDuration),
+}
+
+impl DrawOutcome {
+    /// `true` when the load ran to completion.
+    #[must_use]
+    pub fn is_complete(self) -> bool {
+        matches!(self, DrawOutcome::Complete)
+    }
+
+    /// The span survived before failure, or `None` if complete.
+    #[must_use]
+    pub fn failed_after(self) -> Option<SimDuration> {
+        match self {
+            DrawOutcome::Complete => None,
+            DrawOutcome::Failed(d) => Some(d),
+        }
+    }
+}
+
+/// A complete Capybara-style power system.
+///
+/// See the [crate-level example](crate) for typical construction and use.
+#[derive(Debug, Clone)]
+pub struct PowerSystem<H> {
+    harvester: H,
+    limiter: VoltageLimiter,
+    input_booster: InputBooster,
+    bypass: Option<Bypass>,
+    output_booster: OutputBooster,
+    banks: Vec<Slot>,
+    /// Cached closed set used to detect implicit reconfiguration (latch
+    /// decay) between operations.
+    closed_cache: Vec<bool>,
+    /// Cumulative energy delivered to loads, for efficiency accounting.
+    delivered: Joules,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    bank: Bank,
+    switch: BankSwitch,
+}
+
+/// Builder for [`PowerSystem`] (§C-BUILDER).
+#[derive(Debug)]
+pub struct PowerSystemBuilder<H> {
+    harvester: Option<H>,
+    limiter: VoltageLimiter,
+    input_booster: InputBooster,
+    bypass: Option<Bypass>,
+    output_booster: OutputBooster,
+    banks: Vec<Slot>,
+}
+
+impl<H: Harvester> PowerSystem<H> {
+    /// Starts building a power system with prototype distribution circuits.
+    #[must_use]
+    pub fn builder() -> PowerSystemBuilder<H> {
+        PowerSystemBuilder {
+            harvester: None,
+            limiter: VoltageLimiter::prototype(),
+            input_booster: InputBooster::prototype(),
+            bypass: Some(Bypass::prototype()),
+            output_booster: OutputBooster::prototype(),
+            banks: Vec::new(),
+        }
+    }
+
+    /// The output booster configuration.
+    #[must_use]
+    pub fn output_booster(&self) -> &OutputBooster {
+        &self.output_booster
+    }
+
+    /// The input booster configuration.
+    #[must_use]
+    pub fn input_booster(&self) -> &InputBooster {
+        &self.input_booster
+    }
+
+    /// The harvester driving this system.
+    #[must_use]
+    pub fn harvester(&self) -> &H {
+        &self.harvester
+    }
+
+    /// Mutable access to the harvester (e.g. to vary solar irradiance).
+    pub fn harvester_mut(&mut self) -> &mut H {
+        &mut self.harvester
+    }
+
+    /// Number of banks in the array.
+    #[must_use]
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The bank at `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownBank`] for an out-of-range id.
+    pub fn bank(&self, id: BankId) -> Result<&Bank, PowerError> {
+        self.banks
+            .get(id.0)
+            .map(|s| &s.bank)
+            .ok_or(PowerError::UnknownBank { index: id.0 })
+    }
+
+    /// The switch guarding bank `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownBank`] for an out-of-range id.
+    pub fn switch(&self, id: BankId) -> Result<&BankSwitch, PowerError> {
+        self.banks
+            .get(id.0)
+            .map(|s| &s.switch)
+            .ok_or(PowerError::UnknownBank { index: id.0 })
+    }
+
+    /// Commands the switch of bank `id` at `now`, then re-equalizes the
+    /// closed set (closing a switch onto a rail at a different voltage
+    /// redistributes charge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownBank`] for an out-of-range id.
+    pub fn command_switch(
+        &mut self,
+        id: BankId,
+        state: SwitchState,
+        now: SimTime,
+    ) -> Result<(), PowerError> {
+        let slot = self
+            .banks
+            .get_mut(id.0)
+            .ok_or(PowerError::UnknownBank { index: id.0 })?;
+        slot.switch.command(state, now);
+        self.sync(now);
+        Ok(())
+    }
+
+    /// Tops up every switch latch; call whenever the device is powered.
+    pub fn refresh_switches(&mut self, now: SimTime) {
+        for slot in &mut self.banks {
+            slot.switch.refresh(now);
+        }
+    }
+
+    /// Indices of banks whose switches are effectively closed at `now`.
+    #[must_use]
+    pub fn closed_banks(&self, now: SimTime) -> Vec<BankId> {
+        self.banks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.switch.state(now).is_closed())
+            .map(|(i, _)| BankId(i))
+            .collect()
+    }
+
+    /// Total capacitance currently on the rail.
+    #[must_use]
+    pub fn rail_capacitance(&self, now: SimTime) -> Farads {
+        self.closed_slots(now)
+            .map(|s| s.bank.capacitance())
+            .sum()
+    }
+
+    /// Combined ESR of the rail (parallel combination of closed banks).
+    #[must_use]
+    pub fn rail_esr(&self, now: SimTime) -> Ohms {
+        let mut inv = 0.0;
+        for s in self.closed_slots(now) {
+            let r = s.bank.esr().get();
+            if r <= 0.0 {
+                return Ohms::ZERO;
+            }
+            inv += 1.0 / r;
+        }
+        if inv == 0.0 {
+            Ohms::ZERO
+        } else {
+            Ohms::new(1.0 / inv)
+        }
+    }
+
+    /// The shared rail voltage (zero when no bank is connected).
+    ///
+    /// Callers should have invoked an operation (or [`PowerSystem::sync`])
+    /// at `now` so the closed set is equalized.
+    #[must_use]
+    pub fn rail_voltage(&self, now: SimTime) -> Volts {
+        self.closed_slots(now)
+            .map(|s| s.bank.voltage())
+            .fold(Volts::ZERO, Volts::max)
+    }
+
+    /// The "full" voltage for the current configuration: the limiter clamp
+    /// or the weakest connected bank rating, whichever is lower.
+    #[must_use]
+    pub fn full_voltage(&self, now: SimTime) -> Volts {
+        let rated = self
+            .closed_slots(now)
+            .map(|s| s.bank.rated_voltage())
+            .fold(Volts::new(f64::INFINITY), Volts::min);
+        self.limiter.clamp().min(rated)
+    }
+
+    /// Total leakage of the connected banks.
+    #[must_use]
+    pub fn rail_leakage(&self, now: SimTime) -> Watts {
+        let v = self.rail_voltage(now);
+        let i: f64 = self
+            .closed_slots(now)
+            .map(|s| s.bank.leakage().get())
+            .sum();
+        Watts::new(v.get() * i)
+    }
+
+    /// Cumulative energy delivered to loads since construction.
+    #[must_use]
+    pub fn energy_delivered(&self) -> Joules {
+        self.delivered
+    }
+
+    /// Total board volume of the capacitor array, mm³.
+    #[must_use]
+    pub fn array_volume_mm3(&self) -> f64 {
+        self.banks.iter().map(|s| s.bank.volume_mm3()).sum()
+    }
+
+    /// Reconciles implicit switch-state changes (latch decay) and
+    /// equalizes the closed set at `now`.
+    pub fn sync(&mut self, now: SimTime) {
+        let closed_now: Vec<bool> = self
+            .banks
+            .iter()
+            .map(|s| s.switch.state(now).is_closed())
+            .collect();
+        if closed_now != self.closed_cache {
+            self.closed_cache = closed_now;
+        }
+        self.equalize(now);
+    }
+
+    /// Charges the connected banks until the rail reaches `target` (clamped
+    /// to [`PowerSystem::full_voltage`]), advancing `now`.
+    ///
+    /// Integration is exact within each piecewise-constant segment;
+    /// segments break at harvester changes, charging-regime boundaries
+    /// (bypass ceiling, cold-start threshold), and latch-decay instants —
+    /// the device is unpowered while charging, so commanded switch states
+    /// may be lost mid-charge, implicitly reconfiguring the rail (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::NoActiveBank`] when no switch is closed.
+    pub fn charge_until(
+        &mut self,
+        target: Volts,
+        now: &mut SimTime,
+    ) -> Result<ChargeOutcome, PowerError> {
+        self.sync(*now);
+        if self.closed_banks(*now).is_empty() {
+            return Err(PowerError::NoActiveBank);
+        }
+        let start = *now;
+        let target = target.min(self.full_voltage(*now));
+        // Wear accounting: recharging a deeply-discharged bank completes
+        // one charge-discharge cycle (relevant to EDLC lifetime, §5.2).
+        if self.rail_voltage(*now) < target * 0.6 {
+            for bank in self.closed_slots_mut_at(*now) {
+                if bank.voltage() < target * 0.6 {
+                    bank.record_cycle();
+                }
+            }
+        }
+        // Bound the number of analytic segments defensively; real runs use
+        // a handful.
+        for _ in 0..100_000 {
+            self.sync(*now);
+            let v = self.rail_voltage(*now);
+            if v >= target {
+                return Ok(ChargeOutcome::Reached(*now - start));
+            }
+            let c = self.rail_capacitance(*now);
+            if c.get() <= 0.0 {
+                return Err(PowerError::NoActiveBank);
+            }
+
+            let p_raw = self.harvester.power_at(*now);
+            let hv = self.harvester.open_voltage(*now);
+            let (p_charge, regime) =
+                self.input_booster
+                    .charge_power(p_raw, v, self.bypass.as_ref(), hv);
+            let p_net = p_charge - self.rail_leakage(*now);
+            if p_net.get() <= 0.0 {
+                // Stalled in this segment; if the harvester will change,
+                // leak until then and retry, otherwise report the stall.
+                let until = self.harvester.valid_until(*now);
+                if until == SimTime::MAX {
+                    return Ok(ChargeOutcome::Stalled(v));
+                }
+                let dt = until - *now;
+                self.leak_all(dt);
+                *now = until;
+                continue;
+            }
+
+            // Segment milestone: the lowest voltage boundary above v.
+            let mut milestone = target;
+            if regime == ChargeRegime::Bypass {
+                if let Some(bp) = &self.bypass {
+                    let ceiling = bp.ceiling(hv).min(self.input_booster.cold_start_threshold());
+                    if ceiling > v {
+                        milestone = milestone.min(ceiling);
+                    }
+                }
+            } else if regime == ChargeRegime::ColdStart {
+                let thr = self.input_booster.cold_start_threshold();
+                if thr > v {
+                    milestone = milestone.min(thr);
+                }
+            }
+            // Epsilon past the boundary so the regime flips next iteration.
+            let t_to_milestone = capacitor::time_to_charge(c, v, milestone, p_net)
+                .saturating_add(SimDuration::from_micros(1));
+            let seg_end = self
+                .harvester
+                .valid_until(*now)
+                .min(self.next_latch_decay(*now))
+                .min(now.saturating_add(t_to_milestone));
+            let dt = seg_end.saturating_since(*now).max(SimDuration::from_micros(1));
+
+            let v_new = capacitor::voltage_after_charge(c, v, p_net, dt).min(milestone);
+            self.set_rail_voltage(*now, v_new);
+            self.leak_open(dt, *now);
+            *now = now.saturating_add(dt);
+        }
+        Ok(ChargeOutcome::Stalled(self.rail_voltage(*now)))
+    }
+
+    /// Charges until the configuration's full voltage.
+    ///
+    /// # Errors
+    ///
+    /// As [`PowerSystem::charge_until`]; additionally maps a stall to
+    /// [`PowerError::NoInputPower`].
+    pub fn charge_until_full(&mut self, now: &mut SimTime) -> Result<SimDuration, PowerError> {
+        let target = {
+            self.sync(*now);
+            self.full_voltage(*now)
+        };
+        match self.charge_until(target, now)? {
+            ChargeOutcome::Reached(d) => Ok(d),
+            ChargeOutcome::Stalled(_) => Err(PowerError::NoInputPower { at: *now }),
+        }
+    }
+
+    /// Draws `load` at the regulated output for `duration`, advancing
+    /// `now`. While drawing, the device is powered, so switch latches are
+    /// refreshed. Harvested input during operation is ignored: "charging is
+    /// negligible during operation" (§2).
+    ///
+    /// Browns out — returning [`DrawOutcome::Failed`] — when the rail
+    /// terminal voltage (after ESR droop) crosses the output booster's
+    /// operating minimum.
+    pub fn draw(&mut self, load: Watts, duration: SimDuration, now: &mut SimTime) -> DrawOutcome {
+        self.sync(*now);
+        let c = self.rail_capacitance(*now);
+        if c.get() <= 0.0 {
+            return DrawOutcome::Failed(SimDuration::ZERO);
+        }
+        let esr = self.rail_esr(*now);
+        let v0 = self.rail_voltage(*now);
+        let p_in = self.output_booster.input_power_for(load);
+        let v_min = self.output_booster.min_operating_voltage();
+
+        let out = capacitor::discharge(c, esr, v0, p_in, v_min, duration);
+        let (survived, v_end, outcome) = match out {
+            Discharge::Sustained(v) => (duration, v, DrawOutcome::Complete),
+            Discharge::Failed(t, v) => (t, v, DrawOutcome::Failed(t)),
+        };
+        self.set_rail_voltage(*now, v_end);
+        self.leak_open(survived, *now);
+        *now = now.saturating_add(survived);
+        self.refresh_switches(*now);
+        self.delivered += load * survived;
+        outcome
+    }
+
+    /// Like [`PowerSystem::draw`], but models concurrent harvesting: the
+    /// input booster keeps feeding the rail while the load runs, so the
+    /// effective drain is the load minus the harvested contribution. This
+    /// relaxes the paper's "charging is negligible during operation"
+    /// simplification (§2) for platforms where load and harvest are of the
+    /// same order (the CC2650 at ~9 mW under the 10 mW bench harvester).
+    pub fn draw_with_harvesting(
+        &mut self,
+        load: Watts,
+        duration: SimDuration,
+        now: &mut SimTime,
+    ) -> DrawOutcome {
+        self.sync(*now);
+        let c = self.rail_capacitance(*now);
+        if c.get() <= 0.0 {
+            return DrawOutcome::Failed(SimDuration::ZERO);
+        }
+        let esr = self.rail_esr(*now);
+        let v0 = self.rail_voltage(*now);
+        let p_load = self.output_booster.input_power_for(load);
+        let p_raw = self.harvester.power_at(*now);
+        let hv = self.harvester.open_voltage(*now);
+        let (p_charge, _) = self
+            .input_booster
+            .charge_power(p_raw, v0, self.bypass.as_ref(), hv);
+        let v_min = self.output_booster.min_operating_voltage();
+
+        let (survived, v_end, outcome) = if p_charge >= p_load {
+            // Net surplus: the rail holds or climbs toward full.
+            let v = capacitor::voltage_after_charge(c, v0, p_charge - p_load, duration)
+                .min(self.full_voltage(*now));
+            (duration, v, DrawOutcome::Complete)
+        } else {
+            match capacitor::discharge(c, esr, v0, p_load - p_charge, v_min, duration) {
+                Discharge::Sustained(v) => (duration, v, DrawOutcome::Complete),
+                Discharge::Failed(t, v) => (t, v, DrawOutcome::Failed(t)),
+            }
+        };
+        self.set_rail_voltage(*now, v_end);
+        self.leak_open(survived, *now);
+        *now = now.saturating_add(survived);
+        self.refresh_switches(*now);
+        self.delivered += load * survived;
+        outcome
+    }
+
+    /// Lets every bank (and latch) decay for `duration` with the device off
+    /// and no charging, advancing `now`.
+    pub fn idle(&mut self, duration: SimDuration, now: &mut SimTime) {
+        self.leak_all(duration);
+        *now = now.saturating_add(duration);
+        self.sync(*now);
+    }
+
+    /// Whether the rail can start the output booster (cold boot condition).
+    #[must_use]
+    pub fn can_boot(&self, now: SimTime) -> bool {
+        self.rail_voltage(now) >= self.output_booster.startup_voltage()
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn closed_slots(&self, now: SimTime) -> impl Iterator<Item = &Slot> {
+        self.banks
+            .iter()
+            .filter(move |s| s.switch.state(now).is_closed())
+    }
+
+    fn closed_slots_mut_at(&mut self, now: SimTime) -> impl Iterator<Item = &mut Bank> {
+        self.banks
+            .iter_mut()
+            .filter(move |s| s.switch.state(now).is_closed())
+            .map(|s| &mut s.bank)
+    }
+
+    fn equalize(&mut self, now: SimTime) {
+        let closed: Vec<usize> = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.switch.state(now).is_closed())
+            .map(|(i, _)| i)
+            .collect();
+        if closed.len() < 2 {
+            return;
+        }
+        let refs: Vec<&Bank> = closed.iter().map(|&i| &self.banks[i].bank).collect();
+        let v = share_charge(&refs);
+        for &i in &closed {
+            self.banks[i].bank.set_voltage(v);
+        }
+    }
+
+    fn set_rail_voltage(&mut self, now: SimTime, v: Volts) {
+        for bank in self.closed_slots_mut_at(now) {
+            bank.set_voltage(v);
+        }
+    }
+
+    fn leak_open(&mut self, dt: SimDuration, now: SimTime) {
+        for slot in &mut self.banks {
+            if !slot.switch.state(now).is_closed() {
+                slot.bank.apply_leakage(dt);
+            }
+        }
+    }
+
+    fn leak_all(&mut self, dt: SimDuration) {
+        for slot in &mut self.banks {
+            slot.bank.apply_leakage(dt);
+        }
+    }
+
+    fn next_latch_decay(&self, now: SimTime) -> SimTime {
+        self.banks
+            .iter()
+            .map(|s| s.switch.decay_deadline())
+            .filter(|&t| t > now)
+            .min()
+            .unwrap_or(SimTime::MAX)
+    }
+}
+
+impl<H: Harvester> PowerSystemBuilder<H> {
+    /// Sets the harvester (required).
+    #[must_use]
+    pub fn harvester(mut self, h: H) -> Self {
+        self.harvester = Some(h);
+        self
+    }
+
+    /// Overrides the voltage limiter.
+    #[must_use]
+    pub fn limiter(mut self, limiter: VoltageLimiter) -> Self {
+        self.limiter = limiter;
+        self
+    }
+
+    /// Overrides the input booster.
+    #[must_use]
+    pub fn input_booster(mut self, booster: InputBooster) -> Self {
+        self.input_booster = booster;
+        self
+    }
+
+    /// Removes or replaces the bypass circuit (set `None` to measure the
+    /// cold-start penalty the bypass exists to avoid).
+    #[must_use]
+    pub fn bypass(mut self, bypass: Option<Bypass>) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
+    /// Overrides the output booster.
+    #[must_use]
+    pub fn output_booster(mut self, booster: OutputBooster) -> Self {
+        self.output_booster = booster;
+        self
+    }
+
+    /// Adds a bank behind a fresh switch of the given kind.
+    #[must_use]
+    pub fn bank(mut self, bank: Bank, kind: SwitchKind) -> Self {
+        self.banks.push(Slot {
+            bank,
+            switch: BankSwitch::new(kind),
+        });
+        self
+    }
+
+    /// Adds a bank behind an explicitly configured switch.
+    #[must_use]
+    pub fn bank_with_switch(mut self, bank: Bank, switch: BankSwitch) -> Self {
+        self.banks.push(Slot { bank, switch });
+        self
+    }
+
+    /// Finishes the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no harvester was provided or the bank array is empty.
+    #[must_use]
+    pub fn build(self) -> PowerSystem<H> {
+        let harvester = self.harvester.expect("a harvester is required");
+        assert!(!self.banks.is_empty(), "at least one bank is required");
+        let closed_cache = self
+            .banks
+            .iter()
+            .map(|s| s.switch.state(SimTime::ZERO).is_closed())
+            .collect();
+        PowerSystem {
+            harvester,
+            limiter: self.limiter,
+            input_booster: self.input_booster,
+            bypass: self.bypass,
+            output_booster: self.output_booster,
+            banks: self.banks,
+            closed_cache,
+            delivered: Joules::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvester::ConstantHarvester;
+    use crate::technology::parts;
+
+    fn ten_mw() -> ConstantHarvester {
+        ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0))
+    }
+
+    fn small_bank() -> Bank {
+        Bank::builder("small")
+            .with(parts::ceramic_x5r_400uf())
+            .with(parts::tantalum_330uf())
+            .build()
+    }
+
+    fn big_bank() -> Bank {
+        Bank::builder("big").with_n(parts::edlc_22_5mf(), 3).build()
+    }
+
+    fn one_bank_system() -> PowerSystem<ConstantHarvester> {
+        PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .build()
+    }
+
+    #[test]
+    fn charges_to_full_in_expected_time() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        let elapsed = sys.charge_until_full(&mut now).unwrap();
+        // 730 µF to 2.8 V ≈ 2.9 mJ; bypass to 1.0 V then boost at 8 mW.
+        // Expect well under a second.
+        assert!(elapsed < SimDuration::from_secs(1), "elapsed = {elapsed}");
+        assert!(elapsed > SimDuration::from_micros(100));
+        assert!((sys.rail_voltage(now).get() - 2.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bypass_cuts_charge_time_by_an_order_of_magnitude() {
+        // §5.1: "the bypass optimization reduces charge time by at least an
+        // order of magnitude" at low input power with a large capacitor.
+        let dim = ConstantHarvester::new(Watts::from_micro(500.0), Volts::new(2.5));
+        let mut with = PowerSystem::builder()
+            .harvester(dim)
+            .bank(big_bank(), SwitchKind::NormallyClosed)
+            .build();
+        let mut without = PowerSystem::builder()
+            .harvester(dim)
+            .bypass(None)
+            .bank(big_bank(), SwitchKind::NormallyClosed)
+            .build();
+        let mut t1 = SimTime::ZERO;
+        let mut t2 = SimTime::ZERO;
+        let fast = with.charge_until_full(&mut t1).unwrap();
+        let slow = without.charge_until_full(&mut t2).unwrap();
+        assert!(
+            slow.as_secs_f64() > 10.0 * fast.as_secs_f64(),
+            "bypass {fast} vs no-bypass {slow}"
+        );
+    }
+
+    #[test]
+    fn draw_completes_within_energy_budget() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        // 730 µF from 2.8 to 0.9 V ≈ 2.6 mJ stored; at 85% the budget
+        // sustains ~2.2 mJ of load. A 1 mW × 50 ms load (50 µJ) must pass.
+        let out = sys.draw(Watts::from_milli(1.0), SimDuration::from_millis(50), &mut now);
+        assert!(out.is_complete());
+        assert!(sys.energy_delivered() > Joules::from_micro(49.0));
+    }
+
+    #[test]
+    fn draw_fails_when_energy_exhausted() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        let out = sys.draw(Watts::from_milli(10.0), SimDuration::from_secs(5), &mut now);
+        let survived = out.failed_after().expect("must brown out");
+        assert!(survived > SimDuration::ZERO);
+        assert!(survived < SimDuration::from_secs(1));
+        // Rail left near the booster minimum.
+        let v = sys.rail_voltage(now);
+        assert!(v < Volts::new(1.1), "v = {v}");
+    }
+
+    #[test]
+    fn deep_recharge_records_a_cycle() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        // Initial charge from empty counts as the first cycle's charge.
+        sys.charge_until_full(&mut now).unwrap();
+        assert_eq!(sys.bank(BankId(0)).unwrap().cycles(), 1);
+        // Deep discharge, then recharge: one more cycle.
+        let _ = sys.draw(Watts::from_milli(10.0), SimDuration::from_secs(5), &mut now);
+        sys.charge_until_full(&mut now).unwrap();
+        assert_eq!(sys.bank(BankId(0)).unwrap().cycles(), 2);
+        // A shallow top-up does not count.
+        let _ = sys.draw(Watts::from_milli(1.0), SimDuration::from_millis(20), &mut now);
+        sys.charge_until_full(&mut now).unwrap();
+        assert_eq!(sys.bank(BankId(0)).unwrap().cycles(), 2);
+    }
+
+    #[test]
+    fn reconfiguration_changes_rail_capacitance() {
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .bank(big_bank(), SwitchKind::NormallyOpen)
+            .build();
+        let now = SimTime::ZERO;
+        let c_small = sys.rail_capacitance(now);
+        assert!((c_small.as_micro() - 730.0).abs() < 1.0);
+        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        let c_both = sys.rail_capacitance(now);
+        assert!((c_both.as_milli() - 68.23).abs() < 0.1, "c = {c_both}");
+    }
+
+    #[test]
+    fn closing_a_switch_equalizes_voltages() {
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .bank(big_bank(), SwitchKind::NormallyOpen)
+            .build();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        let v_before = sys.rail_voltage(now);
+        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        let v_after = sys.rail_voltage(now);
+        // The big empty bank swallows the small bank's charge.
+        assert!(v_after < v_before * 0.05, "v_after = {v_after}");
+    }
+
+    #[test]
+    fn deactivated_bank_retains_energy_minus_leakage() {
+        // "a de-activated mode's energy buffers retain their stored energy,
+        // except the energy lost to leakage" (§4.2).
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(big_bank(), SwitchKind::NormallyClosed)
+            .bank(small_bank(), SwitchKind::NormallyOpen)
+            .build();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        let v_full = sys.bank(BankId(0)).unwrap().voltage();
+        // Disconnect the big bank, connect the small one.
+        sys.command_switch(BankId(0), SwitchState::Open, now).unwrap();
+        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        // Keep switches alive while idling briefly (device powered).
+        sys.refresh_switches(now);
+        let mut t = now;
+        sys.idle(SimDuration::from_secs(30), &mut t);
+        // NB: latch retention is ~3 min, so 30 s idle does not revert.
+        let v_after = sys.bank(BankId(0)).unwrap().voltage();
+        assert!(v_after > v_full * 0.99, "leakage too aggressive: {v_after} vs {v_full}");
+        assert!(v_after <= v_full);
+    }
+
+    #[test]
+    fn latch_decay_during_long_charge_reverts_no_switch() {
+        // A NO switch commanded closed reverts to open if the charge period
+        // exceeds retention; the rail then loses that bank implicitly.
+        let weak = ConstantHarvester::new(Watts::from_micro(40.0), Volts::new(2.5));
+        let mut sys = PowerSystem::builder()
+            .harvester(weak)
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .bank(big_bank(), SwitchKind::NormallyOpen)
+            .build();
+        let mut now = SimTime::ZERO;
+        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        // Charging 68 mF at ~30 µW takes hours; the latch (≈3 min) decays
+        // long before, after which only the small bank charges.
+        let outcome = sys.charge_until(Volts::new(2.8), &mut now).unwrap();
+        assert!(matches!(outcome, ChargeOutcome::Reached(_)));
+        assert!(!sys.switch(BankId(1)).unwrap().state(now).is_closed());
+        // Total time is dominated by the small bank at ~32 µW, far less
+        // than charging the full 68 mF would need.
+        assert!(now < SimTime::from_secs(3_600), "now = {now}");
+    }
+
+    #[test]
+    fn nc_switch_reverts_to_closed_guaranteeing_capacity() {
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .bank(big_bank(), SwitchKind::NormallyClosed)
+            .build();
+        let mut now = SimTime::ZERO;
+        // Software trims to the small bank only.
+        sys.command_switch(BankId(1), SwitchState::Open, now).unwrap();
+        assert_eq!(sys.closed_banks(now).len(), 1);
+        // Long unpowered stretch: NC latch decays, bank reconnects.
+        sys.idle(SimDuration::from_secs(600), &mut now);
+        assert_eq!(sys.closed_banks(now).len(), 2);
+    }
+
+    #[test]
+    fn stalled_when_dark() {
+        let mut sys = PowerSystem::builder()
+            .harvester(ConstantHarvester::dark())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .build();
+        let mut now = SimTime::ZERO;
+        let out = sys.charge_until(Volts::new(2.8), &mut now).unwrap();
+        assert!(matches!(out, ChargeOutcome::Stalled(_)));
+        assert!(sys.charge_until_full(&mut now).is_err());
+    }
+
+    #[test]
+    fn no_active_bank_is_an_error() {
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyOpen)
+            .build();
+        let mut now = SimTime::ZERO;
+        assert_eq!(
+            sys.charge_until(Volts::new(2.8), &mut now).unwrap_err(),
+            PowerError::NoActiveBank
+        );
+    }
+
+    #[test]
+    fn unknown_bank_is_an_error() {
+        let sys = one_bank_system();
+        assert_eq!(
+            sys.bank(BankId(7)).unwrap_err(),
+            PowerError::UnknownBank { index: 7 }
+        );
+    }
+
+    #[test]
+    fn harvesting_draw_extends_operation() {
+        // A load slightly above the harvested input drains far slower
+        // with concurrent harvesting modeled.
+        let mut a = one_bank_system();
+        let mut b = one_bank_system();
+        let mut ta = SimTime::ZERO;
+        let mut tb = SimTime::ZERO;
+        a.charge_until_full(&mut ta).unwrap();
+        b.charge_until_full(&mut tb).unwrap();
+        let load = Watts::from_milli(9.0);
+        let long = SimDuration::from_secs(10);
+        let plain = a.draw(load, long, &mut ta);
+        let assisted = b.draw_with_harvesting(load, long, &mut tb);
+        let t_plain = plain.failed_after().expect("must brown out unassisted");
+        let t_assisted = assisted
+            .failed_after()
+            .expect("9 mW load still exceeds the ~7 mW net input");
+        assert!(
+            t_assisted.as_secs_f64() > 3.0 * t_plain.as_secs_f64(),
+            "assisted {t_assisted} vs plain {t_plain}"
+        );
+    }
+
+    #[test]
+    fn harvesting_draw_never_fails_under_net_surplus() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        // 2 mW load under 8 mW net input: surplus keeps the rail full.
+        let out = sys.draw_with_harvesting(
+            Watts::from_milli(2.0),
+            SimDuration::from_secs(30),
+            &mut now,
+        );
+        assert!(out.is_complete());
+        assert!(sys.rail_voltage(now) > Volts::new(2.7));
+    }
+
+    #[test]
+    fn can_boot_tracks_startup_voltage() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        assert!(!sys.can_boot(now));
+        sys.charge_until(Volts::new(1.7), &mut now).unwrap();
+        assert!(sys.can_boot(now));
+    }
+}

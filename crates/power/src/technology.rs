@@ -1,0 +1,267 @@
+//! Capacitor technology families and a datasheet-derived parts library.
+//!
+//! The paper's design-space study (Figures 3–4) compares X5R ceramic
+//! capacitors against the CPH3225A ultra-compact EDLC supercapacitor, and
+//! the application banks mix ceramic, tantalum, and EDLC parts (§6.1).
+//! Component values here are taken from public datasheets of the named
+//! parts (capacitance, rated voltage, package volume) with ESR and leakage
+//! set to typical datasheet figures.
+
+use capy_units::{Amps, Farads, Ohms, Volts};
+
+use crate::capacitor::CapacitorSpec;
+
+/// Capacitor technology family, ordered roughly by energy density.
+///
+/// The family determines the density/ESR trade-off that drives Figure 4:
+/// ceramics are low-ESR but low-density; EDLC supercapacitors are dense but
+/// high-ESR and cycle-limited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Technology {
+    /// Multi-layer ceramic (X5R dielectric): low ESR, low density,
+    /// effectively unlimited cycle life.
+    CeramicX5r,
+    /// Solid tantalum: mid density, moderate ESR.
+    Tantalum,
+    /// Electric double-layer ("super") capacitor: highest density, high
+    /// ESR, limited charge/discharge cycle life.
+    Edlc,
+}
+
+impl Technology {
+    /// All technologies, in density order.
+    pub const ALL: [Technology; 3] = [
+        Technology::CeramicX5r,
+        Technology::Tantalum,
+        Technology::Edlc,
+    ];
+
+    /// Short human-readable label as used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::CeramicX5r => "Ceramic (X5R)",
+            Technology::Tantalum => "Tantalum",
+            Technology::Edlc => "Supercap (EDLC)",
+        }
+    }
+
+    /// Whether deep cycling wears the part out (true for EDLC), motivating
+    /// the cache-like wear levelling of §5.2.
+    #[must_use]
+    pub fn is_cycle_limited(self) -> bool {
+        matches!(self, Technology::Edlc)
+    }
+}
+
+impl core::fmt::Display for Technology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Datasheet-derived component library.
+pub mod parts {
+    use super::*;
+
+    /// 100 µF X5R ceramic, 6.3 V, 1210 package (3.2 × 2.5 × 2.7 mm).
+    #[must_use]
+    pub fn ceramic_x5r_100uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "X5R-100uF-1210",
+            Farads::from_micro(100.0),
+            Ohms::from_milli(10.0),
+            Volts::new(6.3),
+            Amps::from_nano(500.0),
+            3.2 * 2.5 * 2.7,
+            Technology::CeramicX5r,
+        )
+    }
+
+    /// 22 µF X5R ceramic, 6.3 V, 0805 package (2.0 × 1.25 × 1.35 mm).
+    #[must_use]
+    pub fn ceramic_x5r_22uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "X5R-22uF-0805",
+            Farads::from_micro(22.0),
+            Ohms::from_milli(8.0),
+            Volts::new(6.3),
+            Amps::from_nano(150.0),
+            2.0 * 1.25 * 1.35,
+            Technology::CeramicX5r,
+        )
+    }
+
+    /// 330 µF solid tantalum, 6.3 V, 7343 case (7.3 × 4.3 × 2.0 mm).
+    #[must_use]
+    pub fn tantalum_330uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "Ta-330uF-7343",
+            Farads::from_micro(330.0),
+            Ohms::from_milli(150.0),
+            Volts::new(6.3),
+            Amps::from_micro(2.0),
+            7.3 * 4.3 * 2.0,
+            Technology::Tantalum,
+        )
+    }
+
+    /// 100 µF solid tantalum, 6.3 V, 3528 case (3.5 × 2.8 × 1.9 mm).
+    #[must_use]
+    pub fn tantalum_100uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "Ta-100uF-3528",
+            Farads::from_micro(100.0),
+            Ohms::from_milli(200.0),
+            Volts::new(6.3),
+            Amps::from_micro(1.0),
+            3.5 * 2.8 * 1.9,
+            Technology::Tantalum,
+        )
+    }
+
+    /// 1000 µF solid tantalum, 6.3 V, dual 7343 footprint.
+    #[must_use]
+    pub fn tantalum_1000uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "Ta-1000uF",
+            Farads::from_micro(1000.0),
+            Ohms::from_milli(100.0),
+            Volts::new(6.3),
+            Amps::from_micro(5.0),
+            2.0 * 7.3 * 4.3 * 2.0,
+            Technology::Tantalum,
+        )
+    }
+
+    /// Seiko CPH3225A EDLC supercapacitor: 11 mF, 3.3 V, 3.2 × 2.5 × 0.9 mm,
+    /// high ESR (~120 Ω) — the ultra-compact supercap evaluated in Figure 4,
+    /// whose ESR "limits the amount of useful energy that can be extracted"
+    /// (§2.2.2).
+    #[must_use]
+    pub fn edlc_cph3225a() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "CPH3225A",
+            Farads::from_milli(11.0),
+            Ohms::new(120.0),
+            Volts::new(3.3),
+            Amps::from_nano(80.0),
+            3.2 * 2.5 * 0.9,
+            Technology::Edlc,
+        )
+    }
+
+    /// A board-mount 7.5 mF EDLC with moderate ESR, as used in the
+    /// Temperature Alarm large bank (§6.1.2).
+    #[must_use]
+    pub fn edlc_7_5mf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "EDLC-7.5mF",
+            Farads::from_milli(7.5),
+            Ohms::new(2.0),
+            Volts::new(3.6),
+            Amps::from_micro(1.0),
+            6.8 * 6.8 * 1.4,
+            Technology::Edlc,
+        )
+    }
+
+    /// A 22.5 mF EDLC module; three in parallel form the 67.5 mF
+    /// GRC-Compact bank and two form the 45 mF GRC-Fast bank (§6.1.1).
+    #[must_use]
+    pub fn edlc_22_5mf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "EDLC-22.5mF",
+            Farads::from_milli(22.5),
+            Ohms::new(1.2),
+            Volts::new(3.6),
+            Amps::from_micro(2.0),
+            10.0 * 10.0 * 1.6,
+            Technology::Edlc,
+        )
+    }
+
+    /// 400 µF equivalent ceramic bank element (4 × 100 µF), used as the
+    /// small-bank ceramic contribution in GRC and CSR (§6.1.1, §6.1.3).
+    #[must_use]
+    pub fn ceramic_x5r_400uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "X5R-400uF-module",
+            Farads::from_micro(400.0),
+            Ohms::from_milli(3.0),
+            Volts::new(6.3),
+            Amps::from_micro(2.0),
+            4.0 * 3.2 * 2.5 * 2.7,
+            Technology::CeramicX5r,
+        )
+    }
+
+    /// 300 µF equivalent ceramic bank element (3 × 100 µF), the TA small
+    /// bank ceramic contribution (§6.1.2).
+    #[must_use]
+    pub fn ceramic_x5r_300uf() -> CapacitorSpec {
+        CapacitorSpec::new(
+            "X5R-300uF-module",
+            Farads::from_micro(300.0),
+            Ohms::from_milli(4.0),
+            Volts::new(6.3),
+            Amps::from_micro(1.5),
+            3.0 * 3.2 * 2.5 * 2.7,
+            Technology::CeramicX5r,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parts;
+    use super::Technology;
+
+    #[test]
+    fn edlc_is_denser_than_ceramic() {
+        // The core premise of Figure 4: a smaller volume of supercapacitor
+        // stores more energy than a larger volume of ceramic.
+        let ceramic = parts::ceramic_x5r_100uf();
+        let edlc = parts::edlc_cph3225a();
+        assert!(edlc.energy_density() > 10.0 * ceramic.energy_density());
+    }
+
+    #[test]
+    fn edlc_has_much_higher_esr() {
+        assert!(parts::edlc_cph3225a().esr().get() > 1000.0 * parts::ceramic_x5r_100uf().esr().get());
+    }
+
+    #[test]
+    fn cycle_limits_follow_technology() {
+        assert!(Technology::Edlc.is_cycle_limited());
+        assert!(!Technology::CeramicX5r.is_cycle_limited());
+        assert!(!Technology::Tantalum.is_cycle_limited());
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(Technology::CeramicX5r.label(), "Ceramic (X5R)");
+        assert_eq!(Technology::Edlc.to_string(), "Supercap (EDLC)");
+    }
+
+    #[test]
+    fn all_parts_are_well_formed() {
+        for spec in [
+            parts::ceramic_x5r_22uf(),
+            parts::ceramic_x5r_100uf(),
+            parts::ceramic_x5r_300uf(),
+            parts::ceramic_x5r_400uf(),
+            parts::tantalum_100uf(),
+            parts::tantalum_330uf(),
+            parts::tantalum_1000uf(),
+            parts::edlc_cph3225a(),
+            parts::edlc_7_5mf(),
+            parts::edlc_22_5mf(),
+        ] {
+            assert!(spec.capacitance().get() > 0.0, "{}", spec.name());
+            assert!(spec.volume_mm3() > 0.0, "{}", spec.name());
+            assert!(spec.rated_voltage().get() >= 3.3, "{}", spec.name());
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! `f64`-backed scalar quantity newtypes and the dimensional arithmetic
+//! between them.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::time::SimDuration;
+
+/// Defines an `f64` newtype with the standard quantity API: constructors,
+/// accessors, same-unit arithmetic, and scalar scaling.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a value in base units.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in base units.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// NaN inputs resolve to `other`, matching `f64::max` semantics.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps this quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity! {
+    /// Electric potential in volts.
+    Volts, "V"
+}
+
+quantity! {
+    /// Electric current in amperes.
+    Amps, "A"
+}
+
+quantity! {
+    /// Electrical resistance in ohms.
+    Ohms, "Ω"
+}
+
+quantity! {
+    /// Power in watts.
+    Watts, "W"
+}
+
+quantity! {
+    /// Energy in joules.
+    Joules, "J"
+}
+
+quantity! {
+    /// Capacitance in farads.
+    Farads, "F"
+}
+
+quantity! {
+    /// Temperature in degrees Celsius.
+    Celsius, "°C"
+}
+
+quantity! {
+    /// Area in square millimetres (board real-estate accounting, §6.5).
+    SquareMm, "mm²"
+}
+
+impl Volts {
+    /// Creates a potential from millivolts.
+    #[must_use]
+    pub fn from_milli(mv: f64) -> Self {
+        Self::new(mv * 1e-3)
+    }
+
+    /// Returns the potential in millivolts.
+    #[must_use]
+    pub fn as_milli(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Squares this voltage, for use in `E = ½C·V²`-style expressions.
+    #[must_use]
+    pub fn squared(self) -> f64 {
+        self.get() * self.get()
+    }
+}
+
+impl Amps {
+    /// Creates a current from milliamps.
+    #[must_use]
+    pub fn from_milli(ma: f64) -> Self {
+        Self::new(ma * 1e-3)
+    }
+
+    /// Creates a current from microamps.
+    #[must_use]
+    pub fn from_micro(ua: f64) -> Self {
+        Self::new(ua * 1e-6)
+    }
+
+    /// Creates a current from nanoamps.
+    #[must_use]
+    pub fn from_nano(na: f64) -> Self {
+        Self::new(na * 1e-9)
+    }
+
+    /// Returns the current in milliamps.
+    #[must_use]
+    pub fn as_milli(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Returns the current in microamps.
+    #[must_use]
+    pub fn as_micro(self) -> f64 {
+        self.get() * 1e6
+    }
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_milli(mw: f64) -> Self {
+        Self::new(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[must_use]
+    pub fn from_micro(uw: f64) -> Self {
+        Self::new(uw * 1e-6)
+    }
+
+    /// Returns the power in milliwatts.
+    #[must_use]
+    pub fn as_milli(self) -> f64 {
+        self.get() * 1e3
+    }
+}
+
+impl Joules {
+    /// Creates an energy from millijoules.
+    #[must_use]
+    pub fn from_milli(mj: f64) -> Self {
+        Self::new(mj * 1e-3)
+    }
+
+    /// Creates an energy from microjoules.
+    #[must_use]
+    pub fn from_micro(uj: f64) -> Self {
+        Self::new(uj * 1e-6)
+    }
+
+    /// Returns the energy in millijoules.
+    #[must_use]
+    pub fn as_milli(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Returns the energy in microjoules.
+    #[must_use]
+    pub fn as_micro(self) -> f64 {
+        self.get() * 1e6
+    }
+}
+
+impl Farads {
+    /// Creates a capacitance from microfarads.
+    #[must_use]
+    pub fn from_micro(uf: f64) -> Self {
+        Self::new(uf * 1e-6)
+    }
+
+    /// Creates a capacitance from millifarads.
+    #[must_use]
+    pub fn from_milli(mf: f64) -> Self {
+        Self::new(mf * 1e-3)
+    }
+
+    /// Returns the capacitance in microfarads.
+    #[must_use]
+    pub fn as_micro(self) -> f64 {
+        self.get() * 1e6
+    }
+
+    /// Returns the capacitance in millifarads.
+    #[must_use]
+    pub fn as_milli(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Energy released when this capacitance discharges from `top` down to
+    /// `bottom`: `E = ½·C·(V_top² − V_bottom²)` (§5.2 of the paper).
+    ///
+    /// Negative results (charging rather than discharging) are permitted and
+    /// carry the expected sign.
+    #[must_use]
+    pub fn energy_between(self, top: Volts, bottom: Volts) -> Joules {
+        Joules::new(0.5 * self.get() * (top.squared() - bottom.squared()))
+    }
+
+    /// The voltage this capacitance reaches when holding `energy` above a
+    /// `bottom` reference: inverse of [`Farads::energy_between`].
+    ///
+    /// Returns `bottom` when `energy` is non-positive.
+    #[must_use]
+    pub fn voltage_for_energy(self, energy: Joules, bottom: Volts) -> Volts {
+        if energy.get() <= 0.0 || self.get() <= 0.0 {
+            return bottom;
+        }
+        Volts::new((bottom.squared() + 2.0 * energy.get() / self.get()).sqrt())
+    }
+}
+
+impl Ohms {
+    /// Creates a resistance from milliohms.
+    #[must_use]
+    pub fn from_milli(mohm: f64) -> Self {
+        Self::new(mohm * 1e-3)
+    }
+
+    /// Creates a resistance from kiloohms.
+    #[must_use]
+    pub fn from_kilo(kohm: f64) -> Self {
+        Self::new(kohm * 1e3)
+    }
+}
+
+// --- Cross-quantity arithmetic -------------------------------------------
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.get() * rhs.get())
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<SimDuration> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: SimDuration) -> Joules {
+        Joules::new(self.get() * rhs.as_secs_f64())
+    }
+}
+
+impl Mul<Watts> for SimDuration {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<SimDuration> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: SimDuration) -> Watts {
+        Watts::new(self.get() / rhs.as_secs_f64())
+    }
+}
+
+impl Div<Watts> for Joules {
+    /// Time a power level can be sustained by this quantity of energy.
+    type Output = SimDuration;
+    fn div(self, rhs: Watts) -> SimDuration {
+        SimDuration::from_secs_f64((self.get() / rhs.get()).max(0.0))
+    }
+}
+
+impl Mul<SimDuration> for Amps {
+    /// Charge transferred expressed as energy is not well-defined without a
+    /// voltage, but `A·s` (coulombs) scaled by a fixed 1 V reference is used
+    /// for leakage bookkeeping; prefer `Volts * Amps * SimDuration` chains.
+    type Output = f64;
+    fn mul(self, rhs: SimDuration) -> f64 {
+        self.get() * rhs.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ohms_law_round_trips() {
+        let v = Volts::new(3.0);
+        let r = Ohms::new(1500.0);
+        let i = v / r;
+        assert!((i.as_milli() - 2.0).abs() < 1e-12);
+        assert!(((i * r).get() - 3.0).abs() < 1e-12);
+        assert!(((v / i).get() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::from_milli(2.0) * SimDuration::from_millis(500);
+        assert!((e.as_milli() - 1.0).abs() < 1e-12);
+        let p = e / SimDuration::from_millis(500);
+        assert!((p.as_milli() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_sustains_power_for_expected_time() {
+        let t = Joules::from_milli(30.0) / Watts::from_milli(10.0);
+        assert_eq!(t, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn capacitor_energy_formula_matches_paper() {
+        // E = ½ C (Vtop² − Vbot²); example from §5.2 with C=100µF.
+        let c = Farads::from_micro(100.0);
+        let e = c.energy_between(Volts::new(2.4), Volts::new(1.6));
+        let expected = 0.5 * 100e-6 * (2.4f64.powi(2) - 1.6f64.powi(2));
+        assert!((e.get() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn voltage_for_energy_inverts_energy_between() {
+        let c = Farads::from_milli(7.5);
+        let bottom = Volts::new(1.6);
+        let e = c.energy_between(Volts::new(2.8), bottom);
+        let v = c.voltage_for_energy(e, bottom);
+        assert!((v.get() - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_for_zero_or_negative_energy_is_bottom() {
+        let c = Farads::from_micro(400.0);
+        assert_eq!(c.voltage_for_energy(Joules::ZERO, Volts::new(1.1)), Volts::new(1.1));
+        assert_eq!(
+            c.voltage_for_energy(Joules::new(-1.0), Volts::new(1.1)),
+            Volts::new(1.1)
+        );
+    }
+
+    #[test]
+    fn display_includes_unit_and_precision() {
+        assert_eq!(format!("{:.2}", Volts::new(1.234)), "1.23 V");
+        assert_eq!(format!("{}", Ohms::new(2.0)), "2 Ω");
+    }
+
+    #[test]
+    fn sum_of_capacitances() {
+        let total: Farads = [Farads::from_micro(100.0), Farads::from_micro(330.0)]
+            .into_iter()
+            .sum();
+        assert!((total.as_micro() - 430.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimensionless_ratio_from_like_division() {
+        let ratio = Volts::new(3.0) / Volts::new(1.5);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_min_max() {
+        let v = Volts::new(5.0);
+        assert_eq!(v.clamp(Volts::ZERO, Volts::new(3.3)), Volts::new(3.3));
+        assert_eq!(v.min(Volts::new(2.0)), Volts::new(2.0));
+        assert_eq!(v.max(Volts::new(7.0)), Volts::new(7.0));
+    }
+
+    #[test]
+    fn celsius_arithmetic_for_rig_control() {
+        let mid = (Celsius::new(30.0) + Celsius::new(40.0)) / 2.0;
+        assert_eq!(mid, Celsius::new(35.0));
+        assert!(Celsius::new(48.0) > Celsius::new(40.0));
+        assert_eq!(format!("{:.1}", Celsius::new(36.75)), "36.8 °C");
+    }
+
+    #[test]
+    fn square_mm_accumulates_board_area() {
+        let total: SquareMm = [SquareMm::new(700.0), SquareMm::new(640.0), SquareMm::new(80.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, SquareMm::new(1420.0));
+        assert!((SquareMm::new(32.0) / SquareMm::new(160.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amps_unit_conversions_round_trip() {
+        let i = Amps::from_nano(39_200.0);
+        assert!((i.as_micro() - 39.2).abs() < 1e-9);
+        assert!((Amps::from_milli(2.5).get() - 2.5e-3).abs() < 1e-15);
+        assert!((Amps::from_micro(7.0).as_milli() - 0.007).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_and_joules_conversions() {
+        assert!((Watts::from_micro(15.0).as_milli() - 0.015).abs() < 1e-12);
+        assert!((Joules::from_micro(250.0).as_milli() - 0.25).abs() < 1e-12);
+        assert!((Volts::from_milli(900.0).get() - 0.9).abs() < 1e-15);
+        assert!((Volts::new(2.8).as_milli() - 2800.0).abs() < 1e-9);
+        assert!((Ohms::from_kilo(1.5).get() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negation_and_abs() {
+        let j = -Joules::from_milli(3.0);
+        assert!(j.get() < 0.0);
+        assert_eq!(j.abs(), Joules::from_milli(3.0));
+        assert!(j.is_finite());
+        assert!(!Joules::new(f64::NAN).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_energy_between_is_antisymmetric(
+            c in 1e-6f64..1e-1,
+            a in 0.0f64..5.0,
+            b in 0.0f64..5.0,
+        ) {
+            let cap = Farads::new(c);
+            let e1 = cap.energy_between(Volts::new(a), Volts::new(b));
+            let e2 = cap.energy_between(Volts::new(b), Volts::new(a));
+            prop_assert!((e1.get() + e2.get()).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_voltage_for_energy_round_trip(
+            c in 1e-6f64..1e-1,
+            bottom in 0.0f64..3.0,
+            top_delta in 1e-3f64..3.0,
+        ) {
+            let cap = Farads::new(c);
+            let top = Volts::new(bottom + top_delta);
+            let e = cap.energy_between(top, Volts::new(bottom));
+            let v = cap.voltage_for_energy(e, Volts::new(bottom));
+            prop_assert!((v.get() - top.get()).abs() < 1e-9 * top.get().max(1.0));
+        }
+
+        #[test]
+        fn prop_addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            prop_assert_eq!(Joules::new(a) + Joules::new(b), Joules::new(b) + Joules::new(a));
+        }
+    }
+}

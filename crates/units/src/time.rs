@@ -1,0 +1,383 @@
+//! Simulated time: a monotonically increasing instant ([`SimTime`]) and a
+//! span between instants ([`SimDuration`]), both counted in whole
+//! microseconds.
+//!
+//! Integer microsecond ticks keep multi-hour simulations exactly
+//! reproducible: no floating-point drift accumulates in the event queue, and
+//! two runs with the same seed produce identical schedules.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microsecond ticks per second.
+const TICKS_PER_SEC: u64 = 1_000_000;
+
+/// An instant in simulated time, counted in microseconds since the start of
+/// the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use capy_units::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(250);
+/// assert_eq!(t.as_micros(), 250_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(250));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use capy_units::SimDuration;
+///
+/// let d = SimDuration::from_secs(2) + SimDuration::from_millis(500);
+/// assert!((d.as_secs_f64() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: Self = Self(0);
+
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for events that will never fire.
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// Creates an instant from a microsecond tick count.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * TICKS_PER_SEC)
+    }
+
+    /// Returns the microsecond tick count since the origin.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time since the origin in seconds as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Returns the span from the origin to this instant.
+    #[must_use]
+    pub const fn elapsed_since_origin(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Returns the span from `earlier` to `self`, or [`SimDuration::ZERO`]
+    /// if `earlier` is in the future.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`] instead of
+    /// overflowing.
+    #[must_use]
+    pub fn saturating_add(self, d: SimDuration) -> Self {
+        Self(self.0.saturating_add(d.0))
+    }
+
+    /// Subtracts a duration, saturating at the origin instead of
+    /// underflowing.
+    #[must_use]
+    pub fn saturating_sub(self, d: SimDuration) -> Self {
+        Self(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: Self = Self(0);
+
+    /// The largest representable span; pairs with [`SimTime::MAX`] as a
+    /// "never" sentinel.
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// Creates a span from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a span from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        Self(millis * 1_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * TICKS_PER_SEC)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// microsecond. Negative and NaN inputs yield [`SimDuration::ZERO`];
+    /// values beyond the representable range yield [`SimDuration::MAX`].
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return Self::ZERO;
+        }
+        let ticks = secs * TICKS_PER_SEC as f64;
+        if ticks >= u64::MAX as f64 {
+            Self::MAX
+        } else {
+            Self(ticks.round() as u64)
+        }
+    }
+
+    /// Returns the span in whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span in whole milliseconds, truncating.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the span in seconds as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Returns `true` if this is the empty span.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtracts, saturating at zero instead of panicking.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Adds, saturating at [`SimDuration::MAX`].
+    #[must_use]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the larger of two spans.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = Self;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = Self;
+    fn div(self, rhs: u64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    /// Ratio between two spans.
+    type Output = f64;
+    fn div(self, rhs: Self) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}µs", self.0)
+        } else if self.0 < TICKS_PER_SEC {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn instant_plus_duration_advances() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_micros(), 1_500_000);
+    }
+
+    #[test]
+    fn difference_between_instants() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a - b, SimDuration::from_secs(2));
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_saturates() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12µs");
+        assert_eq!(SimDuration::from_micros(2_500).to_string(), "2.500ms");
+        assert_eq!(SimDuration::from_secs(64).to_string(), "64.000s");
+    }
+
+    #[test]
+    fn saturating_arithmetic_does_not_overflow() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_ratio() {
+        let ratio = SimDuration::from_secs(3) / SimDuration::from_secs(2);
+        assert!((ratio - 1.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_secs_f64(us in 0u64..10_000_000_000) {
+            let d = SimDuration::from_micros(us);
+            let back = SimDuration::from_secs_f64(d.as_secs_f64());
+            // f64 has 53 bits of mantissa; within this range the round trip
+            // must be exact to the microsecond.
+            prop_assert_eq!(d, back);
+        }
+
+        #[test]
+        fn prop_add_then_sub_round_trips(start in 0u64..1u64<<40, delta in 0u64..1u64<<40) {
+            let t = SimTime::from_micros(start);
+            let d = SimDuration::from_micros(delta);
+            prop_assert_eq!((t + d) - d, t);
+            prop_assert_eq!((t + d) - t, d);
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_ticks(a in 0u64..1u64<<50, b in 0u64..1u64<<50) {
+            let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
+            prop_assert_eq!(ta.cmp(&tb), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Automatic bank allocation (the paper's §8 future work, implemented in
+//! `capybara::allocate`): measure task loads, derive a bank array and
+//! energy-mode table automatically, build the power system from the plan,
+//! and run an application on it end to end.
+//!
+//! Run with: `cargo run --release --example auto_provision`
+
+use capybara_suite::core::allocate::{allocate, AllocationOptions, TaskDemand};
+use capybara_suite::device::peripherals::{BleRadio, Tmp36};
+use capybara_suite::power::booster::OutputBooster;
+use capybara_suite::prelude::*;
+use capy_units::{SimDuration, SimTime, Volts, Watts};
+
+struct App {
+    alarms: NvVar<u32>,
+    ticks: NvVar<u32>,
+}
+
+impl NvState for App {
+    fn commit_all(&mut self) {
+        self.alarms.commit();
+        self.ticks.commit();
+    }
+    fn abort_all(&mut self) {
+        self.alarms.abort();
+        self.ticks.abort();
+    }
+}
+
+impl SimContext for App {
+    fn set_now(&mut self, _now: SimTime) {}
+}
+
+fn main() {
+    let mcu = Mcu::msp430fr5969();
+
+    // 1. Measure the application's task loads (§3 methodology).
+    let sample_load = Tmp36::new()
+        .sample()
+        .plus_power(mcu.active_power())
+        .then(mcu.compute_for(SimDuration::from_millis(5)));
+    let alarm_load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+
+    // 2. Let the allocator derive banks and modes.
+    let plan = allocate(
+        &[
+            TaskDemand::new("sample", sample_load.clone()),
+            TaskDemand::new("alarm", alarm_load.clone()),
+        ],
+        &OutputBooster::prototype(),
+        &AllocationOptions::default(),
+    )
+    .expect("demands are satisfiable");
+
+    println!("== Automatic allocation ==");
+    for (i, bank) in plan.banks.iter().enumerate() {
+        println!(
+            "  bank{} = {} x{:<3} = {:>8.2} mF  ({:?}, {:.0} mm3)",
+            i,
+            bank.unit.name(),
+            bank.units,
+            bank.capacitance().as_milli(),
+            bank.switch,
+            bank.volume_mm3()
+        );
+    }
+    for (i, mode) in plan.modes.iter().enumerate() {
+        println!("  mode for demand {i}: {mode:?}");
+    }
+    println!(
+        "  total: {:.2} mF over {:.0} mm3",
+        plan.total_capacitance().as_milli(),
+        plan.total_volume_mm3()
+    );
+
+    // 3. Build the power system from the plan and run the app on it.
+    let mut builder = PowerSystem::builder().harvester(ConstantHarvester::new(
+        Watts::from_milli(2.0),
+        Volts::new(3.0),
+    ));
+    for bank in &plan.banks {
+        builder = builder.bank(bank.build(), bank.switch);
+    }
+    let power = builder.build();
+
+    let sample_mode = EnergyMode(0);
+    let alarm_mode = EnergyMode(1);
+    let sample_banks = plan.modes[0].clone();
+    let alarm_banks = plan.modes[1].clone();
+    let sl = sample_load.clone();
+    let al = alarm_load.clone();
+    let mut sim = Simulator::builder(Variant::CapyP, power, mcu)
+        .mode("sample-mode", &sample_banks)
+        .mode("alarm-mode", &alarm_banks)
+        .task(
+            "sample",
+            TaskEnergy::Preburst {
+                burst: alarm_mode,
+                exec: sample_mode,
+            },
+            move |_, _| sl.clone(),
+            |app: &mut App| {
+                app.ticks.update(|n| n + 1);
+                if app.ticks.get().is_multiple_of(200) {
+                    Transition::To(TaskId(1))
+                } else {
+                    Transition::Stay
+                }
+            },
+        )
+        .task(
+            "alarm",
+            TaskEnergy::Burst(alarm_mode),
+            move |_, _| al.clone(),
+            |app: &mut App| {
+                app.alarms.update(|n| n + 1);
+                Transition::To(TaskId(0))
+            },
+        )
+        .build(App {
+            alarms: NvVar::new(0),
+            ticks: NvVar::new(0),
+        });
+
+    sim.run_until(SimTime::from_secs(900));
+    println!("\n== Fifteen minutes on the allocated hardware ==");
+    println!("  samples: {}", sim.ctx().ticks.get());
+    println!("  alarms:  {}", sim.ctx().alarms.get());
+    println!("  power failures: {}", sim.exec_stats().failures);
+    println!("\nThe allocator sized the base bank in robust ceramics and the");
+    println!("alarm increment in dense EDLC (wear levelling, §5.2), and every");
+    println!("alarm ran as a pre-charged burst with no critical-path charge.");
+}

@@ -1,0 +1,65 @@
+//! The CapySat case study (§6.6): component eligibility under LEO
+//! constraints, beacon feasibility with and without the boosters, the
+//! diode-splitter area saving, and a simulated orbit of dual-MCU
+//! operation.
+//!
+//! Run with: `cargo run --release --example capysat_orbit`
+
+use capybara_suite::capysat::{
+    eligible_for_leo, splitter_area, switch_array_area, CapySat, LeoConstraints,
+};
+use capybara_suite::prelude::*;
+
+fn main() {
+    let constraints = LeoConstraints::kicksat();
+    println!("== CapySat: board-scale LEO satellite (§6.6) ==\n");
+    println!(
+        "storage volume budget: {:.0} mm³ at -40 °C\n",
+        constraints.storage_budget_mm3()
+    );
+
+    println!("component eligibility:");
+    for part in [
+        parts::ceramic_x5r_100uf(),
+        parts::tantalum_1000uf(),
+        parts::edlc_cph3225a(),
+        parts::edlc_22_5mf(),
+    ] {
+        println!(
+            "  {:<18} {}",
+            part.name(),
+            if eligible_for_leo(&part, &constraints) {
+                "eligible"
+            } else {
+                "DISQUALIFIED (temperature/volume)"
+            }
+        );
+    }
+
+    let mut sat = CapySat::flight();
+    println!(
+        "\nflight banks use {:.0} mm³ of the {:.0} mm³ budget",
+        sat.storage_volume_mm3(),
+        constraints.storage_budget_mm3()
+    );
+    println!(
+        "beacon feasible with boosters: {}",
+        sat.beacon_feasible(true)
+    );
+    println!(
+        "beacon feasible without boosters: {}   <- §6.6: boosters are vital",
+        sat.beacon_feasible(false)
+    );
+    println!(
+        "\nswitch-array area for 2 banks: {:.0} mm²; diode splitter: {:.0} mm² ({}%)",
+        switch_array_area(2).get(),
+        splitter_area().get(),
+        (splitter_area() / switch_array_area(2) * 100.0) as u32
+    );
+
+    let report = sat.run_orbits(1);
+    println!("\none orbit (60 min sun + 35 min eclipse):");
+    println!("  IMU sample sweeps: {}", report.samples);
+    println!("  Earth-link beacons: {}", report.beacons);
+    println!("  failed beacon attempts: {}", report.failed_beacons);
+}

@@ -1,0 +1,46 @@
+//! The Correlated Sensing and Report application (§6.1.3) end to end: the
+//! magnetometer sampling loop, the atomic distance+LED+BLE report burst,
+//! and the accuracy/latency comparison across all four power systems.
+//!
+//! Run with: `cargo run --release --example correlated_sensing`
+
+use capybara_suite::apps::csr;
+use capybara_suite::apps::events::grc_schedule;
+use capybara_suite::apps::metrics::{
+    accuracy_fractions, classify_reported, event_latencies, latency_stats,
+};
+use capybara_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 2018;
+    let events = grc_schedule(&mut StdRng::seed_from_u64(seed));
+    println!(
+        "== Correlated Sensing & Report: {} magnet passes over 42 minutes ==\n",
+        events.len()
+    );
+    println!(
+        "{:<8} {:>9} {:>8} {:>12} {:>12} {:>12}",
+        "system", "reported", "missed", "mean lat(s)", "p95 lat(s)", "mag samples"
+    );
+    for variant in Variant::ALL {
+        let report = csr::run(variant, events.clone(), seed);
+        let acc = accuracy_fractions(&classify_reported(report.events.len(), &report.packets));
+        let stats = latency_stats(&event_latencies(&report.events, &report.packets));
+        println!(
+            "{:<8} {:>8.0}% {:>7.0}% {:>12.2} {:>12.2} {:>12}",
+            variant.label(),
+            acc.correct * 100.0,
+            acc.missed * 100.0,
+            stats.map_or(f64::NAN, |s| s.mean),
+            stats.map_or(f64::NAN, |s| s.p95),
+            report.samples.len(),
+        );
+    }
+    println!();
+    println!("Expected shape (paper §6.2–6.3): both Capybara variants report");
+    println!("nearly every magnetic event (the paper measures >=89%); Capy-R");
+    println!("pays an on-path charge before each report, raising its latency;");
+    println!("Fixed misses roughly half the events to its long recharges.");
+}

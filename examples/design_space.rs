@@ -1,0 +1,60 @@
+//! Explore the energy-storage design space of §2.2: the
+//! atomicity/reactivity trade-off of a capacitance choice, and the
+//! provisioning helper that automates the paper's §6.1 sizing loop.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use capybara_suite::core::provision::provision_bank_units;
+use capybara_suite::device::peripherals::BleRadio;
+use capybara_suite::power::booster::OutputBooster;
+use capybara_suite::power::capacitor;
+use capybara_suite::prelude::*;
+use capy_units::{Farads, Ohms, Volts, Watts};
+
+fn main() {
+    let mcu = Mcu::msp430fr5969();
+    let booster = OutputBooster::prototype();
+    let v_full = Volts::new(2.8);
+    let v_min = booster.min_operating_voltage();
+    let p_active = booster.input_power_for(mcu.active_power());
+
+    println!("== Atomicity vs reactivity across buffer sizes (§2.2.1) ==\n");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "C (µF)", "atomicity(kops)", "recharge @1mW (s)"
+    );
+    for c_uf in [100.0, 330.0, 1_000.0, 3_300.0, 10_000.0, 33_000.0] {
+        let c = Farads::from_micro(c_uf);
+        let (on_time, _) = capacitor::sustain_time(c, Ohms::ZERO, v_full, p_active, v_min);
+        let ops = on_time.as_secs_f64() * mcu.ops_per_second();
+        let recharge = capacitor::time_to_charge(c, v_min, v_full, Watts::from_milli(1.0) * 0.8);
+        println!(
+            "{:>12.0} {:>14.0} {:>16.1}",
+            c_uf,
+            ops / 1e3,
+            recharge.as_secs_f64()
+        );
+    }
+
+    println!("\n== Provisioning a bank for a BLE packet (§6.1 methodology) ==\n");
+    let load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    for unit in [
+        parts::ceramic_x5r_100uf(),
+        parts::tantalum_1000uf(),
+        parts::edlc_cph3225a(),
+    ] {
+        match provision_bank_units(&unit, &load, &booster, v_full, 4096) {
+            Some(report) => println!(
+                "{:<18} needs {:>4} units = {:>8.2} mF ({:>7.0} mm³)",
+                unit.name(),
+                report.units,
+                report.capacitance.as_milli(),
+                unit.volume_mm3() * report.units as f64,
+            ),
+            None => println!("{:<18} cannot serve this task at any size", unit.name()),
+        }
+    }
+    println!("\nLarger buffers complete longer atomic spans but take");
+    println!("proportionally longer to recharge — no fixed capacity serves");
+    println!("both a reactive sampler and an atomic radio packet.");
+}

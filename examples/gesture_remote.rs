@@ -1,0 +1,48 @@
+//! The Gesture-activated Remote Control (§6.1.1) end to end, in both task
+//! decompositions, under all four power systems.
+//!
+//! Run with: `cargo run --release --example gesture_remote`
+
+use capybara_suite::apps::events::grc_schedule;
+use capybara_suite::apps::grc::{self, GrcVariant};
+use capybara_suite::apps::metrics::{accuracy_fractions, event_latencies, latency_stats};
+use capybara_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 2018;
+    let events = grc_schedule(&mut StdRng::seed_from_u64(seed));
+    println!(
+        "== Gesture Remote Control: {} pendulum passes over {:.0} minutes ==\n",
+        events.len(),
+        grc::HORIZON.as_secs_f64() / 60.0
+    );
+    for grc_variant in [GrcVariant::Fast, GrcVariant::Compact] {
+        println!("--- {} ---", grc_variant.label());
+        println!(
+            "{:<8} {:>9} {:>8} {:>10} {:>8} {:>12}",
+            "system", "correct", "miscls", "prox-only", "missed", "med lat(s)"
+        );
+        for variant in Variant::ALL {
+            let report = grc::run(variant, grc_variant, events.clone(), seed);
+            let acc = accuracy_fractions(&report.classify());
+            let stats = latency_stats(&event_latencies(&report.events, &report.packets));
+            println!(
+                "{:<8} {:>8.0}% {:>7.0}% {:>9.0}% {:>7.0}% {:>12.2}",
+                variant.label(),
+                acc.correct * 100.0,
+                acc.misclassified * 100.0,
+                acc.proximity_only * 100.0,
+                acc.missed * 100.0,
+                stats.map_or(f64::NAN, |s| s.median),
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper §6.2–6.3): Capy-R reports essentially no");
+    println!("gestures (the charge pause between proximity detection and the");
+    println!("gesture read outlasts the swing); Capy-P approaches the");
+    println!("continuously-powered accuracy; Fixed loses most events to its");
+    println!("long recharge intervals.");
+}

@@ -1,0 +1,55 @@
+//! The Temperature Alarm application (§6.1.2) end to end: one stimulus
+//! schedule, all four power systems, with per-system accuracy, latency,
+//! and sampling-density summaries.
+//!
+//! Run with: `cargo run --release --example temperature_alarm`
+
+use capybara_suite::apps::events::ta_schedule;
+use capybara_suite::apps::metrics::{
+    accuracy_fractions, classify_reported, event_latencies, intersample_histogram,
+    intersample_summary, latency_stats,
+};
+use capybara_suite::apps::ta;
+use capybara_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 2018;
+    let events = ta_schedule(&mut StdRng::seed_from_u64(seed));
+    println!(
+        "== Temperature Alarm: {} excursions over {:.0} minutes ==\n",
+        events.len(),
+        ta::HORIZON.as_secs_f64() / 60.0
+    );
+    println!(
+        "{:<8} {:>9} {:>9} {:>12} {:>12} {:>14}",
+        "system", "reported", "missed", "mean lat(s)", "p95 lat(s)", "sample gaps>1s"
+    );
+    for variant in Variant::ALL {
+        let report = ta::run(variant, events.clone(), seed);
+        let outcomes = classify_reported(report.events.len(), &report.packets);
+        let acc = accuracy_fractions(&outcomes);
+        let lats = event_latencies(&report.events, &report.packets);
+        let stats = latency_stats(&lats);
+        let gaps = intersample_summary(&intersample_histogram(
+            &report.samples,
+            &report.events,
+            capy_units::SimDuration::from_secs(40),
+        ));
+        println!(
+            "{:<8} {:>8.0}% {:>8.0}% {:>12.2} {:>12.2} {:>14}",
+            variant.label(),
+            acc.correct * 100.0,
+            acc.missed * 100.0,
+            stats.map_or(f64::NAN, |s| s.mean),
+            stats.map_or(f64::NAN, |s| s.p95),
+            gaps.quiet + gaps.with_missed_events,
+        );
+    }
+    println!();
+    println!("Expected shape (paper §6.2–6.4): Fixed misses roughly half the");
+    println!("events to charging; both Capybara variants report nearly all of");
+    println!("them; Capy-P's pre-charged bursts cut the report latency by an");
+    println!("order of magnitude relative to Capy-R's on-demand charging.");
+}

@@ -1,0 +1,44 @@
+//! A vibration/structural monitor in the spirit of the paper's motivating
+//! deployments: sleep-paced accelerometer sampling into a crash-consistent
+//! non-volatile queue, windowed analysis, and pre-charged burst uploads.
+//!
+//! The run ends with a machine-checked conservation proof: every committed
+//! sample was uploaded exactly once, dropped with a quiet window, or is
+//! still queued — across every power failure the run contained.
+//!
+//! Run with: `cargo run --release --example vibration_monitor`
+
+use capybara_suite::apps::vibration;
+use capybara_suite::prelude::*;
+use capy_units::SimTime;
+
+fn main() {
+    let events: Vec<SimTime> = (1..=12).map(|i| SimTime::from_secs(i * 150)).collect();
+    let horizon = SimTime::from_secs(1_900);
+    println!("== Vibration monitor: {} shake events over ~32 minutes ==\n", events.len());
+    println!(
+        "{:<8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "system", "committed", "uploaded", "dropped", "queued", "uploads", "failures"
+    );
+    for variant in Variant::ALL {
+        let report = vibration::run_for(variant, events.clone(), horizon);
+        report
+            .verify()
+            .unwrap_or_else(|e| panic!("{variant}: invariant broken: {e}"));
+        println!(
+            "{:<8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            variant.label(),
+            report.committed,
+            report.uploaded,
+            report.dropped,
+            report.retained,
+            report.packets.len(),
+            report.exec.failures,
+        );
+    }
+    println!();
+    println!("Every row passed the sample-conservation check: uploads +");
+    println!("drops + queue = committed, with no duplicated or reordered");
+    println!("sequence numbers, despite the power failures in each run —");
+    println!("the Chain-style commit/abort semantics at work end to end.");
+}

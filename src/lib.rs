@@ -1,0 +1,23 @@
+//! Facade crate for the Capybara reproduction suite.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can address the whole system uniformly. Library
+//! users should normally depend on the individual crates (`capybara`,
+//! `capy-power`, …) directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use capy_apps as apps;
+pub use capy_capysat as capysat;
+pub use capy_device as device;
+pub use capy_intermittent as intermittent;
+pub use capy_power as power;
+pub use capy_units as units;
+pub use capybara as core;
+
+/// The suite's prelude: everything an application or experiment driver
+/// typically needs.
+pub mod prelude {
+    pub use capy_apps::prelude::*;
+}

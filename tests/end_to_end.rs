@@ -1,0 +1,147 @@
+//! Cross-crate integration tests checking the paper's headline claims
+//! (abstract + §6) on shortened but complete experiment runs.
+
+use capybara_suite::apps::events::{fit_span, poisson_events};
+use capybara_suite::apps::grc::{self, GrcVariant};
+use capybara_suite::apps::metrics::{
+    accuracy_fractions, classify_reported, event_latencies, latency_stats,
+};
+use capybara_suite::apps::{csr, ta};
+use capybara_suite::prelude::*;
+use capy_units::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xE2E;
+
+fn ta_events(n: usize, span: SimDuration) -> Vec<SimTime> {
+    let mut ev = poisson_events(
+        &mut StdRng::seed_from_u64(SEED),
+        span / n as u64,
+        n,
+        SimDuration::from_secs(45),
+    );
+    fit_span(&mut ev, span - SimDuration::from_secs(90));
+    ev
+}
+
+fn grc_events(n: usize, span: SimDuration) -> Vec<SimTime> {
+    let mut ev = poisson_events(
+        &mut StdRng::seed_from_u64(SEED),
+        span / n as u64,
+        n,
+        SimDuration::from_secs(4),
+    );
+    fit_span(&mut ev, span - SimDuration::from_secs(30));
+    ev
+}
+
+/// Abstract: "Capybara improves event detection accuracy by 2x-4x over
+/// statically-provisioned energy capacity."
+#[test]
+fn detection_accuracy_improves_2x_to_4x_over_fixed() {
+    let span = SimDuration::from_secs(1200);
+    let horizon = SimTime::ZERO + span;
+
+    // GRC is the application where the factor is largest.
+    let events = grc_events(38, span);
+    let fixed = grc::run_for(Variant::Fixed, GrcVariant::Fast, events.clone(), SEED, horizon);
+    let capy = grc::run_for(Variant::CapyP, GrcVariant::Fast, events, SEED, horizon);
+    let f_fixed = accuracy_fractions(&fixed.classify()).correct;
+    let f_capy = accuracy_fractions(&capy.classify()).correct;
+    let factor = f_capy / f_fixed.max(1e-9);
+    assert!(
+        factor >= 1.8,
+        "improvement factor {factor:.2} (capy {f_capy:.2} vs fixed {f_fixed:.2})"
+    );
+}
+
+/// Abstract: "maintains response latency within 1.5x of a
+/// continuously-powered baseline" (for the burst-served reactive path).
+#[test]
+fn burst_latency_within_1_5x_of_continuous() {
+    let span = SimDuration::from_secs(1200);
+    let horizon = SimTime::ZERO + span;
+    let events = grc_events(38, span);
+    let med = |v: Variant| {
+        let r = grc::run_for(v, GrcVariant::Fast, events.clone(), SEED, horizon);
+        latency_stats(&event_latencies(&r.events, &r.packets))
+            .expect("events reported")
+            .median
+    };
+    let pwr = med(Variant::Continuous);
+    let capy = med(Variant::CapyP);
+    assert!(
+        capy <= pwr * 1.5,
+        "CB-P median latency {capy:.2} vs continuous {pwr:.2}"
+    );
+}
+
+/// Abstract: "enables reactive applications that are intractable with
+/// existing power systems" — GRC is intractable without burst support.
+#[test]
+fn grc_is_intractable_without_bursts() {
+    let span = SimDuration::from_secs(1200);
+    let horizon = SimTime::ZERO + span;
+    let events = grc_events(38, span);
+    let capy_r = grc::run_for(Variant::CapyR, GrcVariant::Fast, events.clone(), SEED, horizon);
+    let capy_p = grc::run_for(Variant::CapyP, GrcVariant::Fast, events, SEED, horizon);
+    let r_correct = accuracy_fractions(&capy_r.classify()).correct;
+    let p_correct = accuracy_fractions(&capy_p.classify()).correct;
+    assert!(r_correct < 0.1, "CB-R should report ~no gestures, got {r_correct:.2}");
+    assert!(p_correct > 0.5, "CB-P should report most gestures, got {p_correct:.2}");
+}
+
+/// §6.3: Capy-P's pre-charge moves the TA alarm charge off the critical
+/// path, cutting latency by roughly an order of magnitude vs Capy-R.
+#[test]
+fn ta_precharge_cuts_latency_an_order_of_magnitude() {
+    let span = SimDuration::from_secs(1800);
+    let horizon = SimTime::ZERO + span;
+    let events = ta_events(12, span);
+    let mean = |v: Variant| {
+        let r = ta::run_for(v, events.clone(), SEED, horizon);
+        latency_stats(&event_latencies(&r.events, &r.packets))
+            .expect("alarms reported")
+            .mean
+    };
+    let capy_r = mean(Variant::CapyR);
+    let capy_p = mean(Variant::CapyP);
+    assert!(
+        capy_p * 4.0 < capy_r,
+        "CB-P {capy_p:.1}s vs CB-R {capy_r:.1}s"
+    );
+}
+
+/// §6.2: both Capybara variants detect nearly all TA and CSR events.
+#[test]
+fn capybara_detects_nearly_all_ta_and_csr_events() {
+    let span = SimDuration::from_secs(1800);
+    let horizon = SimTime::ZERO + span;
+    let ta_ev = ta_events(12, span);
+    let csr_ev = grc_events(40, span);
+    for v in [Variant::CapyR, Variant::CapyP] {
+        let r = ta::run_for(v, ta_ev.clone(), SEED, horizon);
+        let f = accuracy_fractions(&classify_reported(r.events.len(), &r.packets));
+        assert!(f.correct > 0.85, "{v} TA correct = {}", f.correct);
+
+        let r = csr::run_for(v, csr_ev.clone(), SEED, horizon);
+        let f = accuracy_fractions(&classify_reported(r.events.len(), &r.packets));
+        assert!(f.correct > 0.8, "{v} CSR correct = {}", f.correct);
+    }
+}
+
+/// Whole-suite determinism: every application, every variant, bit-for-bit
+/// repeatable given the seed.
+#[test]
+fn full_suite_is_deterministic() {
+    let span = SimDuration::from_secs(600);
+    let horizon = SimTime::ZERO + span;
+    let ev = grc_events(18, span);
+    for v in Variant::ALL {
+        let a = csr::run_for(v, ev.clone(), SEED, horizon);
+        let b = csr::run_for(v, ev.clone(), SEED, horizon);
+        assert_eq!(a.packets.packets(), b.packets.packets(), "{v}");
+        assert_eq!(a.exec, b.exec, "{v}");
+    }
+}

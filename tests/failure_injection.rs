@@ -1,0 +1,151 @@
+//! Failure-injection tests: randomized harvester outages injected into
+//! full application runs. The suite must never panic, never hang, never
+//! violate the event-log invariants, and never double-report an event —
+//! no matter how adversarial the input-power timing (§5.2 worries about
+//! exactly such adversarial timing).
+
+use capybara_suite::apps::ta;
+use capybara_suite::core::sim::validate_event_log;
+use capybara_suite::prelude::*;
+use capy_units::{SimDuration, SimTime, Volts, Watts};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds an outage-ridden harvester: random on/off segments.
+fn outage_trace(seed: u64, segments: usize) -> TraceHarvester {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::new();
+    let mut t = SimTime::ZERO;
+    for i in 0..segments {
+        let on = i % 2 == 0;
+        let power = if on {
+            Watts::from_micro(rng.gen_range(100.0..8_000.0))
+        } else {
+            Watts::ZERO
+        };
+        points.push((t, power, Volts::new(2.8)));
+        t += SimDuration::from_secs(rng.gen_range(5..400));
+    }
+    TraceHarvester::new(points)
+}
+
+struct Ctx {
+    alarms: NvVar<u32>,
+    armed: NvVar<bool>,
+}
+
+impl NvState for Ctx {
+    fn commit_all(&mut self) {
+        self.alarms.commit();
+        self.armed.commit();
+    }
+    fn abort_all(&mut self) {
+        self.alarms.abort();
+        self.armed.abort();
+    }
+}
+
+impl SimContext for Ctx {
+    fn set_now(&mut self, _now: SimTime) {}
+}
+
+fn outage_sim(seed: u64, variant: Variant) -> Simulator<TraceHarvester, Ctx> {
+    let power = PowerSystem::builder()
+        .harvester(outage_trace(seed, 24))
+        .bank(
+            Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+            SwitchKind::NormallyClosed,
+        )
+        .bank(
+            Bank::builder("big").with(parts::edlc_7_5mf()).build(),
+            SwitchKind::NormallyOpen,
+        )
+        .build();
+    Simulator::builder(variant, power, Mcu::msp430fr5969())
+        .mode("small", &[BankId(0)])
+        .mode("big", &[BankId(1)])
+        .task(
+            "sense",
+            TaskEnergy::Preburst {
+                burst: EnergyMode(1),
+                exec: EnergyMode(0),
+            },
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(15))),
+            |c: &mut Ctx| {
+                // Fire one alarm, once, partway through.
+                if !c.armed.get() {
+                    c.armed.set(true);
+                    Transition::To(TaskId(1))
+                } else {
+                    Transition::Stay
+                }
+            },
+        )
+        .task(
+            "alarm",
+            TaskEnergy::Burst(EnergyMode(1)),
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_secs(1))),
+            |c: &mut Ctx| {
+                c.alarms.update(|n| n + 1);
+                Transition::To(TaskId(0))
+            },
+        )
+        .build(Ctx {
+            alarms: NvVar::new(0),
+            armed: NvVar::new(false),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under arbitrary outage patterns: no panic, valid event log,
+    /// conserved attempt accounting, and exactly-once alarm commit.
+    #[test]
+    fn prop_outages_never_corrupt_execution(seed in 0u64..5_000, variant_idx in 0usize..4) {
+        let variant = Variant::ALL[variant_idx];
+        let mut sim = outage_sim(seed, variant);
+        let result = sim.run_until(SimTime::from_secs(2_500));
+        prop_assert!(matches!(result, StepResult::Progress | StepResult::Stalled));
+        if let Some(violation) = validate_event_log(sim.events()) {
+            return Err(TestCaseError::fail(violation));
+        }
+        let s = sim.exec_stats();
+        prop_assert_eq!(s.attempts, s.completions + s.failures);
+        // The alarm committed at most once (exactly-once under retries).
+        prop_assert!(sim.ctx().alarms.get() <= 1);
+    }
+}
+
+/// The full TA application under a long run also keeps a valid timeline.
+#[test]
+fn ta_event_logs_are_valid_across_variants() {
+    let events: Vec<SimTime> = (1..=6).map(|i| SimTime::from_secs(i * 150)).collect();
+    for variant in Variant::ALL {
+        let mut sim = ta::build(variant, events.clone(), 77);
+        sim.run_until(SimTime::from_secs(1_000));
+        assert_eq!(
+            validate_event_log(sim.events()),
+            None,
+            "variant {variant} produced an inconsistent timeline"
+        );
+    }
+}
+
+/// A 24-hour TA endurance run: no stall, no drift, sane rates.
+#[test]
+fn twenty_four_hour_endurance() {
+    let events: Vec<SimTime> = (1..=200).map(|i| SimTime::from_secs(i * 430)).collect();
+    let day = SimTime::from_secs(24 * 3_600);
+    let mut sim = ta::build(Variant::CapyP, events, 99);
+    let result = sim.run_until(day);
+    assert_eq!(result, StepResult::Progress);
+    assert!(sim.now() >= day);
+    let stats = sim.exec_stats();
+    assert!(stats.completions > 100_000, "completions = {}", stats.completions);
+    assert_eq!(validate_event_log(sim.events()), None);
+    // Alarm count tracks the event count to within losses.
+    let alarms = sim.ctx().packets.len();
+    assert!((150..=200).contains(&alarms), "alarms = {alarms}");
+}

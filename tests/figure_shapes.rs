@@ -1,0 +1,182 @@
+//! Shape tests: scaled-down versions of each figure's computation with
+//! assertions on the orderings and factors the paper reports. These are
+//! the regression guards for the reproduction — if a refactor of the
+//! physics or runtime breaks a figure, one of these fails.
+
+use capybara_suite::apps::events::{fit_span, poisson_events};
+use capybara_suite::apps::grc::{self, GrcVariant};
+use capybara_suite::apps::metrics::{
+    accuracy_fractions, classify_reported, intersample_histogram, intersample_summary,
+};
+use capybara_suite::apps::ta;
+use capybara_suite::core::provision::provision_bank_units;
+use capybara_suite::device::mcu::Mcu;
+use capybara_suite::device::peripherals::BleRadio;
+use capybara_suite::power::booster::OutputBooster;
+use capybara_suite::power::capacitor::{self};
+use capybara_suite::power::mechanism::Mechanism;
+use capybara_suite::power::technology::parts;
+use capybara_suite::prelude::*;
+use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xF165;
+
+fn short_ta_events() -> Vec<SimTime> {
+    let mut ev = poisson_events(
+        &mut StdRng::seed_from_u64(SEED),
+        SimDuration::from_secs(144),
+        10,
+        SimDuration::from_secs(45),
+    );
+    fit_span(&mut ev, SimDuration::from_secs(1_380));
+    ev
+}
+
+const TA_HORIZON: SimTime = SimTime::from_secs(1_500);
+
+/// Figure 3 shape: atomicity is monotone and roughly linear in C.
+#[test]
+fn fig3_atomicity_linear_in_capacitance() {
+    let mcu = Mcu::msp430fr5969_full_speed();
+    let booster = OutputBooster::prototype();
+    let p = booster.input_power_for(mcu.active_power());
+    let mops = |c_uf: f64| {
+        let (t, _) = capacitor::sustain_time(
+            Farads::from_micro(c_uf),
+            Ohms::ZERO,
+            Volts::new(2.8),
+            p,
+            booster.min_operating_voltage(),
+        );
+        t.as_secs_f64() * mcu.ops_per_second() / 1e6
+    };
+    let m1 = mops(1_000.0);
+    let m10 = mops(10_000.0);
+    assert!(m10 > m1 * 8.0 && m10 < m1 * 12.0, "m1={m1} m10={m10}");
+    // Figure 3 anchor: ~4 Mops at 10 mF (ours lands within ~35%).
+    assert!((3.0..=6.0).contains(&m10), "anchor = {m10} Mops");
+}
+
+/// Figure 4 shape: the supercap dominates ceramic at equal volume by an
+/// order of magnitude, and its first unit is ESR-handicapped.
+#[test]
+fn fig4_supercap_dominates_but_esr_strands_energy() {
+    let mcu = Mcu::msp430fr5969_full_speed();
+    let booster = OutputBooster::prototype();
+    let p = booster.input_power_for(mcu.active_power());
+    let mops_for = |c: Farads, esr: Ohms, vmax: Volts| {
+        let (t, _) =
+            capacitor::sustain_time(c, esr, vmax, p, booster.min_operating_voltage());
+        t.as_secs_f64() * mcu.ops_per_second() / 1e6
+    };
+    let edlc = parts::edlc_cph3225a();
+    let one = mops_for(edlc.capacitance(), edlc.esr(), Volts::new(2.8));
+    let two = mops_for(
+        edlc.capacitance() * 2.0,
+        Ohms::new(edlc.esr().get() / 2.0),
+        Volts::new(2.8),
+    );
+    let ceramic = parts::ceramic_x5r_100uf();
+    let ceramic_big = mops_for(ceramic.capacitance() * 3.0, Ohms::ZERO, Volts::new(2.8));
+    // Order-of-magnitude dominance at comparable volume (3 ceramics ≈ 1 EDLC × 9).
+    assert!(one > 10.0 * ceramic_big, "edlc {one} vs ceramic {ceramic_big}");
+    // ESR handicap: doubling the array more than doubles atomicity.
+    assert!(two > 2.05 * one, "1u={one} 2u={two}");
+}
+
+/// Figure 8 shape: Capybara ≥ 2× Fixed on detection; Capy-R useless for
+/// GRC but fine for TA.
+#[test]
+fn fig8_orderings() {
+    let ta_ev = short_ta_events();
+    let frac = |v| {
+        let r = ta::run_for(v, ta_ev.clone(), SEED, TA_HORIZON);
+        accuracy_fractions(&classify_reported(r.events.len(), &r.packets)).correct
+    };
+    let fixed = frac(Variant::Fixed);
+    let capy_r = frac(Variant::CapyR);
+    let capy_p = frac(Variant::CapyP);
+    assert!(capy_p >= fixed, "CB-P {capy_p} vs Fixed {fixed}");
+    assert!(capy_r > 0.8, "CB-R must stay accurate for TA: {capy_r}");
+
+    let mut grc_ev = poisson_events(
+        &mut StdRng::seed_from_u64(SEED),
+        SimDuration::from_micros(31_500_000),
+        30,
+        SimDuration::from_secs(4),
+    );
+    fit_span(&mut grc_ev, SimDuration::from_secs(900));
+    let horizon = SimTime::from_secs(960);
+    let g = |v| {
+        let r = grc::run_for(v, GrcVariant::Fast, grc_ev.clone(), SEED, horizon);
+        accuracy_fractions(&r.classify()).correct
+    };
+    let g_fixed = g(Variant::Fixed);
+    let g_r = g(Variant::CapyR);
+    let g_p = g(Variant::CapyP);
+    assert!(g_p >= 1.7 * g_fixed.max(0.01), "CB-P {g_p} vs Fixed {g_fixed}");
+    assert!(g_r < 0.1, "CB-R reports (almost) no gestures: {g_r}");
+}
+
+/// Figure 11 shape: Capybara's ≥1 s sampling gaps are an order of
+/// magnitude shorter than Fixed's, and far fewer events are swallowed.
+#[test]
+fn fig11_gap_structure() {
+    let ev = short_ta_events();
+    let gaps = |v| {
+        let r = ta::run_for(v, ev.clone(), SEED, TA_HORIZON);
+        let classes = intersample_histogram(&r.samples, &r.events, SimDuration::from_secs(40));
+        let longest = classes
+            .iter()
+            .filter(|c| !c.back_to_back)
+            .map(|c| c.length.as_secs_f64())
+            .fold(0.0, f64::max);
+        (longest, intersample_summary(&classes))
+    };
+    let (fixed_gap, fixed_sum) = gaps(Variant::Fixed);
+    let (capy_gap, capy_sum) = gaps(Variant::CapyP);
+    // Typical Capybara gap ≈ small-bank recharge; Fixed's ≈ full-bank.
+    assert!(
+        fixed_gap > 5.0 * (capy_gap / 10.0).max(3.0),
+        "fixed {fixed_gap}s vs capy {capy_gap}s"
+    );
+    assert!(capy_sum.events_missed_in_gaps <= fixed_sum.events_missed_in_gaps);
+    // Capybara has many more (short) recharge gaps than Fixed.
+    assert!(capy_sum.back_to_back + capy_sum.quiet > fixed_sum.quiet);
+}
+
+/// §5.2 shape: C-control cold-starts fastest, V_bottom slowest.
+#[test]
+fn mechanism_cold_start_ordering() {
+    let booster = OutputBooster::prototype();
+    let times: Vec<f64> = Mechanism::ALL
+        .iter()
+        .map(|m| {
+            m.cold_start(
+                Farads::from_micro(400.0),
+                Farads::from_milli(8.5),
+                Volts::new(2.8),
+                &booster,
+                Watts::from_micro(500.0),
+            )
+            .as_secs_f64()
+        })
+        .collect();
+    assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");
+}
+
+/// §6.1 shape: the provisioning loop lands near the paper's bank choices
+/// for the TA alarm.
+#[test]
+fn provisioning_matches_paper_bank_scale() {
+    let mcu = Mcu::msp430fr5969();
+    let booster = OutputBooster::prototype();
+    let load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    let report = provision_bank_units(&parts::edlc_7_5mf(), &load, &booster, Volts::new(2.8), 8)
+        .expect("provisionable");
+    // Paper's alarm bank is 8.5 mF; ours should land within a small factor.
+    let mf = report.capacitance.as_milli();
+    assert!((3.0..=23.0).contains(&mf), "derived {mf} mF");
+}

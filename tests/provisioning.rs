@@ -1,0 +1,129 @@
+//! Integration tests of the §6.1 provisioning methodology against the
+//! actual application task loads: the bank sizes the methodology derives
+//! should be consistent with the paper's chosen banks.
+
+use capybara_suite::core::provision::{bank_sustains, provision_bank_units};
+use capybara_suite::device::peripherals::{Apds9960, BleRadio, Tmp36};
+use capybara_suite::power::booster::OutputBooster;
+use capybara_suite::prelude::*;
+use capy_units::Volts;
+
+const FULL: Volts = Volts::new(2.8);
+
+#[test]
+fn ta_small_bank_sustains_a_sample_loop_iteration() {
+    let mcu = Mcu::msp430fr5969();
+    let load = Tmp36::new()
+        .sample()
+        .plus_power(mcu.active_power())
+        .then(mcu.compute_for(capy_units::SimDuration::from_millis(6)));
+    // The paper's TA small bank: 300 µF ceramic + 100 µF tantalum. One
+    // 100 µF ceramic already sustains a single iteration — the bank is
+    // over-provisioned for the booster's startup, as §6.4 notes.
+    let report = provision_bank_units(
+        &parts::ceramic_x5r_100uf(),
+        &load,
+        &OutputBooster::prototype(),
+        FULL,
+        64,
+    )
+    .expect("sample iteration is provisionable");
+    assert!(report.units <= 4, "units = {}", report.units);
+}
+
+#[test]
+fn ta_alarm_needs_the_large_bank_not_the_small_one() {
+    let mcu = Mcu::msp430fr5969();
+    let load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    let booster = OutputBooster::prototype();
+
+    // The small bank (400 µF total) cannot carry the alarm.
+    assert!(!bank_sustains(&parts::ceramic_x5r_400uf(), 1, &load, &booster, FULL));
+
+    // The paper's large bank (1000 µF tantalum + 7.5 mF EDLC ≈ 8.5 mF)
+    // can. Check via an 8.5 mF-equivalent EDLC provisioning.
+    let report = provision_bank_units(&parts::edlc_7_5mf(), &load, &booster, FULL, 8)
+        .expect("alarm is provisionable with EDLC units");
+    assert!(
+        report.capacitance.as_milli() <= 15.0,
+        "derived {} mF should be near the paper's 8.5 mF",
+        report.capacitance.as_milli()
+    );
+}
+
+#[test]
+fn grc_gesture_energy_sits_between_sample_and_joined_task() {
+    let mcu = Mcu::cc2650();
+    let booster = OutputBooster::prototype();
+    let gesture = Apds9960::new()
+        .recognize_gesture()
+        .plus_power(mcu.active_power());
+    let joined = Apds9960::new()
+        .recognize_gesture()
+        .chain(BleRadio::cc2650().tx_packet_warm(8))
+        .plus_power(mcu.active_power());
+    let separate_tx = BleRadio::cc2650().tx_packet(8).plus_power(mcu.active_power());
+
+    let units_for = |load| {
+        provision_bank_units(&parts::edlc_22_5mf(), load, &booster, FULL, 16)
+            .expect("provisionable")
+            .units
+    };
+    let g = units_for(&gesture);
+    let j = units_for(&joined);
+    // Joined (warm radio) needs no more capacity than gesture + a cold TX
+    // task would: the GRC-Fast bank (2 units) is smaller than GRC-Compact's
+    // (3 units) combined requirement.
+    let combined_energy = gesture.energy() + separate_tx.energy();
+    assert!(j >= g);
+    assert!(combined_energy > joined.energy());
+}
+
+#[test]
+fn fixed_bank_is_sized_for_the_worst_task() {
+    // §2: "the buffer must be provisioned at design time to hold enough
+    // energy for the largest atomic task." The GRC fixed bank must
+    // sustain the joined gesture+TX task.
+    let mcu = Mcu::cc2650();
+    let booster = OutputBooster::prototype();
+    let joined = Apds9960::new()
+        .recognize_gesture()
+        .chain(BleRadio::cc2650().tx_packet_warm(8))
+        .plus_power(mcu.active_power());
+    // 3 × 22.5 mF EDLC (the fixed bank's EDLC content).
+    assert!(bank_sustains(&parts::edlc_22_5mf(), 3, &joined, &booster, FULL));
+}
+
+#[test]
+fn provisioned_bank_always_sustains_its_load() {
+    // The contract of the provisioning function, exercised across every
+    // application load in the suite.
+    let booster = OutputBooster::prototype();
+    let mcu = Mcu::msp430fr5969();
+    let loads = vec![
+        Tmp36::new().sample().plus_power(mcu.active_power()),
+        BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power()),
+        Apds9960::new().recognize_gesture().plus_power(mcu.active_power()),
+    ];
+    for load in &loads {
+        for unit in [parts::ceramic_x5r_100uf(), parts::tantalum_1000uf(), parts::edlc_7_5mf()] {
+            if let Some(report) = provision_bank_units(&unit, load, &booster, FULL, 512) {
+                assert!(
+                    bank_sustains(&unit, report.units, load, &booster, FULL),
+                    "{} x{} must sustain {:?}",
+                    unit.name(),
+                    report.units,
+                    load.phases().first().map(|p| p.label())
+                );
+                if report.units > 1 {
+                    assert!(
+                        !bank_sustains(&unit, report.units - 1, load, &booster, FULL),
+                        "{} x{} should be minimal",
+                        unit.name(),
+                        report.units
+                    );
+                }
+            }
+        }
+    }
+}
