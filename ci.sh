@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: everything a PR must keep green.
+#
+#   ./ci.sh          run the full gate
+#
+# The bench compile check (`cargo bench --no-run`) keeps the
+# harness = false figure binaries from rotting — `cargo test` alone
+# never builds them.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+# The root manifest is both the facade package and the workspace, so
+# every step pins --workspace: without it cargo only covers the facade.
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo bench --no-run --workspace
+
+echo "==> ci.sh: all checks passed"

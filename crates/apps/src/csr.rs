@@ -26,8 +26,7 @@ use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
 use capybara::sim::{SimContext, SimEvent, Simulator};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use capy_units::rng::DetRng;
 
 use crate::env::PendulumRig;
 use crate::observer::PacketLog;
@@ -48,7 +47,7 @@ const M_REPORT: EnergyMode = EnergyMode(1);
 pub struct CsrCtx {
     now: SimTime,
     rig: PendulumRig,
-    rng: StdRng,
+    rng: DetRng,
     /// Magnet pass awaiting report (non-volatile).
     pending: NvVar<Option<usize>>,
     /// Pass already reported (non-volatile).
@@ -150,7 +149,7 @@ pub fn build(
     let ctx = CsrCtx {
         now: SimTime::ZERO,
         rig,
-        rng: StdRng::seed_from_u64(seed ^ 0xc5),
+        rng: DetRng::seed_from_u64(seed ^ 0xc5),
         pending: NvVar::new(None),
         last_reported: NvVar::new(None),
         packets: PacketLog::new(),
@@ -198,7 +197,7 @@ pub fn build(
             },
             |ctx: &mut CsrCtx| {
                 if let Some(id) = ctx.pending.get() {
-                    if ctx.rng.gen::<f64>() >= BLE_LOSS {
+                    if ctx.rng.gen_f64() >= BLE_LOSS {
                         ctx.packets.record(ctx.now, Some(id), true);
                     }
                     ctx.last_reported.set(Some(id));

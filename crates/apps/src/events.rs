@@ -7,8 +7,8 @@
 //! "for event sequences drawn from Poisson distributions with decreasing
 //! means."
 
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
-use rand::Rng;
 
 /// Draws `count` event instants whose inter-arrival times are exponential
 /// with the given mean, starting after one mean interval. Consecutive
@@ -20,10 +20,10 @@ use rand::Rng;
 ///
 /// ```
 /// use capy_apps::events::poisson_events;
+/// use capy_units::rng::DetRng;
 /// use capy_units::SimDuration;
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = DetRng::seed_from_u64(7);
 /// let events = poisson_events(
 ///     &mut rng,
 ///     SimDuration::from_secs(30),
@@ -34,7 +34,7 @@ use rand::Rng;
 /// assert!(events.windows(2).all(|w| w[1] - w[0] >= SimDuration::from_secs(2)));
 /// ```
 pub fn poisson_events(
-    rng: &mut impl Rng,
+    rng: &mut DetRng,
     mean_interarrival: SimDuration,
     count: usize,
     min_gap: SimDuration,
@@ -71,7 +71,7 @@ pub fn fit_span(events: &mut [SimTime], span: SimDuration) {
 /// The TA event schedule from §6.2: 50 events over 120 minutes
 /// (mean inter-arrival 144 s), fitted so the last event leaves time for
 /// its report before the horizon.
-pub fn ta_schedule(rng: &mut impl Rng) -> Vec<SimTime> {
+pub fn ta_schedule(rng: &mut DetRng) -> Vec<SimTime> {
     let mut events = poisson_events(
         rng,
         SimDuration::from_secs(144),
@@ -84,7 +84,7 @@ pub fn ta_schedule(rng: &mut impl Rng) -> Vec<SimTime> {
 
 /// The GRC/CSR event schedule from §6.2: 80 events over 42 minutes
 /// (mean inter-arrival 31.5 s), fitted inside the horizon.
-pub fn grc_schedule(rng: &mut impl Rng) -> Vec<SimTime> {
+pub fn grc_schedule(rng: &mut DetRng) -> Vec<SimTime> {
     let mut events = poisson_events(
         rng,
         SimDuration::from_micros(31_500_000),
@@ -98,19 +98,17 @@ pub fn grc_schedule(rng: &mut impl Rng) -> Vec<SimTime> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn events_are_strictly_increasing() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let ev = poisson_events(&mut rng, SimDuration::from_secs(10), 200, SimDuration::from_secs(1));
         assert!(ev.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
     fn mean_interarrival_is_close_to_requested() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let mean = SimDuration::from_secs(30);
         let ev = poisson_events(&mut rng, mean, 5_000, SimDuration::ZERO);
         let total = (*ev.last().unwrap() - ev[0]).as_secs_f64();
@@ -123,7 +121,7 @@ mod tests {
 
     #[test]
     fn min_gap_is_enforced() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let gap = SimDuration::from_secs(5);
         let ev = poisson_events(&mut rng, SimDuration::from_secs(1), 500, gap);
         assert!(ev.windows(2).all(|w| w[1] - w[0] >= gap));
@@ -131,16 +129,16 @@ mod tests {
 
     #[test]
     fn same_seed_same_schedule() {
-        let a = ta_schedule(&mut StdRng::seed_from_u64(42));
-        let b = ta_schedule(&mut StdRng::seed_from_u64(42));
+        let a = ta_schedule(&mut DetRng::seed_from_u64(42));
+        let b = ta_schedule(&mut DetRng::seed_from_u64(42));
         assert_eq!(a, b);
-        let c = ta_schedule(&mut StdRng::seed_from_u64(43));
+        let c = ta_schedule(&mut DetRng::seed_from_u64(43));
         assert_ne!(a, c);
     }
 
     #[test]
     fn fit_span_rescales_to_target() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let mut ev = poisson_events(&mut rng, SimDuration::from_secs(100), 20, SimDuration::ZERO);
         fit_span(&mut ev, SimDuration::from_secs(1_000));
         assert_eq!(*ev.last().unwrap(), SimTime::ZERO + SimDuration::from_secs(1_000));
@@ -160,16 +158,16 @@ mod tests {
     #[test]
     fn schedules_fit_inside_their_horizons() {
         for seed in 0..20 {
-            let ta = ta_schedule(&mut StdRng::seed_from_u64(seed));
+            let ta = ta_schedule(&mut DetRng::seed_from_u64(seed));
             assert!(*ta.last().unwrap() <= SimTime::from_secs(118 * 60));
-            let grc = grc_schedule(&mut StdRng::seed_from_u64(seed));
+            let grc = grc_schedule(&mut DetRng::seed_from_u64(seed));
             assert!(*grc.last().unwrap() <= SimTime::from_secs(41 * 60));
         }
     }
 
     #[test]
     fn paper_schedules_have_expected_shape() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let ta = ta_schedule(&mut rng);
         assert_eq!(ta.len(), 50);
         // ~120 minutes of events (generous tolerance for a stochastic sum).

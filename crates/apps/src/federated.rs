@@ -26,8 +26,7 @@ use capy_power::booster::{InputBooster, OutputBooster};
 use capy_power::capacitor::{self, Discharge};
 use capy_power::technology::parts;
 use capy_units::{SimDuration, SimTime, Volts, Watts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use capy_units::rng::DetRng;
 
 use crate::env::PendulumRig;
 use crate::observer::{GestureOutcome, PacketLog};
@@ -178,7 +177,7 @@ impl FederatedGrc {
     #[must_use]
     pub fn run(&mut self, events: Vec<SimTime>, seed: u64, horizon: SimTime) -> FederatedReport {
         let rig = PendulumRig::new(events.clone());
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xFED);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xFED);
         let mcu = Mcu::cc2650();
         let photo = Phototransistor::new().sample().plus_power(mcu.active_power());
         let gesture = Apds9960::new()
@@ -228,11 +227,11 @@ impl FederatedGrc {
                         let start = t;
                         if Self::drain(&mut self.sensor_store, &gesture, &self.output) {
                             let outcome = match rig.gesture_read_at(start) {
-                                Some((_, true)) if rng.gen::<f64>() < 0.85 => {
+                                Some((_, true)) if rng.gen_f64() < 0.85 => {
                                     GestureOutcome::Correct
                                 }
                                 Some((_, true)) => GestureOutcome::ProximityOnly,
-                                Some((_, false)) if rng.gen::<f64>() < 0.55 => {
+                                Some((_, false)) if rng.gen_f64() < 0.55 => {
                                     GestureOutcome::Misclassified
                                 }
                                 _ => GestureOutcome::ProximityOnly,
@@ -278,7 +277,7 @@ mod tests {
 
     fn schedule() -> Vec<SimTime> {
         let mut ev = poisson_events(
-            &mut StdRng::seed_from_u64(5),
+            &mut DetRng::seed_from_u64(5),
             SimDuration::from_secs(30),
             24,
             SimDuration::from_secs(4),

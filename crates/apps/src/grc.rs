@@ -36,8 +36,7 @@ use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
 use capybara::sim::{SimContext, SimEvent, Simulator};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use capy_units::rng::DetRng;
 
 use crate::env::PendulumRig;
 use crate::metrics::EventOutcome;
@@ -86,7 +85,7 @@ const P_LATE_MISCLASSIFIED: f64 = 0.55;
 pub struct GrcCtx {
     now: SimTime,
     rig: PendulumRig,
-    rng: StdRng,
+    rng: DetRng,
     /// How long before a task body runs its gesture window opened (the
     /// APDS observation starts near the task's beginning, but bodies
     /// execute at task end).
@@ -130,7 +129,7 @@ impl GrcCtx {
                 GestureOutcome::ProximityOnly,
             ),
             Some((id, decodable)) => {
-                let roll: f64 = self.rng.gen();
+                let roll = self.rng.gen_f64();
                 let outcome = if decodable {
                     if roll < P_EARLY_CORRECT {
                         GestureOutcome::Correct
@@ -175,22 +174,35 @@ impl GrcReport {
     /// Classifies every pendulum pass per the Figure 8 taxonomy.
     #[must_use]
     pub fn classify(&self) -> Vec<EventOutcome> {
-        (0..self.events.len())
-            .map(|id| {
-                if let Some(p) = self.packets.first_for_event(id) {
-                    if p.correct {
-                        EventOutcome::Correct
-                    } else {
-                        EventOutcome::Misclassified
-                    }
-                } else if self.attempts.iter().any(|(e, _, _)| *e == Some(id)) {
-                    EventOutcome::ProximityOnly
-                } else {
-                    EventOutcome::Missed
-                }
-            })
-            .collect()
+        classify_run(self.events.len(), &self.packets, &self.attempts)
     }
+}
+
+/// Classifies `n_events` pendulum passes per the Figure 8 taxonomy from
+/// the sniffer log and the APDS activation record. Shared by
+/// [`GrcReport::classify`] and experiment drivers that hold a live
+/// simulator instead of a report.
+#[must_use]
+pub fn classify_run(
+    n_events: usize,
+    packets: &PacketLog,
+    attempts: &[(Option<usize>, GestureOutcome, SimTime)],
+) -> Vec<EventOutcome> {
+    (0..n_events)
+        .map(|id| {
+            if let Some(p) = packets.first_for_event(id) {
+                if p.correct {
+                    EventOutcome::Correct
+                } else {
+                    EventOutcome::Misclassified
+                }
+            } else if attempts.iter().any(|(e, _, _)| *e == Some(id)) {
+                EventOutcome::ProximityOnly
+            } else {
+                EventOutcome::Missed
+            }
+        })
+        .collect()
 }
 
 fn power_system(variant: Variant, grc: GrcVariant) -> PowerSystem<RegulatedSupply> {
@@ -293,7 +305,7 @@ pub fn build_with_model(
     let ctx = GrcCtx {
         now: SimTime::ZERO,
         rig,
-        rng: StdRng::seed_from_u64(seed ^ 0x6c),
+        rng: DetRng::seed_from_u64(seed ^ 0x6c),
         gesture_lead,
         pending: NvVar::new(None),
         last_handled: NvVar::new(None),
@@ -332,7 +344,7 @@ pub fn build_with_model(
                 match outcome {
                     GestureOutcome::Correct | GestureOutcome::Misclassified => {
                         if let Some(id) = id {
-                            if ctx.rng.gen::<f64>() >= BLE_LOSS {
+                            if ctx.rng.gen_f64() >= BLE_LOSS {
                                 ctx.packets.record(
                                     ctx.now,
                                     Some(id),
@@ -379,7 +391,7 @@ pub fn build_with_model(
                 |_, mcu| BleRadio::cc2650().tx_packet(8).plus_power(mcu.active_power()),
                 |ctx: &mut GrcCtx| {
                     if let Some((id, correct)) = ctx.pending.get() {
-                        if ctx.rng.gen::<f64>() >= BLE_LOSS {
+                        if ctx.rng.gen_f64() >= BLE_LOSS {
                             ctx.packets.record(ctx.now, Some(id), correct);
                         }
                         ctx.last_handled.set(Some(id));

@@ -34,8 +34,7 @@ use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
 use capybara::sim::{SimContext, SimEvent, Simulator};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use capy_units::rng::DetRng;
 
 use crate::env::HeatsinkRig;
 use crate::observer::{PacketLog, SampleLog};
@@ -59,7 +58,7 @@ const M_ALARM: EnergyMode = EnergyMode(1);
 pub struct TaCtx {
     now: SimTime,
     rig: HeatsinkRig,
-    rng: StdRng,
+    rng: DetRng,
     /// Rolling sample window (non-volatile).
     series: NvVec<f32>,
     /// Last excursion already alarmed (non-volatile).
@@ -96,7 +95,7 @@ impl TaCtx {
         Self {
             now: SimTime::ZERO,
             rig,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             series: NvVec::new(),
             last_reported: NvVar::new(None),
             pending: NvVar::new(None),
@@ -238,7 +237,7 @@ pub fn build(
                 if let Some(id) = id {
                     // The packet leaves the antenna; the sniffer may lose it
                     // to interference, but the device considers it sent.
-                    if ctx.rng.gen::<f64>() >= BLE_LOSS {
+                    if ctx.rng.gen_f64() >= BLE_LOSS {
                         ctx.packets.record(ctx.now, Some(id), true);
                     }
                     ctx.last_reported.set(Some(id));
@@ -405,7 +404,7 @@ mod tests {
 
     #[test]
     fn full_experiment_runs_to_horizon() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         let events = ta_schedule(&mut rng);
         let report = run(Variant::CapyP, events, 9);
         assert_eq!(report.horizon, HORIZON);

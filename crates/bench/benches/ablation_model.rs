@@ -13,15 +13,14 @@ use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::accuracy_fractions;
 use capy_bench::{figure_header, pct, FIGURE_SEED};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 fn main() {
     figure_header(
         "Ablation (2)",
         "'charging is negligible during operation' vs concurrent harvesting",
     );
-    let events = grc_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    let events = grc_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     println!(
         "{:<8} {:>18} {:>18}",
         "system", "paper model", "with harvesting"

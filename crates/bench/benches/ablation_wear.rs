@@ -15,15 +15,14 @@ use capy_bench::{figure_header, FIGURE_SEED};
 use capy_power::lifetime::{projected_lifetime, typical_cycle_life, WearReport};
 use capy_power::technology::Technology;
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 fn main() {
     figure_header(
         "Ablation (5.2)",
         "EDLC deep cycles per 2 h of TempAlarm: Fixed vs Capybara",
     );
-    let events = ta_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    let events = ta_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     println!(
         "{:<8} {:>12} {:>14} {:>22}",
         "system", "bank", "deep cycles", "projected EDLC life"

@@ -9,16 +9,38 @@
 //! system as much as it benefits a Capybara system."
 //!
 //! Left panel: TA, means 100–400 s. Right panel: GRC-Fast, means 10–30 s.
+//!
+//! Each (mean, variant) cell is one point of a [`SweepSpec`] grid run in
+//! parallel by `run_sweep_with`; event schedules are regenerated inside
+//! each point from the same legacy seeds the serial loop used, so the
+//! printed numbers are unchanged and identical for any worker count.
 
 use capy_apps::events::poisson_events;
 use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::{accuracy_fractions, classify_reported};
 use capy_apps::ta;
-use capy_bench::{figure_header, FIGURE_SEED};
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
+use capybara::sweep::{run_sweep_with, SweepSpec};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const TA_MEANS: [u64; 6] = [100, 150, 200, 250, 300, 400];
+const GRC_MEANS: [u64; 5] = [10, 15, 20, 25, 30];
+const GRC_VARIANTS: [Variant; 3] = [Variant::Continuous, Variant::Fixed, Variant::CapyP];
+
+fn grid(name: &'static str, means: &[u64], variants: &[Variant]) -> SweepSpec {
+    let mut spec = SweepSpec::new(name, SimTime::ZERO).base_seed(FIGURE_SEED);
+    for &mean_s in means {
+        for (vi, v) in variants.iter().enumerate() {
+            spec = spec.point(
+                format!("mean={mean_s} {}", v.label()),
+                &[("mean_s", mean_s as f64), ("variant", vi as f64)],
+            );
+        }
+    }
+    spec
+}
 
 fn main() {
     figure_header(
@@ -31,51 +53,64 @@ fn main() {
         "  {:>10} {:>8} {:>8} {:>8} {:>8}",
         "mean(s)", "Pwr", "Fixed", "CB-R", "CB-P"
     );
-    for mean_s in [100u64, 150, 200, 250, 300, 400] {
+    let ta_spec = grid("fig10-ta", &TA_MEANS, &Variant::ALL);
+    let (ta_report, ta_correct) = run_sweep_with(&ta_spec, |point| {
+        let mean_s = point.expect_param("mean_s") as u64;
+        let v = Variant::ALL[point.expect_param("variant") as usize];
         let events = poisson_events(
-            &mut StdRng::seed_from_u64(FIGURE_SEED ^ mean_s),
+            &mut DetRng::seed_from_u64(FIGURE_SEED ^ mean_s),
             SimDuration::from_secs(mean_s),
             50,
             SimDuration::from_secs(45),
         );
-        let horizon = events.last().copied().unwrap_or(SimTime::ZERO)
-            + SimDuration::from_secs(120);
-        let mut cols = Vec::new();
-        for v in Variant::ALL {
-            let r = ta::run_for(v, events.clone(), FIGURE_SEED, horizon);
-            let f = accuracy_fractions(&classify_reported(r.events.len(), &r.packets));
-            cols.push(f.correct);
-        }
+        let horizon =
+            events.last().copied().unwrap_or(SimTime::ZERO) + SimDuration::from_secs(120);
+        let n_events = events.len();
+        let mut sim = ta::build(v, events, FIGURE_SEED);
+        sim.run_until(horizon);
+        let f = accuracy_fractions(&classify_reported(n_events, &sim.ctx().packets));
+        (sim, f.correct)
+    });
+    for (row, &mean_s) in TA_MEANS.iter().enumerate() {
+        let cols = &ta_correct[row * Variant::ALL.len()..(row + 1) * Variant::ALL.len()];
         println!(
             "  {:>10} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
             mean_s, cols[0], cols[1], cols[2], cols[3]
         );
     }
+    sweep_footer(&ta_report);
 
     println!("GestureFast (80 events per sequence; Pwr / Fixed / CB-P as in the paper):");
     println!("  {:>10} {:>8} {:>8} {:>8}", "mean(s)", "Pwr", "Fixed", "CB-P");
-    for mean_s in [10u64, 15, 20, 25, 30] {
+    let grc_spec = grid("fig10-grc", &GRC_MEANS, &GRC_VARIANTS);
+    let (grc_report, grc_reported) = run_sweep_with(&grc_spec, |point| {
+        let mean_s = point.expect_param("mean_s") as u64;
+        let v = GRC_VARIANTS[point.expect_param("variant") as usize];
         let events = poisson_events(
-            &mut StdRng::seed_from_u64(FIGURE_SEED ^ (mean_s << 8)),
+            &mut DetRng::seed_from_u64(FIGURE_SEED ^ (mean_s << 8)),
             SimDuration::from_secs(mean_s),
             80,
             SimDuration::from_secs(3),
         );
-        let horizon = events.last().copied().unwrap_or(SimTime::ZERO)
-            + SimDuration::from_secs(60);
-        let mut cols = Vec::new();
-        for v in [Variant::Continuous, Variant::Fixed, Variant::CapyP] {
-            let r = grc::run_for(v, GrcVariant::Fast, events.clone(), FIGURE_SEED, horizon);
-            let f = accuracy_fractions(&r.classify());
-            // "Fraction of reported events": correct + misclassified both
-            // produce packets.
-            cols.push(f.correct + f.misclassified);
-        }
+        let horizon =
+            events.last().copied().unwrap_or(SimTime::ZERO) + SimDuration::from_secs(60);
+        let n_events = events.len();
+        let mut sim = grc::build(v, GrcVariant::Fast, events, FIGURE_SEED);
+        sim.run_until(horizon);
+        let classes = grc::classify_run(n_events, &sim.ctx().packets, &sim.ctx().attempts);
+        let f = accuracy_fractions(&classes);
+        // "Fraction of reported events": correct + misclassified both
+        // produce packets.
+        (sim, f.correct + f.misclassified)
+    });
+    for (row, &mean_s) in GRC_MEANS.iter().enumerate() {
+        let cols = &grc_reported[row * GRC_VARIANTS.len()..(row + 1) * GRC_VARIANTS.len()];
         println!(
             "  {:>10} {:>8.2} {:>8.2} {:>8.2}",
             mean_s, cols[0], cols[1], cols[2]
         );
     }
+    sweep_footer(&grc_report);
 
     println!();
     println!("Expected shape: every curve rises with sparser events, but the");

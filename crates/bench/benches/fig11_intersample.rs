@@ -8,15 +8,28 @@
 //! samples are colored gray … The remaining inter-sample intervals are
 //! broken down into ones during which one or more events occurred and were
 //! (necessarily) missed, and those without any events."
+//!
+//! The three variants are the three points of a [`SweepSpec`] run in
+//! parallel by `run_sweep_with`.
 
 use capy_apps::events::poisson_events;
 use capy_apps::metrics::{intersample_histogram, intersample_summary};
 use capy_apps::ta;
-use capy_bench::{figure_header, FIGURE_SEED};
-use capy_units::{SimDuration, SimTime};
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
+use capy_units::rng::DetRng;
+use capy_units::SimDuration;
+use capybara::sweep::{run_sweep_with, SweepSpec};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const VARIANTS: [Variant; 3] = [Variant::Fixed, Variant::CapyR, Variant::CapyP];
+
+struct PanelDetail {
+    back_to_back: usize,
+    quiet: usize,
+    with_missed_events: usize,
+    events_missed_in_gaps: usize,
+    bars: Vec<(String, usize)>,
+}
 
 fn main() {
     figure_header(
@@ -25,27 +38,28 @@ fn main() {
     );
     // 20 events, mean 144 s, as in the Fig. 11 input sequence.
     let events = poisson_events(
-        &mut StdRng::seed_from_u64(FIGURE_SEED ^ 0x11),
+        &mut DetRng::seed_from_u64(FIGURE_SEED ^ 0x11),
         SimDuration::from_secs(144),
         20,
         SimDuration::from_secs(45),
     );
     let horizon = *events.last().expect("events nonempty") + SimDuration::from_secs(200);
-    let _ = SimTime::ZERO;
 
-    for v in [Variant::Fixed, Variant::CapyR, Variant::CapyP] {
-        let r = ta::run_for(v, events.clone(), FIGURE_SEED, horizon);
-        let classes =
-            intersample_histogram(&r.samples, &r.events, SimDuration::from_secs(40));
-        let summary = intersample_summary(&classes);
-        println!("-- {} --", v.label());
-        println!(
-            "back_to_back(<1s)={} quiet(>=1s)={} gaps_with_missed_events={} events_in_gaps={}",
-            summary.back_to_back,
-            summary.quiet,
-            summary.with_missed_events,
-            summary.events_missed_in_gaps
+    let mut spec = SweepSpec::new("fig11", horizon).base_seed(FIGURE_SEED);
+    for (vi, v) in VARIANTS.iter().enumerate() {
+        spec = spec.point(v.label(), &[("variant", vi as f64)]);
+    }
+    let events_ref = &events;
+    let (report, details) = run_sweep_with(&spec, |point| {
+        let v = VARIANTS[point.expect_param("variant") as usize];
+        let mut sim = ta::build(v, events_ref.clone(), FIGURE_SEED);
+        sim.run_until(horizon);
+        let classes = intersample_histogram(
+            &sim.ctx().samples,
+            events_ref,
+            SimDuration::from_secs(40),
         );
+        let summary = intersample_summary(&classes);
         // Histogram of the >=1 s intervals in the paper's two ranges.
         let mut short_bins = [0usize; 8]; // 0.5 s bins over 1..5 s
         let mut long_bins = [0usize; 7]; // 50 s bins over 10..360 s
@@ -60,14 +74,42 @@ fn main() {
         let mut bars: Vec<(String, usize)> = short_bins
             .iter()
             .enumerate()
-            .map(|(i, n)| (format!("{:>4.1}-{:<4.1}s", 1.0 + 0.5 * i as f64, 1.5 + 0.5 * i as f64), *n))
+            .map(|(i, n)| {
+                (
+                    format!("{:>4.1}-{:<4.1}s", 1.0 + 0.5 * i as f64, 1.5 + 0.5 * i as f64),
+                    *n,
+                )
+            })
             .collect();
-        bars.extend(long_bins.iter().enumerate().map(|(i, n)| {
-            (format!("{:>4}-{:<4}s", 10 + 50 * i, 60 + 50 * i), *n)
-        }));
-        print!("{}", capy_bench::plot::bar_chart(&bars, 40));
+        bars.extend(
+            long_bins
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (format!("{:>4}-{:<4}s", 10 + 50 * i, 60 + 50 * i), *n)),
+        );
+        let detail = PanelDetail {
+            back_to_back: summary.back_to_back,
+            quiet: summary.quiet,
+            with_missed_events: summary.with_missed_events,
+            events_missed_in_gaps: summary.events_missed_in_gaps,
+            bars,
+        };
+        (sim, detail)
+    });
+
+    for (run, detail) in report.runs.iter().zip(&details) {
+        println!("-- {} --", run.point.label);
+        println!(
+            "back_to_back(<1s)={} quiet(>=1s)={} gaps_with_missed_events={} events_in_gaps={}",
+            detail.back_to_back,
+            detail.quiet,
+            detail.with_missed_events,
+            detail.events_missed_in_gaps
+        );
+        print!("{}", capy_bench::plot::bar_chart(&detail.bars, 40));
         println!();
     }
+    sweep_footer(&report);
 
     println!("Expected shape: Fixed's non-back-to-back intervals sit in the");
     println!("long-bin range (its only recharge is the full large-bank");

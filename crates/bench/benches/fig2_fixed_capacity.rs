@@ -11,13 +11,16 @@
 //!
 //! This bench runs that exact application on a low- and a high-capacity
 //! fixed buffer and prints the rail-voltage trace with charge/sample/
-//! packet annotations.
+//! packet annotations. The two panels are the two points of a
+//! [`SweepSpec`] run in parallel by `run_sweep_with`; the charge counts
+//! and mean charge time come straight from each run's [`RunSummary`].
 
 use capy_apps::prelude::*;
-use capy_bench::{figure_header, FIGURE_SEED};
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_device::peripherals::{BleRadio, Tmp36};
 use capy_power::prelude::{Bank, ConstantHarvester, PowerSystem, SwitchKind};
 use capy_units::{SimDuration, SimTime, Volts, Watts};
+use capybara::sweep::{run_sweep_with, SweepSpec};
 
 struct Fig2Ctx {
     now: SimTime,
@@ -44,10 +47,36 @@ impl SimContext for Fig2Ctx {
     }
 }
 
-fn run_panel(label: &str, bank: Bank) {
+const HORIZON: SimTime = SimTime::from_secs(60);
+
+fn panel_bank(panel: usize) -> Bank {
+    match panel {
+        0 => Bank::builder("low")
+            .with(parts::ceramic_x5r_400uf())
+            .with(parts::tantalum_330uf())
+            .build(),
+        _ => Bank::builder("high")
+            .with(parts::ceramic_x5r_300uf())
+            .with(parts::tantalum_100uf())
+            .with(parts::tantalum_1000uf())
+            .with(parts::edlc_7_5mf())
+            .build(),
+    }
+}
+
+/// Per-panel data the summary alone cannot carry: application counters
+/// and the rail-voltage trace.
+struct PanelDetail {
+    samples: usize,
+    packets_completed: u32,
+    packets_failed: usize,
+    trace: Vec<(f64, f64)>,
+}
+
+fn run_panel(panel: usize) -> (Simulator<ConstantHarvester, Fig2Ctx>, PanelDetail) {
     let power = PowerSystem::builder()
         .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
-        .bank(bank, SwitchKind::NormallyClosed)
+        .bank(panel_bank(panel), SwitchKind::NormallyClosed)
         .build();
     let ctx = Fig2Ctx {
         now: SimTime::ZERO,
@@ -92,46 +121,26 @@ fn run_panel(label: &str, bank: Bank) {
         .record_trace(true)
         .build(ctx);
 
-    sim.run_until(SimTime::from_secs(60));
+    sim.run_until(HORIZON);
 
-    let failed_packets = sim
+    let packets_failed = sim
         .events()
         .iter()
         .filter(|e| matches!(e, SimEvent::PowerFailure { task, .. } if task.0 == 1))
         .count();
-    let charges: Vec<(SimTime, SimTime)> = sim
-        .events()
-        .iter()
-        .filter_map(|e| match e {
-            SimEvent::Charge { start, end, .. } => Some((*start, *end)),
-            _ => None,
-        })
-        .collect();
-
-    println!("-- {label} --");
-    println!(
-        "samples={} packets_completed={} packets_failed={} charge_intervals={}",
-        sim.ctx().sample_times.len(),
-        sim.ctx().completed_packets.get(),
-        failed_packets,
-        charges.len()
-    );
-    let mean_charge = if charges.is_empty() {
-        0.0
-    } else {
-        charges.iter().map(|(s, e)| (*e - *s).as_secs_f64()).sum::<f64>() / charges.len() as f64
-    };
-    println!("mean_charge_s={mean_charge:.2}");
-
-    // Rail-voltage trace (the figure's curve).
-    let trace = sim.trace().expect("tracing enabled");
-    let points: Vec<(f64, f64)> = trace
+    let trace = sim
+        .trace()
+        .expect("tracing enabled")
         .iter()
         .map(|(t, v)| (t.as_secs_f64(), v.get()))
         .collect();
-    println!("rail voltage over 60 s:");
-    print!("{}", capy_bench::plot::line_chart(&[("V(t)", points)], 64, 10));
-    println!();
+    let detail = PanelDetail {
+        samples: sim.ctx().sample_times.len(),
+        packets_completed: sim.ctx().completed_packets.get(),
+        packets_failed,
+        trace,
+    };
+    (sim, detail)
 }
 
 fn main() {
@@ -140,22 +149,37 @@ fn main() {
         "Figure 2",
         "fixed-capacity execution: 15-sample series + radio packet",
     );
-    run_panel(
-        "Low capacity (730 uF): reactive sampling, packet never completes",
-        Bank::builder("low")
-            .with(parts::ceramic_x5r_400uf())
-            .with(parts::tantalum_330uf())
-            .build(),
-    );
-    run_panel(
-        "High capacity (8.9 mF): packet completes, long inactive charging",
-        Bank::builder("high")
-            .with(parts::ceramic_x5r_300uf())
-            .with(parts::tantalum_100uf())
-            .with(parts::tantalum_1000uf())
-            .with(parts::edlc_7_5mf())
-            .build(),
-    );
+    let spec = SweepSpec::new("fig2", HORIZON)
+        .point(
+            "Low capacity (730 uF): reactive sampling, packet never completes",
+            &[("panel", 0.0)],
+        )
+        .point(
+            "High capacity (8.9 mF): packet completes, long inactive charging",
+            &[("panel", 1.0)],
+        );
+    let (report, details) =
+        run_sweep_with(&spec, |point| run_panel(point.expect_param("panel") as usize));
+
+    for (run, detail) in report.runs.iter().zip(&details) {
+        let s = &run.summary;
+        println!("-- {} --", run.point.label);
+        println!(
+            "samples={} packets_completed={} packets_failed={} charge_intervals={}",
+            detail.samples,
+            detail.packets_completed,
+            detail.packets_failed,
+            s.charges + s.precharges,
+        );
+        println!("mean_charge_s={:.2}", s.mean_charge_time().as_secs_f64());
+        println!("rail voltage over 60 s:");
+        print!(
+            "{}",
+            capy_bench::plot::line_chart(&[("V(t)", detail.trace.clone())], 64, 10)
+        );
+        println!();
+    }
+    sweep_footer(&report);
     println!("Expected shape: the low-capacity panel shows short charge");
     println!("cycles, steady samples, and only failed packets; the");
     println!("high-capacity panel completes packets but spends long spans");

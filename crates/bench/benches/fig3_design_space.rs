@@ -8,12 +8,19 @@
 //! left are infeasible (the atomicity requirement exceeds the buffer);
 //! configurations to its right are not reactive (charging longer than
 //! necessary).
+//!
+//! The capacitance axis is a [`SweepSpec`] grid evaluated in parallel by
+//! the sweep engine's `map_points` (the per-point computation is analytic
+//! — no simulator — so the summary-producing `run_sweep` form does not
+//! apply); results are collected in point order, so output is identical
+//! for any worker count.
 
 use capy_bench::figure_header;
 use capy_device::mcu::Mcu;
 use capy_power::booster::OutputBooster;
 use capy_power::capacitor;
-use capy_units::{Farads, Ohms, Volts, Watts};
+use capy_units::{Farads, Ohms, SimTime, Volts, Watts};
+use capybara::sweep::{map_points, SweepSpec};
 
 fn main() {
     figure_header(
@@ -31,21 +38,21 @@ fn main() {
         "C(uF)", "Mops", "recharge@1mW(s)"
     );
     // Log sweep over 10² .. 10⁴ µF, the paper's x-axis.
-    let mut rows = Vec::new();
-    for i in 0..=24 {
-        let c_uf = 100.0 * 10f64.powf(f64::from(i) / 12.0);
+    let caps: Vec<f64> = (0..=24)
+        .map(|i| 100.0 * 10f64.powf(f64::from(i) / 12.0))
+        .collect();
+    let spec = SweepSpec::new("fig3", SimTime::ZERO).grid("c_uf", &caps);
+    let rows: Vec<(f64, f64, f64)> = map_points(&spec, |point| {
+        let c_uf = point.expect_param("c_uf");
         let c = Farads::from_micro(c_uf);
         let (on_time, _) = capacitor::sustain_time(c, Ohms::ZERO, v_full, p, v_min);
         let mops = on_time.as_secs_f64() * mcu.ops_per_second() / 1e6;
         let recharge =
             capacitor::time_to_charge(c, v_min, v_full, Watts::from_milli(1.0) * 0.8);
-        println!(
-            "{:>12.0} {:>12.3} {:>16.1}",
-            c_uf,
-            mops,
-            recharge.as_secs_f64()
-        );
-        rows.push((c_uf, mops));
+        (c_uf, mops, recharge.as_secs_f64())
+    });
+    for &(c_uf, mops, recharge) in &rows {
+        println!("{c_uf:>12.0} {mops:>12.3} {recharge:>16.1}");
     }
 
     // Anchor checks against the paper's curve.

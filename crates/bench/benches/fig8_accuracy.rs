@@ -15,8 +15,7 @@ use capy_apps::metrics::{accuracy_fractions, classify_reported, AccuracyBreakdow
 use capy_apps::{csr, ta};
 use capy_bench::{figure_header, pct, FIGURE_SEED};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 fn print_row(system: &str, f: AccuracyBreakdown) {
     println!(
@@ -36,7 +35,7 @@ fn main() {
         "system", "corr", "miscl", "prox", "miss"
     );
 
-    let ta_events = ta_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    let ta_events = ta_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     println!("TempAlarm (50 events / 120 min):");
     for v in Variant::ALL {
         let r = ta::run(v, ta_events.clone(), FIGURE_SEED);
@@ -46,7 +45,7 @@ fn main() {
         );
     }
 
-    let grc_events = grc_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    let grc_events = grc_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     for gv in [GrcVariant::Fast, GrcVariant::Compact] {
         println!("{} (80 events / 42 min):", gv.label());
         for v in Variant::ALL {

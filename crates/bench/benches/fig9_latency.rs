@@ -15,8 +15,7 @@ use capy_apps::{csr, ta};
 use capy_bench::{figure_header, FIGURE_SEED};
 use capy_units::{SimDuration, SimTime};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 fn print_row(system: &str, stats: Option<LatencyStats>) {
     match stats {
@@ -51,7 +50,7 @@ fn main() {
         "system", "n", "mean", "median", "p95", "max"
     );
 
-    let ta_events = ta_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    let ta_events = ta_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     let reference = ta::run(Variant::Continuous, ta_events.clone(), FIGURE_SEED);
     println!("TempAlarm (latency vs continuously-powered reference):");
     for v in Variant::ALL {
@@ -60,7 +59,7 @@ fn main() {
         print_row(v.label(), latency_stats(&lats));
     }
 
-    let grc_events = grc_schedule(&mut StdRng::seed_from_u64(FIGURE_SEED));
+    let grc_events = grc_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     for gv in [GrcVariant::Fast, GrcVariant::Compact] {
         println!("{} (latency vs pendulum actuation):", gv.label());
         for v in Variant::ALL {

@@ -1,10 +1,14 @@
-//! Criterion performance benches for the simulator substrate itself:
-//! analytic charging, ESR-aware discharge, and a full Temperature Alarm
-//! minute. These guard the hybrid analytic/adaptive integration strategy
-//! that keeps multi-hour experiments fast.
+//! Performance benches for the simulator substrate itself: analytic
+//! charging, ESR-aware discharge, and a full Temperature Alarm minute.
+//! These guard the hybrid analytic/adaptive integration strategy that
+//! keeps multi-hour experiments fast.
+//!
+//! Self-contained timing harness (no external bench framework): each
+//! case is warmed up, then run for a fixed wall-time budget, and the
+//! per-iteration time is reported as ns/iter with min/mean.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use capy_apps::ta;
 use capy_power::capacitor;
@@ -12,64 +16,89 @@ use capy_power::prelude::*;
 use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
 use capybara::variant::Variant;
 
-fn bench_charge(c: &mut Criterion) {
-    c.bench_function("power_system_charge_until_full", |b| {
-        let bank = Bank::builder("bench")
-            .with(parts::ceramic_x5r_400uf())
-            .with(parts::tantalum_330uf())
-            .build();
-        let sys = PowerSystem::builder()
-            .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
-            .bank(bank, SwitchKind::NormallyClosed)
-            .build();
-        b.iter(|| {
-            let mut sys = sys.clone();
-            let mut now = SimTime::ZERO;
-            black_box(sys.charge_until_full(&mut now).expect("charges"));
-        });
+/// Times `f` for ~`budget` of wall time (after a warm-up) and prints a
+/// stable one-line report.
+fn bench_function<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) {
+    // Warm-up: let caches, branch predictors, and the allocator settle.
+    let warmup_end = Instant::now() + budget / 10;
+    while Instant::now() < warmup_end {
+        black_box(f());
+    }
+
+    let mut iters: u64 = 0;
+    let mut best = Duration::MAX;
+    let started = Instant::now();
+    while started.elapsed() < budget {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        best = best.min(dt);
+        iters += 1;
+    }
+    let mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "{name:<36} {iters:>9} iters   mean {:>12.0} ns/iter   min {:>12} ns",
+        mean_ns,
+        best.as_nanos()
+    );
+}
+
+const BUDGET: Duration = Duration::from_millis(500);
+
+fn bench_charge() {
+    let bank = Bank::builder("bench")
+        .with(parts::ceramic_x5r_400uf())
+        .with(parts::tantalum_330uf())
+        .build();
+    let sys = PowerSystem::builder()
+        .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+        .bank(bank, SwitchKind::NormallyClosed)
+        .build();
+    bench_function("power_system_charge_until_full", BUDGET, || {
+        let mut sys = sys.clone();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).expect("charges")
     });
 }
 
-fn bench_discharge(c: &mut Criterion) {
-    c.bench_function("esr_discharge_deep", |b| {
-        b.iter(|| {
-            black_box(capacitor::discharge(
-                Farads::from_milli(11.0),
-                Ohms::new(120.0),
-                Volts::new(2.8),
-                Watts::from_milli(4.0),
-                Volts::new(0.9),
-                SimDuration::from_secs(10),
-            ))
-        });
+fn bench_discharge() {
+    bench_function("esr_discharge_deep", BUDGET, || {
+        capacitor::discharge(
+            Farads::from_milli(11.0),
+            Ohms::new(120.0),
+            Volts::new(2.8),
+            Watts::from_milli(4.0),
+            Volts::new(0.9),
+            SimDuration::from_secs(10),
+        )
     });
-    c.bench_function("esr_discharge_shallow", |b| {
-        b.iter(|| {
-            black_box(capacitor::discharge(
-                Farads::from_milli(11.0),
-                Ohms::new(120.0),
-                Volts::new(2.8),
-                Watts::from_milli(1.0),
-                Volts::new(0.9),
-                SimDuration::from_millis(10),
-            ))
-        });
+    bench_function("esr_discharge_shallow", BUDGET, || {
+        capacitor::discharge(
+            Farads::from_milli(11.0),
+            Ohms::new(120.0),
+            Volts::new(2.8),
+            Watts::from_milli(1.0),
+            Volts::new(0.9),
+            SimDuration::from_millis(10),
+        )
     });
 }
 
-fn bench_ta_minute(c: &mut Criterion) {
-    c.bench_function("temp_alarm_one_minute_capy_p", |b| {
-        let events = vec![SimTime::from_secs(30)];
-        b.iter(|| {
-            black_box(ta::run_for(
-                Variant::CapyP,
-                events.clone(),
-                7,
-                SimTime::from_secs(60),
-            ))
-        });
+fn bench_ta_minute() {
+    let events = vec![SimTime::from_secs(30)];
+    bench_function("temp_alarm_one_minute_capy_p", BUDGET, || {
+        ta::run_for(
+            Variant::CapyP,
+            events.clone(),
+            7,
+            SimTime::from_secs(60),
+        )
     });
 }
 
-criterion_group!(benches, bench_charge, bench_discharge, bench_ta_minute);
-criterion_main!(benches);
+fn main() {
+    println!("sim_throughput: substrate micro-benchmarks");
+    bench_charge();
+    bench_discharge();
+    bench_ta_minute();
+}

@@ -7,15 +7,22 @@
 //! gracefully (its small mode keeps sampling on weak input; only alarm
 //! latency suffers) while the Fixed system falls off a cliff once its big
 //! buffer cannot recharge between events.
+//!
+//! The (irradiance, variant) grid is a [`SweepSpec`] run in parallel by
+//! `run_sweep_with`; every point rebuilds the same event schedule from
+//! the shared figure seed, so output is worker-count independent.
 
 use capy_apps::events::poisson_events;
 use capy_apps::metrics::{accuracy_fractions, classify_reported};
 use capy_apps::ta;
-use capy_bench::{figure_header, FIGURE_SEED};
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
+use capybara::sweep::{run_sweep_with, SweepSpec};
 use capybara::variant::Variant;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const IRRADIANCES: [f64; 5] = [0.15, 0.25, 0.42, 0.7, 1.0];
+const VARIANTS: [Variant; 3] = [Variant::Fixed, Variant::CapyR, Variant::CapyP];
 
 fn main() {
     figure_header(
@@ -23,7 +30,7 @@ fn main() {
         "TA detection accuracy vs harvested input power",
     );
     let mut events = poisson_events(
-        &mut StdRng::seed_from_u64(FIGURE_SEED),
+        &mut DetRng::seed_from_u64(FIGURE_SEED),
         SimDuration::from_secs(144),
         25,
         SimDuration::from_secs(45),
@@ -31,25 +38,40 @@ fn main() {
     capy_apps::events::fit_span(&mut events, SimDuration::from_secs(3_500));
     let horizon = SimTime::from_secs(3_600);
 
+    let mut spec = SweepSpec::new("input-power", horizon).base_seed(FIGURE_SEED);
+    for &irr in &IRRADIANCES {
+        for (vi, v) in VARIANTS.iter().enumerate() {
+            spec = spec.point(
+                format!("irr={irr} {}", v.label()),
+                &[("irradiance", irr), ("variant", vi as f64)],
+            );
+        }
+    }
+
+    let events_ref = &events;
+    let (report, correct) = run_sweep_with(&spec, |point| {
+        let v = VARIANTS[point.expect_param("variant") as usize];
+        let mut sim = ta::build(v, events_ref.clone(), FIGURE_SEED);
+        sim.power_mut()
+            .harvester_mut()
+            .set_irradiance(point.expect_param("irradiance"));
+        sim.run_until(horizon);
+        let f = accuracy_fractions(&classify_reported(events_ref.len(), &sim.ctx().packets));
+        (sim, f.correct)
+    });
+
     println!(
         "{:>16} {:>8} {:>8} {:>8}",
         "irradiance", "Fixed", "CB-R", "CB-P"
     );
-    for irradiance in [0.15, 0.25, 0.42, 0.7, 1.0] {
-        let mut cols = Vec::new();
-        for v in [Variant::Fixed, Variant::CapyR, Variant::CapyP] {
-            let mut sim = ta::build(v, events.clone(), FIGURE_SEED);
-            sim.power_mut().harvester_mut().set_irradiance(irradiance);
-            sim.run_until(horizon);
-            let packets = sim.ctx().packets.clone();
-            let f = accuracy_fractions(&classify_reported(events.len(), &packets));
-            cols.push(f.correct);
-        }
+    for (row, &irr) in IRRADIANCES.iter().enumerate() {
+        let cols = &correct[row * VARIANTS.len()..(row + 1) * VARIANTS.len()];
         println!(
             "{:>16.2} {:>8.2} {:>8.2} {:>8.2}",
-            irradiance, cols[0], cols[1], cols[2]
+            irr, cols[0], cols[1], cols[2]
         );
     }
+    sweep_footer(&report);
     println!();
     println!("Expected shape: all systems lose accuracy as input power drops.");
     println!("Capy-P degrades most gracefully: its off-critical-path precharge");

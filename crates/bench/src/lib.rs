@@ -11,6 +11,8 @@
 
 pub mod plot;
 
+use capybara::sweep::SweepReport;
+
 /// The seed used by every figure bench, so the printed numbers are
 /// reproducible run to run.
 pub const FIGURE_SEED: u64 = 0xCA9B_2018;
@@ -26,6 +28,23 @@ pub fn figure_header(id: &str, caption: &str) {
 #[must_use]
 pub fn pct(x: f64) -> String {
     format!("{:5.1}%", x * 100.0)
+}
+
+/// Prints the standard one-line sweep trailer. The line starts with `#`
+/// so plot scripts consuming the bench's stable rows skip it; the wall
+/// time and worker count are the only nondeterministic fields any figure
+/// bench emits.
+pub fn sweep_footer(report: &SweepReport) {
+    println!(
+        "# sweep '{}': {} runs on {} workers in {:.0} ms ({} completions, {} power failures, {:.1} s simulated charging)",
+        report.name,
+        report.runs.len(),
+        report.workers,
+        report.wall.as_secs_f64() * 1e3,
+        report.total_completions(),
+        report.total_power_failures(),
+        report.total_charge_time().as_secs_f64(),
+    );
 }
 
 #[cfg(test)]

@@ -371,6 +371,7 @@ mod tests {
     use super::*;
     use capy_device::load::LoadPhase;
     use capy_power::technology::Technology;
+    use capy_units::rng::DetRng;
     use capy_units::{SimDuration, Watts};
 
     fn load(ms: u64, mw: f64) -> TaskLoad {
@@ -526,31 +527,26 @@ mod tests {
         assert!(plan.total_volume_mm3() > 0.0);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
-
-        /// For arbitrary feasible demand sets, every planned mode sustains
-        /// its demand through the discharge model.
-        #[test]
-        fn prop_every_mode_sustains(
-            energies in proptest::collection::vec((5u64..2_000, 1u64..30), 1..5),
-        ) {
-            let demands: Vec<TaskDemand> = energies
-                .iter()
-                .enumerate()
-                .map(|(i, (ms, mw))| {
-                    TaskDemand::new(
-                        ["a", "b", "c", "d", "e"][i],
-                        load(*ms, *mw as f64),
-                    )
+    /// For arbitrary feasible demand sets, every planned mode sustains
+    /// its demand through the discharge model.
+    #[test]
+    fn prop_every_mode_sustains() {
+        let mut rng = DetRng::seed_from_u64(0xa110c);
+        for _ in 0..48 {
+            let n = rng.gen_range(1usize..5);
+            let demands: Vec<TaskDemand> = (0..n)
+                .map(|i| {
+                    let ms = rng.gen_range(5u64..2_000);
+                    let mw = rng.gen_range(1u64..30);
+                    TaskDemand::new(["a", "b", "c", "d", "e"][i], load(ms, mw as f64))
                 })
                 .collect();
             let opts = AllocationOptions::default();
             let b = booster();
             let plan = match allocate(&demands, &b, &opts) {
                 Ok(p) => p,
-                Err(AllocateError::Infeasible { .. }) => return Ok(()),
-                Err(e) => return Err(proptest::prelude::TestCaseError::fail(e.to_string())),
+                Err(AllocateError::Infeasible { .. }) => continue,
+                Err(e) => panic!("{e}"),
             };
             for (i, d) in demands.iter().enumerate() {
                 let slice: Vec<PlannedBank> = plan.modes[i]
@@ -559,32 +555,34 @@ mod tests {
                     .collect();
                 let c: Farads = slice.iter().map(PlannedBank::capacitance).sum();
                 let esr = parallel_esr(&slice);
-                proptest::prop_assert!(
+                assert!(
                     mode_sustains(c, esr, &d.load, &b, opts.full_voltage),
-                    "mode {} under-provisioned", i
+                    "mode {i} under-provisioned"
                 );
             }
         }
+    }
 
-        /// Modes form a nested chain: any two modes are subset-related.
-        #[test]
-        fn prop_modes_are_nested(
-            energies in proptest::collection::vec((5u64..2_000, 1u64..30), 2..5),
-        ) {
-            let demands: Vec<TaskDemand> = energies
-                .iter()
-                .enumerate()
-                .map(|(i, (ms, mw))| {
-                    TaskDemand::new(["a", "b", "c", "d", "e"][i], load(*ms, *mw as f64))
+    /// Modes form a nested chain: any two modes are subset-related.
+    #[test]
+    fn prop_modes_are_nested() {
+        let mut rng = DetRng::seed_from_u64(0xa110d);
+        for _ in 0..48 {
+            let n = rng.gen_range(2usize..5);
+            let demands: Vec<TaskDemand> = (0..n)
+                .map(|i| {
+                    let ms = rng.gen_range(5u64..2_000);
+                    let mw = rng.gen_range(1u64..30);
+                    TaskDemand::new(["a", "b", "c", "d", "e"][i], load(ms, mw as f64))
                 })
                 .collect();
             let Ok(plan) = allocate(&demands, &booster(), &AllocationOptions::default()) else {
-                return Ok(());
+                continue;
             };
             for m in &plan.modes {
                 // Each mode is a prefix of the bank list.
                 let expected: Vec<BankId> = (0..m.len()).map(BankId).collect();
-                proptest::prop_assert_eq!(m.clone(), expected);
+                assert_eq!(m.clone(), expected);
             }
         }
     }

@@ -83,6 +83,7 @@ pub mod mode;
 pub mod provision;
 pub mod runtime;
 pub mod sim;
+pub mod sweep;
 pub mod variant;
 
 pub use annotation::TaskEnergy;
@@ -96,7 +97,10 @@ pub mod prelude {
     pub use crate::annotation::TaskEnergy;
     pub use crate::mode::{EnergyMode, ModeTable};
     pub use crate::provision::{provision_bank_units, ProvisioningReport};
-    pub use crate::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder, StepResult};
+    pub use crate::sim::{BuildError, SimContext, SimEvent, Simulator, SimulatorBuilder, StepResult};
+    pub use crate::sweep::{
+        run_sweep, run_sweep_with, RunSummary, SweepPoint, SweepReport, SweepRun, SweepSpec,
+    };
     pub use crate::variant::Variant;
 
     pub use capy_device::load::{LoadPhase, TaskLoad};

@@ -104,8 +104,10 @@ pub enum SimEvent {
 /// 1. events are time-ordered;
 /// 2. every `Charge` is followed by a `Boot` (the device boots when the
 ///    buffer fills) unless the log ends or the run stalled;
-/// 3. `BurstActivated` is never directly preceded by a `Charge` ending at
-///    the same instant (bursts exist to avoid the on-path charge);
+/// 3. `BurstActivated` never comes straight out of an on-path `Charge`
+///    ending at the same instant, even through the boot that charge
+///    produced (bursts exist to avoid the on-path charge; pre-charges
+///    are fine);
 /// 4. at most one `Stalled`, and nothing after it.
 ///
 /// Integration tests run this over every application's timeline.
@@ -144,7 +146,18 @@ pub fn validate_event_log(events: &[SimEvent]) -> Option<String> {
                 }
             }
             SimEvent::BurstActivated { at, .. } => {
-                if let Some(SimEvent::Charge { end, .. }) = i.checked_sub(1).map(|j| &events[j]) {
+                // A charge directly before the burst is already flagged by
+                // the charge-must-boot rule above, so look back through the
+                // boot the charge legitimately produced: `Charge → Boot →
+                // BurstActivated` with no time passing means the burst paid
+                // an on-path charge it exists to avoid.
+                let mut j = i;
+                while j > 0 && matches!(events[j - 1], SimEvent::Boot { .. }) {
+                    j -= 1;
+                }
+                if let Some(SimEvent::Charge { end, precharge: false, .. }) =
+                    j.checked_sub(1).map(|k| &events[k])
+                {
                     if end == at {
                         return Some(format!(
                             "burst at {at} immediately after an on-path charge"
@@ -161,6 +174,40 @@ pub fn validate_event_log(events: &[SimEvent]) -> Option<String> {
     }
     None
 }
+
+/// A structural mistake caught by [`SimulatorBuilder::try_build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The builder holds no tasks; a simulator needs at least one.
+    NoTasks,
+    /// [`SimulatorBuilder::entry`] named a task that was never added.
+    UnknownEntry {
+        /// The name passed to `entry`.
+        name: &'static str,
+    },
+    /// An energy mode references a bank index the power system lacks.
+    BankOutOfRange {
+        /// The out-of-range bank index.
+        bank: usize,
+        /// How many banks the power system actually has.
+        banks: usize,
+    },
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoTasks => write!(f, "a simulator needs at least one task"),
+            Self::UnknownEntry { name } => write!(f, "unknown entry task '{name}'"),
+            Self::BankOutOfRange { bank, banks } => write!(
+                f,
+                "energy mode references bank {bank} but the power system has {banks} banks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// The outcome of one simulator step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -632,29 +679,48 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
     ///
     /// # Panics
     ///
-    /// Panics if no tasks were added, the entry name is unknown, a mode
-    /// references a bank outside the power system, or an annotation
+    /// Panics on any [`BuildError`]; see [`SimulatorBuilder::try_build`]
+    /// for the non-panicking form. Also panics if an annotation
     /// references an unregistered mode.
     #[must_use]
     pub fn build(self, ctx: C) -> Simulator<H, C> {
-        assert!(!self.metas.is_empty(), "a simulator needs at least one task");
+        self.try_build(ctx).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finishes the simulator, reporting structural mistakes as a typed
+    /// [`BuildError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NoTasks`] for an empty task graph,
+    /// [`BuildError::UnknownEntry`] when [`SimulatorBuilder::entry`]
+    /// named no registered task, and [`BuildError::BankOutOfRange`] when
+    /// a mode references a bank the power system does not have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an annotation references an unregistered mode (see
+    /// [`validate_annotations`]).
+    pub fn try_build(self, ctx: C) -> Result<Simulator<H, C>, BuildError> {
+        if self.metas.is_empty() {
+            return Err(BuildError::NoTasks);
+        }
         if let Some(max) = self.modes.max_bank_index() {
-            assert!(
-                max < self.power.bank_count(),
-                "energy mode references bank {max} but the power system has {} banks",
-                self.power.bank_count()
-            );
+            if max >= self.power.bank_count() {
+                return Err(BuildError::BankOutOfRange {
+                    bank: max,
+                    banks: self.power.bank_count(),
+                });
+            }
         }
         let annotations: Vec<TaskEnergy> = self.metas.iter().map(|m| m.energy).collect();
         validate_annotations(&self.modes, &annotations);
 
         let entry = match self.entry {
-            Some(name) => TaskId(
-                self.names
-                    .iter()
-                    .position(|n| *n == name)
-                    .unwrap_or_else(|| panic!("unknown entry task '{name}'")),
-            ),
+            Some(name) => match self.names.iter().position(|n| *n == name) {
+                Some(i) => TaskId(i),
+                None => return Err(BuildError::UnknownEntry { name }),
+            },
             None => TaskId(0),
         };
         let mut graph_builder = TaskGraph::builder();
@@ -664,7 +730,7 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
         let graph = graph_builder.build(entry);
 
         let state = RuntimeState::new(self.modes.len());
-        Simulator {
+        Ok(Simulator {
             variant: self.variant,
             power: self.power,
             mcu: self.mcu,
@@ -681,7 +747,7 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
             trace: self.record_trace.then(Vec::new),
             reconfig_overhead: SimDuration::from_micros(500),
             harvest_during_operation: self.harvest_during_operation,
-        }
+        })
     }
 }
 
@@ -979,6 +1045,176 @@ mod tests {
                 )
                 .entry("nope")
                 .build(counter());
+    }
+
+    fn one_task_builder() -> SimulatorBuilder<ConstantHarvester, Counter> {
+        Simulator::builder(Variant::Fixed, bench_power(), Mcu::msp430fr5969()).task(
+            "t",
+            TaskEnergy::Unannotated,
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(1))),
+            |_c: &mut Counter| Transition::Stop,
+        )
+    }
+
+    fn build_err<H: Harvester, C: SimContext>(
+        result: Result<Simulator<H, C>, BuildError>,
+    ) -> BuildError {
+        match result {
+            Ok(_) => panic!("builder unexpectedly succeeded"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn try_build_reports_unknown_entry_as_typed_error() {
+        let err = build_err(one_task_builder().entry("nope").try_build(counter()));
+        assert_eq!(err, BuildError::UnknownEntry { name: "nope" });
+        assert_eq!(err.to_string(), "unknown entry task 'nope'");
+    }
+
+    #[test]
+    fn try_build_reports_missing_tasks_and_bad_banks() {
+        let no_tasks: Result<Simulator<ConstantHarvester, Counter>, _> =
+            Simulator::builder(Variant::Fixed, bench_power(), Mcu::msp430fr5969())
+                .try_build(counter());
+        assert_eq!(build_err(no_tasks), BuildError::NoTasks);
+
+        let err = build_err(one_task_builder().mode("bad", &[BankId(9)]).try_build(counter()));
+        assert_eq!(err, BuildError::BankOutOfRange { bank: 9, banks: 2 });
+        assert!(err.to_string().contains("references bank 9"));
+    }
+
+    #[test]
+    fn try_build_accepts_a_valid_graph() {
+        let sim = one_task_builder().entry("t").try_build(counter());
+        assert!(sim.is_ok());
+    }
+
+    mod event_log_validation {
+        use super::*;
+
+        fn boot(s: u64) -> SimEvent {
+            SimEvent::Boot {
+                at: SimTime::from_secs(s),
+            }
+        }
+
+        fn charge(start: u64, end: u64) -> SimEvent {
+            SimEvent::Charge {
+                start: SimTime::from_secs(start),
+                end: SimTime::from_secs(end),
+                from: Volts::ZERO,
+                to: Volts::new(2.8),
+                precharge: false,
+            }
+        }
+
+        #[test]
+        fn accepts_a_well_formed_log() {
+            let log = [
+                charge(0, 2),
+                boot(2),
+                SimEvent::Reconfigure {
+                    at: SimTime::from_secs(3),
+                    mode: EnergyMode(1),
+                },
+                SimEvent::BurstActivated {
+                    at: SimTime::from_secs(4),
+                    mode: EnergyMode(1),
+                },
+                SimEvent::PowerFailure {
+                    at: SimTime::from_secs(5),
+                    task: TaskId(0),
+                },
+                charge(5, 7),
+                boot(7),
+                SimEvent::Stalled {
+                    at: SimTime::from_secs(8),
+                },
+            ];
+            assert_eq!(validate_event_log(&log), None);
+        }
+
+        #[test]
+        fn rejects_out_of_order_events() {
+            let log = [boot(5), boot(1)];
+            let err = validate_event_log(&log).expect("must flag regression in time");
+            assert!(err.contains("precedes"), "err = {err}");
+        }
+
+        #[test]
+        fn rejects_charge_ending_before_it_starts() {
+            let log = [charge(4, 1)];
+            let err = validate_event_log(&log).expect("must flag inverted charge");
+            assert!(err.contains("ends before it starts"), "err = {err}");
+        }
+
+        #[test]
+        fn rejects_charge_not_followed_by_boot() {
+            let log = [
+                charge(0, 2),
+                SimEvent::Reconfigure {
+                    at: SimTime::from_secs(3),
+                    mode: EnergyMode(0),
+                },
+            ];
+            let err = validate_event_log(&log).expect("must flag missing boot");
+            assert!(err.contains("instead of a boot"), "err = {err}");
+        }
+
+        #[test]
+        fn rejects_burst_immediately_after_on_path_charge() {
+            let log = [
+                charge(0, 2),
+                boot(2),
+                SimEvent::BurstActivated {
+                    at: SimTime::from_secs(2),
+                    mode: EnergyMode(1),
+                },
+            ];
+            let err = validate_event_log(&log).expect("must flag on-path burst");
+            assert!(err.contains("immediately after"), "err = {err}");
+
+            // A burst after time has passed since boot is fine.
+            let ok = [
+                charge(0, 2),
+                boot(2),
+                SimEvent::BurstActivated {
+                    at: SimTime::from_secs(3),
+                    mode: EnergyMode(1),
+                },
+            ];
+            assert_eq!(validate_event_log(&ok), None);
+
+            // A pre-charge right before the burst is the intended pattern.
+            let precharged = [
+                SimEvent::Charge {
+                    start: SimTime::from_secs(0),
+                    end: SimTime::from_secs(2),
+                    from: Volts::ZERO,
+                    to: Volts::new(2.5),
+                    precharge: true,
+                },
+                boot(2),
+                SimEvent::BurstActivated {
+                    at: SimTime::from_secs(2),
+                    mode: EnergyMode(1),
+                },
+            ];
+            assert_eq!(validate_event_log(&precharged), None);
+        }
+
+        #[test]
+        fn rejects_events_after_a_stall() {
+            let log = [
+                SimEvent::Stalled {
+                    at: SimTime::from_secs(1),
+                },
+                boot(2),
+            ];
+            let err = validate_event_log(&log).expect("must flag post-stall events");
+            assert!(err.contains("after stall"), "err = {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,750 @@
+//! Deterministic parallel parameter sweeps over independent simulations.
+//!
+//! Every figure of the evaluation is an embarrassingly-parallel
+//! exploration of a parameter grid: the same device simulated over many
+//! capacitances, harvester strengths, event densities, and system
+//! variants (§6). This module gives that workload a first-class engine:
+//!
+//! * [`SweepSpec`] names a grid of labeled parameter points, each owning
+//!   a deterministic seed derived from the spec's base seed and the
+//!   point's index;
+//! * [`run_sweep`] shards the points across `available_parallelism()`
+//!   OS threads with [`std::thread::scope`] (no dependencies, no
+//!   runtime) and runs one simulator per point to the spec's horizon;
+//! * [`RunSummary`] condenses each run's [`SimEvent`] log and execution
+//!   statistics into the repo's standard observability record.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical regardless of worker count**. Each
+//! point's simulation depends only on the point itself (its parameters
+//! and its own seed — never on a shared generator), and aggregation is
+//! order-stable by point index. Wall-clock fields are carried for
+//! reporting but excluded from equality, so a [`SweepReport`] compares
+//! equal across runs with different parallelism:
+//!
+//! ```
+//! # use capybara::sweep::SweepSpec;
+//! # use capy_units::SimTime;
+//! let spec = SweepSpec::new("example", SimTime::from_secs(1))
+//!     .grid("c_uf", &[100.0, 330.0])
+//!     .grid("p_mw", &[1.0, 10.0]);
+//! assert_eq!(spec.points().len(), 4);
+//! assert_ne!(spec.points()[0].seed, spec.points()[1].seed);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use capy_power::harvester::Harvester;
+use capy_units::rng::derive_seed;
+use capy_units::{Joules, SimDuration, SimTime};
+
+use crate::sim::{SimContext, SimEvent, Simulator};
+
+/// One labeled point of a parameter grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the spec (also the aggregation order).
+    pub index: usize,
+    /// Human-readable label, e.g. `"c_uf=330 p_mw=1"`.
+    pub label: String,
+    /// Named parameter values.
+    pub params: Vec<(&'static str, f64)>,
+    /// The point's own deterministic seed, derived from the spec's base
+    /// seed and the point index. Thread this into every stochastic model
+    /// the run uses.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// The value of parameter `name`, if the point carries it.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Like [`SweepPoint::param`] but panicking with a clear message —
+    /// for sweep closures where a missing axis is a programming error.
+    #[must_use]
+    pub fn expect_param(&self, name: &str) -> f64 {
+        self.param(name)
+            .unwrap_or_else(|| panic!("sweep point '{}' has no parameter '{name}'", self.label))
+    }
+}
+
+/// A named grid of parameter points plus the horizon each run simulates
+/// to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    name: &'static str,
+    horizon: SimTime,
+    base_seed: u64,
+    points: Vec<SweepPoint>,
+}
+
+/// Default base seed (shared with the figure benches).
+pub const DEFAULT_BASE_SEED: u64 = 0xCA9B_2018;
+
+impl SweepSpec {
+    /// Starts an empty spec; add points with [`SweepSpec::point`] or
+    /// [`SweepSpec::grid`].
+    #[must_use]
+    pub fn new(name: &'static str, horizon: SimTime) -> Self {
+        Self {
+            name,
+            horizon,
+            base_seed: DEFAULT_BASE_SEED,
+            points: Vec::new(),
+        }
+    }
+
+    /// Replaces the base seed (and re-derives every point's seed).
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self.reseed();
+        self
+    }
+
+    /// Appends one explicit point.
+    #[must_use]
+    pub fn point(mut self, label: impl Into<String>, params: &[(&'static str, f64)]) -> Self {
+        let index = self.points.len();
+        self.points.push(SweepPoint {
+            index,
+            label: label.into(),
+            params: params.to_vec(),
+            seed: derive_seed(self.base_seed, index as u64),
+        });
+        self
+    }
+
+    /// Crosses the existing points with a new axis: every current point
+    /// is replicated once per value of `axis`. On an empty spec this
+    /// creates one point per value. Labels compose as `"axis=value"`
+    /// fragments; seeds are re-derived from the final indices.
+    #[must_use]
+    pub fn grid(mut self, axis: &'static str, values: &[f64]) -> Self {
+        let fmt = |v: f64| {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{axis}={v:.0}")
+            } else {
+                format!("{axis}={v}")
+            }
+        };
+        if self.points.is_empty() {
+            for &v in values {
+                let index = self.points.len();
+                self.points.push(SweepPoint {
+                    index,
+                    label: fmt(v),
+                    params: vec![(axis, v)],
+                    seed: 0,
+                });
+            }
+        } else {
+            let base = std::mem::take(&mut self.points);
+            for p in &base {
+                for &v in values {
+                    let index = self.points.len();
+                    let mut params = p.params.clone();
+                    params.push((axis, v));
+                    self.points.push(SweepPoint {
+                        index,
+                        label: format!("{} {}", p.label, fmt(v)),
+                        params,
+                        seed: 0,
+                    });
+                }
+            }
+        }
+        self.reseed();
+        self
+    }
+
+    fn reseed(&mut self) {
+        for p in &mut self.points {
+            p.seed = derive_seed(self.base_seed, p.index as u64);
+        }
+    }
+
+    /// The spec's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The simulated horizon each run executes to.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// The grid points, in aggregation order.
+    #[must_use]
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+}
+
+/// The condensed observability record of one simulation run, extracted
+/// from the [`SimEvent`] log plus the execution machine's statistics.
+///
+/// `wall` is measured, not simulated, and is therefore **excluded from
+/// equality** — two summaries of the same deterministic run compare
+/// equal no matter how long the host took.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Device boots (buffer full, or continuous start).
+    pub boots: u64,
+    /// On-path charge pauses (excludes pre-charges).
+    pub charges: u64,
+    /// Burst pre-charges (off the critical path).
+    pub precharges: u64,
+    /// Bank-array reconfigurations.
+    pub reconfigurations: u64,
+    /// Burst activations.
+    pub bursts: u64,
+    /// Intermittent power failures.
+    pub power_failures: u64,
+    /// `true` when the run ended in a harvester stall.
+    pub stalled: bool,
+    /// Total simulated time spent charging (device off).
+    pub charge_time: SimDuration,
+    /// Task attempts (completions + failures).
+    pub attempts: u64,
+    /// Events completed: task executions that ran to completion and
+    /// committed.
+    pub completions: u64,
+    /// Attempts cut short by power failure.
+    pub failures: u64,
+    /// Power-on reboots observed by the execution machine.
+    pub reboots: u64,
+    /// Energy the power system delivered to the load over the run.
+    pub delivered_energy: Joules,
+    /// Simulated time at the end of the run.
+    pub end: SimTime,
+    /// Host wall-clock time the run took (excluded from equality).
+    pub wall: Duration,
+}
+
+impl PartialEq for RunSummary {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `wall`, which is nondeterministic.
+        self.boots == other.boots
+            && self.charges == other.charges
+            && self.precharges == other.precharges
+            && self.reconfigurations == other.reconfigurations
+            && self.bursts == other.bursts
+            && self.power_failures == other.power_failures
+            && self.stalled == other.stalled
+            && self.charge_time == other.charge_time
+            && self.attempts == other.attempts
+            && self.completions == other.completions
+            && self.failures == other.failures
+            && self.reboots == other.reboots
+            && self.delivered_energy == other.delivered_energy
+            && self.end == other.end
+    }
+}
+
+impl RunSummary {
+    /// Tallies the event-log-derived fields from a recorded timeline.
+    /// (Execution statistics and energy accounting stay zero; use
+    /// [`RunSummary::from_sim`] for the full record.)
+    #[must_use]
+    pub fn from_events(events: &[SimEvent]) -> Self {
+        let mut s = Self::default();
+        for e in events {
+            match e {
+                SimEvent::Boot { .. } => s.boots += 1,
+                SimEvent::Reconfigure { .. } => s.reconfigurations += 1,
+                SimEvent::BurstActivated { .. } => s.bursts += 1,
+                SimEvent::PowerFailure { .. } => s.power_failures += 1,
+                SimEvent::Stalled { .. } => s.stalled = true,
+                SimEvent::Charge {
+                    start,
+                    end,
+                    precharge,
+                    ..
+                } => {
+                    if *precharge {
+                        s.precharges += 1;
+                    } else {
+                        s.charges += 1;
+                    }
+                    s.charge_time = s.charge_time.saturating_add(*end - *start);
+                }
+            }
+        }
+        s
+    }
+
+    /// The full record for a finished simulator, with `wall` as measured
+    /// by the caller.
+    #[must_use]
+    pub fn from_sim<H: Harvester, C: SimContext>(sim: &Simulator<H, C>, wall: Duration) -> Self {
+        let mut s = Self::from_events(sim.events());
+        let stats = sim.exec_stats();
+        s.attempts = stats.attempts;
+        s.completions = stats.completions;
+        s.failures = stats.failures;
+        s.reboots = stats.reboots;
+        s.delivered_energy = sim.power().energy_delivered();
+        s.end = sim.now();
+        s.wall = wall;
+        s
+    }
+
+    /// Mean duration of a charge pause (on-path and pre-charges).
+    #[must_use]
+    pub fn mean_charge_time(&self) -> SimDuration {
+        self.charge_time
+            .as_micros()
+            .checked_div(self.charges + self.precharges)
+            .map_or(SimDuration::ZERO, SimDuration::from_micros)
+    }
+
+    /// Fraction of simulated time the device spent charging.
+    #[must_use]
+    pub fn charge_fraction(&self) -> f64 {
+        if self.end == SimTime::ZERO {
+            0.0
+        } else {
+            self.charge_time.as_secs_f64() / self.end.as_secs_f64()
+        }
+    }
+}
+
+/// One run of a sweep: the point that parameterized it and its summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// The parameter point.
+    pub point: SweepPoint,
+    /// The run's observability record.
+    pub summary: RunSummary,
+}
+
+/// The order-stable result of a sweep. Equality ignores wall-clock and
+/// worker count, so reports from runs with different parallelism compare
+/// equal.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The spec's name.
+    pub name: &'static str,
+    /// One run per spec point, in point-index order.
+    pub runs: Vec<SweepRun>,
+    /// Number of worker threads used (excluded from equality).
+    pub workers: usize,
+    /// Total host wall-clock time (excluded from equality).
+    pub wall: Duration,
+}
+
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.runs == other.runs
+    }
+}
+
+impl SweepReport {
+    /// The run for the point labeled `label`, if present.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<&SweepRun> {
+        self.runs.iter().find(|r| r.point.label == label)
+    }
+
+    /// Total completed events across every run.
+    #[must_use]
+    pub fn total_completions(&self) -> u64 {
+        self.runs.iter().map(|r| r.summary.completions).sum()
+    }
+
+    /// Total power failures across every run.
+    #[must_use]
+    pub fn total_power_failures(&self) -> u64 {
+        self.runs.iter().map(|r| r.summary.power_failures).sum()
+    }
+
+    /// Total simulated charge time across every run.
+    #[must_use]
+    pub fn total_charge_time(&self) -> SimDuration {
+        self.runs.iter().fold(SimDuration::ZERO, |acc, r| {
+            acc.saturating_add(r.summary.charge_time)
+        })
+    }
+
+    /// Total energy delivered to loads across every run.
+    #[must_use]
+    pub fn total_delivered_energy(&self) -> Joules {
+        self.runs
+            .iter()
+            .fold(Joules::ZERO, |acc, r| acc + r.summary.delivered_energy)
+    }
+}
+
+/// The sweep engine's default worker count: one per available core.
+#[must_use]
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every point of `spec` across `workers` scoped threads
+/// and returns the results **in point order**. The closure sees only the
+/// point (parameters + seed), so the output is identical for any worker
+/// count; work is claimed dynamically, so uneven run times still load-
+/// balance.
+pub fn map_points_on<R, F>(spec: &SweepSpec, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SweepPoint) -> R + Sync,
+{
+    let points = spec.points();
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return points.iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&points[i]);
+                *slots[i].lock().expect("no panics while holding the slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panics propagate out of the scope")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// [`map_points_on`] with [`available_workers`].
+pub fn map_points<R, F>(spec: &SweepSpec, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SweepPoint) -> R + Sync,
+{
+    map_points_on(spec, available_workers(), f)
+}
+
+/// Runs one simulator per point in parallel, each to the spec's horizon,
+/// and also returns the caller's per-point extract (trace excerpts,
+/// application metrics, …) alongside the standard summaries.
+///
+/// `run` receives the point and returns the simulator plus its extract;
+/// the engine measures wall time around the whole closure and then tops
+/// the simulator up to the spec's horizon. A closure that needs a
+/// point-specific horizon may advance the simulator itself before
+/// returning — `run_until` is monotone, so a spec horizon at or below
+/// the already-simulated time leaves the run untouched.
+pub fn run_sweep_with<H, C, R, F>(spec: &SweepSpec, run: F) -> (SweepReport, Vec<R>)
+where
+    H: Harvester,
+    C: SimContext,
+    R: Send,
+    F: Fn(&SweepPoint) -> (Simulator<H, C>, R) + Sync,
+{
+    run_sweep_with_on(spec, available_workers(), run)
+}
+
+/// [`run_sweep_with`] pinned to an explicit worker count (used by the
+/// determinism tests; prefer [`run_sweep_with`]).
+pub fn run_sweep_with_on<H, C, R, F>(
+    spec: &SweepSpec,
+    workers: usize,
+    run: F,
+) -> (SweepReport, Vec<R>)
+where
+    H: Harvester,
+    C: SimContext,
+    R: Send,
+    F: Fn(&SweepPoint) -> (Simulator<H, C>, R) + Sync,
+{
+    let started = Instant::now();
+    let horizon = spec.horizon();
+    let outcomes = map_points_on(spec, workers, |point| {
+        let t0 = Instant::now();
+        let (mut sim, extract) = run(point);
+        sim.run_until(horizon);
+        (RunSummary::from_sim(&sim, t0.elapsed()), extract)
+    });
+    let mut runs = Vec::with_capacity(outcomes.len());
+    let mut extracts = Vec::with_capacity(outcomes.len());
+    for (point, (summary, extract)) in spec.points().iter().zip(outcomes) {
+        runs.push(SweepRun {
+            point: point.clone(),
+            summary,
+        });
+        extracts.push(extract);
+    }
+    let report = SweepReport {
+        name: spec.name(),
+        runs,
+        workers: workers.clamp(1, spec.points().len().max(1)),
+        wall: started.elapsed(),
+    };
+    (report, extracts)
+}
+
+/// Runs a grid of simulations in parallel: builds one simulator per
+/// point with `build`, runs each to the spec's horizon, and aggregates
+/// the per-run [`RunSummary`]s in point order.
+pub fn run_sweep<H, C, F>(spec: &SweepSpec, build: F) -> SweepReport
+where
+    H: Harvester,
+    C: SimContext,
+    F: Fn(&SweepPoint) -> Simulator<H, C> + Sync,
+{
+    run_sweep_on(spec, available_workers(), build)
+}
+
+/// [`run_sweep`] pinned to an explicit worker count.
+pub fn run_sweep_on<H, C, F>(spec: &SweepSpec, workers: usize, build: F) -> SweepReport
+where
+    H: Harvester,
+    C: SimContext,
+    F: Fn(&SweepPoint) -> Simulator<H, C> + Sync,
+{
+    run_sweep_with_on(spec, workers, |point| (build(point), ())).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::TaskEnergy;
+    use crate::mode::EnergyMode;
+    use crate::variant::Variant;
+    use capy_device::load::TaskLoad;
+    use capy_device::mcu::Mcu;
+    use capy_intermittent::nv::{NvState, NvVar};
+    use capy_intermittent::task::Transition;
+    use capy_power::bank::{Bank, BankId};
+    use capy_power::harvester::ConstantHarvester;
+    use capy_power::switch::SwitchKind;
+    use capy_power::system::PowerSystem;
+    use capy_power::technology::parts;
+    use capy_units::{Volts, Watts};
+
+    struct Ctx {
+        n: NvVar<u64>,
+    }
+
+    impl NvState for Ctx {
+        fn commit_all(&mut self) {
+            self.n.commit();
+        }
+        fn abort_all(&mut self) {
+            self.n.abort();
+        }
+    }
+
+    impl SimContext for Ctx {
+        fn set_now(&mut self, _now: SimTime) {}
+    }
+
+    fn sampler(harvest_uw: f64, task_ms: u64) -> Simulator<ConstantHarvester, Ctx> {
+        let power = PowerSystem::builder()
+            .harvester(ConstantHarvester::new(
+                Watts::from_micro(harvest_uw),
+                Volts::new(3.0),
+            ))
+            .bank(
+                Bank::builder("small")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
+                SwitchKind::NormallyClosed,
+            )
+            .bank(
+                Bank::builder("big").with(parts::edlc_7_5mf()).build(),
+                SwitchKind::NormallyOpen,
+            )
+            .build();
+        Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+            .mode("small", &[BankId(0)])
+            .mode("big", &[BankId(1)])
+            .task(
+                "sample",
+                TaskEnergy::Config(EnergyMode(0)),
+                move |_, mcu| {
+                    TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(task_ms)))
+                },
+                |c: &mut Ctx| {
+                    c.n.update(|x| x + 1);
+                    Transition::Stay
+                },
+            )
+            .build(Ctx { n: NvVar::new(0) })
+    }
+
+    fn demo_spec() -> SweepSpec {
+        SweepSpec::new("demo", SimTime::from_secs(10))
+            .grid("harvest_uw", &[500.0, 2_000.0, 10_000.0])
+            .grid("task_ms", &[5.0, 20.0, 80.0])
+    }
+
+    fn build(point: &SweepPoint) -> Simulator<ConstantHarvester, Ctx> {
+        sampler(point.expect_param("harvest_uw"), point.expect_param("task_ms") as u64)
+    }
+
+    #[test]
+    fn grid_crosses_axes_and_labels_points() {
+        let spec = demo_spec();
+        assert_eq!(spec.points().len(), 9);
+        assert_eq!(spec.points()[0].label, "harvest_uw=500 task_ms=5");
+        assert_eq!(spec.points()[8].label, "harvest_uw=10000 task_ms=80");
+        assert_eq!(spec.points()[4].expect_param("task_ms"), 20.0);
+        for (i, p) in spec.points().iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn point_seeds_are_unique_and_stable() {
+        let a = demo_spec();
+        let b = demo_spec();
+        for (pa, pb) in a.points().iter().zip(b.points()) {
+            assert_eq!(pa.seed, pb.seed);
+        }
+        let mut seeds: Vec<u64> = a.points().iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 9, "seeds must be pairwise distinct");
+        let reseeded = demo_spec().base_seed(7);
+        assert_ne!(reseeded.points()[0].seed, a.points()[0].seed);
+    }
+
+    #[test]
+    fn report_is_identical_for_one_and_many_workers() {
+        let spec = demo_spec();
+        let serial = run_sweep_on(&spec, 1, build);
+        let parallel = run_sweep_on(&spec, available_workers().max(4), build);
+        assert_eq!(serial, parallel);
+        // Point order is preserved, not completion order.
+        for (run, point) in serial.runs.iter().zip(spec.points()) {
+            assert_eq!(run.point, *point);
+        }
+    }
+
+    #[test]
+    fn summaries_reflect_simulation_activity() {
+        let spec = SweepSpec::new("one", SimTime::from_secs(30)).grid("harvest_uw", &[2_000.0]);
+        let report = run_sweep(&spec, |p| sampler(p.expect_param("harvest_uw"), 20));
+        let s = &report.runs[0].summary;
+        assert!(s.completions > 0);
+        assert_eq!(s.attempts, s.completions + s.failures);
+        assert!(s.charges > 0);
+        assert!(s.charge_time > SimDuration::ZERO);
+        assert!(s.boots > 0);
+        assert!(!s.stalled);
+        assert!(s.delivered_energy > Joules::ZERO);
+        assert!(s.end >= SimTime::from_secs(30));
+        assert!(s.charge_fraction() > 0.0 && s.charge_fraction() < 1.0);
+        assert!(s.mean_charge_time() > SimDuration::ZERO);
+        assert_eq!(report.total_completions(), s.completions);
+    }
+
+    #[test]
+    fn run_summary_from_events_tallies_every_kind() {
+        let t = SimTime::from_secs;
+        let events = [
+            SimEvent::Charge {
+                start: t(0),
+                end: t(2),
+                from: Volts::ZERO,
+                to: Volts::new(2.8),
+                precharge: false,
+            },
+            SimEvent::Boot { at: t(2) },
+            SimEvent::Reconfigure {
+                at: t(3),
+                mode: EnergyMode(1),
+            },
+            SimEvent::Charge {
+                start: t(3),
+                end: t(4),
+                from: Volts::new(1.0),
+                to: Volts::new(2.5),
+                precharge: true,
+            },
+            SimEvent::Boot { at: t(4) },
+            SimEvent::BurstActivated {
+                at: t(5),
+                mode: EnergyMode(1),
+            },
+            SimEvent::PowerFailure {
+                at: t(6),
+                task: capy_intermittent::task::TaskId(0),
+            },
+            SimEvent::Stalled { at: t(7) },
+        ];
+        let s = RunSummary::from_events(&events);
+        assert_eq!(s.boots, 2);
+        assert_eq!(s.charges, 1);
+        assert_eq!(s.precharges, 1);
+        assert_eq!(s.reconfigurations, 1);
+        assert_eq!(s.bursts, 1);
+        assert_eq!(s.power_failures, 1);
+        assert!(s.stalled);
+        assert_eq!(s.charge_time, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn wall_time_does_not_affect_equality() {
+        let mut a = RunSummary::from_events(&[]);
+        let mut b = a.clone();
+        a.wall = Duration::from_secs(1);
+        b.wall = Duration::from_secs(9);
+        assert_eq!(a, b);
+        b.boots = 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_spec_yields_empty_report() {
+        let spec = SweepSpec::new("empty", SimTime::from_secs(1));
+        let report = run_sweep(&spec, build);
+        assert!(report.runs.is_empty());
+        assert_eq!(report.total_completions(), 0);
+    }
+
+    #[test]
+    fn report_lookup_by_label() {
+        let spec = SweepSpec::new("lookup", SimTime::from_secs(5))
+            .point("weak", &[("harvest_uw", 500.0), ("task_ms", 10.0)])
+            .point("strong", &[("harvest_uw", 10_000.0), ("task_ms", 10.0)]);
+        let report = run_sweep(&spec, build);
+        assert!(report.get("weak").is_some());
+        assert!(report.get("missing").is_none());
+        let weak = &report.get("weak").unwrap().summary;
+        let strong = &report.get("strong").unwrap().summary;
+        assert!(strong.completions >= weak.completions);
+    }
+
+    #[test]
+    fn map_points_parallelism_is_invisible() {
+        let spec = demo_spec();
+        let serial: Vec<u64> = map_points_on(&spec, 1, |p| p.seed ^ p.index as u64);
+        let parallel: Vec<u64> = map_points_on(&spec, 8, |p| p.seed ^ p.index as u64);
+        assert_eq!(serial, parallel);
+    }
+}

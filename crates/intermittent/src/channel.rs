@@ -239,7 +239,7 @@ impl<T: Clone> FromIterator<T> for NvQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use capy_units::rng::DetRng;
 
     #[test]
     fn channel_send_commit_take_cycle() {
@@ -313,19 +313,20 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
-    proptest! {
-        /// Model check: the queue with interleaved commit/abort behaves
-        /// like a plain VecDeque that only applies committed batches.
-        #[test]
-        fn prop_queue_matches_model(
-            ops in proptest::collection::vec((0u8..3, any::<u8>()), 0..60),
-        ) {
-            use std::collections::VecDeque;
+    /// Model check: the queue with interleaved commit/abort behaves
+    /// like a plain VecDeque that only applies committed batches.
+    #[test]
+    fn prop_queue_matches_model() {
+        use std::collections::VecDeque;
+        let mut rng = DetRng::seed_from_u64(0x44);
+        for _ in 0..256 {
             let mut q: NvQueue<u8> = NvQueue::new();
             let mut model: VecDeque<u8> = VecDeque::new();
             let mut staged: VecDeque<u8> = VecDeque::new();
             let mut staged_pops = 0usize;
-            for (op, val) in ops {
+            for _ in 0..rng.gen_range(0usize..60) {
+                let op = rng.gen_range(0u64..3);
+                let val = rng.next_u64() as u8;
                 match op {
                     0 => {
                         q.push(val);
@@ -342,13 +343,13 @@ mod tests {
                             popped
                         };
                         let got = q.pop();
-                        prop_assert_eq!(got, expect);
+                        assert_eq!(got, expect);
                         if got.is_some() {
                             staged_pops += 1;
                         }
                     }
                     _ => {
-                        if val % 2 == 0 {
+                        if val.is_multiple_of(2) {
                             q.commit();
                             model.extend(staged.drain(..));
                             for _ in 0..staged_pops {
@@ -369,7 +370,7 @@ mod tests {
             }
             let contents: Vec<u8> = std::iter::from_fn(|| q.pop()).collect();
             let expected: Vec<u8> = model.into_iter().collect();
-            prop_assert_eq!(contents, expected);
+            assert_eq!(contents, expected);
         }
     }
 }

@@ -192,7 +192,7 @@ impl NvState for () {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use capy_units::rng::DetRng;
 
     #[test]
     fn var_reads_own_write() {
@@ -267,43 +267,47 @@ mod tests {
         u.abort_all();
     }
 
-    proptest! {
-        #[test]
-        fn prop_abort_always_restores_committed(
-            init in any::<i64>(),
-            writes in proptest::collection::vec(any::<i64>(), 0..10),
-        ) {
+    #[test]
+    fn prop_abort_always_restores_committed() {
+        let mut rng = DetRng::seed_from_u64(0x41);
+        for _ in 0..256 {
+            let init = rng.next_u64() as i64;
             let mut v = NvVar::new(init);
-            for w in &writes {
-                v.set(*w);
+            for _ in 0..rng.gen_range(0usize..10) {
+                v.set(rng.next_u64() as i64);
             }
             v.abort();
-            prop_assert_eq!(v.get(), init);
+            assert_eq!(v.get(), init);
         }
+    }
 
-        #[test]
-        fn prop_commit_then_get_equals_last_write(
-            init in any::<i64>(),
-            writes in proptest::collection::vec(any::<i64>(), 1..10),
-        ) {
-            let mut v = NvVar::new(init);
-            for w in &writes {
-                v.set(*w);
+    #[test]
+    fn prop_commit_then_get_equals_last_write() {
+        let mut rng = DetRng::seed_from_u64(0x42);
+        for _ in 0..256 {
+            let mut v = NvVar::new(rng.next_u64() as i64);
+            let mut last = 0i64;
+            for _ in 0..rng.gen_range(1usize..10) {
+                last = rng.next_u64() as i64;
+                v.set(last);
             }
             v.commit();
-            prop_assert_eq!(v.get(), *writes.last().unwrap());
+            assert_eq!(v.get(), last);
         }
+    }
 
-        #[test]
-        fn prop_vec_interleaved_commit_abort(
-            ops in proptest::collection::vec((any::<u8>(), proptest::bool::ANY), 0..40),
-        ) {
+    #[test]
+    fn prop_vec_interleaved_commit_abort() {
+        let mut rng = DetRng::seed_from_u64(0x43);
+        for _ in 0..256 {
             // Model: replay the same operations against a plain Vec that
             // only applies batches ending in commit.
             let mut nv: NvVec<u8> = NvVec::new();
             let mut model: Vec<u8> = Vec::new();
             let mut staged: Vec<u8> = Vec::new();
-            for (val, commit) in ops {
+            for _ in 0..rng.gen_range(0usize..40) {
+                let val = rng.next_u64() as u8;
+                let commit = rng.gen_bool(0.5);
                 nv.push(val);
                 staged.push(val);
                 if commit {
@@ -317,7 +321,7 @@ mod tests {
             }
             nv.abort();
             staged.clear();
-            prop_assert_eq!(nv.as_slice(), model.as_slice());
+            assert_eq!(nv.as_slice(), model.as_slice());
         }
     }
 }

@@ -427,7 +427,7 @@ pub fn extractable_energy(
 mod tests {
     use super::*;
     use crate::technology::parts;
-    use proptest::prelude::*;
+    use capy_units::rng::DetRng;
 
     const C: Farads = Farads::new(100e-6);
 
@@ -615,63 +615,67 @@ mod tests {
         assert_eq!(st.voltage(), Volts::ZERO);
     }
 
-    proptest! {
-        #[test]
-        fn prop_charge_monotonic_in_time(
-            p_mw in 0.01f64..100.0,
-            t1 in 1u64..1_000_000,
-            t2 in 1u64..1_000_000,
-        ) {
-            let p = Watts::from_milli(p_mw);
+    #[test]
+    fn prop_charge_monotonic_in_time() {
+        let mut rng = DetRng::seed_from_u64(0xc0);
+        for _ in 0..256 {
+            let p = Watts::from_milli(rng.gen_range(0.01f64..100.0));
+            let t1 = rng.gen_range(1u64..1_000_000);
+            let t2 = rng.gen_range(1u64..1_000_000);
             let (lo, hi) = (t1.min(t2), t1.max(t2));
             let v_lo = voltage_after_charge(C, Volts::ZERO, p, SimDuration::from_micros(lo));
             let v_hi = voltage_after_charge(C, Volts::ZERO, p, SimDuration::from_micros(hi));
-            prop_assert!(v_hi >= v_lo);
+            assert!(v_hi >= v_lo);
         }
+    }
 
-        #[test]
-        fn prop_sustain_time_decreases_with_power(
-            p1 in 0.5f64..50.0,
-            p2 in 0.5f64..50.0,
-        ) {
-            prop_assume!((p1 - p2).abs() > 1e-6);
+    #[test]
+    fn prop_sustain_time_decreases_with_power() {
+        let mut rng = DetRng::seed_from_u64(0xc1);
+        for _ in 0..256 {
+            let p1 = rng.gen_range(0.5f64..50.0);
+            let p2 = rng.gen_range(0.5f64..50.0);
+            if (p1 - p2).abs() <= 1e-6 {
+                continue;
+            }
             let (lo, hi) = (p1.min(p2), p1.max(p2));
             let (t_lo, _) = sustain_time(C, Ohms::new(0.5), Volts::new(2.8), Watts::from_milli(hi), Volts::new(0.9));
             let (t_hi, _) = sustain_time(C, Ohms::new(0.5), Volts::new(2.8), Watts::from_milli(lo), Volts::new(0.9));
-            prop_assert!(t_hi >= t_lo);
+            assert!(t_hi >= t_lo);
         }
+    }
 
-        #[test]
-        fn prop_discharge_never_gains_energy(
-            v0 in 1.0f64..3.3,
-            p_mw in 0.1f64..30.0,
-            esr in 0.0f64..10.0,
-            ms in 1u64..5_000,
-        ) {
+    #[test]
+    fn prop_discharge_never_gains_energy() {
+        let mut rng = DetRng::seed_from_u64(0xc2);
+        for _ in 0..256 {
+            let v0 = rng.gen_range(1.0f64..3.3);
             let out = discharge(
                 C,
-                Ohms::new(esr),
+                Ohms::new(rng.gen_range(0.0f64..10.0)),
                 Volts::new(v0),
-                Watts::from_milli(p_mw),
+                Watts::from_milli(rng.gen_range(0.1f64..30.0)),
                 Volts::new(0.9),
-                SimDuration::from_millis(ms),
+                SimDuration::from_millis(rng.gen_range(1u64..5_000)),
             );
             let v_end = match out {
                 Discharge::Sustained(v) | Discharge::Failed(_, v) => v,
             };
-            prop_assert!(v_end.get() <= v0 + 1e-12);
+            assert!(v_end.get() <= v0 + 1e-12);
         }
+    }
 
-        #[test]
-        fn prop_extractable_energy_bounded_by_ideal(
-            v0 in 1.5f64..3.3,
-            p_mw in 0.5f64..20.0,
-            esr in 0.0f64..50.0,
-        ) {
+    #[test]
+    fn prop_extractable_energy_bounded_by_ideal() {
+        let mut rng = DetRng::seed_from_u64(0xc3);
+        for _ in 0..256 {
+            let v0 = rng.gen_range(1.5f64..3.3);
+            let p_mw = rng.gen_range(0.5f64..20.0);
+            let esr = rng.gen_range(0.0f64..50.0);
             let e = extractable_energy(C, Ohms::new(esr), Volts::new(v0), Watts::from_milli(p_mw), Volts::new(0.9));
             let ideal = C.energy_between(Volts::new(v0), Volts::new(0.9)).get().max(0.0);
             // Allow integration slack of 2%.
-            prop_assert!(e.get() <= ideal * 1.02 + 1e-12);
+            assert!(e.get() <= ideal * 1.02 + 1e-12);
         }
     }
 }

@@ -445,7 +445,7 @@ impl Mul<SimDuration> for Amps {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
-    use proptest::prelude::*;
+    use crate::rng::DetRng;
 
     #[test]
     fn ohms_law_round_trips() {
@@ -570,35 +570,39 @@ mod tests {
         assert!(!Joules::new(f64::NAN).is_finite());
     }
 
-    proptest! {
-        #[test]
-        fn prop_energy_between_is_antisymmetric(
-            c in 1e-6f64..1e-1,
-            a in 0.0f64..5.0,
-            b in 0.0f64..5.0,
-        ) {
-            let cap = Farads::new(c);
-            let e1 = cap.energy_between(Volts::new(a), Volts::new(b));
-            let e2 = cap.energy_between(Volts::new(b), Volts::new(a));
-            prop_assert!((e1.get() + e2.get()).abs() < 1e-12);
+    #[test]
+    fn prop_energy_between_is_antisymmetric() {
+        let mut rng = DetRng::seed_from_u64(0x5ca1a);
+        for _ in 0..256 {
+            let cap = Farads::new(rng.gen_range(1e-6f64..1e-1));
+            let a = Volts::new(rng.gen_range(0.0f64..5.0));
+            let b = Volts::new(rng.gen_range(0.0f64..5.0));
+            let e1 = cap.energy_between(a, b);
+            let e2 = cap.energy_between(b, a);
+            assert!((e1.get() + e2.get()).abs() < 1e-12);
         }
+    }
 
-        #[test]
-        fn prop_voltage_for_energy_round_trip(
-            c in 1e-6f64..1e-1,
-            bottom in 0.0f64..3.0,
-            top_delta in 1e-3f64..3.0,
-        ) {
-            let cap = Farads::new(c);
-            let top = Volts::new(bottom + top_delta);
+    #[test]
+    fn prop_voltage_for_energy_round_trip() {
+        let mut rng = DetRng::seed_from_u64(0x5ca1b);
+        for _ in 0..256 {
+            let cap = Farads::new(rng.gen_range(1e-6f64..1e-1));
+            let bottom = rng.gen_range(0.0f64..3.0);
+            let top = Volts::new(bottom + rng.gen_range(1e-3f64..3.0));
             let e = cap.energy_between(top, Volts::new(bottom));
             let v = cap.voltage_for_energy(e, Volts::new(bottom));
-            prop_assert!((v.get() - top.get()).abs() < 1e-9 * top.get().max(1.0));
+            assert!((v.get() - top.get()).abs() < 1e-9 * top.get().max(1.0));
         }
+    }
 
-        #[test]
-        fn prop_addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
-            prop_assert_eq!(Joules::new(a) + Joules::new(b), Joules::new(b) + Joules::new(a));
+    #[test]
+    fn prop_addition_commutes() {
+        let mut rng = DetRng::seed_from_u64(0x5ca1c);
+        for _ in 0..256 {
+            let a = rng.gen_range(-1e6f64..1e6);
+            let b = rng.gen_range(-1e6f64..1e6);
+            assert_eq!(Joules::new(a) + Joules::new(b), Joules::new(b) + Joules::new(a));
         }
     }
 }

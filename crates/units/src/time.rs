@@ -306,7 +306,7 @@ impl fmt::Display for SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::DetRng;
 
     #[test]
     fn instant_plus_duration_advances() {
@@ -356,28 +356,38 @@ mod tests {
         assert!((ratio - 1.5).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip_secs_f64(us in 0u64..10_000_000_000) {
+    #[test]
+    fn prop_round_trip_secs_f64() {
+        let mut rng = DetRng::seed_from_u64(0x71a0);
+        for _ in 0..256 {
+            let us = rng.gen_range(0u64..10_000_000_000);
             let d = SimDuration::from_micros(us);
             let back = SimDuration::from_secs_f64(d.as_secs_f64());
             // f64 has 53 bits of mantissa; within this range the round trip
             // must be exact to the microsecond.
-            prop_assert_eq!(d, back);
+            assert_eq!(d, back);
         }
+    }
 
-        #[test]
-        fn prop_add_then_sub_round_trips(start in 0u64..1u64<<40, delta in 0u64..1u64<<40) {
-            let t = SimTime::from_micros(start);
-            let d = SimDuration::from_micros(delta);
-            prop_assert_eq!((t + d) - d, t);
-            prop_assert_eq!((t + d) - t, d);
+    #[test]
+    fn prop_add_then_sub_round_trips() {
+        let mut rng = DetRng::seed_from_u64(0x71a1);
+        for _ in 0..256 {
+            let t = SimTime::from_micros(rng.gen_range(0u64..1u64 << 40));
+            let d = SimDuration::from_micros(rng.gen_range(0u64..1u64 << 40));
+            assert_eq!((t + d) - d, t);
+            assert_eq!((t + d) - t, d);
         }
+    }
 
-        #[test]
-        fn prop_ordering_consistent_with_ticks(a in 0u64..1u64<<50, b in 0u64..1u64<<50) {
+    #[test]
+    fn prop_ordering_consistent_with_ticks() {
+        let mut rng = DetRng::seed_from_u64(0x71a2);
+        for _ in 0..256 {
+            let a = rng.gen_range(0u64..1u64 << 50);
+            let b = rng.gen_range(0u64..1u64 << 50);
             let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
-            prop_assert_eq!(ta.cmp(&tb), a.cmp(&b));
+            assert_eq!(ta.cmp(&tb), a.cmp(&b));
         }
     }
 }

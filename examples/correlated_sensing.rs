@@ -10,12 +10,11 @@ use capybara_suite::apps::metrics::{
     accuracy_fractions, classify_reported, event_latencies, latency_stats,
 };
 use capybara_suite::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 fn main() {
     let seed = 2018;
-    let events = grc_schedule(&mut StdRng::seed_from_u64(seed));
+    let events = grc_schedule(&mut DetRng::seed_from_u64(seed));
     println!(
         "== Correlated Sensing & Report: {} magnet passes over 42 minutes ==\n",
         events.len()

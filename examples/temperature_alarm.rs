@@ -11,12 +11,11 @@ use capybara_suite::apps::metrics::{
 };
 use capybara_suite::apps::ta;
 use capybara_suite::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 fn main() {
     let seed = 2018;
-    let events = ta_schedule(&mut StdRng::seed_from_u64(seed));
+    let events = ta_schedule(&mut DetRng::seed_from_u64(seed));
     println!(
         "== Temperature Alarm: {} excursions over {:.0} minutes ==\n",
         events.len(),

@@ -16,6 +16,8 @@ pub use capy_power as power;
 pub use capy_units as units;
 pub use capybara as core;
 
+pub use capybara::sweep;
+
 /// The suite's prelude: everything an application or experiment driver
 /// typically needs.
 pub mod prelude {

@@ -9,14 +9,13 @@ use capybara_suite::apps::metrics::{
 use capybara_suite::apps::{csr, ta};
 use capybara_suite::prelude::*;
 use capy_units::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 const SEED: u64 = 0xE2E;
 
 fn ta_events(n: usize, span: SimDuration) -> Vec<SimTime> {
     let mut ev = poisson_events(
-        &mut StdRng::seed_from_u64(SEED),
+        &mut DetRng::seed_from_u64(SEED),
         span / n as u64,
         n,
         SimDuration::from_secs(45),
@@ -27,7 +26,7 @@ fn ta_events(n: usize, span: SimDuration) -> Vec<SimTime> {
 
 fn grc_events(n: usize, span: SimDuration) -> Vec<SimTime> {
     let mut ev = poisson_events(
-        &mut StdRng::seed_from_u64(SEED),
+        &mut DetRng::seed_from_u64(SEED),
         span / n as u64,
         n,
         SimDuration::from_secs(4),

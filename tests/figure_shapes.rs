@@ -18,14 +18,13 @@ use capybara_suite::power::mechanism::Mechanism;
 use capybara_suite::power::technology::parts;
 use capybara_suite::prelude::*;
 use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use capy_units::rng::DetRng;
 
 const SEED: u64 = 0xF165;
 
 fn short_ta_events() -> Vec<SimTime> {
     let mut ev = poisson_events(
-        &mut StdRng::seed_from_u64(SEED),
+        &mut DetRng::seed_from_u64(SEED),
         SimDuration::from_secs(144),
         10,
         SimDuration::from_secs(45),
@@ -102,7 +101,7 @@ fn fig8_orderings() {
     assert!(capy_r > 0.8, "CB-R must stay accurate for TA: {capy_r}");
 
     let mut grc_ev = poisson_events(
-        &mut StdRng::seed_from_u64(SEED),
+        &mut DetRng::seed_from_u64(SEED),
         SimDuration::from_micros(31_500_000),
         30,
         SimDuration::from_secs(4),

@@ -4,7 +4,7 @@
 
 use capybara_suite::prelude::*;
 use capy_units::{SimDuration, SimTime, Volts, Watts};
-use proptest::prelude::*;
+use capy_units::rng::DetRng;
 
 #[derive(Default)]
 struct Ctx {
@@ -80,73 +80,76 @@ fn build(
         .build(Ctx::default())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any configuration either stalls cleanly or makes progress; it never
-    /// hangs, never panics, and commits exactly one increment per
-    /// completion.
-    #[test]
-    fn prop_sim_is_robust_across_configurations(
-        harvest_uw in 1.0f64..20_000.0,
-        small_units in 1usize..8,
-        big_units in 1usize..4,
-        task_ms in 1u64..500,
-        variant_idx in 0usize..4,
-    ) {
-        let variant = Variant::ALL[variant_idx];
+/// Any configuration either stalls cleanly or makes progress; it never
+/// hangs, never panics, and commits exactly one increment per
+/// completion.
+#[test]
+fn prop_sim_is_robust_across_configurations() {
+    let mut rng = DetRng::seed_from_u64(0x9051);
+    for _ in 0..24 {
+        let harvest_uw = rng.gen_range(1.0f64..20_000.0);
+        let small_units = rng.gen_range(1usize..8);
+        let big_units = rng.gen_range(1usize..4);
+        let task_ms = rng.gen_range(1u64..500);
+        let variant = Variant::ALL[rng.gen_range(0usize..4)];
         let mut sim = build(harvest_uw, small_units, big_units, task_ms, variant);
         let result = sim.run_until(SimTime::from_secs(120));
-        prop_assert!(matches!(result, StepResult::Progress | StepResult::Stalled));
-        prop_assert_eq!(sim.ctx().done.get(), sim.exec_stats().completions);
+        assert!(matches!(result, StepResult::Progress | StepResult::Stalled));
+        assert_eq!(sim.ctx().done.get(), sim.exec_stats().completions);
         // Time moved (even a stall takes simulated time to detect) unless
         // the device stalled immediately on a dead harvester.
         if result == StepResult::Progress {
-            prop_assert!(sim.now() >= SimTime::from_secs(120));
+            assert!(sim.now() >= SimTime::from_secs(120));
         }
     }
+}
 
-    /// Attempt accounting is conserved: attempts = completions + failures.
-    #[test]
-    fn prop_attempt_accounting_conserved(
-        harvest_uw in 100.0f64..10_000.0,
-        task_ms in 1u64..300,
-    ) {
+/// Attempt accounting is conserved: attempts = completions + failures.
+#[test]
+fn prop_attempt_accounting_conserved() {
+    let mut rng = DetRng::seed_from_u64(0x9052);
+    for _ in 0..24 {
+        let harvest_uw = rng.gen_range(100.0f64..10_000.0);
+        let task_ms = rng.gen_range(1u64..300);
         let mut sim = build(harvest_uw, 4, 1, task_ms, Variant::CapyP);
         sim.run_until(SimTime::from_secs(90));
         let s = sim.exec_stats();
-        prop_assert_eq!(s.attempts, s.completions + s.failures);
+        assert_eq!(s.attempts, s.completions + s.failures);
     }
+}
 
-    /// The continuous variant never fails and is strictly an upper bound
-    /// on intermittent completions over the same horizon.
-    #[test]
-    fn prop_continuous_dominates_intermittent(
-        harvest_uw in 100.0f64..10_000.0,
-        task_ms in 10u64..300,
-    ) {
+/// The continuous variant never fails and is strictly an upper bound
+/// on intermittent completions over the same horizon.
+#[test]
+fn prop_continuous_dominates_intermittent() {
+    let mut rng = DetRng::seed_from_u64(0x9053);
+    for _ in 0..24 {
+        let harvest_uw = rng.gen_range(100.0f64..10_000.0);
+        let task_ms = rng.gen_range(10u64..300);
         let horizon = SimTime::from_secs(60);
         let mut cont = build(harvest_uw, 4, 1, task_ms, Variant::Continuous);
         cont.run_until(horizon);
-        prop_assert_eq!(cont.exec_stats().failures, 0);
+        assert_eq!(cont.exec_stats().failures, 0);
         let mut capy = build(harvest_uw, 4, 1, task_ms, Variant::CapyP);
         capy.run_until(horizon);
-        prop_assert!(capy.exec_stats().completions <= cont.exec_stats().completions);
+        assert!(capy.exec_stats().completions <= cont.exec_stats().completions);
     }
+}
 
-    /// Rail voltage never exceeds the limiter clamp or the weakest rating.
-    #[test]
-    fn prop_rail_voltage_respects_limits(
-        harvest_uw in 100.0f64..50_000.0,
-        task_ms in 1u64..100,
-    ) {
+/// Rail voltage never exceeds the limiter clamp or the weakest rating.
+#[test]
+fn prop_rail_voltage_respects_limits() {
+    let mut rng = DetRng::seed_from_u64(0x9054);
+    for _ in 0..24 {
+        let harvest_uw = rng.gen_range(100.0f64..50_000.0);
+        let task_ms = rng.gen_range(1u64..100);
         let mut sim = build(harvest_uw, 2, 1, task_ms, Variant::CapyR);
         for _ in 0..200 {
             if sim.step() != StepResult::Progress {
                 break;
             }
             let v = sim.power().rail_voltage(sim.now());
-            prop_assert!(v <= Volts::new(2.8 + 1e-9), "rail = {v}");
+            assert!(v <= Volts::new(2.8 + 1e-9), "rail = {v}");
         }
     }
 }
