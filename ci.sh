@@ -20,5 +20,6 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo bench --no-run --workspace
+run cargo run --release --example policy_compare -- --smoke
 
 echo "==> ci.sh: all checks passed"

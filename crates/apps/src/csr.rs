@@ -24,7 +24,8 @@ use capy_power::technology::parts;
 use capy_units::{SimDuration, SimTime};
 use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
-use capybara::sim::{SimContext, SimEvent, Simulator};
+use capybara::policy::ReconfigPolicy;
+use capybara::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
 
@@ -40,8 +41,10 @@ pub const BLE_LOSS: f64 = 0.02;
 /// Number of distance samples per report (§6.1.3).
 pub const DISTANCE_SAMPLES: u32 = 32;
 
-const M_SAMPLE: EnergyMode = EnergyMode(0);
-const M_REPORT: EnergyMode = EnergyMode(1);
+/// The magnetometer-sampling energy mode (small banks).
+pub const M_SAMPLE: EnergyMode = EnergyMode(0);
+/// The report energy mode (45 mF EDLC bank).
+pub const M_REPORT: EnergyMode = EnergyMode(1);
 
 /// Application context.
 pub struct CsrCtx {
@@ -141,6 +144,29 @@ pub fn build(
     events: Vec<SimTime>,
     seed: u64,
 ) -> Simulator<RegulatedSupply, CsrCtx> {
+    let (builder, ctx) = assemble(variant, events, seed);
+    builder.build(ctx)
+}
+
+/// Like [`build`] but with an adaptive reconfiguration policy installed
+/// (see [`capybara::policy`]); [`build`] keeps the paper's static
+/// annotations.
+#[must_use]
+pub fn build_with_policy(
+    variant: Variant,
+    events: Vec<SimTime>,
+    seed: u64,
+    policy: Box<dyn ReconfigPolicy>,
+) -> Simulator<RegulatedSupply, CsrCtx> {
+    let (builder, ctx) = assemble(variant, events, seed);
+    builder.policy(policy).build(ctx)
+}
+
+fn assemble(
+    variant: Variant,
+    events: Vec<SimTime>,
+    seed: u64,
+) -> (SimulatorBuilder<RegulatedSupply, CsrCtx>, CsrCtx) {
     let rig = PendulumRig::new(events);
     let power = power_system(variant);
     let mcu = Mcu::cc2650();
@@ -156,7 +182,7 @@ pub fn build(
         samples: crate::observer::SampleLog::new(),
     };
 
-    Simulator::builder(variant, power, mcu)
+    let builder = Simulator::builder(variant, power, mcu)
         .mode("sample-mode", &sample_banks)
         .mode("report-mode", &report_banks)
         .task(
@@ -206,8 +232,8 @@ pub fn build(
                 Transition::To(TaskId(0))
             },
         )
-        .entry("sample_mag")
-        .build(ctx)
+        .entry("sample_mag");
+    (builder, ctx)
 }
 
 /// Runs CSR for the full §6.2 experiment (42 minutes).

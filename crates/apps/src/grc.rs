@@ -34,7 +34,8 @@ use capy_power::technology::parts;
 use capy_units::{SimDuration, SimTime};
 use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
-use capybara::sim::{SimContext, SimEvent, Simulator};
+use capybara::policy::ReconfigPolicy;
+use capybara::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
 
@@ -69,8 +70,10 @@ pub const BLE_LOSS: f64 = 0.02;
 /// The GRC/CSR experiment horizon: 42 minutes (§6.2).
 pub const HORIZON: SimTime = SimTime::from_secs(42 * 60);
 
-const M_LOW: EnergyMode = EnergyMode(0);
-const M_HIGH: EnergyMode = EnergyMode(1);
+/// The low (proximity-sampling) energy mode.
+pub const M_LOW: EnergyMode = EnergyMode(0);
+/// The high (gesture/report burst) energy mode.
+pub const M_HIGH: EnergyMode = EnergyMode(1);
 
 /// APDS decode probabilities when the gesture window opens early enough to
 /// observe the motion's direction.
@@ -288,6 +291,32 @@ pub fn build_with_model(
     seed: u64,
     harvest_during_operation: bool,
 ) -> Simulator<RegulatedSupply, GrcCtx> {
+    let (builder, ctx) = assemble(variant, grc, events, seed, harvest_during_operation);
+    builder.build(ctx)
+}
+
+/// Like [`build`] but with an adaptive reconfiguration policy installed
+/// (see [`capybara::policy`]); [`build`] keeps the paper's static
+/// annotations.
+#[must_use]
+pub fn build_with_policy(
+    variant: Variant,
+    grc: GrcVariant,
+    events: Vec<SimTime>,
+    seed: u64,
+    policy: Box<dyn ReconfigPolicy>,
+) -> Simulator<RegulatedSupply, GrcCtx> {
+    let (builder, ctx) = assemble(variant, grc, events, seed, false);
+    builder.policy(policy).build(ctx)
+}
+
+fn assemble(
+    variant: Variant,
+    grc: GrcVariant,
+    events: Vec<SimTime>,
+    seed: u64,
+    harvest_during_operation: bool,
+) -> (SimulatorBuilder<RegulatedSupply, GrcCtx>, GrcCtx) {
     let rig = PendulumRig::new(events);
     let power = power_system(variant, grc);
     let mcu = Mcu::cc2650();
@@ -401,7 +430,7 @@ pub fn build_with_model(
                 },
             ),
     };
-    sim.entry("sense").build(ctx)
+    (sim.entry("sense"), ctx)
 }
 
 /// Runs GRC for the full §6.2 experiment.

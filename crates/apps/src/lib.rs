@@ -8,6 +8,8 @@
 //! * [`ta`] — the Temperature Monitor with Alarm;
 //! * [`csr`] — Correlated Sensing and Report (magnetometer + distance
 //!   ranging + LED + BLE);
+//! * [`adaptive`] — the adaptive-buffering tracker workload and the
+//!   {policy × scenario} comparison grid for `capybara::policy`;
 //! * [`events`] — seeded Poisson event-sequence generation (§6.2);
 //! * [`mod@env`] — the servo-pendulum and heater/cooler stimulus rigs
 //!   (Figure 7) as deterministic functions of simulated time;
@@ -18,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod csr;
 pub mod env;
 pub mod federated;
@@ -30,6 +33,7 @@ pub mod vibration;
 
 /// Convenient glob-import for experiment drivers.
 pub mod prelude {
+    pub use crate::adaptive::{self, TrackerScenario};
     pub use crate::csr::{self, CsrReport};
     pub use crate::env::{HeatsinkRig, PendulumRig};
     pub use crate::federated::{FederatedGrc, FederatedReport};

@@ -32,7 +32,8 @@ use capy_power::technology::parts;
 use capy_units::{SimDuration, SimTime};
 use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
-use capybara::sim::{SimContext, SimEvent, Simulator};
+use capybara::policy::ReconfigPolicy;
+use capybara::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
 
@@ -50,8 +51,10 @@ pub const BLE_LOSS: f64 = 0.02;
 /// The TA experiment horizon: 120 minutes (§6.2).
 pub const HORIZON: SimTime = SimTime::from_secs(120 * 60);
 
-const M_SAMPLE: EnergyMode = EnergyMode(0);
-const M_ALARM: EnergyMode = EnergyMode(1);
+/// The sampling energy mode (small banks; policy ladders start here).
+pub const M_SAMPLE: EnergyMode = EnergyMode(0);
+/// The alarm energy mode (large banks).
+pub const M_ALARM: EnergyMode = EnergyMode(1);
 
 /// Application context: device-resident non-volatile state, the stimulus
 /// rig, and the external measurement instrumentation.
@@ -179,13 +182,36 @@ pub fn build(
     events: Vec<SimTime>,
     seed: u64,
 ) -> Simulator<SolarPanel, TaCtx> {
+    let (builder, ctx) = assemble(variant, events, seed);
+    builder.build(ctx)
+}
+
+/// Like [`build`] but with an adaptive reconfiguration policy installed
+/// (see [`capybara::policy`]); [`build`] keeps the paper's static
+/// annotations.
+#[must_use]
+pub fn build_with_policy(
+    variant: Variant,
+    events: Vec<SimTime>,
+    seed: u64,
+    policy: Box<dyn ReconfigPolicy>,
+) -> Simulator<SolarPanel, TaCtx> {
+    let (builder, ctx) = assemble(variant, events, seed);
+    builder.policy(policy).build(ctx)
+}
+
+fn assemble(
+    variant: Variant,
+    events: Vec<SimTime>,
+    seed: u64,
+) -> (SimulatorBuilder<SolarPanel, TaCtx>, TaCtx) {
     let rig = HeatsinkRig::new(events);
     let ctx = TaCtx::new(rig, seed ^ 0x7a);
     let power = power_system(variant);
     let mcu = Mcu::msp430fr5969();
     let (sample_banks, alarm_banks) = mode_banks(variant);
 
-    Simulator::builder(variant, power, mcu)
+    let builder = Simulator::builder(variant, power, mcu)
         .mode("sample-mode", &sample_banks)
         .mode("alarm-mode", &alarm_banks)
         .task(
@@ -246,8 +272,8 @@ pub fn build(
                 Transition::To(TaskId(0))
             },
         )
-        .entry("sense")
-        .build(ctx)
+        .entry("sense");
+    (builder, ctx)
 }
 
 /// Runs TA under `variant` for the full §6.2 experiment and reports.

@@ -7,15 +7,18 @@
 //! over 42 minutes."
 //!
 //! Columns per system: Correct / Misclassified / Proximity-only / Missed,
-//! matching the stacked bars.
+//! matching the stacked bars. Each application's four variants run as one
+//! parallel [`SweepSpec`] (`run_sweep_with`), so the bench saturates the
+//! machine while printing the exact same rows as the old serial driver.
 
 use capy_apps::events::{grc_schedule, ta_schedule};
 use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::{accuracy_fractions, classify_reported, AccuracyBreakdown};
 use capy_apps::{csr, ta};
-use capy_bench::{figure_header, pct, FIGURE_SEED};
-use capybara::variant::Variant;
+use capy_bench::{figure_header, pct, sweep_footer, FIGURE_SEED};
 use capy_units::rng::DetRng;
+use capybara::sweep::{run_sweep_with, SweepSpec};
+use capybara::variant::Variant;
 
 fn print_row(system: &str, f: AccuracyBreakdown) {
     println!(
@@ -28,6 +31,21 @@ fn print_row(system: &str, f: AccuracyBreakdown) {
     );
 }
 
+/// One sweep point per power-system variant.
+fn variant_spec(name: &'static str, horizon: capy_units::SimTime) -> SweepSpec {
+    let mut spec = SweepSpec::new(name, horizon).base_seed(FIGURE_SEED);
+    for (vi, v) in Variant::ALL.iter().enumerate() {
+        spec = spec.point(v.label().to_string(), &[("variant", vi as f64)]);
+    }
+    spec
+}
+
+fn print_variant_rows(rows: Vec<AccuracyBreakdown>) {
+    for (v, f) in Variant::ALL.iter().zip(rows) {
+        print_row(v.label(), f);
+    }
+}
+
 fn main() {
     figure_header("Figure 8", "event detection accuracy");
     println!(
@@ -37,31 +55,47 @@ fn main() {
 
     let ta_events = ta_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     println!("TempAlarm (50 events / 120 min):");
-    for v in Variant::ALL {
-        let r = ta::run(v, ta_events.clone(), FIGURE_SEED);
-        print_row(
-            v.label(),
-            accuracy_fractions(&classify_reported(r.events.len(), &r.packets)),
-        );
-    }
+    let events = &ta_events;
+    let (report, rows) = run_sweep_with(&variant_spec("fig8-ta", ta::HORIZON), |point| {
+        let v = Variant::ALL[point.expect_param("variant") as usize];
+        let mut sim = ta::build(v, events.clone(), FIGURE_SEED);
+        sim.run_until(ta::HORIZON);
+        let f = accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets));
+        (sim, f)
+    });
+    print_variant_rows(rows);
+    sweep_footer(&report);
 
     let grc_events = grc_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
+    let events = &grc_events;
     for gv in [GrcVariant::Fast, GrcVariant::Compact] {
         println!("{} (80 events / 42 min):", gv.label());
-        for v in Variant::ALL {
-            let r = grc::run(v, gv, grc_events.clone(), FIGURE_SEED);
-            print_row(v.label(), accuracy_fractions(&r.classify()));
-        }
+        let name = match gv {
+            GrcVariant::Fast => "fig8-grc-fast",
+            GrcVariant::Compact => "fig8-grc-compact",
+        };
+        let (report, rows) = run_sweep_with(&variant_spec(name, grc::HORIZON), |point| {
+            let v = Variant::ALL[point.expect_param("variant") as usize];
+            let mut sim = grc::build(v, gv, events.clone(), FIGURE_SEED);
+            sim.run_until(grc::HORIZON);
+            let ctx = sim.ctx();
+            let f = accuracy_fractions(&grc::classify_run(events.len(), &ctx.packets, &ctx.attempts));
+            (sim, f)
+        });
+        print_variant_rows(rows);
+        sweep_footer(&report);
     }
 
     println!("CorrSense (80 events / 42 min):");
-    for v in Variant::ALL {
-        let r = csr::run(v, grc_events.clone(), FIGURE_SEED);
-        print_row(
-            v.label(),
-            accuracy_fractions(&classify_reported(r.events.len(), &r.packets)),
-        );
-    }
+    let (report, rows) = run_sweep_with(&variant_spec("fig8-csr", grc::HORIZON), |point| {
+        let v = Variant::ALL[point.expect_param("variant") as usize];
+        let mut sim = csr::build(v, events.clone(), FIGURE_SEED);
+        sim.run_until(grc::HORIZON);
+        let f = accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets));
+        (sim, f)
+    });
+    print_variant_rows(rows);
+    sweep_footer(&report);
 
     println!();
     println!("Paper anchors: Fixed detects 56% (CSR) / 46% (TA) / 18% (GRC);");

@@ -6,14 +6,19 @@
 //! correspond to the same temperature alarm event. For GRC and CSR,
 //! latency is the time between the pendulum actuation command and the BLE
 //! packet reception."
+//!
+//! Each application's four variants run as one parallel [`SweepSpec`]
+//! (`run_sweep_with`); the TA rows compare against a continuously-powered
+//! reference run computed up front and shared by every worker.
 
 use capy_apps::events::{grc_schedule, ta_schedule};
 use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::{event_latencies, latency_stats, LatencyStats};
 use capy_apps::observer::PacketLog;
 use capy_apps::{csr, ta};
-use capy_bench::{figure_header, FIGURE_SEED};
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_units::{SimDuration, SimTime};
+use capybara::sweep::{run_sweep_with, SweepSpec};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
 
@@ -43,6 +48,21 @@ fn ta_latency_vs_reference(
         .collect()
 }
 
+/// One sweep point per power-system variant.
+fn variant_spec(name: &'static str, horizon: SimTime) -> SweepSpec {
+    let mut spec = SweepSpec::new(name, horizon).base_seed(FIGURE_SEED);
+    for (vi, v) in Variant::ALL.iter().enumerate() {
+        spec = spec.point(v.label().to_string(), &[("variant", vi as f64)]);
+    }
+    spec
+}
+
+fn print_variant_rows(rows: Vec<Option<LatencyStats>>) {
+    for (v, stats) in Variant::ALL.iter().zip(rows) {
+        print_row(v.label(), stats);
+    }
+}
+
 fn main() {
     figure_header("Figure 9", "report latency for detected events (seconds)");
     println!(
@@ -53,32 +73,47 @@ fn main() {
     let ta_events = ta_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     let reference = ta::run(Variant::Continuous, ta_events.clone(), FIGURE_SEED);
     println!("TempAlarm (latency vs continuously-powered reference):");
-    for v in Variant::ALL {
-        let r = ta::run(v, ta_events.clone(), FIGURE_SEED);
-        let lats = ta_latency_vs_reference(&r.events, &reference.packets, &r.packets);
-        print_row(v.label(), latency_stats(&lats));
-    }
+    let events = &ta_events;
+    let ref_packets = &reference.packets;
+    let (report, rows) = run_sweep_with(&variant_spec("fig9-ta", ta::HORIZON), |point| {
+        let v = Variant::ALL[point.expect_param("variant") as usize];
+        let mut sim = ta::build(v, events.clone(), FIGURE_SEED);
+        sim.run_until(ta::HORIZON);
+        let lats = ta_latency_vs_reference(events, ref_packets, &sim.ctx().packets);
+        (sim, latency_stats(&lats))
+    });
+    print_variant_rows(rows);
+    sweep_footer(&report);
 
     let grc_events = grc_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
+    let events = &grc_events;
     for gv in [GrcVariant::Fast, GrcVariant::Compact] {
         println!("{} (latency vs pendulum actuation):", gv.label());
-        for v in Variant::ALL {
-            let r = grc::run(v, gv, grc_events.clone(), FIGURE_SEED);
-            print_row(
-                v.label(),
-                latency_stats(&event_latencies(&r.events, &r.packets)),
-            );
-        }
+        let name = match gv {
+            GrcVariant::Fast => "fig9-grc-fast",
+            GrcVariant::Compact => "fig9-grc-compact",
+        };
+        let (report, rows) = run_sweep_with(&variant_spec(name, grc::HORIZON), |point| {
+            let v = Variant::ALL[point.expect_param("variant") as usize];
+            let mut sim = grc::build(v, gv, events.clone(), FIGURE_SEED);
+            sim.run_until(grc::HORIZON);
+            let stats = latency_stats(&event_latencies(events, &sim.ctx().packets));
+            (sim, stats)
+        });
+        print_variant_rows(rows);
+        sweep_footer(&report);
     }
 
     println!("CorrSense (latency vs pendulum actuation):");
-    for v in Variant::ALL {
-        let r = csr::run(v, grc_events.clone(), FIGURE_SEED);
-        print_row(
-            v.label(),
-            latency_stats(&event_latencies(&r.events, &r.packets)),
-        );
-    }
+    let (report, rows) = run_sweep_with(&variant_spec("fig9-csr", grc::HORIZON), |point| {
+        let v = Variant::ALL[point.expect_param("variant") as usize];
+        let mut sim = csr::build(v, events.clone(), FIGURE_SEED);
+        sim.run_until(grc::HORIZON);
+        let stats = latency_stats(&event_latencies(events, &sim.ctx().packets));
+        (sim, stats)
+    });
+    print_variant_rows(rows);
+    sweep_footer(&report);
 
     println!();
     println!("Paper anchors: TA CB-R pays the full alarm-bank charge on the");

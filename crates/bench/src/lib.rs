@@ -32,15 +32,16 @@ pub fn pct(x: f64) -> String {
 
 /// Prints the standard one-line sweep trailer. The line starts with `#`
 /// so plot scripts consuming the bench's stable rows skip it; the wall
-/// time and worker count are the only nondeterministic fields any figure
-/// bench emits.
+/// time, worker count, and utilization are the only nondeterministic
+/// fields any figure bench emits.
 pub fn sweep_footer(report: &SweepReport) {
     println!(
-        "# sweep '{}': {} runs on {} workers in {:.0} ms ({} completions, {} power failures, {:.1} s simulated charging)",
+        "# sweep '{}': {} runs on {} workers in {:.0} ms, {:.0}% utilized ({} completions, {} power failures, {:.1} s simulated charging)",
         report.name,
         report.runs.len(),
         report.workers,
         report.wall.as_secs_f64() * 1e3,
+        report.worker_utilization() * 100.0,
         report.total_completions(),
         report.total_power_failures(),
         report.total_charge_time().as_secs_f64(),

@@ -80,6 +80,7 @@
 pub mod allocate;
 pub mod annotation;
 pub mod mode;
+pub mod policy;
 pub mod provision;
 pub mod runtime;
 pub mod sim;
@@ -96,10 +97,16 @@ pub mod prelude {
     pub use crate::allocate::{allocate, AllocationOptions, AllocationPlan, TaskDemand};
     pub use crate::annotation::TaskEnergy;
     pub use crate::mode::{EnergyMode, ModeTable};
+    pub use crate::policy::{
+        oracle_offline, run_policy_sweep, EwmaAdaptive, NamedPolicy, Oracle, Pinned,
+        PolicyComparison, PolicyObservation, ReactiveDownsize, ReconfigPolicy, Scenario,
+        StaticAnnotation,
+    };
     pub use crate::provision::{provision_bank_units, ProvisioningReport};
     pub use crate::sim::{BuildError, SimContext, SimEvent, Simulator, SimulatorBuilder, StepResult};
     pub use crate::sweep::{
         run_sweep, run_sweep_with, RunSummary, SweepPoint, SweepReport, SweepRun, SweepSpec,
+        WorkerStats,
     };
     pub use crate::variant::Variant;
 

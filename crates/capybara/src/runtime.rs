@@ -191,22 +191,47 @@ fn plan_capy_p(energy: TaskEnergy, state: &RuntimeState, needs_charge: bool) -> 
     }
 }
 
+/// A task annotation referencing an energy mode missing from the mode
+/// table (reported by [`validate_annotations`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotationError {
+    /// Index of the offending task (registration order).
+    pub task: usize,
+    /// The unknown mode the annotation referenced.
+    pub mode: EnergyMode,
+}
+
+impl core::fmt::Display for AnnotationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "task {} references unknown energy mode {}",
+            self.task, self.mode
+        )
+    }
+}
+
+impl std::error::Error for AnnotationError {}
+
 /// Validates a mode table against the annotations used by an application:
 /// every referenced mode must exist.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a descriptive message when an annotation references an
-/// unknown mode.
-pub fn validate_annotations(modes: &ModeTable, annotations: &[TaskEnergy]) {
-    for (i, a) in annotations.iter().enumerate() {
-        for m in [a.exec_mode(), a.precharge_mode()].into_iter().flatten() {
-            assert!(
-                m.0 < modes.len(),
-                "task {i} references unknown energy mode {m}"
-            );
+/// Returns an [`AnnotationError`] naming the first task whose annotation
+/// references a mode absent from `modes`.
+pub fn validate_annotations(
+    modes: &ModeTable,
+    annotations: &[TaskEnergy],
+) -> Result<(), AnnotationError> {
+    for (task, a) in annotations.iter().enumerate() {
+        for mode in [a.exec_mode(), a.precharge_mode()].into_iter().flatten() {
+            if mode.0 >= modes.len() {
+                return Err(AnnotationError { task, mode });
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -336,10 +361,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown energy mode")]
     fn validation_catches_bad_mode() {
         let table = ModeTable::new();
-        validate_annotations(&table, &[TaskEnergy::Config(M0)]);
+        let err = validate_annotations(&table, &[TaskEnergy::Config(M0)])
+            .expect_err("empty table cannot satisfy any annotation");
+        assert_eq!(err, AnnotationError { task: 0, mode: M0 });
+        assert!(err.to_string().contains("unknown energy mode"));
+    }
+
+    #[test]
+    fn validation_accepts_registered_modes() {
+        let mut table = ModeTable::new();
+        table.add("only", &[capy_power::bank::BankId(0)]);
+        assert_eq!(
+            validate_annotations(&table, &[TaskEnergy::Config(M0), TaskEnergy::Burst(M0)]),
+            Ok(())
+        );
     }
 
     /// Exhaustive sweep of the planner's input space, checking structural

@@ -32,6 +32,7 @@ use capy_units::{SimDuration, SimTime, Volts};
 
 use crate::annotation::TaskEnergy;
 use crate::mode::{EnergyMode, ModeTable};
+use crate::policy::{PolicyObservation, ReconfigPolicy, StaticAnnotation};
 use crate::runtime::{plan, validate_annotations, RuntimeState, Step};
 use crate::variant::Variant;
 
@@ -192,6 +193,16 @@ pub enum BuildError {
         /// How many banks the power system actually has.
         banks: usize,
     },
+    /// A task's energy annotation references a mode that was never
+    /// registered with [`SimulatorBuilder::mode`].
+    UnknownMode {
+        /// Index of the offending task (registration order).
+        task: usize,
+        /// The unknown mode index the annotation referenced.
+        mode: usize,
+        /// How many modes the table actually has.
+        modes: usize,
+    },
 }
 
 impl core::fmt::Display for BuildError {
@@ -202,6 +213,11 @@ impl core::fmt::Display for BuildError {
             Self::BankOutOfRange { bank, banks } => write!(
                 f,
                 "energy mode references bank {bank} but the power system has {banks} banks"
+            ),
+            Self::UnknownMode { task, mode, modes } => write!(
+                f,
+                "task {task} references unknown energy mode mode{mode} \
+                 (the mode table has {modes} modes)"
             ),
         }
     }
@@ -254,6 +270,10 @@ pub struct Simulator<H, C> {
     trace: Option<Vec<(SimTime, Volts)>>,
     reconfig_overhead: SimDuration,
     harvest_during_operation: bool,
+    /// The reconfiguration policy consulted at every task boundary.
+    /// `None` only transiently while a decision is in flight (the policy
+    /// is taken out so it can observe the simulator it belongs to).
+    policy: Option<Box<dyn ReconfigPolicy>>,
 }
 
 /// Builder assembling the task graph, annotations, loads, and mode table
@@ -269,6 +289,7 @@ pub struct SimulatorBuilder<H, C> {
     entry: Option<&'static str>,
     record_trace: bool,
     harvest_during_operation: bool,
+    policy: Option<Box<dyn ReconfigPolicy>>,
 }
 
 impl<H: Harvester, C: SimContext> Simulator<H, C> {
@@ -287,6 +308,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             entry: None,
             record_trace: false,
             harvest_during_operation: false,
+            policy: None,
         }
     }
 
@@ -360,6 +382,16 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         &self.modes
     }
 
+    /// The installed reconfiguration policy
+    /// ([`StaticAnnotation`] unless overridden with
+    /// [`SimulatorBuilder::policy`]).
+    #[must_use]
+    pub fn policy(&self) -> &dyn ReconfigPolicy {
+        self.policy
+            .as_deref()
+            .expect("policy present outside decisions")
+    }
+
     /// Runs steps until `end` (simulated), the application stops, or the
     /// harvester stalls. Returns the terminal condition.
     pub fn run_until(&mut self, end: SimTime) -> StepResult {
@@ -388,7 +420,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         }
 
         let task = self.machine.current();
-        let energy = self.metas[task.0].energy;
+        let energy = self.decide_energy(task, self.metas[task.0].energy);
         let steps = plan(self.variant, energy, &self.state, self.needs_charge);
         for step in steps {
             let ok = match step {
@@ -601,7 +633,51 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         self.charge_current()
     }
 
+    /// Consults the reconfiguration policy at the task boundary: the
+    /// policy sees the runtime state and event backlog and may override
+    /// the static annotation. The decision point is commit-equivalent
+    /// (like [`RuntimeState`] mutations), so the policy's non-volatile
+    /// state commits as soon as the decision is taken.
+    fn decide_energy(&mut self, task: TaskId, annotation: TaskEnergy) -> TaskEnergy {
+        let mut policy = self.policy.take().expect("policy present outside decisions");
+        let decided = {
+            let obs = PolicyObservation {
+                now: self.now,
+                task,
+                needs_charge: self.needs_charge,
+                state: &self.state,
+                events: &self.events,
+                rail_voltage: self.power.rail_voltage(self.now),
+                full_voltage: self.power.full_voltage(self.now),
+                harvest_power: self.power.harvester().power_at(self.now),
+                mode_count: self.modes.len(),
+            };
+            policy.decide(&obs, annotation)
+        };
+        policy.commit();
+        self.policy = Some(policy);
+        for mode in [decided.exec_mode(), decided.precharge_mode()]
+            .into_iter()
+            .flatten()
+        {
+            assert!(
+                mode.0 < self.modes.len(),
+                "policy '{}' chose unknown energy mode {mode} for task {}",
+                self.policy().name(),
+                task.0
+            );
+        }
+        decided
+    }
+
     fn power_failed(&mut self, task: TaskId, energy: TaskEnergy) {
+        // The device lost power: any policy state staged since the last
+        // commit-equivalent point is discarded, exactly like application
+        // NV state. (The engine commits decisions immediately, so this
+        // matters for policies that stage across calls.)
+        if let Some(policy) = self.policy.as_mut() {
+            policy.abort();
+        }
         self.machine.fail(&mut self.ctx);
         self.on = false;
         self.needs_charge = true;
@@ -675,13 +751,21 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
         self
     }
 
+    /// Installs an adaptive reconfiguration policy
+    /// (see [`crate::policy`]). The default, [`StaticAnnotation`],
+    /// passes every annotation through untouched — the paper's behavior.
+    #[must_use]
+    pub fn policy(mut self, policy: Box<dyn ReconfigPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     /// Finishes the simulator around the initial application context.
     ///
     /// # Panics
     ///
     /// Panics on any [`BuildError`]; see [`SimulatorBuilder::try_build`]
-    /// for the non-panicking form. Also panics if an annotation
-    /// references an unregistered mode.
+    /// for the non-panicking form.
     #[must_use]
     pub fn build(self, ctx: C) -> Simulator<H, C> {
         self.try_build(ctx).unwrap_or_else(|e| panic!("{e}"))
@@ -694,13 +778,10 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
     ///
     /// Returns [`BuildError::NoTasks`] for an empty task graph,
     /// [`BuildError::UnknownEntry`] when [`SimulatorBuilder::entry`]
-    /// named no registered task, and [`BuildError::BankOutOfRange`] when
-    /// a mode references a bank the power system does not have.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an annotation references an unregistered mode (see
-    /// [`validate_annotations`]).
+    /// named no registered task, [`BuildError::BankOutOfRange`] when a
+    /// mode references a bank the power system does not have, and
+    /// [`BuildError::UnknownMode`] when a task annotation references a
+    /// mode missing from the table (see [`validate_annotations`]).
     pub fn try_build(self, ctx: C) -> Result<Simulator<H, C>, BuildError> {
         if self.metas.is_empty() {
             return Err(BuildError::NoTasks);
@@ -714,7 +795,13 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
             }
         }
         let annotations: Vec<TaskEnergy> = self.metas.iter().map(|m| m.energy).collect();
-        validate_annotations(&self.modes, &annotations);
+        if let Err(e) = validate_annotations(&self.modes, &annotations) {
+            return Err(BuildError::UnknownMode {
+                task: e.task,
+                mode: e.mode.0,
+                modes: self.modes.len(),
+            });
+        }
 
         let entry = match self.entry {
             Some(name) => match self.names.iter().position(|n| *n == name) {
@@ -747,6 +834,10 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
             trace: self.record_trace.then(Vec::new),
             reconfig_overhead: SimDuration::from_micros(500),
             harvest_during_operation: self.harvest_during_operation,
+            policy: Some(
+                self.policy
+                    .unwrap_or_else(|| Box::new(StaticAnnotation)),
+            ),
         })
     }
 }

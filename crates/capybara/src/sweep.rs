@@ -322,6 +322,20 @@ impl RunSummary {
     }
 }
 
+/// Telemetry for one worker thread of a sweep — how many points it
+/// claimed and how long it spent executing them (idle waits excluded).
+/// Measured, not simulated, so it is **excluded from report equality**
+/// exactly like wall time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the sweep (0-based).
+    pub worker: usize,
+    /// Points this worker executed.
+    pub points: u64,
+    /// Host wall-clock time spent inside point closures.
+    pub busy: Duration,
+}
+
 /// One run of a sweep: the point that parameterized it and its summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRun {
@@ -344,6 +358,8 @@ pub struct SweepReport {
     pub workers: usize,
     /// Total host wall-clock time (excluded from equality).
     pub wall: Duration,
+    /// Per-worker telemetry, in worker order (excluded from equality).
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl PartialEq for SweepReport {
@@ -386,6 +402,23 @@ impl SweepReport {
             .iter()
             .fold(Joules::ZERO, |acc, r| acc + r.summary.delivered_energy)
     }
+
+    /// Mean worker utilization: busy time summed over workers divided by
+    /// `workers × wall`. 1.0 means every worker computed for the whole
+    /// sweep; low values mean workers idled at the tail of the queue.
+    #[must_use]
+    pub fn worker_utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.workers as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .worker_stats
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .sum();
+        (busy / denom).min(1.0)
+    }
 }
 
 /// The sweep engine's default worker count: one per available core.
@@ -404,38 +437,76 @@ where
     R: Send,
     F: Fn(&SweepPoint) -> R + Sync,
 {
+    map_points_stats(spec, workers, f).0
+}
+
+/// The engine behind [`map_points_on`]: additionally reports per-worker
+/// telemetry (points claimed, busy time) gathered on the workers
+/// themselves.
+fn map_points_stats<R, F>(spec: &SweepSpec, workers: usize, f: F) -> (Vec<R>, Vec<WorkerStats>)
+where
+    R: Send,
+    F: Fn(&SweepPoint) -> R + Sync,
+{
     let points = spec.points();
     let n = points.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let workers = workers.clamp(1, n);
     if workers == 1 {
-        return points.iter().map(f).collect();
+        let t0 = Instant::now();
+        let results = points.iter().map(f).collect();
+        let stats = WorkerStats {
+            worker: 0,
+            points: n as u64,
+            busy: t0.elapsed(),
+        };
+        return (results, vec![stats]);
     }
 
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&points[i]);
-                *slots[i].lock().expect("no panics while holding the slot") = Some(r);
-            });
-        }
+    let stats = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let f = &f;
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats {
+                        worker,
+                        ..WorkerStats::default()
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        let r = f(&points[i]);
+                        stats.points += 1;
+                        stats.busy += t0.elapsed();
+                        *slots[i].lock().expect("no panics while holding the slot") = Some(r);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panics propagate out of the scope"))
+            .collect()
     });
-    slots
+    let results = slots
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .expect("worker panics propagate out of the scope")
                 .expect("every slot filled")
         })
-        .collect()
+        .collect();
+    (results, stats)
 }
 
 /// [`map_points_on`] with [`available_workers`].
@@ -482,7 +553,7 @@ where
 {
     let started = Instant::now();
     let horizon = spec.horizon();
-    let outcomes = map_points_on(spec, workers, |point| {
+    let (outcomes, worker_stats) = map_points_stats(spec, workers, |point| {
         let t0 = Instant::now();
         let (mut sim, extract) = run(point);
         sim.run_until(horizon);
@@ -502,6 +573,7 @@ where
         runs,
         workers: workers.clamp(1, spec.points().len().max(1)),
         wall: started.elapsed(),
+        worker_stats,
     };
     (report, extracts)
 }
@@ -738,6 +810,26 @@ mod tests {
         let weak = &report.get("weak").unwrap().summary;
         let strong = &report.get("strong").unwrap().summary;
         assert!(strong.completions >= weak.completions);
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_point() {
+        let spec = demo_spec();
+        let serial = run_sweep_on(&spec, 1, build);
+        assert_eq!(serial.worker_stats.len(), 1);
+        assert_eq!(serial.worker_stats[0].points, 9);
+        let parallel = run_sweep_on(&spec, 3, build);
+        assert_eq!(parallel.worker_stats.len(), 3);
+        let claimed: u64 = parallel.worker_stats.iter().map(|w| w.points).sum();
+        assert_eq!(claimed, 9, "every point is claimed exactly once");
+        for (i, w) in parallel.worker_stats.iter().enumerate() {
+            assert_eq!(w.worker, i);
+        }
+        // Telemetry is measured, not simulated: excluded from equality
+        // exactly like wall time.
+        assert_eq!(serial, parallel);
+        let u = parallel.worker_utilization();
+        assert!((0.0..=1.0).contains(&u));
     }
 
     #[test]

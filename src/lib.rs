@@ -16,6 +16,7 @@ pub use capy_power as power;
 pub use capy_units as units;
 pub use capybara as core;
 
+pub use capybara::policy;
 pub use capybara::sweep;
 
 /// The suite's prelude: everything an application or experiment driver
