@@ -21,5 +21,6 @@ run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo bench --no-run --workspace
 run cargo run --release --example policy_compare -- --smoke
+run cargo run --release --example faults -- --smoke
 
 echo "==> ci.sh: all checks passed"

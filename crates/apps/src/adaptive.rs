@@ -101,6 +101,7 @@ pub fn candidates() -> Vec<(String, Box<dyn ReconfigPolicy>)> {
         label: String::new(),
         params: Vec::new(),
         seed: 0,
+        horizon: None,
     };
     lineup()
         .into_iter()
@@ -316,10 +317,10 @@ pub fn compare_policies(
     }));
     let columns: Vec<Scenario> = scenarios
         .iter()
-        .map(|(label, sc)| Scenario::new(*label, &sc.params()))
+        .map(|(label, sc)| Scenario::new(*label, &sc.params()).at_horizon(sc.horizon()))
         .collect();
-    // Spec horizon ZERO: each run advances to its own scenario horizon
-    // inside the build closure (the engine's top-up is monotone).
+    // Every column carries its own (jittered) horizon, so the spec-wide
+    // default is never consulted.
     let comparison = run_policy_sweep_on(
         "policy-grid",
         SimTime::ZERO,
@@ -327,7 +328,7 @@ pub fn compare_policies(
         &policies,
         &columns,
         workers,
-        |point, policy| TrackerScenario::from_point(point).run(policy),
+        |point, policy| TrackerScenario::from_point(point).build(policy),
     );
     (comparison, oracle_reports)
 }
@@ -346,6 +347,7 @@ mod tests {
             label: "probe".into(),
             params,
             seed: 0,
+            horizon: None,
         };
         assert_eq!(TrackerScenario::from_point(&point), sc);
         // Jitter is deterministic per seed and actually jitters.

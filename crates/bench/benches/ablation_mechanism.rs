@@ -6,7 +6,8 @@
 use capy_bench::figure_header;
 use capy_power::booster::OutputBooster;
 use capy_power::mechanism::Mechanism;
-use capy_units::{Farads, Volts, Watts};
+use capy_units::{Farads, SimTime, Volts, Watts};
+use capybara::sweep::{map_points, SweepSpec};
 
 fn main() {
     figure_header(
@@ -22,9 +23,18 @@ fn main() {
         "{:<26} {:>14} {:>14} {:>8} {:>9} {:>6}",
         "mechanism", "cold@0.5mW(s)", "cold@5mW(s)", "area", "leakage", "wear"
     );
-    for m in Mechanism::ALL {
+    // Analytic comparison, one sweep point per mechanism.
+    let mut spec = SweepSpec::new("ablation-mechanism", SimTime::ZERO);
+    for (mi, m) in Mechanism::ALL.iter().enumerate() {
+        spec = spec.point(m.label().to_string(), &[("mechanism", mi as f64)]);
+    }
+    let rows = map_points(&spec, |point| {
+        let m = Mechanism::ALL[point.expect_param("mechanism") as usize];
         let cold_dim = m.cold_start(small, large, full, &booster, Watts::from_micro(500.0));
         let cold_bright = m.cold_start(small, large, full, &booster, Watts::from_milli(5.0));
+        (cold_dim, cold_bright)
+    });
+    for (m, (cold_dim, cold_bright)) in Mechanism::ALL.iter().zip(rows) {
         println!(
             "{:<26} {:>14.1} {:>14.2} {:>7.1}x {:>8.1}x {:>6}",
             m.label(),

@@ -11,9 +11,13 @@
 use capy_apps::events::grc_schedule;
 use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::accuracy_fractions;
-use capy_bench::{figure_header, pct, FIGURE_SEED};
+use capy_bench::{figure_header, pct, sweep_footer, FIGURE_SEED};
+use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
+
+/// The two systems compared: the paper's fixed bulk vs Capy-P.
+const SYSTEMS: [Variant; 2] = [Variant::Fixed, Variant::CapyP];
 
 fn main() {
     figure_header(
@@ -25,26 +29,34 @@ fn main() {
         "{:<8} {:>18} {:>18}",
         "system", "paper model", "with harvesting"
     );
-    for v in [Variant::Fixed, Variant::CapyP] {
-        let mut results = Vec::new();
-        for harvesting in [false, true] {
-            let mut sim =
-                grc::build_with_model(v, GrcVariant::Fast, events.clone(), FIGURE_SEED, harvesting);
-            sim.run_until(grc::HORIZON);
-            let report_events = sim.ctx().attempts.clone();
-            let _ = report_events;
-            let packets = sim.ctx().packets.clone();
-            let correct = packets.packets().iter().filter(|p| p.correct).count() as f64
-                / events.len() as f64;
-            results.push(correct);
+    // One sweep point per (system, execution model): all four runs shard
+    // across the machine instead of executing back to back.
+    let mut spec = SweepSpec::new("ablation-model", grc::HORIZON).base_seed(FIGURE_SEED);
+    for (si, v) in SYSTEMS.iter().enumerate() {
+        for harvesting in [0.0, 1.0] {
+            spec = spec.point(
+                format!("{} harvesting={harvesting:.0}", v.label()),
+                &[("system", si as f64), ("harvesting", harvesting)],
+            );
         }
-        println!(
-            "{:<8} {:>18} {:>18}",
-            v.label(),
-            pct(results[0]),
-            pct(results[1])
-        );
     }
+    let events_ref = &events;
+    let (report, rows) = run_sweep_extract(
+        &spec,
+        |point| {
+            let v = SYSTEMS[point.expect_param("system") as usize];
+            let harvesting = point.expect_param("harvesting") > 0.5;
+            grc::build_with_model(v, GrcVariant::Fast, events_ref.clone(), FIGURE_SEED, harvesting)
+        },
+        |sim, _| {
+            sim.ctx().packets.packets().iter().filter(|p| p.correct).count() as f64
+                / events_ref.len() as f64
+        },
+    );
+    for (v, pair) in SYSTEMS.iter().zip(rows.chunks(2)) {
+        println!("{:<8} {:>18} {:>18}", v.label(), pct(pair[0]), pct(pair[1]));
+    }
+    sweep_footer(&report);
     // Context: the accuracy scale of the main experiment.
     let base = grc::run(Variant::CapyP, GrcVariant::Fast, events, FIGURE_SEED);
     let f = accuracy_fractions(&base.classify());

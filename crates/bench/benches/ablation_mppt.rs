@@ -9,7 +9,17 @@
 use capy_bench::figure_header;
 use capy_power::capacitor;
 use capy_power::mppt::{harvested_power, PvCurve, Tracking};
-use capy_units::{Farads, Volts};
+use capy_units::{Farads, SimDuration, SimTime, Volts};
+use capybara::sweep::{map_points, SweepSpec};
+
+/// One irradiance row: MPP / tracked / pinned power, plus the TA
+/// small-bank recharge times at the operating point (0.42 sun only).
+struct Row {
+    p_mpp: f64,
+    tracked: f64,
+    pinned: f64,
+    recharge: Option<(SimDuration, SimDuration)>,
+}
 
 fn main() {
     figure_header(
@@ -21,7 +31,12 @@ fn main() {
         "irradiance", "MPP (uW)", "tracked (uW)", "pinned (uW)", "capture"
     );
     let small_bank = Farads::from_micro(400.0);
-    for irr in [0.1, 0.25, 0.42, 0.7, 1.0] {
+    // Analytic per-irradiance evaluation, sharded over the grid like
+    // every other sweep (no simulator; [`map_points`] suffices).
+    let spec = SweepSpec::new("ablation-mppt", SimTime::ZERO)
+        .grid("irradiance", &[0.1, 0.25, 0.42, 0.7, 1.0]);
+    let rows = map_points(&spec, |point| {
+        let irr = point.expect_param("irradiance");
         // Two wings in series: double the voltage at the same current.
         let pv = PvCurve::new(
             PvCurve::trisolx(irr).i_sc,
@@ -33,15 +48,7 @@ fn main() {
         // A direct charger pins the panel near the capacitor's mid-charge
         // voltage (here ~1.0 V, below the MPP of the series pair).
         let pinned = harvested_power(&pv, Tracking::PinnedAt(Volts::new(1.0)));
-        println!(
-            "{:>12.2} {:>12.0} {:>14.0} {:>14.0} {:>11.0}%",
-            irr,
-            p_mpp.get() * 1e6,
-            tracked.get() * 1e6,
-            pinned.get() * 1e6,
-            tracked.get() / p_mpp.get() * 100.0
-        );
-        if (irr - 0.42).abs() < 1e-9 {
+        let recharge = ((irr - 0.42).abs() < 1e-9).then(|| {
             let t_mppt = capacitor::time_to_charge(
                 small_bank,
                 Volts::new(0.9),
@@ -54,6 +61,25 @@ fn main() {
                 Volts::new(2.8),
                 pinned * 0.8,
             );
+            (t_mppt, t_pinned)
+        });
+        Row {
+            p_mpp: p_mpp.get(),
+            tracked: tracked.get(),
+            pinned: pinned.get(),
+            recharge,
+        }
+    });
+    for (point, row) in spec.points().iter().zip(rows) {
+        println!(
+            "{:>12.2} {:>12.0} {:>14.0} {:>14.0} {:>11.0}%",
+            point.expect_param("irradiance"),
+            row.p_mpp * 1e6,
+            row.tracked * 1e6,
+            row.pinned * 1e6,
+            row.tracked / row.p_mpp * 100.0
+        );
+        if let Some((t_mppt, t_pinned)) = row.recharge {
             println!(
                 "    at the TA operating point: small-bank recharge {:.1} s (MPPT) vs {:.1} s (direct)",
                 t_mppt.as_secs_f64(),

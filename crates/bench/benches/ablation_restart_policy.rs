@@ -9,8 +9,13 @@
 //! operation (a radio packet does not resume mid-transmission), which is
 //! why Capybara sizes modes for atomic tasks instead.
 
-use capy_bench::figure_header;
+use std::time::Instant;
+
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_intermittent::checkpoint::CheckpointedMachine;
+use capybara::sweep::{
+    available_workers, map_points, RunSummary, SweepReport, SweepRun, SweepSpec, WorkerStats,
+};
 use capy_intermittent::machine::ExecutionMachine;
 use capy_intermittent::nv::{NvState, NvVar};
 use capy_intermittent::task::{TaskGraph, TaskId, Transition};
@@ -114,26 +119,62 @@ fn main() {
         "restart-at-task vs dynamic checkpointing on an undersized buffer",
     );
     let horizon = SimTime::from_secs(300);
-    let (tb_done, tb_attempts, tb_t) = run_task_based(horizon);
-    let (cp_done, cp_attempts, cp_t) = run_checkpointed(horizon);
+    // These recovery models drive the power substrate directly (no
+    // `Simulator`), so the runs shard with [`map_points`] and the
+    // standard sweep record is assembled from what each run reports.
+    let spec = SweepSpec::new("ablation-restart-policy", horizon)
+        .base_seed(FIGURE_SEED)
+        .point("task-restart (Chain)", &[("checkpointing", 0.0)])
+        .point("checkpointing", &[("checkpointing", 1.0)]);
+    let started = Instant::now();
+    let rows = map_points(&spec, |point| {
+        let t0 = Instant::now();
+        let (done, attempts, end) = if point.expect_param("checkpointing") > 0.5 {
+            run_checkpointed(horizon)
+        } else {
+            run_task_based(horizon)
+        };
+        (done, attempts, end, t0.elapsed())
+    });
     println!(
         "{:<22} {:>10} {:>10} {:>14}",
         "policy", "completed", "attempts", "finished at"
     );
-    println!(
-        "{:<22} {:>10} {:>10} {:>14}",
-        "task-restart (Chain)",
-        tb_done,
-        tb_attempts,
-        format!("{:.0}s", tb_t.as_secs_f64())
-    );
-    println!(
-        "{:<22} {:>10} {:>10} {:>14}",
-        "checkpointing",
-        cp_done,
-        cp_attempts,
-        format!("{:.0}s", cp_t.as_secs_f64())
-    );
+    let mut runs = Vec::with_capacity(rows.len());
+    let mut busy = std::time::Duration::ZERO;
+    for (point, (done, attempts, end, wall)) in spec.points().iter().zip(&rows) {
+        println!(
+            "{:<22} {:>10} {:>10} {:>14}",
+            point.label,
+            done,
+            attempts,
+            format!("{:.0}s", end.as_secs_f64())
+        );
+        busy += *wall;
+        runs.push(SweepRun {
+            point: point.clone(),
+            summary: RunSummary {
+                attempts: *attempts,
+                completions: u64::from(*done),
+                failures: attempts.saturating_sub(u64::from(*done)),
+                end: *end,
+                wall: *wall,
+                ..RunSummary::default()
+            },
+        });
+    }
+    let report = SweepReport {
+        name: spec.name(),
+        workers: available_workers().min(spec.points().len()),
+        wall: started.elapsed(),
+        worker_stats: vec![WorkerStats {
+            worker: 0,
+            points: rows.len() as u64,
+            busy,
+        }],
+        runs,
+    };
+    sweep_footer(&report);
     println!();
     println!("Expected shape: the task-restart policy livelocks on the");
     println!("undersized buffer (0 completions; every attempt re-executes");

@@ -12,10 +12,11 @@
 //! swallow — remain.
 
 use capy_apps::prelude::*;
-use capy_bench::figure_header;
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_power::harvester::SolarPanel;
 use capy_power::prelude::{Bank, PowerSystem};
 use capy_units::{SimDuration, SimTime, Watts};
+use capybara::sweep::{run_sweep_extract, SweepSpec};
 
 struct Ctx {
     now: SimTime,
@@ -34,7 +35,7 @@ impl SimContext for Ctx {
     }
 }
 
-fn run(paced: bool) -> (usize, usize, f64) {
+fn build(paced: bool) -> Simulator<SolarPanel, Ctx> {
     let power = PowerSystem::builder()
         .harvester(SolarPanel::trisolx_pair_halogen())
         .bank(
@@ -47,8 +48,7 @@ fn run(paced: bool) -> (usize, usize, f64) {
             SwitchKind::NormallyClosed,
         )
         .build();
-    let mut sim: Simulator<SolarPanel, Ctx> =
-        Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
+    Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
             .task(
                 "sample",
                 TaskEnergy::Unannotated,
@@ -74,18 +74,19 @@ fn run(paced: bool) -> (usize, usize, f64) {
                 now: SimTime::ZERO,
                 samples: Vec::new(),
                 paced,
-            });
-    sim.run_until(SimTime::from_secs(40 * 60));
+            })
+}
 
-    let gaps: Vec<f64> = sim
-        .ctx()
-        .samples
+/// Sample-gap statistics of a finished run: count, gaps over 30 s, and
+/// the longest gap in seconds.
+fn gap_stats(samples: &[SimTime]) -> (usize, usize, f64) {
+    let gaps: Vec<f64> = samples
         .windows(2)
         .map(|w| (w[1] - w[0]).as_secs_f64())
         .collect();
     let long_gaps = gaps.iter().filter(|&&g| g > 30.0).count();
     let longest = gaps.iter().copied().fold(0.0, f64::max);
-    (sim.ctx().samples.len(), long_gaps, longest)
+    (samples.len(), long_gaps, longest)
 }
 
 fn main() {
@@ -98,13 +99,22 @@ fn main() {
         "pacing", "samples", "gaps > 30 s", "longest gap"
     );
     let _ = Watts::ZERO;
-    for (paced, label) in [(false, "tight loop"), (true, "1 s sleep pacing")] {
-        let (n, long_gaps, longest) = run(paced);
+    let spec = SweepSpec::new("ablation-sleep-pacing", SimTime::from_secs(40 * 60))
+        .base_seed(FIGURE_SEED)
+        .point("tight loop", &[("paced", 0.0)])
+        .point("1 s sleep pacing", &[("paced", 1.0)]);
+    let (report, rows) = run_sweep_extract(
+        &spec,
+        |point| build(point.expect_param("paced") > 0.5),
+        |sim, _| gap_stats(&sim.ctx().samples),
+    );
+    for (run, (n, long_gaps, longest)) in report.runs.iter().zip(rows) {
         println!(
             "{:<18} {:>10} {:>16} {:>13.0}s",
-            label, n, long_gaps, longest
+            run.point.label, n, long_gaps, longest
         );
     }
+    sweep_footer(&report);
     println!();
     println!("Expected shape: pacing thins the wasteful back-to-back samples");
     println!("by two orders of magnitude, but the full-bank charge gaps do");

@@ -11,9 +11,10 @@
 //! boot."
 
 use capy_apps::prelude::*;
-use capy_bench::figure_header;
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_power::prelude::TraceHarvester;
 use capy_units::{SimDuration, SimTime, Volts, Watts};
+use capybara::sweep::{run_sweep_extract, SweepSpec};
 
 struct Ctx {
     completions: NvVar<u64>,
@@ -32,9 +33,10 @@ impl SimContext for Ctx {
     fn set_now(&mut self, _now: SimTime) {}
 }
 
-/// Runs a big-mode-only workload under outage-y input power with the big
-/// bank's switch in the given default kind.
-fn run(kind: SwitchKind) -> (u64, u64) {
+/// Builds a big-mode-only workload under outage-y input power with the
+/// big bank's switch in the given default kind. The sweep engine runs
+/// it to the spec's horizon.
+fn build(kind: SwitchKind) -> Simulator<TraceHarvester, Ctx> {
     // 120 s of 5 mW power alternating with 400 s outages — longer than the
     // ~3 min latch retention, so commanded switch state is lost in every
     // outage.
@@ -58,25 +60,22 @@ fn run(kind: SwitchKind) -> (u64, u64) {
             kind,
         )
         .build();
-    let mut sim: Simulator<TraceHarvester, Ctx> =
-        Simulator::builder(Variant::CapyP, power, Mcu::msp430fr5969())
-            .mode("small", &[BankId(0)])
-            .mode("big", &[BankId(1)])
-            .task(
-                "atomic_op",
-                TaskEnergy::Config(EnergyMode(1)),
-                // An atomic operation only the big bank can sustain.
-                |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_secs(5))),
-                |c: &mut Ctx| {
-                    c.completions.update(|n| n + 1);
-                    Transition::Stay
-                },
-            )
-            .build(Ctx {
-                completions: NvVar::new(0),
-            });
-    sim.run_until(SimTime::from_secs(20 * 520));
-    (sim.ctx().completions.get(), sim.exec_stats().failures)
+    Simulator::builder(Variant::CapyP, power, Mcu::msp430fr5969())
+        .mode("small", &[BankId(0)])
+        .mode("big", &[BankId(1)])
+        .task(
+            "atomic_op",
+            TaskEnergy::Config(EnergyMode(1)),
+            // An atomic operation only the big bank can sustain.
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_secs(5))),
+            |c: &mut Ctx| {
+                c.completions.update(|n| n + 1);
+                Transition::Stay
+            },
+        )
+        .build(Ctx {
+            completions: NvVar::new(0),
+        })
 }
 
 fn main() {
@@ -85,13 +84,26 @@ fn main() {
         "NO vs NC switch default under outages longer than latch retention",
     );
     println!("{:<18} {:>12} {:>14}", "big-bank switch", "completions", "wasted attempts");
-    for (kind, label) in [
-        (SwitchKind::NormallyOpen, "normally-open"),
-        (SwitchKind::NormallyClosed, "normally-closed"),
-    ] {
-        let (done, failed) = run(kind);
-        println!("{label:<18} {done:>12} {failed:>14}");
+    let spec = SweepSpec::new("ablation-switch-default", SimTime::from_secs(20 * 520))
+        .base_seed(FIGURE_SEED)
+        .point("normally-open", &[("normally_open", 1.0)])
+        .point("normally-closed", &[("normally_open", 0.0)]);
+    let (report, rows) = run_sweep_extract(
+        &spec,
+        |point| {
+            let kind = if point.expect_param("normally_open") > 0.5 {
+                SwitchKind::NormallyOpen
+            } else {
+                SwitchKind::NormallyClosed
+            };
+            build(kind)
+        },
+        |sim, _| (sim.ctx().completions.get(), sim.exec_stats().failures),
+    );
+    for (run, (done, failed)) in report.runs.iter().zip(rows) {
+        println!("{:<18} {done:>12} {failed:>14}", run.point.label);
     }
+    sweep_footer(&report);
     println!();
     println!("Expected shape: the NO configuration wastes execution attempts");
     println!("after every outage (the runtime believes the big mode is still");

@@ -11,11 +11,16 @@
 
 use capy_apps::events::ta_schedule;
 use capy_apps::ta;
-use capy_bench::{figure_header, FIGURE_SEED};
+use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
+use capy_power::bank::BankId;
 use capy_power::lifetime::{projected_lifetime, typical_cycle_life, WearReport};
 use capy_power::technology::Technology;
+use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
+
+/// The two systems compared: the paper's fixed bulk vs Capy-P.
+const SYSTEMS: [Variant; 2] = [Variant::Fixed, Variant::CapyP];
 
 fn main() {
     figure_header(
@@ -27,20 +32,41 @@ fn main() {
         "{:<8} {:>12} {:>14} {:>22}",
         "system", "bank", "deep cycles", "projected EDLC life"
     );
-    for v in [Variant::Fixed, Variant::CapyP] {
-        let r = ta::run(v, events.clone(), FIGURE_SEED);
-        for (name, cycles) in &r.bank_cycles {
+    let mut spec = SweepSpec::new("ablation-wear", ta::HORIZON).base_seed(FIGURE_SEED);
+    for (si, v) in SYSTEMS.iter().enumerate() {
+        spec = spec.point(v.label().to_string(), &[("system", si as f64)]);
+    }
+    let events_ref = &events;
+    let (report, rows) = run_sweep_extract(
+        &spec,
+        |point| {
+            let v = SYSTEMS[point.expect_param("system") as usize];
+            ta::build(v, events_ref.clone(), FIGURE_SEED)
+        },
+        // Per-bank deep-cycle counts from the finished run (§5.2 wear
+        // accounting).
+        |sim, _| {
+            (0..sim.power().bank_count())
+                .map(|i| {
+                    let bank = sim.power().bank(BankId(i)).expect("index in range");
+                    (bank.name(), bank.cycles())
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    for (v, bank_cycles) in SYSTEMS.iter().zip(rows) {
+        for (name, cycles) in &bank_cycles {
             // Only banks containing EDLC parts wear; the fixed bank and
             // the Capybara large bank both do.
             let edlc = name.contains("fixed") || name.contains("large");
             let life = if edlc {
-                let report = WearReport {
+                let wear = WearReport {
                     cycles: *cycles,
                     cycle_life: typical_cycle_life(Technology::Edlc),
                     consumed: *cycles as f64
                         / typical_cycle_life(Technology::Edlc).unwrap() as f64,
                 };
-                projected_lifetime(&report, r.horizon.elapsed_since_origin())
+                projected_lifetime(&wear, ta::HORIZON.elapsed_since_origin())
                     .map_or("unlimited".to_string(), |d| {
                         format!("{:.1} years", d.as_secs_f64() / 86_400.0 / 365.0)
                     })
@@ -50,6 +76,7 @@ fn main() {
             println!("{:<8} {:>12} {:>14} {:>22}", v.label(), name, cycles, life);
         }
     }
+    sweep_footer(&report);
     println!();
     println!("Expected shape: the Capybara large (EDLC) bank deep-cycles only");
     println!("around alarm events (tens over two hours) while the Fixed bank's");

@@ -8,8 +8,10 @@
 //!
 //! Columns per system: Correct / Misclassified / Proximity-only / Missed,
 //! matching the stacked bars. Each application's four variants run as one
-//! parallel [`SweepSpec`] (`run_sweep_with`), so the bench saturates the
-//! machine while printing the exact same rows as the old serial driver.
+//! parallel [`SweepSpec`] (`run_sweep_extract`: the engine advances every
+//! run to the spec's horizon, then the extract reads the finished
+//! simulator), so the bench saturates the machine while printing the
+//! exact same rows as the old serial driver.
 
 use capy_apps::events::{grc_schedule, ta_schedule};
 use capy_apps::grc::{self, GrcVariant};
@@ -17,7 +19,7 @@ use capy_apps::metrics::{accuracy_fractions, classify_reported, AccuracyBreakdow
 use capy_apps::{csr, ta};
 use capy_bench::{figure_header, pct, sweep_footer, FIGURE_SEED};
 use capy_units::rng::DetRng;
-use capybara::sweep::{run_sweep_with, SweepSpec};
+use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
 
 fn print_row(system: &str, f: AccuracyBreakdown) {
@@ -56,13 +58,14 @@ fn main() {
     let ta_events = ta_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
     println!("TempAlarm (50 events / 120 min):");
     let events = &ta_events;
-    let (report, rows) = run_sweep_with(&variant_spec("fig8-ta", ta::HORIZON), |point| {
-        let v = Variant::ALL[point.expect_param("variant") as usize];
-        let mut sim = ta::build(v, events.clone(), FIGURE_SEED);
-        sim.run_until(ta::HORIZON);
-        let f = accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets));
-        (sim, f)
-    });
+    let (report, rows) = run_sweep_extract(
+        &variant_spec("fig8-ta", ta::HORIZON),
+        |point| {
+            let v = Variant::ALL[point.expect_param("variant") as usize];
+            ta::build(v, events.clone(), FIGURE_SEED)
+        },
+        |sim, _| accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets)),
+    );
     print_variant_rows(rows);
     sweep_footer(&report);
 
@@ -74,26 +77,30 @@ fn main() {
             GrcVariant::Fast => "fig8-grc-fast",
             GrcVariant::Compact => "fig8-grc-compact",
         };
-        let (report, rows) = run_sweep_with(&variant_spec(name, grc::HORIZON), |point| {
-            let v = Variant::ALL[point.expect_param("variant") as usize];
-            let mut sim = grc::build(v, gv, events.clone(), FIGURE_SEED);
-            sim.run_until(grc::HORIZON);
-            let ctx = sim.ctx();
-            let f = accuracy_fractions(&grc::classify_run(events.len(), &ctx.packets, &ctx.attempts));
-            (sim, f)
-        });
+        let (report, rows) = run_sweep_extract(
+            &variant_spec(name, grc::HORIZON),
+            |point| {
+                let v = Variant::ALL[point.expect_param("variant") as usize];
+                grc::build(v, gv, events.clone(), FIGURE_SEED)
+            },
+            |sim, _| {
+                let ctx = sim.ctx();
+                accuracy_fractions(&grc::classify_run(events.len(), &ctx.packets, &ctx.attempts))
+            },
+        );
         print_variant_rows(rows);
         sweep_footer(&report);
     }
 
     println!("CorrSense (80 events / 42 min):");
-    let (report, rows) = run_sweep_with(&variant_spec("fig8-csr", grc::HORIZON), |point| {
-        let v = Variant::ALL[point.expect_param("variant") as usize];
-        let mut sim = csr::build(v, events.clone(), FIGURE_SEED);
-        sim.run_until(grc::HORIZON);
-        let f = accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets));
-        (sim, f)
-    });
+    let (report, rows) = run_sweep_extract(
+        &variant_spec("fig8-csr", grc::HORIZON),
+        |point| {
+            let v = Variant::ALL[point.expect_param("variant") as usize];
+            csr::build(v, events.clone(), FIGURE_SEED)
+        },
+        |sim, _| accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets)),
+    );
     print_variant_rows(rows);
     sweep_footer(&report);
 

@@ -8,8 +8,10 @@
 //! packet reception."
 //!
 //! Each application's four variants run as one parallel [`SweepSpec`]
-//! (`run_sweep_with`); the TA rows compare against a continuously-powered
-//! reference run computed up front and shared by every worker.
+//! (`run_sweep_extract`: the engine advances every run to the spec's
+//! horizon, then the extract reads the finished simulator); the TA rows
+//! compare against a continuously-powered reference run computed up
+//! front and shared by every worker.
 
 use capy_apps::events::{grc_schedule, ta_schedule};
 use capy_apps::grc::{self, GrcVariant};
@@ -18,7 +20,7 @@ use capy_apps::observer::PacketLog;
 use capy_apps::{csr, ta};
 use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_units::{SimDuration, SimTime};
-use capybara::sweep::{run_sweep_with, SweepSpec};
+use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
 use capy_units::rng::DetRng;
 
@@ -75,13 +77,17 @@ fn main() {
     println!("TempAlarm (latency vs continuously-powered reference):");
     let events = &ta_events;
     let ref_packets = &reference.packets;
-    let (report, rows) = run_sweep_with(&variant_spec("fig9-ta", ta::HORIZON), |point| {
-        let v = Variant::ALL[point.expect_param("variant") as usize];
-        let mut sim = ta::build(v, events.clone(), FIGURE_SEED);
-        sim.run_until(ta::HORIZON);
-        let lats = ta_latency_vs_reference(events, ref_packets, &sim.ctx().packets);
-        (sim, latency_stats(&lats))
-    });
+    let (report, rows) = run_sweep_extract(
+        &variant_spec("fig9-ta", ta::HORIZON),
+        |point| {
+            let v = Variant::ALL[point.expect_param("variant") as usize];
+            ta::build(v, events.clone(), FIGURE_SEED)
+        },
+        |sim, _| {
+            let lats = ta_latency_vs_reference(events, ref_packets, &sim.ctx().packets);
+            latency_stats(&lats)
+        },
+    );
     print_variant_rows(rows);
     sweep_footer(&report);
 
@@ -93,25 +99,27 @@ fn main() {
             GrcVariant::Fast => "fig9-grc-fast",
             GrcVariant::Compact => "fig9-grc-compact",
         };
-        let (report, rows) = run_sweep_with(&variant_spec(name, grc::HORIZON), |point| {
-            let v = Variant::ALL[point.expect_param("variant") as usize];
-            let mut sim = grc::build(v, gv, events.clone(), FIGURE_SEED);
-            sim.run_until(grc::HORIZON);
-            let stats = latency_stats(&event_latencies(events, &sim.ctx().packets));
-            (sim, stats)
-        });
+        let (report, rows) = run_sweep_extract(
+            &variant_spec(name, grc::HORIZON),
+            |point| {
+                let v = Variant::ALL[point.expect_param("variant") as usize];
+                grc::build(v, gv, events.clone(), FIGURE_SEED)
+            },
+            |sim, _| latency_stats(&event_latencies(events, &sim.ctx().packets)),
+        );
         print_variant_rows(rows);
         sweep_footer(&report);
     }
 
     println!("CorrSense (latency vs pendulum actuation):");
-    let (report, rows) = run_sweep_with(&variant_spec("fig9-csr", grc::HORIZON), |point| {
-        let v = Variant::ALL[point.expect_param("variant") as usize];
-        let mut sim = csr::build(v, events.clone(), FIGURE_SEED);
-        sim.run_until(grc::HORIZON);
-        let stats = latency_stats(&event_latencies(events, &sim.ctx().packets));
-        (sim, stats)
-    });
+    let (report, rows) = run_sweep_extract(
+        &variant_spec("fig9-csr", grc::HORIZON),
+        |point| {
+            let v = Variant::ALL[point.expect_param("variant") as usize];
+            csr::build(v, events.clone(), FIGURE_SEED)
+        },
+        |sim, _| latency_stats(&event_latencies(events, &sim.ctx().packets)),
+    );
     print_variant_rows(rows);
     sweep_footer(&report);
 

@@ -1,0 +1,737 @@
+//! Systematic fault injection: exhaustive power-kill exploration,
+//! hardware fault models, and crash-consistency checking.
+//!
+//! Intermittent systems earn their correctness claims the hard way: a
+//! power failure can land *anywhere*, and every landing must leave the
+//! non-volatile state consistent (§4.3's commit-on-complete contract)
+//! and the device able to make forward progress. This module turns that
+//! obligation into a mechanical procedure with two pillars:
+//!
+//! * **[`FaultPlan`]** — a declarative schedule of hardware faults
+//!   (stuck switches, premature latch decay, capacitor wear, cold-start
+//!   brownout margins) armed onto a `PowerSystem` as first-class
+//!   simulated physics, so experiments can ask "what does the mission
+//!   look like when the big bank's switch dies at minute 30?".
+//! * **[`explore_kill_grid`]** — the exhaustive kill-point explorer. A
+//!   *record pass* runs the scenario once and collects every task
+//!   boundary plus every switch-latch decay deadline (±ε, the instants
+//!   where reconfiguration state is most fragile). A *kill pass* then
+//!   re-runs the scenario once per grid point, force-killing power at
+//!   that instant with [`Simulator::inject_power_failure`] and letting
+//!   the scenario recover to its horizon. Every resumed run is checked
+//!   for a clean event log ([`validate_event_log`]), a caller-supplied
+//!   application invariant, execution-statistics conservation, and
+//!   Zeno-style livelock (reboot cycles that never complete a task).
+//!
+//! # Kill granularity
+//!
+//! The simulator executes at *task grain*: one [`Simulator::step`] is
+//! one task attempt with its surrounding runtime actions. A kill
+//! requested at time `t` therefore lands at the first task boundary at
+//! or after `t` — the same observable outcomes as a sub-task-grain kill,
+//! because the execution model already charges a mid-task failure to the
+//! whole attempt (the attempt aborts, non-volatile working state is
+//! discarded). The grid is exhaustive over the *distinct observable kill
+//! states*, not over continuous time.
+//!
+//! # Determinism
+//!
+//! The kill pass shards its grid across worker threads with
+//! [`map_points_on`]; each kill re-simulates independently from the
+//! scenario builder, so a [`KillReport`] is bit-identical for any worker
+//! count.
+
+use capy_power::bank::BankId;
+use capy_power::harvester::Harvester;
+use capy_power::lifetime::WearModel;
+use capy_power::switch::SwitchFault;
+use capy_power::system::{HardwareFault, PowerSystem};
+use capy_units::{SimDuration, SimTime, Volts};
+
+use crate::sim::{validate_event_log, SimContext, Simulator, StepResult};
+use crate::sweep::{available_workers, map_points_on, RunSummary, SweepSpec};
+
+/// A declarative schedule of hardware faults plus ambient degradation
+/// models, armed onto a power system in one call.
+///
+/// # Examples
+///
+/// ```
+/// use capybara::faults::FaultPlan;
+/// use capy_power::bank::BankId;
+/// use capy_power::lifetime::WearModel;
+/// use capy_units::{SimTime, Volts};
+///
+/// let plan = FaultPlan::new()
+///     .switch_stuck_open(SimTime::from_secs(1800), BankId(1))
+///     .wear(WearModel::prototype())
+///     .startup_margin(Volts::new(0.1));
+/// assert_eq!(plan.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<(SimTime, HardwareFault)>,
+    wear: Option<WearModel>,
+    startup_margin: Option<Volts>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, no wear, no brownout margin.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` to strike at `at` (applied by the first power
+    /// operation whose physics reach that instant).
+    #[must_use]
+    pub fn fault_at(mut self, at: SimTime, fault: HardwareFault) -> Self {
+        self.faults.push((at, fault));
+        self
+    }
+
+    /// Schedules `bank`'s switch channel to stop conducting at `at`: the
+    /// bank is disconnected permanently, regardless of commands.
+    #[must_use]
+    pub fn switch_stuck_open(self, at: SimTime, bank: BankId) -> Self {
+        self.fault_at(
+            at,
+            HardwareFault::Switch {
+                bank,
+                fault: SwitchFault::StuckOpen,
+            },
+        )
+    }
+
+    /// Schedules `bank`'s switch channel to short at `at`: the bank is
+    /// connected permanently, regardless of commands.
+    #[must_use]
+    pub fn switch_stuck_closed(self, at: SimTime, bank: BankId) -> Self {
+        self.fault_at(
+            at,
+            HardwareFault::Switch {
+                bank,
+                fault: SwitchFault::StuckClosed,
+            },
+        )
+    }
+
+    /// Schedules `bank`'s latch capacitor to start leaking `factor`×
+    /// faster than rated at `at` (premature latch decay).
+    #[must_use]
+    pub fn weak_latch(self, at: SimTime, bank: BankId, factor: f64) -> Self {
+        self.fault_at(
+            at,
+            HardwareFault::Switch {
+                bank,
+                fault: SwitchFault::WeakLatch { factor },
+            },
+        )
+    }
+
+    /// Schedules `bank`'s capacitors to degrade at `at`: capacitance
+    /// drops to `cap_derate ×` nominal and ESR grows by `esr_scale ×`
+    /// (a dead bank is `cap_derate = 0.0`).
+    #[must_use]
+    pub fn bank_degraded(
+        self,
+        at: SimTime,
+        bank: BankId,
+        cap_derate: f64,
+        esr_scale: f64,
+    ) -> Self {
+        self.fault_at(
+            at,
+            HardwareFault::BankDegraded {
+                bank,
+                cap_derate,
+                esr_scale,
+            },
+        )
+    }
+
+    /// Installs a wear model: every bank continuously derates with its
+    /// accumulated deep cycles (ESR drift and capacitance fade from the
+    /// [`capy_power::lifetime`] accounting).
+    #[must_use]
+    pub fn wear(mut self, model: WearModel) -> Self {
+        self.wear = Some(model);
+        self
+    }
+
+    /// Raises the cold-start supervisor's required margin above the
+    /// booster's startup voltage — a brownout-prone supply that refuses
+    /// marginal boots.
+    #[must_use]
+    pub fn startup_margin(mut self, margin: Volts) -> Self {
+        self.startup_margin = Some(margin);
+        self
+    }
+
+    /// Number of scheduled discrete faults (wear and margin excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the plan schedules no discrete faults and installs
+    /// neither wear nor a startup margin.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.wear.is_none() && self.startup_margin.is_none()
+    }
+
+    /// Arms the whole plan onto `power`: discrete faults are scheduled
+    /// as simulated physics, the wear model and startup margin are
+    /// installed immediately.
+    pub fn apply<H: Harvester>(&self, power: &mut PowerSystem<H>) {
+        for &(at, fault) in &self.faults {
+            power.schedule_fault(at, fault);
+        }
+        if let Some(model) = self.wear {
+            power.set_wear_model(Some(model));
+        }
+        if let Some(margin) = self.startup_margin {
+            power.set_startup_margin(margin);
+        }
+    }
+
+    /// [`FaultPlan::apply`] for an already-built simulator.
+    pub fn arm<H: Harvester, C: SimContext>(&self, sim: &mut Simulator<H, C>) {
+        self.apply(sim.power_mut());
+    }
+}
+
+/// Tuning knobs of the kill-grid explorer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillGridOptions {
+    /// Take every `stride`-th point of the recorded grid (subsampling
+    /// for smoke runs; `1` = exhaustive).
+    pub stride: usize,
+    /// Cap the subsampled grid at this many points, spread evenly over
+    /// the recorded range.
+    pub max_points: Option<usize>,
+    /// Extra kill instants straddling each switch-latch decay deadline:
+    /// the grid gains `deadline − ε` and `deadline + ε`.
+    pub epsilon: SimDuration,
+    /// Livelock threshold: a resumed run that reboots at least this many
+    /// times after the kill without completing a single task is flagged
+    /// as a Zeno violation.
+    pub zeno_boot_limit: u64,
+    /// Worker threads for the kill pass; `0` uses one per core.
+    pub workers: usize,
+}
+
+impl Default for KillGridOptions {
+    fn default() -> Self {
+        Self {
+            stride: 1,
+            max_points: None,
+            epsilon: SimDuration::from_millis(1),
+            zeno_boot_limit: 64,
+            workers: 0,
+        }
+    }
+}
+
+impl KillGridOptions {
+    /// Subsampled options for CI smoke runs: every `stride`-th point,
+    /// capped at `max_points`.
+    #[must_use]
+    pub fn smoke(stride: usize, max_points: usize) -> Self {
+        Self {
+            stride: stride.max(1),
+            max_points: Some(max_points),
+            ..Self::default()
+        }
+    }
+}
+
+/// One kill experiment: where the power died and what the resumed run
+/// looked like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillOutcome {
+    /// The requested kill instant (the effective kill lands at the first
+    /// task boundary at or after it).
+    pub kill_at: SimTime,
+    /// The resumed run's full observability record.
+    pub summary: RunSummary,
+    /// The first violated check, if any: an event-log inconsistency, a
+    /// broken application invariant, a stall, or a Zeno livelock.
+    pub violation: Option<String>,
+}
+
+/// The result of one [`explore_kill_grid`] exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillReport {
+    /// The fault-free run's record (the record pass).
+    pub baseline: RunSummary,
+    /// A violation in the *baseline* run (before any kill) — the
+    /// scenario itself is broken when this is set.
+    pub baseline_violation: Option<String>,
+    /// Size of the full recorded grid before subsampling.
+    pub grid_points: usize,
+    /// One outcome per explored kill point, in kill-time order.
+    pub outcomes: Vec<KillOutcome>,
+}
+
+impl KillReport {
+    /// The outcomes whose post-kill checks failed.
+    #[must_use]
+    pub fn violations(&self) -> Vec<&KillOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.violation.is_some())
+            .collect()
+    }
+
+    /// `true` when the baseline and every explored kill passed all
+    /// checks.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.baseline_violation.is_none() && self.outcomes.iter().all(|o| o.violation.is_none())
+    }
+
+    /// A one-line digest for logs: explored/total points and violation
+    /// count.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!(
+            "{} of {} kill points explored, {} violations{}",
+            self.outcomes.len(),
+            self.grid_points,
+            self.violations().len(),
+            if self.baseline_violation.is_some() {
+                " (baseline broken)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Runs the record pass: steps `sim` to `horizon` collecting every task
+/// boundary plus every finite switch-latch decay deadline ±`epsilon`,
+/// clamped to `(0, horizon)`. Returns the sorted, deduplicated grid.
+fn record_grid<H: Harvester, C: SimContext>(
+    sim: &mut Simulator<H, C>,
+    horizon: SimTime,
+    epsilon: SimDuration,
+) -> Vec<SimTime> {
+    let mut grid = Vec::new();
+    let mut push = |t: SimTime| {
+        if t > SimTime::ZERO && t < horizon {
+            grid.push(t);
+        }
+    };
+    while sim.now() < horizon {
+        match sim.step() {
+            StepResult::Progress => {}
+            StepResult::Stopped | StepResult::Stalled { .. } => break,
+        }
+        push(sim.now());
+        for i in 0..sim.power().bank_count() {
+            let Ok(switch) = sim.power().switch(BankId(i)) else {
+                continue;
+            };
+            let deadline = switch.decay_deadline();
+            if deadline == SimTime::MAX {
+                continue;
+            }
+            push(deadline.saturating_sub(epsilon));
+            push(deadline.saturating_add(epsilon));
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+    grid
+}
+
+/// Subsamples `grid` per `options`: every `stride`-th point, then an
+/// even spread capped at `max_points`.
+fn subsample(grid: &[SimTime], options: &KillGridOptions) -> Vec<SimTime> {
+    let strided: Vec<SimTime> = grid
+        .iter()
+        .step_by(options.stride.max(1))
+        .copied()
+        .collect();
+    match options.max_points {
+        Some(cap) if cap > 0 && strided.len() > cap => (0..cap)
+            .map(|i| strided[i * strided.len() / cap])
+            .collect(),
+        _ => strided,
+    }
+}
+
+/// Exhaustively explores power kills over one deterministic scenario.
+///
+/// `build` constructs the scenario from scratch (same seed every time —
+/// determinism is the caller's obligation and the explorer's leverage);
+/// `invariant` checks application-level consistency on each resumed
+/// simulator (return `Err` with a description to flag a violation).
+///
+/// The explorer:
+///
+/// 1. records the fault-free run's task boundaries and latch-decay
+///    deadlines (±ε) as the kill grid, checking the baseline itself;
+/// 2. re-runs the scenario once per (subsampled) grid point, killing
+///    power at that instant and resuming to `horizon`;
+/// 3. checks every resumed run: no stall, ordered and consistent event
+///    log, `attempts == completions + failures` conservation, the
+///    caller's invariant, and no Zeno livelock (≥
+///    [`KillGridOptions::zeno_boot_limit`] post-kill reboots with zero
+///    post-kill completions).
+///
+/// Work is sharded across `options.workers` threads; the report is
+/// bit-identical for any worker count.
+pub fn explore_kill_grid<H, C, B, V>(
+    horizon: SimTime,
+    options: &KillGridOptions,
+    build: B,
+    invariant: V,
+) -> KillReport
+where
+    H: Harvester,
+    C: SimContext,
+    B: Fn() -> Simulator<H, C> + Sync,
+    V: Fn(&Simulator<H, C>) -> Result<(), String> + Sync,
+{
+    // Record pass: the fault-free timeline defines the kill grid and
+    // must itself be clean.
+    let mut recorder = build();
+    let grid = record_grid(&mut recorder, horizon, options.epsilon);
+    let baseline = RunSummary::from_sim(&recorder, std::time::Duration::ZERO);
+    let baseline_violation = validate_event_log(recorder.events())
+        .or_else(|| invariant(&recorder).err())
+        .or_else(|| conservation_violation(&baseline));
+
+    let selected = subsample(&grid, options);
+    #[allow(clippy::cast_precision_loss)]
+    let spec = selected.iter().fold(
+        SweepSpec::new("kill-grid", horizon),
+        |spec, &t| spec.point(format!("kill@{t}"), &[("kill_us", t.as_micros() as f64)]),
+    );
+    let workers = if options.workers == 0 {
+        available_workers()
+    } else {
+        options.workers
+    };
+    let outcomes = map_points_on(&spec, workers, |point| {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let kill_at = SimTime::from_micros(point.expect_param("kill_us") as u64);
+        run_one_kill(&build, &invariant, kill_at, horizon, options)
+    });
+    KillReport {
+        baseline,
+        baseline_violation,
+        grid_points: grid.len(),
+        outcomes,
+    }
+}
+
+/// One kill experiment: run to the kill point, cut power, resume to the
+/// horizon, check everything.
+fn run_one_kill<H, C, B, V>(
+    build: &B,
+    invariant: &V,
+    kill_at: SimTime,
+    horizon: SimTime,
+    options: &KillGridOptions,
+) -> KillOutcome
+where
+    H: Harvester,
+    C: SimContext,
+    B: Fn() -> Simulator<H, C>,
+    V: Fn(&Simulator<H, C>) -> Result<(), String>,
+{
+    let mut sim = build();
+    let pre = sim.run_until(kill_at);
+    let mut violation = match pre {
+        StepResult::Stalled { steps } => Some(format!(
+            "stalled before the kill at {kill_at} ({steps} stuck steps)"
+        )),
+        StepResult::Progress | StepResult::Stopped => None,
+    };
+    let stats_at_kill = sim.exec_stats();
+    if violation.is_none() && pre == StepResult::Progress {
+        sim.inject_power_failure();
+        let resumed = sim.run_until(horizon);
+        if let StepResult::Stalled { steps } = resumed {
+            violation = Some(format!(
+                "stalled after the kill at {kill_at} ({steps} stuck steps)"
+            ));
+        }
+    }
+    let summary = RunSummary::from_sim(&sim, std::time::Duration::ZERO);
+    let violation = violation
+        .or_else(|| validate_event_log(sim.events()))
+        .or_else(|| conservation_violation(&summary))
+        .or_else(|| invariant(&sim).err())
+        .or_else(|| {
+            let reboots = summary.reboots - stats_at_kill.reboots;
+            let completions = summary.completions - stats_at_kill.completions;
+            (reboots >= options.zeno_boot_limit && completions == 0).then(|| {
+                format!(
+                    "Zeno livelock after the kill at {kill_at}: \
+                     {reboots} reboots with zero completions"
+                )
+            })
+        });
+    KillOutcome {
+        kill_at,
+        summary,
+        violation,
+    }
+}
+
+/// The execution machine's conservation law, checked from a summary.
+fn conservation_violation(s: &RunSummary) -> Option<String> {
+    (s.attempts != s.completions + s.failures).then(|| {
+        format!(
+            "execution accounting broken: {} attempts != {} completions + {} failures",
+            s.attempts, s.completions, s.failures
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::TaskEnergy;
+    use crate::mode::EnergyMode;
+    use crate::sim::SimEvent;
+    use crate::variant::Variant;
+    use capy_device::load::TaskLoad;
+    use capy_device::mcu::Mcu;
+    use capy_intermittent::nv::{NvState, NvVar};
+    use capy_intermittent::task::Transition;
+    use capy_power::bank::Bank;
+    use capy_power::harvester::{ConstantHarvester, TraceHarvester};
+    use capy_power::switch::SwitchKind;
+    use capy_power::technology::parts;
+    use capy_units::Watts;
+
+    struct Ctx {
+        n: NvVar<u64>,
+    }
+
+    impl NvState for Ctx {
+        fn commit_all(&mut self) {
+            self.n.commit();
+        }
+        fn abort_all(&mut self) {
+            self.n.abort();
+        }
+    }
+
+    impl SimContext for Ctx {
+        fn set_now(&mut self, _now: SimTime) {}
+    }
+
+    fn two_bank_power<H: Harvester>(harvester: H) -> PowerSystem<H> {
+        PowerSystem::builder()
+            .harvester(harvester)
+            .bank(
+                Bank::builder("small")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
+                SwitchKind::NormallyClosed,
+            )
+            .bank(
+                Bank::builder("big").with(parts::edlc_7_5mf()).build(),
+                SwitchKind::NormallyOpen,
+            )
+            .build()
+    }
+
+    fn sampler<H: Harvester>(power: PowerSystem<H>) -> Simulator<H, Ctx> {
+        Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+            .mode("small", &[BankId(0)])
+            .mode("big", &[BankId(1)])
+            .task(
+                "sample",
+                TaskEnergy::Config(EnergyMode(0)),
+                |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(10))),
+                |c: &mut Ctx| {
+                    c.n.update(|x| x + 1);
+                    Transition::Stay
+                },
+            )
+            .build(Ctx { n: NvVar::new(0) })
+    }
+
+    fn steady() -> Simulator<ConstantHarvester, Ctx> {
+        sampler(two_bank_power(ConstantHarvester::new(
+            Watts::from_milli(2.0),
+            Volts::new(3.0),
+        )))
+    }
+
+    const HORIZON: SimTime = SimTime::from_secs(5);
+
+    fn counter_invariant(sim: &Simulator<impl Harvester, Ctx>) -> Result<(), String> {
+        let committed = sim.ctx().n.get();
+        let completed = sim.exec_stats().completions;
+        if committed == completed {
+            Ok(())
+        } else {
+            Err(format!(
+                "committed counter {committed} != completions {completed}"
+            ))
+        }
+    }
+
+    #[test]
+    fn fault_plan_arms_scheduled_faults_wear_and_margin() {
+        let plan = FaultPlan::new()
+            .switch_stuck_open(SimTime::from_secs(1), BankId(1))
+            .bank_degraded(SimTime::from_secs(2), BankId(0), 0.3, 2.0)
+            .wear(WearModel::prototype())
+            .startup_margin(Volts::new(0.25));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+
+        let mut sim = steady();
+        plan.arm(&mut sim);
+        sim.run_until(SimTime::from_secs(3));
+        // The scheduled degradation struck as simulated physics.
+        let small = sim.power().bank(BankId(0)).expect("bank 0 exists");
+        assert_eq!(small.derating().0, 0.3);
+    }
+
+    #[test]
+    fn kill_grid_is_clean_and_deterministic_on_a_healthy_scenario() {
+        let options = KillGridOptions {
+            max_points: Some(12),
+            workers: 1,
+            ..KillGridOptions::default()
+        };
+        let serial = explore_kill_grid(HORIZON, &options, steady, counter_invariant);
+        assert!(serial.is_clean(), "violations: {:?}", serial.violations());
+        assert!(!serial.outcomes.is_empty());
+        assert!(serial.grid_points >= serial.outcomes.len());
+        // Every resumed run recovered: it saw the injected failure and
+        // still made forward progress to the horizon.
+        for o in &serial.outcomes {
+            assert!(o.summary.power_failures >= 1, "kill at {}", o.kill_at);
+            assert!(o.summary.end >= HORIZON);
+            assert!(o.summary.completions > 0);
+        }
+        let parallel = explore_kill_grid(
+            HORIZON,
+            &KillGridOptions {
+                workers: 4,
+                ..options
+            },
+            steady,
+            counter_invariant,
+        );
+        assert_eq!(serial, parallel, "worker count must be invisible");
+    }
+
+    #[test]
+    fn kill_grid_flags_a_scenario_that_cannot_recover() {
+        // Harvest dies at t=2s: any kill after that leaves the scenario
+        // unable to recharge, so the resumed run stalls — which the
+        // explorer must report as a violation, not hide.
+        let build = || {
+            sampler(two_bank_power(TraceHarvester::new(vec![
+                (SimTime::ZERO, Watts::from_milli(2.0), Volts::new(3.0)),
+                (SimTime::from_secs(2), Watts::ZERO, Volts::ZERO),
+            ])))
+        };
+        let report = explore_kill_grid(
+            HORIZON,
+            &KillGridOptions {
+                workers: 2,
+                ..KillGridOptions::default()
+            },
+            build,
+            counter_invariant,
+        );
+        assert!(!report.is_clean());
+        let violations = report.violations();
+        assert!(!violations.is_empty());
+        assert!(violations
+            .iter()
+            .all(|o| o.violation.as_deref().unwrap().contains("stalled")));
+        assert!(report.digest().contains("violations"));
+    }
+
+    #[test]
+    fn subsampling_bounds_the_explored_grid() {
+        let full = explore_kill_grid(
+            HORIZON,
+            &KillGridOptions {
+                workers: 2,
+                ..KillGridOptions::default()
+            },
+            steady,
+            |_| Ok(()),
+        );
+        let smoke = explore_kill_grid(
+            HORIZON,
+            &KillGridOptions {
+                workers: 2,
+                ..KillGridOptions::smoke(3, 8)
+            },
+            steady,
+            |_| Ok(()),
+        );
+        assert_eq!(full.grid_points, smoke.grid_points);
+        assert!(smoke.outcomes.len() <= 8);
+        assert!(smoke.outcomes.len() < full.outcomes.len());
+        assert!(smoke.is_clean());
+        // The subsample is a subset of the full grid.
+        let full_times: Vec<SimTime> = full.outcomes.iter().map(|o| o.kill_at).collect();
+        assert!(smoke.outcomes.iter().all(|o| full_times.contains(&o.kill_at)));
+    }
+
+    #[test]
+    fn stuck_open_bank_mid_mission_degrades_gracefully() {
+        let build = || {
+            let mut sim = steady();
+            sim.set_degradation(true);
+            FaultPlan::new()
+                .switch_stuck_open(SimTime::from_secs(2), BankId(0))
+                .arm(&mut sim);
+            sim
+        };
+        let mut sim = build();
+        let result = sim.run_until(HORIZON);
+        assert_eq!(result, StepResult::Progress);
+        let events = sim.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::BankFailed { bank: BankId(0), .. })));
+        let failed_at = events
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::BankFailed { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("bank failure recorded");
+        // The mission kept completing tasks after the failure.
+        assert!(sim.now() >= HORIZON);
+        let post_failure = events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Boot { .. }) && e.at() > failed_at)
+            .count();
+        assert!(post_failure > 0, "no boots after bank failure");
+        assert_eq!(validate_event_log(events), None);
+        // And the kill grid stays clean under the same fault plan.
+        let report = explore_kill_grid(
+            HORIZON,
+            &KillGridOptions {
+                max_points: Some(8),
+                workers: 2,
+                ..KillGridOptions::default()
+            },
+            build,
+            counter_invariant,
+        );
+        assert!(report.is_clean(), "violations: {:?}", report.violations());
+        assert!(report.baseline.bank_failures >= 1);
+    }
+}

@@ -79,6 +79,7 @@
 
 pub mod allocate;
 pub mod annotation;
+pub mod faults;
 pub mod mode;
 pub mod policy;
 pub mod provision;
@@ -96,6 +97,9 @@ pub use variant::Variant;
 pub mod prelude {
     pub use crate::allocate::{allocate, AllocationOptions, AllocationPlan, TaskDemand};
     pub use crate::annotation::TaskEnergy;
+    pub use crate::faults::{
+        explore_kill_grid, FaultPlan, KillGridOptions, KillOutcome, KillReport,
+    };
     pub use crate::mode::{EnergyMode, ModeTable};
     pub use crate::policy::{
         oracle_offline, run_policy_sweep, EwmaAdaptive, NamedPolicy, Oracle, Pinned,

@@ -129,6 +129,38 @@ impl ModeTable {
             .flat_map(|m| m.banks.iter().map(|b| b.0))
             .max()
     }
+
+    /// Remaps every mode onto the banks that survive losing `failed`:
+    /// failed banks are dropped from each mode's bank set, and a mode
+    /// left with no banks at all inherits every surviving bank (the best
+    /// capacity still available — a degraded stand-in, not an
+    /// equivalent). Returns the modes whose bank sets changed, in id
+    /// order.
+    ///
+    /// When *no* bank survives, every mode ends up empty; callers must
+    /// treat the array as dead rather than configure an empty mode.
+    pub fn remap_excluding(&mut self, failed: &[BankId]) -> Vec<EnergyMode> {
+        let mut survivors: Vec<BankId> = self
+            .modes
+            .iter()
+            .flat_map(|m| m.banks.iter().copied())
+            .filter(|b| !failed.contains(b))
+            .collect();
+        survivors.sort_unstable();
+        survivors.dedup();
+        let mut changed = Vec::new();
+        for (i, def) in self.modes.iter_mut().enumerate() {
+            let before = def.banks.clone();
+            def.banks.retain(|b| !failed.contains(b));
+            if def.banks.is_empty() {
+                def.banks.clone_from(&survivors);
+            }
+            if def.banks != before {
+                changed.push(EnergyMode(i));
+            }
+        }
+        changed
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +204,38 @@ mod tests {
     #[test]
     fn display_of_mode() {
         assert_eq!(EnergyMode(3).to_string(), "mode3");
+    }
+
+    #[test]
+    fn remap_drops_failed_banks_and_refills_empty_modes() {
+        let mut t = ModeTable::new();
+        let small = t.add("small", &[BankId(0)]);
+        let big = t.add("big", &[BankId(1)]);
+        let both = t.add("both", &[BankId(0), BankId(1)]);
+        let changed = t.remap_excluding(&[BankId(1)]);
+        // "small" is untouched; "big" lost its only bank and inherits the
+        // survivor; "both" shrinks to the survivor.
+        assert_eq!(changed, vec![big, both]);
+        assert_eq!(t.banks(small), &[BankId(0)]);
+        assert_eq!(t.banks(big), &[BankId(0)]);
+        assert_eq!(t.banks(both), &[BankId(0)]);
+    }
+
+    #[test]
+    fn remap_with_no_survivors_empties_every_mode() {
+        let mut t = ModeTable::new();
+        let only = t.add("only", &[BankId(0)]);
+        let changed = t.remap_excluding(&[BankId(0)]);
+        assert_eq!(changed, vec![only]);
+        assert!(t.banks(only).is_empty());
+    }
+
+    #[test]
+    fn remap_is_idempotent() {
+        let mut t = ModeTable::new();
+        let _ = t.add("small", &[BankId(0)]);
+        let _ = t.add("big", &[BankId(1)]);
+        assert!(!t.remap_excluding(&[BankId(1)]).is_empty());
+        assert!(t.remap_excluding(&[BankId(1)]).is_empty(), "second remap is a no-op");
     }
 }

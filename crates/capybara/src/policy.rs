@@ -80,6 +80,11 @@ pub struct PolicyObservation<'a> {
     pub harvest_power: Watts,
     /// Number of registered energy modes.
     pub mode_count: usize,
+    /// How many banks the degradation self-test has taken out of service
+    /// (see [`RuntimeState::failed_banks`]): a non-zero count tells the
+    /// policy the mode table has been remapped and every tier offers less
+    /// capacity than its design-time spec.
+    pub failed_banks: usize,
 }
 
 /// An online reconfiguration policy.
@@ -596,6 +601,9 @@ pub struct Scenario {
     pub label: String,
     /// Scenario axes copied into every sweep point.
     pub params: Vec<(&'static str, f64)>,
+    /// Per-scenario horizon, copied onto every sweep point of this
+    /// column. `None` runs the column to the sweep's spec-wide horizon.
+    pub horizon: Option<SimTime>,
 }
 
 impl Scenario {
@@ -605,7 +613,17 @@ impl Scenario {
         Self {
             label: label.into(),
             params: params.to_vec(),
+            horizon: None,
         }
+    }
+
+    /// Runs this scenario's column to its own horizon instead of the
+    /// sweep-wide one — for grids whose scenarios have different
+    /// mission lengths (e.g. jittered harvest traces).
+    #[must_use]
+    pub fn at_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
     }
 }
 
@@ -688,7 +706,8 @@ impl PolicyComparison {
 /// an explicit worker count (used by the determinism tests; prefer
 /// [`run_policy_sweep`]). `build` receives the sweep point (scenario
 /// axes, per-point seed) and a fresh policy instance and returns the
-/// simulator to run to `horizon`.
+/// simulator; the engine runs it to the scenario's horizon when set
+/// ([`Scenario::at_horizon`]), else to `horizon`.
 pub fn run_policy_sweep_on<H, C, F>(
     name: &'static str,
     horizon: SimTime,
@@ -709,7 +728,11 @@ where
             #[allow(clippy::cast_precision_loss)]
             let mut params = vec![("policy", pi as f64), ("scenario", si as f64)];
             params.extend_from_slice(&scenario.params);
-            spec = spec.point(format!("{}/{}", policy.label, scenario.label), &params);
+            let label = format!("{}/{}", policy.label, scenario.label);
+            spec = match scenario.horizon {
+                Some(h) => spec.point_at(label, &params, h),
+                None => spec.point(label, &params),
+            };
         }
     }
     let report = run_sweep_on(&spec, workers, |point| {
@@ -781,6 +804,7 @@ mod tests {
             full_voltage: Volts::new(2.8),
             harvest_power: Watts::from_micro(harvest_uw),
             mode_count: 2,
+            failed_banks: state.failed_banks().len(),
         }
     }
 

@@ -7,6 +7,7 @@
 //! survives power failures; the simulator models it as plain fields on
 //! [`RuntimeState`] that are only mutated at commit-equivalent points.
 
+use capy_power::bank::BankId;
 use capy_units::Volts;
 
 use crate::annotation::TaskEnergy;
@@ -43,6 +44,10 @@ pub struct RuntimeState {
     /// bank only to a strictly lower voltage than it can charge a bank to
     /// (by approximately 0.3 V)" (§6.4).
     precharge_deficit: Volts,
+    /// Banks the degradation self-test has taken out of service, in
+    /// ascending order. Non-volatile: a failed bank stays failed across
+    /// reboots and long outages.
+    failed: Vec<BankId>,
 }
 
 impl RuntimeState {
@@ -53,6 +58,7 @@ impl RuntimeState {
             current: None,
             precharged: vec![false; mode_count],
             precharge_deficit: Volts::new(0.3),
+            failed: Vec::new(),
         }
     }
 
@@ -99,6 +105,26 @@ impl RuntimeState {
     /// decayed and the hardware reverted to switch defaults.
     pub fn reset_configuration(&mut self) {
         self.current = None;
+    }
+
+    /// Banks the runtime has marked failed, in ascending order.
+    #[must_use]
+    pub fn failed_banks(&self) -> &[BankId] {
+        &self.failed
+    }
+
+    /// Whether `bank` has been marked failed.
+    #[must_use]
+    pub fn is_bank_failed(&self, bank: BankId) -> bool {
+        self.failed.binary_search(&bank).is_ok()
+    }
+
+    /// Marks `bank` failed (idempotent). Failed banks never return to
+    /// service: the marking models a fuse blown in non-volatile memory.
+    pub fn mark_bank_failed(&mut self, bank: BankId) {
+        if let Err(pos) = self.failed.binary_search(&bank) {
+            self.failed.insert(pos, bank);
+        }
     }
 }
 
@@ -337,6 +363,21 @@ mod tests {
             false
         )
         .is_empty());
+    }
+
+    #[test]
+    fn failed_bank_marking_is_sorted_and_idempotent() {
+        let mut s = state2();
+        assert!(s.failed_banks().is_empty());
+        s.mark_bank_failed(BankId(2));
+        s.mark_bank_failed(BankId(0));
+        s.mark_bank_failed(BankId(2));
+        assert_eq!(s.failed_banks(), &[BankId(0), BankId(2)]);
+        assert!(s.is_bank_failed(BankId(0)));
+        assert!(!s.is_bank_failed(BankId(1)));
+        // A configuration reset (long outage) does not forget failures.
+        s.reset_configuration();
+        assert_eq!(s.failed_banks().len(), 2);
     }
 
     #[test]

@@ -97,6 +97,41 @@ pub enum SimEvent {
         /// Stall instant.
         at: SimTime,
     },
+    /// The degradation self-test found a bank that no longer holds charge
+    /// (or whose switch no longer actuates) and marked it failed in
+    /// non-volatile state.
+    BankFailed {
+        /// Detection instant.
+        at: SimTime,
+        /// The bank taken out of service.
+        bank: BankId,
+    },
+    /// The runtime remapped an energy mode onto the surviving banks after
+    /// a bank failure.
+    ModeRemapped {
+        /// Remap instant.
+        at: SimTime,
+        /// The mode whose bank set changed.
+        mode: EnergyMode,
+    },
+}
+
+impl SimEvent {
+    /// The instant the event is ordered by on the timeline (a charge is
+    /// ordered by its end — the moment the device comes back).
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            Self::Boot { at }
+            | Self::Reconfigure { at, .. }
+            | Self::BurstActivated { at, .. }
+            | Self::PowerFailure { at, .. }
+            | Self::Stalled { at }
+            | Self::BankFailed { at, .. }
+            | Self::ModeRemapped { at, .. } => *at,
+            Self::Charge { end, .. } => *end,
+        }
+    }
 }
 
 /// Checks the structural invariants of a recorded event log and returns a
@@ -114,19 +149,9 @@ pub enum SimEvent {
 /// Integration tests run this over every application's timeline.
 #[must_use]
 pub fn validate_event_log(events: &[SimEvent]) -> Option<String> {
-    fn at(e: &SimEvent) -> SimTime {
-        match e {
-            SimEvent::Boot { at }
-            | SimEvent::Reconfigure { at, .. }
-            | SimEvent::BurstActivated { at, .. }
-            | SimEvent::PowerFailure { at, .. }
-            | SimEvent::Stalled { at } => *at,
-            SimEvent::Charge { end, .. } => *end,
-        }
-    }
     let mut prev = SimTime::ZERO;
     for (i, e) in events.iter().enumerate() {
-        let t = at(e);
+        let t = e.at();
         if t < prev {
             return Some(format!("event {i} at {t} precedes {prev}"));
         }
@@ -232,10 +257,29 @@ pub enum StepResult {
     Progress,
     /// The application returned [`Transition::Stop`].
     Stopped,
-    /// The harvester cannot charge the buffer; no further progress is
-    /// possible.
-    Stalled,
+    /// No further progress is possible: the harvester cannot charge the
+    /// buffer, the cold-start supervisor refuses to boot, or the
+    /// [`Simulator::run_until`] watchdog caught a livelock.
+    Stalled {
+        /// How many consecutive steps ran without the simulated clock
+        /// advancing before the stall was declared (1 when the power
+        /// system stalled outright).
+        steps: u64,
+    },
 }
+
+/// Consecutive zero-time-advance steps [`Simulator::run_until`] tolerates
+/// before declaring a livelock (generous: real task schedules advance time
+/// every step or two).
+pub const STALL_STEP_BUDGET: u64 = 100_000;
+
+/// Consecutive failed task attempts (without an intervening completion)
+/// after which a degradation-enabled simulator runs the bank self-test.
+const DEGRADATION_FAILURE_THRESHOLD: u32 = 3;
+
+/// A probed bank contributing less than this fraction of its nominal
+/// capacitance to the rail is declared failed.
+const DEGRADATION_CAPACITANCE_FLOOR: f64 = 0.5;
 
 /// A task's load model: given the context and MCU, the phases the task
 /// draws.
@@ -270,6 +314,8 @@ pub struct Simulator<H, C> {
     trace: Option<Vec<(SimTime, Volts)>>,
     reconfig_overhead: SimDuration,
     harvest_during_operation: bool,
+    degradation: bool,
+    consecutive_failures: u32,
     /// The reconfiguration policy consulted at every task boundary.
     /// `None` only transiently while a decision is in flight (the policy
     /// is taken out so it can observe the simulator it belongs to).
@@ -289,6 +335,7 @@ pub struct SimulatorBuilder<H, C> {
     entry: Option<&'static str>,
     record_trace: bool,
     harvest_during_operation: bool,
+    degradation: bool,
     policy: Option<Box<dyn ReconfigPolicy>>,
 }
 
@@ -308,6 +355,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             entry: None,
             record_trace: false,
             harvest_during_operation: false,
+            degradation: false,
             policy: None,
         }
     }
@@ -392,15 +440,42 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             .expect("policy present outside decisions")
     }
 
+    /// Enables or disables the graceful-degradation runtime (normally set
+    /// at build time via [`SimulatorBuilder::degradation`]; fault-injection
+    /// harnesses flip it on when arming an already-built scenario).
+    pub fn set_degradation(&mut self, enable: bool) {
+        self.degradation = enable;
+    }
+
     /// Runs steps until `end` (simulated), the application stops, or the
     /// harvester stalls. Returns the terminal condition.
+    ///
+    /// A step-budget watchdog guards against livelock: a task set that
+    /// keeps completing without ever advancing the simulated clock (for
+    /// example a zero-duration task after the harvester dies, so no charge
+    /// pause ever happens) would otherwise spin forever. After
+    /// [`STALL_STEP_BUDGET`] consecutive steps with no time advance the
+    /// run is declared stalled and a typed
+    /// [`StepResult::Stalled`] is returned instead of hanging.
     pub fn run_until(&mut self, end: SimTime) -> StepResult {
+        let mut no_advance: u64 = 0;
         loop {
             if self.now >= end {
                 return StepResult::Progress;
             }
+            let before = self.now;
             match self.step() {
-                StepResult::Progress => {}
+                StepResult::Progress => {
+                    if self.now > before {
+                        no_advance = 0;
+                    } else {
+                        no_advance += 1;
+                        if no_advance >= STALL_STEP_BUDGET {
+                            self.stall();
+                            return StepResult::Stalled { steps: no_advance };
+                        }
+                    }
+                }
                 other => return other,
             }
         }
@@ -413,7 +488,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             return StepResult::Stopped;
         }
         if self.stalled {
-            return StepResult::Stalled;
+            return StepResult::Stalled { steps: 1 };
         }
         if self.variant == Variant::Continuous {
             return self.step_continuous();
@@ -443,12 +518,12 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
                 Step::ChargeCurrent => self.charge_current(),
             };
             if !ok {
-                return StepResult::Stalled;
+                return StepResult::Stalled { steps: 1 };
             }
         }
 
         if !self.on && !self.ensure_on() {
-            return StepResult::Stalled;
+            return StepResult::Stalled { steps: 1 };
         }
 
         // Execute the task's load phases against the rail.
@@ -481,6 +556,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         self.ctx.set_now(self.now);
         let transition = self.machine.peek_body(&mut self.ctx);
         self.machine.complete(&mut self.ctx, transition);
+        self.consecutive_failures = 0;
         if let (TaskEnergy::Burst(mode), true) = (energy, self.variant.supports_burst()) {
             // The burst's stored energy is spent; the next preburst task
             // must refill it.
@@ -540,11 +616,19 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
                     to: self.power.rail_voltage(self.now),
                     precharge: false,
                 });
+                if !self.boot() {
+                    return false;
+                }
                 self.needs_charge = false;
-                self.boot();
                 true
             }
             Err(_) => {
+                // No bank is connectable (e.g. a stuck-open switch on the
+                // only configured bank): the self-test may recover a
+                // degraded configuration worth retrying.
+                if self.try_degrade() {
+                    return self.charge_current();
+                }
                 self.stall();
                 false
             }
@@ -574,11 +658,18 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
                     to: self.power.rail_voltage(self.now),
                     precharge,
                 });
+                if !self.boot() {
+                    return false;
+                }
                 self.needs_charge = false;
-                self.boot();
                 true
             }
             Ok(ChargeOutcome::Stalled(_)) | Err(_) => {
+                if self.try_degrade() {
+                    // The mode table was remapped onto surviving banks;
+                    // retry the same mode id against its new bank set.
+                    return self.configure_and_charge(mode, precharge);
+                }
                 self.stall();
                 false
             }
@@ -613,7 +704,16 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
 
     /// Boots the device from a charged rail: pays the boot load, records
     /// the boot, refreshes switch latches.
-    fn boot(&mut self) {
+    ///
+    /// Returns `false` when the cold-start supervisor refuses to start
+    /// the output booster ([`PowerSystem::can_boot`], which includes any
+    /// injected brownout startup margin): the buffer is already at its
+    /// charge target, so more charging cannot help and the run stalls.
+    fn boot(&mut self) -> bool {
+        if !self.power.can_boot(self.now) {
+            self.stall();
+            return false;
+        }
         let boot = self.mcu.boot_load();
         let _ = self.power.draw(boot.power(), boot.duration(), &mut self.now);
         self.power.refresh_switches(self.now);
@@ -621,6 +721,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         self.on = true;
         self.events.push(SimEvent::Boot { at: self.now });
         self.trace_point();
+        true
     }
 
     /// Brings the device on-line if it is off, charging the *current*
@@ -651,6 +752,7 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
                 full_voltage: self.power.full_voltage(self.now),
                 harvest_power: self.power.harvester().power_at(self.now),
                 mode_count: self.modes.len(),
+                failed_banks: self.state.failed_banks().len(),
             };
             policy.decide(&obs, annotation)
         };
@@ -686,6 +788,120 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         }
         self.events.push(SimEvent::PowerFailure { at: self.now, task });
         self.trace_point();
+        self.consecutive_failures += 1;
+        if self.degradation && self.consecutive_failures >= DEGRADATION_FAILURE_THRESHOLD {
+            // Repeated failures without a completion suggest the
+            // configured capacity is no longer what the mode table
+            // promises: run the self-test (whether or not it finds a
+            // culprit, the counter restarts so the test is not rerun on
+            // every subsequent failure).
+            self.consecutive_failures = 0;
+            let _ = self.diagnose_and_remap();
+        }
+    }
+
+    /// Forces a hard power failure at the current instant — the
+    /// fault-injection engine's kill primitive (see [`crate::faults`]).
+    ///
+    /// Every bank connected to the rail is drained to zero
+    /// ([`PowerSystem::blackout`]); disconnected banks keep their charge,
+    /// exactly like a real outage with latched switches. Uncommitted
+    /// application and policy state is discarded and the device must
+    /// recharge before the next attempt. A [`SimEvent::PowerFailure`]
+    /// naming the pending task is recorded. Calling this on a stopped or
+    /// stalled simulator is a no-op.
+    pub fn inject_power_failure(&mut self) {
+        if self.machine.is_stopped() || self.stalled {
+            return;
+        }
+        if let Some(policy) = self.policy.as_mut() {
+            policy.abort();
+        }
+        self.ctx.abort_all();
+        self.power.blackout(self.now);
+        self.on = false;
+        self.needs_charge = true;
+        self.events.push(SimEvent::PowerFailure {
+            at: self.now,
+            task: self.machine.current(),
+        });
+        self.trace_point();
+    }
+
+    /// Runs the degradation self-test if enabled. Returns `true` when at
+    /// least one bank was newly marked failed (so a retry against the
+    /// remapped mode table is worthwhile).
+    fn try_degrade(&mut self) -> bool {
+        self.degradation && self.diagnose_and_remap()
+    }
+
+    /// The bank self-test: measures each bank's contribution to the rail
+    /// and takes banks that no longer hold charge out of service.
+    ///
+    /// §5.2's latch switches cannot report their state to the MCU
+    /// (sensing would drain the latch), so the runtime probes *charge
+    /// behavior* instead of reading status: it opens every switch,
+    /// records the residual rail capacitance (stuck-closed banks), then
+    /// closes each candidate alone and checks how much capacitance it
+    /// actually contributes. A bank contributing less than half its
+    /// nominal capacitance — a stuck-open switch contributes none, a
+    /// worn-out capacitor a fraction — is marked failed in non-volatile
+    /// state ([`SimEvent::BankFailed`]) and every mode is remapped onto
+    /// the survivors ([`SimEvent::ModeRemapped`]).
+    ///
+    /// Returns `true` when at least one bank was newly marked failed.
+    /// The probe scrambles the switch array, so the runtime always
+    /// forgets its configuration and recharges afterwards.
+    fn diagnose_and_remap(&mut self) -> bool {
+        let n = self.power.bank_count();
+        // Baseline: everything commanded open; whatever capacitance
+        // remains belongs to stuck-closed switches and must be
+        // subtracted from each probe.
+        for i in 0..n {
+            let _ = self
+                .power
+                .command_switch(BankId(i), SwitchState::Open, self.now);
+        }
+        let residual = self.power.rail_capacitance(self.now);
+        let mut newly_failed: Vec<BankId> = Vec::new();
+        for i in 0..n {
+            let id = BankId(i);
+            if self.state.is_bank_failed(id) {
+                continue;
+            }
+            let _ = self.power.command_switch(id, SwitchState::Closed, self.now);
+            let contributed = self.power.rail_capacitance(self.now) - residual;
+            let _ = self.power.command_switch(id, SwitchState::Open, self.now);
+            let Ok(bank) = self.power.bank(id) else { continue };
+            let nominal = bank.nominal_capacitance();
+            if contributed.get() < DEGRADATION_CAPACITANCE_FLOOR * nominal.get() {
+                newly_failed.push(id);
+            }
+        }
+        let found_new = !newly_failed.is_empty();
+        for &id in &newly_failed {
+            self.state.mark_bank_failed(id);
+            self.events.push(SimEvent::BankFailed { at: self.now, bank: id });
+        }
+        if found_new {
+            let failed = self.state.failed_banks().to_vec();
+            for mode in self.modes.remap_excluding(&failed) {
+                self.events.push(SimEvent::ModeRemapped { at: self.now, mode });
+            }
+        }
+        // The probe left every switch commanded open; end in a
+        // safe-harbor configuration (all surviving banks connected) so
+        // the recovery charge has a rail to work with, and make the
+        // runtime reconfigure and recharge from scratch.
+        for i in 0..n {
+            let id = BankId(i);
+            if !self.state.is_bank_failed(id) {
+                let _ = self.power.command_switch(id, SwitchState::Closed, self.now);
+            }
+        }
+        self.state.reset_configuration();
+        self.needs_charge = true;
+        found_new
     }
 
     fn stall(&mut self) {
@@ -757,6 +973,19 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
     #[must_use]
     pub fn policy(mut self, policy: Box<dyn ReconfigPolicy>) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Enables graceful degradation: when charging fails outright or
+    /// several task attempts fail in a row, the runtime runs a bank
+    /// self-test, marks banks that no longer hold charge as failed in
+    /// non-volatile state, and remaps every energy mode onto the
+    /// surviving banks instead of wedging
+    /// (see [`Simulator::step`] and [`SimEvent::BankFailed`]).
+    /// Off by default, matching the paper's fault-free prototype.
+    #[must_use]
+    pub fn degradation(mut self, enable: bool) -> Self {
+        self.degradation = enable;
         self
     }
 
@@ -834,6 +1063,8 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
             trace: self.record_trace.then(Vec::new),
             reconfig_overhead: SimDuration::from_micros(500),
             harvest_during_operation: self.harvest_during_operation,
+            degradation: self.degradation,
+            consecutive_failures: 0,
             policy: Some(
                 self.policy
                     .unwrap_or_else(|| Box::new(StaticAnnotation)),
@@ -847,7 +1078,7 @@ mod tests {
     use super::*;
     use capy_device::load::TaskLoad;
     use capy_intermittent::nv::NvVar;
-    use capy_power::harvester::ConstantHarvester;
+    use capy_power::harvester::{ConstantHarvester, TraceHarvester};
     use capy_power::switch::SwitchKind;
     use capy_power::technology::parts;
     use capy_power::prelude::Bank;
@@ -1077,9 +1308,175 @@ mod tests {
                     |_c: &mut Counter| Transition::Stay,
                 )
                 .build(counter());
-        assert_eq!(sim.run_until(SimTime::from_secs(10)), StepResult::Stalled);
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(10)),
+            StepResult::Stalled { steps: 1 }
+        );
         assert_eq!(sim.ctx().n.get(), 0);
         assert!(sim.events().iter().any(|e| matches!(e, SimEvent::Stalled { .. })));
+    }
+
+    #[test]
+    fn watchdog_catches_zero_duration_livelock() {
+        // An all-zero harvest trace and a task with no load phases: time
+        // never advances and no charge pause can intervene, so without
+        // the step-budget watchdog `run_until` would spin forever.
+        let power = PowerSystem::builder()
+            .harvester(TraceHarvester::new(vec![(
+                SimTime::ZERO,
+                Watts::ZERO,
+                Volts::ZERO,
+            )]))
+            .bank(
+                Bank::builder("only").with(parts::ceramic_x5r_400uf()).build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        let mut sim: Simulator<TraceHarvester, Counter> =
+            Simulator::builder(Variant::Continuous, power, Mcu::msp430fr5969())
+                .task(
+                    "spin",
+                    TaskEnergy::Unannotated,
+                    |_, _| TaskLoad::new(),
+                    |_c: &mut Counter| Transition::Stay,
+                )
+                .build(counter());
+        let result = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            result,
+            StepResult::Stalled {
+                steps: STALL_STEP_BUDGET
+            }
+        );
+        // The stall is recorded on the timeline and the log stays valid.
+        assert!(sim.events().iter().any(|e| matches!(e, SimEvent::Stalled { .. })));
+        assert_eq!(validate_event_log(sim.events()), None);
+        // Subsequent calls return immediately instead of re-counting.
+        assert_eq!(sim.step(), StepResult::Stalled { steps: 1 });
+    }
+
+    #[test]
+    fn brownout_margin_blocks_boot_and_stalls() {
+        // A cold-start brownout fault: the supervisor demands far more
+        // headroom than the buffer can ever reach, so the charge
+        // completes but the boot is refused and the run stalls cleanly.
+        let mut power = bench_power();
+        power.set_startup_margin(Volts::new(2.0));
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
+                .task(
+                    "sample",
+                    TaskEnergy::Unannotated,
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                    |_c: &mut Counter| Transition::Stay,
+                )
+                .build(counter());
+        let result = sim.run_until(SimTime::from_secs(60));
+        assert!(matches!(result, StepResult::Stalled { .. }), "{result:?}");
+        assert_eq!(sim.exec_stats().reboots, 0, "the boot must be refused");
+        assert_eq!(validate_event_log(sim.events()), None);
+    }
+
+    #[test]
+    fn degradation_remaps_mode_onto_survivors() {
+        use capy_power::prelude::{HardwareFault, SwitchFault};
+
+        // The big bank's switch is stuck open from the start: a task
+        // annotated for the big mode can never charge it. With
+        // degradation enabled the runtime must detect the dead bank,
+        // remap the mode onto the small bank, and keep completing tasks.
+        let mut power = bench_power();
+        power
+            .inject_fault(
+                HardwareFault::Switch {
+                    bank: BankId(1),
+                    fault: SwitchFault::StuckOpen,
+                },
+                SimTime::ZERO,
+            )
+            .expect("bank exists");
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+                .mode("small", &[BankId(0)])
+                .mode("big", &[BankId(1)])
+                .task(
+                    "sense",
+                    TaskEnergy::Config(EnergyMode(1)),
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                    |c: &mut Counter| {
+                        c.n.update(|x| x + 1);
+                        Transition::Stay
+                    },
+                )
+                .degradation(true)
+                .build(counter());
+        sim.run_until(SimTime::from_secs(30));
+        assert!(sim.ctx().n.get() > 0, "mission must continue degraded");
+        assert!(sim.events().iter().any(|e| matches!(
+            e,
+            SimEvent::BankFailed { bank: BankId(1), .. }
+        )));
+        assert!(sim.events().iter().any(|e| matches!(
+            e,
+            SimEvent::ModeRemapped { mode: EnergyMode(1), .. }
+        )));
+        assert_eq!(sim.runtime_state().failed_banks(), &[BankId(1)]);
+        assert_eq!(sim.modes().banks(EnergyMode(1)), &[BankId(0)]);
+        assert_eq!(validate_event_log(sim.events()), None);
+    }
+
+    #[test]
+    fn degradation_stalls_when_every_bank_is_dead() {
+        use capy_power::prelude::{HardwareFault, SwitchFault};
+
+        let mut power = bench_power();
+        for bank in [BankId(0), BankId(1)] {
+            power
+                .inject_fault(
+                    HardwareFault::Switch {
+                        bank,
+                        fault: SwitchFault::StuckOpen,
+                    },
+                    SimTime::ZERO,
+                )
+                .expect("bank exists");
+        }
+        let mut sim: Simulator<ConstantHarvester, Counter> =
+            Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+                .mode("small", &[BankId(0)])
+                .mode("big", &[BankId(1)])
+                .task(
+                    "sense",
+                    TaskEnergy::Config(EnergyMode(1)),
+                    |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                    |_c: &mut Counter| Transition::Stay,
+                )
+                .degradation(true)
+                .build(counter());
+        let result = sim.run_until(SimTime::from_secs(30));
+        assert!(matches!(result, StepResult::Stalled { .. }), "{result:?}");
+        assert_eq!(sim.runtime_state().failed_banks().len(), 2);
+        assert_eq!(validate_event_log(sim.events()), None);
+    }
+
+    #[test]
+    fn injected_power_failure_drains_rail_and_recovers() {
+        let mut sim = sampling_sim(Variant::CapyR);
+        sim.run_until(SimTime::from_secs(5));
+        let completions_before = sim.exec_stats().completions;
+        assert!(completions_before > 0);
+        sim.inject_power_failure();
+        assert_eq!(sim.power().rail_voltage(sim.now()), Volts::ZERO);
+        let failures = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::PowerFailure { .. }))
+            .count();
+        assert!(failures >= 1);
+        // The device recovers: it recharges and keeps completing tasks.
+        sim.run_until(SimTime::from_secs(15));
+        assert!(sim.exec_stats().completions > completions_before);
+        assert_eq!(validate_event_log(sim.events()), None);
     }
 
     #[test]

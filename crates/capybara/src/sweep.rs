@@ -57,6 +57,11 @@ pub struct SweepPoint {
     /// seed and the point index. Thread this into every stochastic model
     /// the run uses.
     pub seed: u64,
+    /// Optional per-point horizon override. When set, the engine runs
+    /// this point's simulation to this time instead of the spec's
+    /// horizon — for grids whose points represent differently-sized
+    /// missions (e.g. kill grids, scenario suites).
+    pub horizon: Option<SimTime>,
 }
 
 impl SweepPoint {
@@ -75,6 +80,13 @@ impl SweepPoint {
     pub fn expect_param(&self, name: &str) -> f64 {
         self.param(name)
             .unwrap_or_else(|| panic!("sweep point '{}' has no parameter '{name}'", self.label))
+    }
+
+    /// The horizon this point's run executes to: the point's own
+    /// override when set, else the spec-wide `default`.
+    #[must_use]
+    pub fn horizon_or(&self, default: SimTime) -> SimTime {
+        self.horizon.unwrap_or(default)
     }
 }
 
@@ -121,6 +133,27 @@ impl SweepSpec {
             label: label.into(),
             params: params.to_vec(),
             seed: derive_seed(self.base_seed, index as u64),
+            horizon: None,
+        });
+        self
+    }
+
+    /// Appends one explicit point that runs to its own horizon instead
+    /// of the spec's.
+    #[must_use]
+    pub fn point_at(
+        mut self,
+        label: impl Into<String>,
+        params: &[(&'static str, f64)],
+        horizon: SimTime,
+    ) -> Self {
+        let index = self.points.len();
+        self.points.push(SweepPoint {
+            index,
+            label: label.into(),
+            params: params.to_vec(),
+            seed: derive_seed(self.base_seed, index as u64),
+            horizon: Some(horizon),
         });
         self
     }
@@ -146,6 +179,7 @@ impl SweepSpec {
                     label: fmt(v),
                     params: vec![(axis, v)],
                     seed: 0,
+                    horizon: None,
                 });
             }
         } else {
@@ -160,6 +194,7 @@ impl SweepSpec {
                         label: format!("{} {}", p.label, fmt(v)),
                         params,
                         seed: 0,
+                        horizon: p.horizon,
                     });
                 }
             }
@@ -213,6 +248,10 @@ pub struct RunSummary {
     pub bursts: u64,
     /// Intermittent power failures.
     pub power_failures: u64,
+    /// Banks diagnosed as failed and retired by the degradation runtime.
+    pub bank_failures: u64,
+    /// Energy modes remapped onto surviving banks after a bank failure.
+    pub mode_remaps: u64,
     /// `true` when the run ended in a harvester stall.
     pub stalled: bool,
     /// Total simulated time spent charging (device off).
@@ -243,6 +282,8 @@ impl PartialEq for RunSummary {
             && self.reconfigurations == other.reconfigurations
             && self.bursts == other.bursts
             && self.power_failures == other.power_failures
+            && self.bank_failures == other.bank_failures
+            && self.mode_remaps == other.mode_remaps
             && self.stalled == other.stalled
             && self.charge_time == other.charge_time
             && self.attempts == other.attempts
@@ -267,6 +308,8 @@ impl RunSummary {
                 SimEvent::Reconfigure { .. } => s.reconfigurations += 1,
                 SimEvent::BurstActivated { .. } => s.bursts += 1,
                 SimEvent::PowerFailure { .. } => s.power_failures += 1,
+                SimEvent::BankFailed { .. } => s.bank_failures += 1,
+                SimEvent::ModeRemapped { .. } => s.mode_remaps += 1,
                 SimEvent::Stalled { .. } => s.stalled = true,
                 SimEvent::Charge {
                     start,
@@ -518,16 +561,17 @@ where
     map_points_on(spec, available_workers(), f)
 }
 
-/// Runs one simulator per point in parallel, each to the spec's horizon,
-/// and also returns the caller's per-point extract (trace excerpts,
-/// application metrics, …) alongside the standard summaries.
+/// Runs one simulator per point in parallel, each to the point's horizon
+/// (the spec's unless overridden via [`SweepPoint::horizon`]), and also
+/// returns the caller's per-point extract (trace excerpts, application
+/// metrics, …) alongside the standard summaries.
 ///
 /// `run` receives the point and returns the simulator plus its extract;
 /// the engine measures wall time around the whole closure and then tops
-/// the simulator up to the spec's horizon. A closure that needs a
-/// point-specific horizon may advance the simulator itself before
-/// returning — `run_until` is monotone, so a spec horizon at or below
-/// the already-simulated time leaves the run untouched.
+/// the simulator up to the point's horizon. `run_until` is monotone, so
+/// a closure that already advanced the simulator past the horizon leaves
+/// the run untouched. When the extract must observe the *finished*
+/// simulator, use [`run_sweep_extract`] instead.
 pub fn run_sweep_with<H, C, R, F>(spec: &SweepSpec, run: F) -> (SweepReport, Vec<R>)
 where
     H: Harvester,
@@ -551,12 +595,67 @@ where
     R: Send,
     F: Fn(&SweepPoint) -> (Simulator<H, C>, R) + Sync,
 {
+    run_sweep_inner(spec, workers, |point| {
+        let (mut sim, extract) = run(point);
+        sim.run_until(point.horizon_or(spec.horizon()));
+        (sim, extract)
+    })
+}
+
+/// Builds one simulator per point with `build`, runs each to its
+/// horizon, then applies `extract` to the **finished** simulator —
+/// the right shape for figure benches that read end-of-run state
+/// (application context, trace tails, power telemetry).
+pub fn run_sweep_extract<H, C, R, B, X>(
+    spec: &SweepSpec,
+    build: B,
+    extract: X,
+) -> (SweepReport, Vec<R>)
+where
+    H: Harvester,
+    C: SimContext,
+    R: Send,
+    B: Fn(&SweepPoint) -> Simulator<H, C> + Sync,
+    X: Fn(&Simulator<H, C>, &SweepPoint) -> R + Sync,
+{
+    run_sweep_extract_on(spec, available_workers(), build, extract)
+}
+
+/// [`run_sweep_extract`] pinned to an explicit worker count.
+pub fn run_sweep_extract_on<H, C, R, B, X>(
+    spec: &SweepSpec,
+    workers: usize,
+    build: B,
+    extract: X,
+) -> (SweepReport, Vec<R>)
+where
+    H: Harvester,
+    C: SimContext,
+    R: Send,
+    B: Fn(&SweepPoint) -> Simulator<H, C> + Sync,
+    X: Fn(&Simulator<H, C>, &SweepPoint) -> R + Sync,
+{
+    run_sweep_inner(spec, workers, |point| {
+        let mut sim = build(point);
+        sim.run_until(point.horizon_or(spec.horizon()));
+        let r = extract(&sim, point);
+        (sim, r)
+    })
+}
+
+/// Shared engine: `run` fully executes one point (build + advance) and
+/// returns the finished simulator plus the caller's extract.
+fn run_sweep_inner<H, C, R, F>(spec: &SweepSpec, workers: usize, run: F) -> (SweepReport, Vec<R>)
+where
+    H: Harvester,
+    C: SimContext,
+    R: Send,
+    F: Fn(&SweepPoint) -> (Simulator<H, C>, R) + Sync,
+{
     let started = Instant::now();
-    let horizon = spec.horizon();
     let (outcomes, worker_stats) = map_points_stats(spec, workers, |point| {
         let t0 = Instant::now();
-        let (mut sim, extract) = run(point);
-        sim.run_until(horizon);
+        let (sim, extract) = run(point);
         (RunSummary::from_sim(&sim, t0.elapsed()), extract)
     });
     let mut runs = Vec::with_capacity(outcomes.len());
@@ -767,6 +866,14 @@ mod tests {
                 at: t(6),
                 task: capy_intermittent::task::TaskId(0),
             },
+            SimEvent::BankFailed {
+                at: t(6),
+                bank: BankId(1),
+            },
+            SimEvent::ModeRemapped {
+                at: t(6),
+                mode: EnergyMode(1),
+            },
             SimEvent::Stalled { at: t(7) },
         ];
         let s = RunSummary::from_events(&events);
@@ -776,6 +883,8 @@ mod tests {
         assert_eq!(s.reconfigurations, 1);
         assert_eq!(s.bursts, 1);
         assert_eq!(s.power_failures, 1);
+        assert_eq!(s.bank_failures, 1);
+        assert_eq!(s.mode_remaps, 1);
         assert!(s.stalled);
         assert_eq!(s.charge_time, SimDuration::from_secs(3));
     }
@@ -830,6 +939,53 @@ mod tests {
         assert_eq!(serial, parallel);
         let u = parallel.worker_utilization();
         assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn per_point_horizon_overrides_the_spec() {
+        let spec = SweepSpec::new("horizons", SimTime::from_secs(5))
+            .point("default", &[("harvest_uw", 2_000.0), ("task_ms", 10.0)])
+            .point_at(
+                "long",
+                &[("harvest_uw", 2_000.0), ("task_ms", 10.0)],
+                SimTime::from_secs(20),
+            );
+        assert_eq!(spec.points()[0].horizon, None);
+        assert_eq!(
+            spec.points()[1].horizon_or(spec.horizon()),
+            SimTime::from_secs(20)
+        );
+        let report = run_sweep(&spec, build);
+        let default = &report.get("default").unwrap().summary;
+        let long = &report.get("long").unwrap().summary;
+        assert!(default.end >= SimTime::from_secs(5) && default.end < SimTime::from_secs(20));
+        assert!(long.end >= SimTime::from_secs(20));
+        assert!(long.completions > default.completions);
+    }
+
+    #[test]
+    fn extract_observes_the_finished_simulator() {
+        let spec = SweepSpec::new("extract", SimTime::from_secs(10))
+            .grid("harvest_uw", &[2_000.0, 10_000.0]);
+        let (report, counts) = run_sweep_extract(
+            &spec,
+            |p| sampler(p.expect_param("harvest_uw"), 10),
+            |sim, _point| sim.ctx().n.get(),
+        );
+        // The extract ran after the engine advanced to the horizon, so it
+        // sees the final committed count — which matches the summary.
+        for (run, n) in report.runs.iter().zip(&counts) {
+            assert_eq!(run.summary.completions, *n);
+            assert!(*n > 0);
+        }
+        let serial = run_sweep_extract_on(
+            &spec,
+            1,
+            |p| sampler(p.expect_param("harvest_uw"), 10),
+            |sim, _point| sim.ctx().n.get(),
+        );
+        assert_eq!(serial.0, report);
+        assert_eq!(serial.1, counts);
     }
 
     #[test]

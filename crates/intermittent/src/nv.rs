@@ -221,6 +221,45 @@ mod tests {
     }
 
     #[test]
+    fn var_double_commit_is_idempotent() {
+        let mut v = NvVar::new(1);
+        v.set(5);
+        v.commit();
+        // A second commit with no intervening write must be a no-op: the
+        // working copy was consumed, so nothing can be re-published.
+        v.commit();
+        assert_eq!(*v.committed(), 5);
+        assert_eq!(v.get(), 5);
+        assert!(!v.is_dirty());
+    }
+
+    #[test]
+    fn var_commit_after_abort_publishes_nothing() {
+        let mut v = NvVar::new(1);
+        v.set(5);
+        v.abort();
+        // The abort dropped the working copy; a late commit (e.g. a task
+        // completing after its state was already rolled back) must not
+        // resurrect the discarded write.
+        v.commit();
+        assert_eq!(*v.committed(), 1);
+        assert_eq!(v.get(), 1);
+    }
+
+    #[test]
+    fn vec_double_commit_and_commit_after_abort() {
+        let mut ts: NvVec<u32> = NvVec::new();
+        ts.push(1);
+        ts.commit();
+        ts.commit();
+        assert_eq!(ts.as_slice(), &[1]);
+        ts.push(2);
+        ts.abort();
+        ts.commit();
+        assert_eq!(ts.as_slice(), &[1]);
+    }
+
+    #[test]
     fn var_update_composes() {
         let mut v = NvVar::new(10);
         v.update(|x| x + 1);

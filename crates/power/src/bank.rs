@@ -41,6 +41,11 @@ pub struct Bank {
     name: &'static str,
     members: Vec<CapacitorSpec>,
     state: CapacitorState,
+    /// Capacitance derating factor (1.0 = as-built, 0.8 = 20% fade).
+    /// Driven by wear models and injected degradation faults.
+    cap_derate: f64,
+    /// ESR growth factor (1.0 = as-built, 2.0 = doubled ESR).
+    esr_scale: f64,
 }
 
 impl Bank {
@@ -65,14 +70,22 @@ impl Bank {
         &self.members
     }
 
-    /// Total parallel capacitance.
+    /// Total parallel capacitance, after any wear/fault derating.
     #[must_use]
     pub fn capacitance(&self) -> Farads {
+        Farads::new(self.nominal_capacitance().get() * self.cap_derate)
+    }
+
+    /// Total parallel capacitance as built, before derating — the design
+    /// value a health probe compares the effective capacitance against.
+    #[must_use]
+    pub fn nominal_capacitance(&self) -> Farads {
         self.members.iter().map(CapacitorSpec::capacitance).sum()
     }
 
-    /// Combined ESR of the parallel group (`1/R = Σ 1/Rᵢ`). Members with
-    /// zero ESR short the combination to zero.
+    /// Combined ESR of the parallel group (`1/R = Σ 1/Rᵢ`), after any
+    /// wear/fault growth. Members with zero ESR short the combination to
+    /// zero.
     #[must_use]
     pub fn esr(&self) -> Ohms {
         let mut inv = 0.0f64;
@@ -86,8 +99,31 @@ impl Bank {
         if inv == 0.0 {
             Ohms::ZERO
         } else {
-            Ohms::new(1.0 / inv)
+            Ohms::new(self.esr_scale / inv)
         }
+    }
+
+    /// Applies a wear/fault derating: effective capacitance becomes
+    /// `cap_derate ×` nominal and ESR grows by `esr_scale ×`. Values are
+    /// clamped to physically sensible ranges (`cap_derate ∈ [0, 1]`,
+    /// `esr_scale ≥ 1`). Stored charge `Q = C·V` is conserved across the
+    /// change: the open-circuit voltage rises as plates effectively shrink.
+    pub fn set_derating(&mut self, cap_derate: f64, esr_scale: f64) {
+        let q = self.charge();
+        self.cap_derate = cap_derate.clamp(0.0, 1.0);
+        self.esr_scale = esr_scale.max(1.0);
+        let c = self.capacitance().get();
+        if c > 0.0 {
+            self.set_voltage(Volts::new(q / c));
+        } else {
+            self.state.set_voltage(Volts::ZERO);
+        }
+    }
+
+    /// The current derating factors `(cap_derate, esr_scale)`.
+    #[must_use]
+    pub fn derating(&self) -> (f64, f64) {
+        (self.cap_derate, self.esr_scale)
     }
 
     /// Total leakage current.
@@ -193,6 +229,8 @@ impl BankBuilder {
             name: self.name,
             members: self.members,
             state: CapacitorState::empty(),
+            cap_derate: 1.0,
+            esr_scale: 1.0,
         }
     }
 }
@@ -301,6 +339,31 @@ mod tests {
         let e_after = a.energy_above(Volts::ZERO) + b.energy_above(Volts::ZERO);
         // Equal caps: half the energy is dissipated in the interconnect.
         assert!((e_after.get() - e_before.get() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derating_scales_capacitance_and_esr_conserving_charge() {
+        let mut bank = Bank::builder("edlc").with(parts::edlc_cph3225a()).build();
+        bank.set_voltage(Volts::new(2.0));
+        let q_before = bank.charge();
+        let esr_before = bank.esr();
+        bank.set_derating(0.8, 2.0);
+        assert!((bank.capacitance().get() - 0.8 * bank.nominal_capacitance().get()).abs() < 1e-15);
+        assert!((bank.esr().get() - 2.0 * esr_before.get()).abs() < 1e-12);
+        // Q = C·V conserved: voltage rises as capacitance fades.
+        assert!((bank.charge() - q_before).abs() < 1e-12);
+        assert!(bank.voltage() > Volts::new(2.0));
+    }
+
+    #[test]
+    fn derating_clamps_to_physical_ranges() {
+        let mut bank = Bank::builder("edlc").with(parts::edlc_cph3225a()).build();
+        bank.set_voltage(Volts::new(1.0));
+        bank.set_derating(-0.5, 0.1);
+        assert_eq!(bank.derating(), (0.0, 1.0));
+        // Fully dead bank: no capacitance, no stored charge.
+        assert_eq!(bank.capacitance().get(), 0.0);
+        assert_eq!(bank.voltage(), Volts::ZERO);
     }
 
     #[test]

@@ -68,14 +68,16 @@ pub mod prelude {
     pub use crate::bank::{Bank, BankBuilder, BankId};
     pub use crate::booster::{Bypass, InputBooster, OutputBooster, VoltageLimiter};
     pub use crate::capacitor::{CapacitorSpec, CapacitorState};
-    pub use crate::lifetime::{bank_wear, typical_cycle_life, WearReport};
+    pub use crate::lifetime::{bank_wear, typical_cycle_life, WearModel, WearReport};
     pub use crate::mechanism::Mechanism;
     pub use crate::mppt::{harvested_power, PvCurve, Tracking};
     pub use crate::harvester::{
         ConstantHarvester, Harvester, RegulatedSupply, RfHarvester, SolarPanel, TraceHarvester,
     };
-    pub use crate::switch::{BankSwitch, SwitchKind, SwitchState};
-    pub use crate::system::{ChargeOutcome, DrawOutcome, PowerSystem, PowerSystemBuilder};
+    pub use crate::switch::{BankSwitch, SwitchFault, SwitchKind, SwitchState};
+    pub use crate::system::{
+        ChargeOutcome, DrawOutcome, HardwareFault, PowerSystem, PowerSystemBuilder,
+    };
     pub use crate::technology::{parts, Technology};
     pub use crate::PowerError;
 }

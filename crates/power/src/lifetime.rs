@@ -80,6 +80,43 @@ pub fn bank_wear(bank: &Bank) -> WearReport {
     }
 }
 
+/// Maps consumed cycle life to electrical degradation: EDLC datasheets
+/// define end-of-life as the point where capacitance has faded and ESR has
+/// grown by fixed fractions. The model interpolates linearly in the
+/// consumed fraction from a [`WearReport`], so a half-worn bank shows half
+/// the end-of-life fade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearModel {
+    /// Fraction of nominal capacitance lost at rated end of life
+    /// (e.g. `0.2` = 20% fade, the common EDLC EOL criterion).
+    pub cap_fade_at_eol: f64,
+    /// ESR multiplier reached at rated end of life (e.g. `2.0` = doubled).
+    pub esr_growth_at_eol: f64,
+}
+
+impl WearModel {
+    /// The datasheet-typical EDLC end-of-life criterion: 20% capacitance
+    /// fade and doubled ESR at rated cycle life.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self {
+            cap_fade_at_eol: 0.2,
+            esr_growth_at_eol: 2.0,
+        }
+    }
+
+    /// The derating factors `(cap_derate, esr_scale)` implied by a wear
+    /// report, suitable for [`crate::bank::Bank::set_derating`]. Wear past
+    /// rated life keeps degrading linearly (the report's `consumed` may
+    /// exceed 1.0); capacitance never derates below zero.
+    #[must_use]
+    pub fn derating(&self, report: &WearReport) -> (f64, f64) {
+        let cap = (1.0 - self.cap_fade_at_eol * report.consumed).max(0.0);
+        let esr = 1.0 + (self.esr_growth_at_eol - 1.0) * report.consumed;
+        (cap, esr.max(1.0))
+    }
+}
+
 /// Projects how long a bank lasts if it continues cycling at the observed
 /// rate (`cycles` over `observed`). Returns `None` for unlimited banks or
 /// a zero observed rate.
@@ -151,6 +188,34 @@ mod tests {
         let day = SimDuration::from_secs(86_400);
         let life = projected_lifetime(&report, day).unwrap();
         assert_eq!(life, day * 500);
+    }
+
+    #[test]
+    fn wear_model_interpolates_linearly() {
+        let model = WearModel::prototype();
+        let half = WearReport {
+            cycles: 250_000,
+            cycle_life: Some(500_000),
+            consumed: 0.5,
+        };
+        let (cap, esr) = model.derating(&half);
+        assert!((cap - 0.9).abs() < 1e-12);
+        assert!((esr - 1.5).abs() < 1e-12);
+        let fresh = WearReport { cycles: 0, cycle_life: Some(500_000), consumed: 0.0 };
+        assert_eq!(model.derating(&fresh), (1.0, 1.0));
+    }
+
+    #[test]
+    fn wear_model_keeps_degrading_past_eol() {
+        let model = WearModel::prototype();
+        let over = WearReport {
+            cycles: 1_000_000,
+            cycle_life: Some(500_000),
+            consumed: 2.0,
+        };
+        let (cap, esr) = model.derating(&over);
+        assert!((cap - 0.6).abs() < 1e-12);
+        assert!((esr - 3.0).abs() < 1e-12);
     }
 
     #[test]

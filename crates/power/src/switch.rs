@@ -38,6 +38,31 @@ impl SwitchKind {
     }
 }
 
+/// A hardware fault injected into a bank switch.
+///
+/// Faults model the physical failure modes of the latch-capacitor switch
+/// module: a MOSFET whose channel no longer conducts (stuck open), a
+/// shorted channel (stuck closed), or a leaky latch capacitor whose
+/// retention collapses (premature decay). Faults are simulated physics:
+/// the MCU keeps *commanding* the switch as usual and cannot observe that
+/// the commands no longer take effect (§5.2 — an introspection circuit
+/// would ruin retention), which is exactly why graceful degradation needs
+/// a charge-based self-test rather than a status register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchFault {
+    /// The switch channel no longer conducts: the bank is permanently
+    /// disconnected regardless of commands or latch state.
+    StuckOpen,
+    /// The switch channel is shorted: the bank is permanently connected.
+    StuckClosed,
+    /// The latch capacitor leaks `factor`× faster than rated, scaling the
+    /// effective retention down to `retention / factor` (premature decay).
+    WeakLatch {
+        /// Leakage multiplier, `>= 1.0`; `1.0` is a healthy latch.
+        factor: f64,
+    },
+}
+
 /// Electrical state of a bank switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwitchState {
@@ -97,6 +122,10 @@ pub struct BankSwitch {
     /// powered refresh).
     last_refresh: SimTime,
     retention: SimDuration,
+    /// An injected hardware fault, if any. Commands still update
+    /// `commanded` (the MCU cannot see the fault), but the *effective*
+    /// state is governed by the fault.
+    fault: Option<SwitchFault>,
 }
 
 impl BankSwitch {
@@ -116,6 +145,37 @@ impl BankSwitch {
             commanded: kind.default_state(),
             last_refresh: SimTime::ZERO,
             retention,
+            fault: None,
+        }
+    }
+
+    /// Injects a hardware fault. The switch keeps accepting commands (the
+    /// MCU cannot observe the fault) but its effective state follows the
+    /// fault physics from now on.
+    pub fn inject_fault(&mut self, fault: SwitchFault) {
+        self.fault = Some(fault);
+    }
+
+    /// Clears any injected fault (repair / test teardown).
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// The currently injected fault, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<SwitchFault> {
+        self.fault
+    }
+
+    /// The retention actually delivered by the latch, after any
+    /// [`SwitchFault::WeakLatch`] derating.
+    #[must_use]
+    pub fn effective_retention(&self) -> SimDuration {
+        match self.fault {
+            Some(SwitchFault::WeakLatch { factor }) if factor > 1.0 => {
+                SimDuration::from_secs_f64(self.retention.as_secs_f64() / factor)
+            }
+            _ => self.retention,
         }
     }
 
@@ -160,13 +220,20 @@ impl BankSwitch {
     }
 
     /// The effective state at `now`: the commanded state while the latch
-    /// retains charge, the default state once it has decayed.
+    /// retains charge, the default state once it has decayed — unless a
+    /// stuck fault pins the channel regardless of either.
     #[must_use]
     pub fn state(&self, now: SimTime) -> SwitchState {
-        if now.saturating_since(self.last_refresh) > self.retention {
-            self.kind.default_state()
-        } else {
-            self.commanded
+        match self.fault {
+            Some(SwitchFault::StuckOpen) => SwitchState::Open,
+            Some(SwitchFault::StuckClosed) => SwitchState::Closed,
+            _ => {
+                if now.saturating_since(self.last_refresh) > self.effective_retention() {
+                    self.kind.default_state()
+                } else {
+                    self.commanded
+                }
+            }
         }
     }
 
@@ -176,19 +243,23 @@ impl BankSwitch {
     /// why the NO/NC semantics matter; the simulator exposes it for tests.
     #[must_use]
     pub fn latch_decayed(&self, now: SimTime) -> bool {
-        now.saturating_since(self.last_refresh) > self.retention
+        now.saturating_since(self.last_refresh) > self.effective_retention()
     }
 
     /// The instant at which the latch will decay and the switch revert to
     /// its default, absent further refreshes. Returns [`SimTime::MAX`] when
     /// the commanded state already equals the default (decay would be
-    /// unobservable).
+    /// unobservable) or a stuck fault makes the latch irrelevant.
     #[must_use]
     pub fn decay_deadline(&self) -> SimTime {
-        if self.commanded == self.kind.default_state() {
+        if matches!(
+            self.fault,
+            Some(SwitchFault::StuckOpen | SwitchFault::StuckClosed)
+        ) || self.commanded == self.kind.default_state()
+        {
             SimTime::MAX
         } else {
-            self.last_refresh.saturating_add(self.retention)
+            self.last_refresh.saturating_add(self.effective_retention())
         }
     }
 }
@@ -246,6 +317,90 @@ mod tests {
         sw.command(SwitchState::Closed, SimTime::ZERO);
         assert_eq!(sw.state(SimTime::from_secs(9)), SwitchState::Closed);
         assert_eq!(sw.state(SimTime::from_secs(11)), SwitchState::Open);
+    }
+
+    #[test]
+    fn state_exactly_at_decay_deadline_still_holds_commanded() {
+        // The retention comparison is strict: at exactly the deadline the
+        // latch voltage sits at the gate threshold and the commanded state
+        // still holds; one instant later it is gone.
+        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        let deadline = sw.decay_deadline();
+        assert_eq!(deadline, SimTime::from_secs(10));
+        assert_eq!(sw.state(deadline), SwitchState::Closed);
+        assert!(!sw.latch_decayed(deadline));
+        assert_eq!(sw.state(deadline + SimDuration::from_micros(1)), SwitchState::Open);
+        assert!(sw.latch_decayed(deadline + SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    fn refresh_immediately_before_decay_extends_retention() {
+        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        // Refresh right at the deadline (latch not yet decayed): the hold
+        // window restarts from the refresh instant.
+        let deadline = sw.decay_deadline();
+        sw.refresh(deadline);
+        assert_eq!(sw.state(SimTime::from_secs(19)), SwitchState::Closed);
+        assert_eq!(sw.decay_deadline(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn refresh_immediately_after_decay_maintains_the_default() {
+        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        // One microsecond past the deadline the physical switch has already
+        // reverted; replenishment can only maintain the default from here.
+        sw.refresh(SimTime::from_secs(10) + SimDuration::from_micros(1));
+        assert_eq!(sw.state(SimTime::from_secs(11)), SwitchState::Open);
+        // The commanded state was lost for good, not merely suspended.
+        assert_eq!(sw.decay_deadline(), SimTime::MAX);
+    }
+
+    #[test]
+    fn command_during_decay_reasserts_control() {
+        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        // Long after decay the switch sits at its default...
+        assert_eq!(sw.state(SimTime::from_secs(100)), SwitchState::Open);
+        // ...but a fresh command recharges the latch and takes effect.
+        sw.command(SwitchState::Closed, SimTime::from_secs(100));
+        assert_eq!(sw.state(SimTime::from_secs(105)), SwitchState::Closed);
+        assert_eq!(sw.decay_deadline(), SimTime::from_secs(110));
+    }
+
+    #[test]
+    fn stuck_open_ignores_commands_and_defaults() {
+        let mut sw = BankSwitch::new(SwitchKind::NormallyClosed);
+        sw.inject_fault(SwitchFault::StuckOpen);
+        assert_eq!(sw.state(SimTime::ZERO), SwitchState::Open);
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        assert_eq!(sw.state(SimTime::from_secs(1)), SwitchState::Open);
+        // Decay is unobservable on a stuck switch.
+        assert_eq!(sw.decay_deadline(), SimTime::MAX);
+        sw.clear_fault();
+        assert_eq!(sw.state(SimTime::from_secs(1)), SwitchState::Closed);
+    }
+
+    #[test]
+    fn stuck_closed_pins_the_bank_on() {
+        let mut sw = BankSwitch::new(SwitchKind::NormallyOpen);
+        sw.inject_fault(SwitchFault::StuckClosed);
+        sw.command(SwitchState::Open, SimTime::ZERO);
+        assert_eq!(sw.state(SimTime::from_secs(1_000)), SwitchState::Closed);
+        assert_eq!(sw.fault(), Some(SwitchFault::StuckClosed));
+    }
+
+    #[test]
+    fn weak_latch_decays_prematurely() {
+        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(100));
+        sw.inject_fault(SwitchFault::WeakLatch { factor: 10.0 });
+        sw.command(SwitchState::Closed, SimTime::ZERO);
+        assert_eq!(sw.effective_retention(), SimDuration::from_secs(10));
+        assert_eq!(sw.state(SimTime::from_secs(9)), SwitchState::Closed);
+        assert_eq!(sw.state(SimTime::from_secs(11)), SwitchState::Open);
+        assert_eq!(sw.decay_deadline(), SimTime::from_secs(10));
     }
 
     #[test]

@@ -25,8 +25,36 @@ use crate::bank::{share_charge, Bank, BankId};
 use crate::booster::{Bypass, ChargeRegime, InputBooster, OutputBooster, VoltageLimiter};
 use crate::capacitor::{self, Discharge};
 use crate::harvester::Harvester;
-use crate::switch::{BankSwitch, SwitchKind, SwitchState};
+use crate::lifetime::{bank_wear, WearModel};
+use crate::switch::{BankSwitch, SwitchFault, SwitchKind, SwitchState};
 use crate::PowerError;
+
+/// A hardware fault that can strike the power system, either injected
+/// immediately or scheduled for a future instant. Faults are first-class
+/// simulated physics: once applied they persist and every subsequent
+/// operation observes their effects, while the MCU keeps issuing commands
+/// that silently stop working (§5.2 — switch state is unobservable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HardwareFault {
+    /// The named bank's switch suffers a channel/latch fault.
+    Switch {
+        /// Which bank's switch fails.
+        bank: BankId,
+        /// The failure mode.
+        fault: SwitchFault,
+    },
+    /// The named bank's capacitors degrade: effective capacitance becomes
+    /// `cap_derate ×` nominal and ESR grows by `esr_scale ×` (a dead bank
+    /// is `cap_derate = 0.0`).
+    BankDegraded {
+        /// Which bank degrades.
+        bank: BankId,
+        /// Remaining capacitance fraction, `[0, 1]`.
+        cap_derate: f64,
+        /// ESR growth factor, `>= 1`.
+        esr_scale: f64,
+    },
+}
 
 /// Result of a charging operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +119,15 @@ pub struct PowerSystem<H> {
     closed_cache: Vec<bool>,
     /// Cumulative energy delivered to loads, for efficiency accounting.
     delivered: Joules,
+    /// Faults scheduled to strike at a future instant; applied (and
+    /// drained) by [`PowerSystem::sync`] once their time arrives.
+    pending_faults: Vec<(SimTime, HardwareFault)>,
+    /// When set, deep-discharge cycles recorded by `charge_until` feed the
+    /// wear model, continuously derating worn banks.
+    wear_model: Option<WearModel>,
+    /// Extra rail voltage required above the booster's startup threshold
+    /// before a cold boot succeeds (brownout-prone supervisors).
+    startup_margin: Volts,
 }
 
 #[derive(Debug, Clone)]
@@ -206,6 +243,44 @@ impl<H: Harvester> PowerSystem<H> {
         }
     }
 
+    /// Applies a hardware fault right now.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownBank`] when the fault names an
+    /// out-of-range bank.
+    pub fn inject_fault(&mut self, fault: HardwareFault, now: SimTime) -> Result<(), PowerError> {
+        let bank = match fault {
+            HardwareFault::Switch { bank, .. } | HardwareFault::BankDegraded { bank, .. } => bank,
+        };
+        if bank.0 >= self.banks.len() {
+            return Err(PowerError::UnknownBank { index: bank.0 });
+        }
+        self.apply_fault(fault);
+        self.sync(now);
+        Ok(())
+    }
+
+    /// Schedules a hardware fault to strike at `at`; it is applied by the
+    /// first operation whose `sync` sees `now >= at` (fault application is
+    /// part of the simulated physics, not a test-harness callback).
+    pub fn schedule_fault(&mut self, at: SimTime, fault: HardwareFault) {
+        self.pending_faults.push((at, fault));
+    }
+
+    /// Installs (or removes) the wear model that maps recorded
+    /// deep-discharge cycles to capacitance fade and ESR growth.
+    pub fn set_wear_model(&mut self, model: Option<WearModel>) {
+        self.wear_model = model;
+    }
+
+    /// Requires `margin` extra rail voltage above the output booster's
+    /// startup threshold before [`PowerSystem::can_boot`] reports true
+    /// (models cold-start brownout on marginal supervisors).
+    pub fn set_startup_margin(&mut self, margin: Volts) {
+        self.startup_margin = margin.max(Volts::ZERO);
+    }
+
     /// Indices of banks whose switches are effectively closed at `now`.
     #[must_use]
     pub fn closed_banks(&self, now: SimTime) -> Vec<BankId> {
@@ -288,9 +363,24 @@ impl<H: Harvester> PowerSystem<H> {
         self.banks.iter().map(|s| s.bank.volume_mm3()).sum()
     }
 
-    /// Reconciles implicit switch-state changes (latch decay) and
-    /// equalizes the closed set at `now`.
+    /// Reconciles implicit switch-state changes (latch decay), applies any
+    /// scheduled hardware faults whose time has come, and equalizes the
+    /// closed set at `now`.
     pub fn sync(&mut self, now: SimTime) {
+        if !self.pending_faults.is_empty() {
+            let mut due: Vec<HardwareFault> = Vec::new();
+            self.pending_faults.retain(|&(at, fault)| {
+                if at <= now {
+                    due.push(fault);
+                    false
+                } else {
+                    true
+                }
+            });
+            for fault in due {
+                self.apply_fault(fault);
+            }
+        }
         let closed_now: Vec<bool> = self
             .banks
             .iter()
@@ -328,9 +418,16 @@ impl<H: Harvester> PowerSystem<H> {
         // Wear accounting: recharging a deeply-discharged bank completes
         // one charge-discharge cycle (relevant to EDLC lifetime, §5.2).
         if self.rail_voltage(*now) < target * 0.6 {
+            let wear_model = self.wear_model;
             for bank in self.closed_slots_mut_at(*now) {
                 if bank.voltage() < target * 0.6 {
                     bank.record_cycle();
+                    // Wear is physics, not bookkeeping: each deep cycle
+                    // immediately fades capacitance and grows ESR.
+                    if let Some(model) = wear_model {
+                        let (cap, esr) = model.derating(&bank_wear(bank));
+                        bank.set_derating(cap, esr);
+                    }
                 }
             }
         }
@@ -502,13 +599,42 @@ impl<H: Harvester> PowerSystem<H> {
         self.sync(*now);
     }
 
-    /// Whether the rail can start the output booster (cold boot condition).
+    /// Whether the rail can start the output booster (cold boot condition,
+    /// including any configured brownout [`startup
+    /// margin`](PowerSystem::set_startup_margin)).
     #[must_use]
     pub fn can_boot(&self, now: SimTime) -> bool {
-        self.rail_voltage(now) >= self.output_booster.startup_voltage()
+        self.rail_voltage(now) >= self.output_booster.startup_voltage() + self.startup_margin
+    }
+
+    /// Hard power kill: everything connected to the rail is drained to
+    /// zero, as if the load shorted the rail at `now`. Banks whose switches
+    /// are open keep their charge — only the connected set discharges —
+    /// which is exactly what makes adversarial kill-point exploration
+    /// interesting for a reconfigurable array.
+    pub fn blackout(&mut self, now: SimTime) {
+        self.sync(now);
+        for bank in self.closed_slots_mut_at(now) {
+            bank.set_voltage(Volts::ZERO);
+        }
     }
 
     // --- internals -------------------------------------------------------
+
+    fn apply_fault(&mut self, fault: HardwareFault) {
+        match fault {
+            HardwareFault::Switch { bank, fault } => {
+                if let Some(slot) = self.banks.get_mut(bank.0) {
+                    slot.switch.inject_fault(fault);
+                }
+            }
+            HardwareFault::BankDegraded { bank, cap_derate, esr_scale } => {
+                if let Some(slot) = self.banks.get_mut(bank.0) {
+                    slot.bank.set_derating(cap_derate, esr_scale);
+                }
+            }
+        }
+    }
 
     fn closed_slots(&self, now: SimTime) -> impl Iterator<Item = &Slot> {
         self.banks
@@ -648,6 +774,9 @@ impl<H: Harvester> PowerSystemBuilder<H> {
             banks: self.banks,
             closed_cache,
             delivered: Joules::ZERO,
+            pending_faults: Vec::new(),
+            wear_model: None,
+            startup_margin: Volts::ZERO,
         }
     }
 }
@@ -933,5 +1062,95 @@ mod tests {
         assert!(!sys.can_boot(now));
         sys.charge_until(Volts::new(1.7), &mut now).unwrap();
         assert!(sys.can_boot(now));
+    }
+
+    #[test]
+    fn startup_margin_raises_the_boot_bar() {
+        let mut sys = one_bank_system();
+        sys.set_startup_margin(Volts::new(0.5));
+        let mut now = SimTime::ZERO;
+        sys.charge_until(Volts::new(1.7), &mut now).unwrap();
+        assert!(!sys.can_boot(now), "margin must delay cold boot");
+        sys.charge_until(Volts::new(2.3), &mut now).unwrap();
+        assert!(sys.can_boot(now));
+    }
+
+    #[test]
+    fn stuck_open_switch_starves_the_rail() {
+        let mut sys = one_bank_system();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        sys.inject_fault(
+            HardwareFault::Switch { bank: BankId(0), fault: SwitchFault::StuckOpen },
+            now,
+        )
+        .unwrap();
+        assert!(sys.closed_banks(now).is_empty());
+        assert_eq!(
+            sys.charge_until(Volts::new(2.8), &mut now).unwrap_err(),
+            PowerError::NoActiveBank
+        );
+    }
+
+    #[test]
+    fn scheduled_fault_applies_as_simulated_physics() {
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .bank(big_bank(), SwitchKind::NormallyOpen)
+            .build();
+        sys.schedule_fault(
+            SimTime::from_secs(10),
+            HardwareFault::BankDegraded { bank: BankId(0), cap_derate: 0.0, esr_scale: 1.0 },
+        );
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).unwrap();
+        // Before the fault's instant the bank is healthy...
+        assert!(sys.rail_capacitance(now).get() > 0.0);
+        // ...after it, the next operation's sync applies the degradation.
+        sys.idle(SimDuration::from_secs(20), &mut now);
+        assert_eq!(sys.rail_capacitance(now).get(), 0.0);
+        assert_eq!(sys.bank(BankId(0)).unwrap().derating().0, 0.0);
+    }
+
+    #[test]
+    fn fault_on_unknown_bank_is_an_error() {
+        let mut sys = one_bank_system();
+        assert_eq!(
+            sys.inject_fault(
+                HardwareFault::Switch { bank: BankId(9), fault: SwitchFault::StuckOpen },
+                SimTime::ZERO,
+            )
+            .unwrap_err(),
+            PowerError::UnknownBank { index: 9 }
+        );
+    }
+
+    #[test]
+    fn wear_model_derates_cycled_banks() {
+        use crate::lifetime::WearModel;
+        // An aggressive synthetic wear model so a handful of cycles shows
+        // measurable fade: 50% capacitance loss at "end of life".
+        let mut sys = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(
+                Bank::builder("edlc").with(parts::edlc_7_5mf()).build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        sys.set_wear_model(Some(WearModel { cap_fade_at_eol: 0.5, esr_growth_at_eol: 2.0 }));
+        let nominal = sys.bank(BankId(0)).unwrap().nominal_capacitance();
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            sys.charge_until_full(&mut now).unwrap();
+            let _ = sys.draw(Watts::from_milli(10.0), SimDuration::from_secs(60), &mut now);
+        }
+        let bank = sys.bank(BankId(0)).unwrap();
+        assert!(bank.cycles() >= 2);
+        assert!(
+            bank.capacitance() < nominal,
+            "cycled EDLC must show capacitance fade under the wear model"
+        );
+        assert!(bank.derating().1 > 1.0, "ESR must grow with wear");
     }
 }

@@ -16,6 +16,7 @@ pub use capy_power as power;
 pub use capy_units as units;
 pub use capybara as core;
 
+pub use capybara::faults;
 pub use capybara::policy;
 pub use capybara::sweep;
 

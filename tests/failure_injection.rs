@@ -106,7 +106,7 @@ fn prop_outages_never_corrupt_execution() {
         let variant = Variant::ALL[rng.gen_range(0usize..4)];
         let mut sim = outage_sim(seed, variant);
         let result = sim.run_until(SimTime::from_secs(2_500));
-        assert!(matches!(result, StepResult::Progress | StepResult::Stalled));
+        assert!(matches!(result, StepResult::Progress | StepResult::Stalled { .. }));
         if let Some(violation) = validate_event_log(sim.events()) {
             panic!("seed {seed} variant {variant}: {violation}");
         }
@@ -196,7 +196,7 @@ fn prop_power_failure_mid_decision_resumes_policy_state() {
                 let mut sim = adaptive_outage_sim(seed, policy);
                 let result = sim.run_until(SimTime::from_secs(2_500));
                 assert!(
-                    matches!(result, StepResult::Progress | StepResult::Stalled),
+                    matches!(result, StepResult::Progress | StepResult::Stalled { .. }),
                     "policy {label} seed {seed}: unexpected {result:?}"
                 );
                 if let Some(violation) = validate_event_log(sim.events()) {

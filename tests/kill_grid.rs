@@ -1,0 +1,127 @@
+//! Systematic fault injection on the TempAlarm application: a
+//! subsampled exhaustive power-kill grid and a mid-mission hardware
+//! fault with graceful degradation (§5.2's adversarial-timing and
+//! component-failure concerns, checked end to end).
+
+use capybara_suite::apps::ta;
+use capybara_suite::core::sim::validate_event_log;
+use capybara_suite::faults::{explore_kill_grid, FaultPlan, KillGridOptions};
+use capybara_suite::prelude::*;
+use capy_units::SimTime;
+
+const SEED: u64 = 0x417;
+
+/// A short TA excursion schedule: three alarms in ten minutes.
+fn short_schedule() -> Vec<SimTime> {
+    [100, 260, 430].iter().map(|&s| SimTime::from_secs(s)).collect()
+}
+
+const HORIZON: SimTime = SimTime::from_secs(600);
+
+/// A subsampled TA kill grid runs deterministically from a fixed seed,
+/// produces the identical report for any worker count, and finds zero
+/// violations: every possible power-failure instant leaves the event
+/// log ordered, the execution accounting conserved, and the device
+/// live.
+#[test]
+fn ta_kill_grid_is_clean_and_worker_count_invariant() {
+    let build = || ta::build(Variant::CapyP, short_schedule(), SEED);
+    let mut options = KillGridOptions::smoke(1, 12);
+    options.workers = 1;
+    let serial = explore_kill_grid(HORIZON, &options, build, |_| Ok(()));
+    assert!(
+        serial.is_clean(),
+        "kill grid must be violation-free: {}\n{:?}",
+        serial.digest(),
+        serial.violations()
+    );
+    assert!(serial.grid_points > 12, "the full grid is larger than the subsample");
+    assert_eq!(serial.outcomes.len(), 12);
+    // Every explored kill actually perturbed the run and recovered:
+    // power failures happened, work still completed.
+    for o in &serial.outcomes {
+        assert!(o.summary.completions > 0, "no post-kill progress at {}", o.kill_at);
+        assert_eq!(
+            o.summary.attempts,
+            o.summary.completions + o.summary.failures
+        );
+    }
+
+    options.workers = 4;
+    let parallel = explore_kill_grid(HORIZON, &options, build, |_| Ok(()));
+    assert_eq!(serial, parallel, "kill report must not depend on worker count");
+}
+
+/// §5.2 graceful degradation at application scale: the TA large (alarm)
+/// bank's switch sticks open mid-mission. The runtime must diagnose the
+/// dead bank, retire it, remap the alarm mode onto the surviving small
+/// bank, and keep the mission running — no stall, no log corruption.
+#[test]
+fn ta_survives_a_stuck_open_alarm_bank_mid_mission() {
+    let fail_at = SimTime::from_secs(120);
+    let mut sim = ta::build(Variant::CapyP, short_schedule(), SEED);
+    sim.set_degradation(true);
+    FaultPlan::new()
+        .switch_stuck_open(fail_at, BankId(1))
+        .arm(&mut sim);
+    let result = sim.run_until(HORIZON);
+    assert!(
+        !matches!(result, StepResult::Stalled { .. }),
+        "degraded mission must not stall"
+    );
+    assert_eq!(validate_event_log(sim.events()), None);
+
+    let failed_at = sim
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            SimEvent::BankFailed { at, bank } if *bank == BankId(1) => Some(*at),
+            _ => None,
+        })
+        .expect("the stuck-open large bank must be diagnosed and retired");
+    assert!(failed_at >= fail_at);
+    assert!(
+        sim.events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::ModeRemapped { .. })),
+        "retiring a bank must remap the modes that used it"
+    );
+    // The alarm mode now lives entirely on surviving banks.
+    let alarm_banks = sim.modes().banks(ta::M_ALARM);
+    assert!(!alarm_banks.is_empty());
+    assert!(!alarm_banks.contains(&BankId(1)));
+
+    // The mission kept doing work after the failure: at least one full
+    // post-failure task cycle (a committed temperature sample).
+    let post_failure_samples = sim
+        .ctx()
+        .samples
+        .times()
+        .iter()
+        .filter(|&&t| t > failed_at)
+        .count();
+    assert!(
+        post_failure_samples >= 1,
+        "no task cycle completed after the bank failure"
+    );
+
+    // And the kill grid stays clean even on the degraded scenario: the
+    // remapped mission survives every power-failure instant too.
+    let degraded_build = || {
+        let mut sim = ta::build(Variant::CapyP, short_schedule(), SEED);
+        sim.set_degradation(true);
+        FaultPlan::new()
+            .switch_stuck_open(fail_at, BankId(1))
+            .arm(&mut sim);
+        sim
+    };
+    let options = KillGridOptions::smoke(1, 6);
+    let report = explore_kill_grid(HORIZON, &options, degraded_build, |_| Ok(()));
+    assert!(
+        report.is_clean(),
+        "degraded kill grid must be violation-free: {}\n{:?}",
+        report.digest(),
+        report.violations()
+    );
+    assert!(report.baseline.bank_failures >= 1);
+}

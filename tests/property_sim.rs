@@ -94,7 +94,7 @@ fn prop_sim_is_robust_across_configurations() {
         let variant = Variant::ALL[rng.gen_range(0usize..4)];
         let mut sim = build(harvest_uw, small_units, big_units, task_ms, variant);
         let result = sim.run_until(SimTime::from_secs(120));
-        assert!(matches!(result, StepResult::Progress | StepResult::Stalled));
+        assert!(matches!(result, StepResult::Progress | StepResult::Stalled { .. }));
         assert_eq!(sim.ctx().done.get(), sim.exec_stats().completions);
         // Time moved (even a stall takes simulated time to detect) unless
         // the device stalled immediately on a dead harvester.
