@@ -22,5 +22,11 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo bench --no-run --workspace
 run cargo run --release --example policy_compare -- --smoke
 run cargo run --release --example faults -- --smoke
+# The three formerly serial benches now run on the sweep engine; run
+# them end-to-end so a regression in their sweep drivers (not just a
+# compile rot) fails the gate.
+run cargo bench -p capy-bench --bench baseline_federated
+run cargo bench -p capy-bench --bench char_area
+run cargo bench -p capy-bench --bench capysat_case_study
 
 echo "==> ci.sh: all checks passed"

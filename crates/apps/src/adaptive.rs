@@ -96,13 +96,7 @@ pub const STATIC_POLICIES: usize = 3;
 /// the same lineup as [`lineup`], unwrapped.
 #[must_use]
 pub fn candidates() -> Vec<(String, Box<dyn ReconfigPolicy>)> {
-    let probe = SweepPoint {
-        index: 0,
-        label: String::new(),
-        params: Vec::new(),
-        seed: 0,
-        horizon: None,
-    };
+    let probe = SweepPoint::probe("", &[]);
     lineup()
         .into_iter()
         .map(|np| (np.label.to_string(), np.instantiate(&probe)))
@@ -313,7 +307,7 @@ pub fn compare_policies(
 
     let mut policies = lineup();
     policies.push(NamedPolicy::new("oracle", move |point| {
-        Box::new(oracles[point.expect_param("scenario") as usize].clone())
+        Box::new(oracles[point.expect_axis_index("scenario")].clone())
     }));
     let columns: Vec<Scenario> = scenarios
         .iter()
@@ -342,13 +336,7 @@ mod tests {
     fn scenario_round_trips_through_sweep_params() {
         let sc = TrackerScenario::benchmark(42);
         let params = sc.params();
-        let point = SweepPoint {
-            index: 0,
-            label: "probe".into(),
-            params,
-            seed: 0,
-            horizon: None,
-        };
+        let point = SweepPoint::probe("probe", &params);
         assert_eq!(TrackerScenario::from_point(&point), sc);
         // Jitter is deterministic per seed and actually jitters.
         assert_eq!(sc.horizon(), sc.horizon());

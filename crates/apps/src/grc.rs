@@ -64,6 +64,12 @@ impl GrcVariant {
     }
 }
 
+impl capybara::sweep::AxisValue for GrcVariant {
+    fn axis_label(&self) -> String {
+        self.label().to_string()
+    }
+}
+
 /// Fraction of BLE packets lost to interference.
 pub const BLE_LOSS: f64 = 0.02;
 

@@ -80,6 +80,27 @@ pub struct LatencyStats {
     pub max: f64,
 }
 
+/// The `q`-quantile of `values` (`q` in `[0, 1]`) by the repo's one
+/// percentile convention: sort by `total_cmp`, then take the element at
+/// index `round((n − 1) · q)` — the nearest-rank rule every metric in
+/// the suite uses. Returns `None` on an empty slice.
+///
+/// # Panics
+///
+/// When `q` is outside `[0, 1]`.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    Some(sorted[idx])
+}
+
 /// Computes latency statistics from raw per-event latencies.
 ///
 /// Returns `None` when no events were reported.
@@ -88,16 +109,15 @@ pub fn latency_stats(latencies: &[SimDuration]) -> Option<LatencyStats> {
     if latencies.is_empty() {
         return None;
     }
-    let mut secs: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64()).collect();
-    secs.sort_by(f64::total_cmp);
+    let secs: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64()).collect();
     let n = secs.len();
-    let pct = |q: f64| secs[((n as f64 - 1.0) * q).round() as usize];
+    let pct = |q: f64| percentile(&secs, q).expect("non-empty");
     Some(LatencyStats {
         count: n,
         mean: secs.iter().sum::<f64>() / n as f64,
         median: pct(0.5),
         p95: pct(0.95),
-        max: secs[n - 1],
+        max: pct(1.0),
     })
 }
 

@@ -24,12 +24,10 @@ fn main() {
         "mechanism", "cold@0.5mW(s)", "cold@5mW(s)", "area", "leakage", "wear"
     );
     // Analytic comparison, one sweep point per mechanism.
-    let mut spec = SweepSpec::new("ablation-mechanism", SimTime::ZERO);
-    for (mi, m) in Mechanism::ALL.iter().enumerate() {
-        spec = spec.point(m.label().to_string(), &[("mechanism", mi as f64)]);
-    }
+    let spec =
+        SweepSpec::new("ablation-mechanism", SimTime::ZERO).axis("mechanism", &Mechanism::ALL);
     let rows = map_points(&spec, |point| {
-        let m = Mechanism::ALL[point.expect_param("mechanism") as usize];
+        let m = point.expect_axis::<Mechanism>("mechanism");
         let cold_dim = m.cold_start(small, large, full, &booster, Watts::from_micro(500.0));
         let cold_bright = m.cold_start(small, large, full, &booster, Watts::from_milli(5.0));
         (cold_dim, cold_bright)

@@ -31,20 +31,15 @@ fn main() {
     );
     // One sweep point per (system, execution model): all four runs shard
     // across the machine instead of executing back to back.
-    let mut spec = SweepSpec::new("ablation-model", grc::HORIZON).base_seed(FIGURE_SEED);
-    for (si, v) in SYSTEMS.iter().enumerate() {
-        for harvesting in [0.0, 1.0] {
-            spec = spec.point(
-                format!("{} harvesting={harvesting:.0}", v.label()),
-                &[("system", si as f64), ("harvesting", harvesting)],
-            );
-        }
-    }
+    let spec = SweepSpec::new("ablation-model", grc::HORIZON)
+        .base_seed(FIGURE_SEED)
+        .axis("system", &SYSTEMS)
+        .grid("harvesting", &[0.0, 1.0]);
     let events_ref = &events;
     let (report, rows) = run_sweep_extract(
         &spec,
         |point| {
-            let v = SYSTEMS[point.expect_param("system") as usize];
+            let v = point.expect_axis::<Variant>("system");
             let harvesting = point.expect_param("harvesting") > 0.5;
             grc::build_with_model(v, GrcVariant::Fast, events_ref.clone(), FIGURE_SEED, harvesting)
         },

@@ -9,13 +9,9 @@
 //! operation (a radio packet does not resume mid-transmission), which is
 //! why Capybara sizes modes for atomic tasks instead.
 
-use std::time::Instant;
-
 use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_intermittent::checkpoint::CheckpointedMachine;
-use capybara::sweep::{
-    available_workers, map_points, RunSummary, SweepReport, SweepRun, SweepSpec, WorkerStats,
-};
+use capybara::sweep::{available_workers, run_sweep_tally_on, AxisValue, RunSummary, SweepSpec};
 use capy_intermittent::machine::ExecutionMachine;
 use capy_intermittent::nv::{NvState, NvVar};
 use capy_intermittent::task::{TaskGraph, TaskId, Transition};
@@ -37,6 +33,24 @@ fn power_system() -> PowerSystem<ConstantHarvester> {
             SwitchKind::NormallyClosed,
         )
         .build()
+}
+
+/// The two recovery disciplines compared by this ablation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RestartPolicy {
+    /// Chain/Alpaca class: the whole task re-executes on power failure.
+    TaskRestart,
+    /// Hibernus/QuickRecall class: progress persists at unit boundaries.
+    Checkpointing,
+}
+
+impl AxisValue for RestartPolicy {
+    fn axis_label(&self) -> String {
+        match self {
+            RestartPolicy::TaskRestart => "task-restart (Chain)".to_string(),
+            RestartPolicy::Checkpointing => "checkpointing".to_string(),
+        }
+    }
 }
 
 struct Done(NvVar<u32>);
@@ -120,60 +134,41 @@ fn main() {
     );
     let horizon = SimTime::from_secs(300);
     // These recovery models drive the power substrate directly (no
-    // `Simulator`), so the runs shard with [`map_points`] and the
-    // standard sweep record is assembled from what each run reports.
+    // `Simulator`), so the runs shard with [`run_sweep_tally`], which
+    // assembles the standard sweep record from what each run reports.
     let spec = SweepSpec::new("ablation-restart-policy", horizon)
         .base_seed(FIGURE_SEED)
-        .point("task-restart (Chain)", &[("checkpointing", 0.0)])
-        .point("checkpointing", &[("checkpointing", 1.0)]);
-    let started = Instant::now();
-    let rows = map_points(&spec, |point| {
-        let t0 = Instant::now();
-        let (done, attempts, end) = if point.expect_param("checkpointing") > 0.5 {
-            run_checkpointed(horizon)
-        } else {
-            run_task_based(horizon)
+        .axis(
+            "policy",
+            &[RestartPolicy::TaskRestart, RestartPolicy::Checkpointing],
+        );
+    let (report, ends) = run_sweep_tally_on(&spec, available_workers(), |point| {
+        let (done, attempts, end) = match point.expect_axis::<RestartPolicy>("policy") {
+            RestartPolicy::TaskRestart => run_task_based(horizon),
+            RestartPolicy::Checkpointing => run_checkpointed(horizon),
         };
-        (done, attempts, end, t0.elapsed())
+        let summary = RunSummary {
+            attempts,
+            completions: u64::from(done),
+            failures: attempts.saturating_sub(u64::from(done)),
+            end,
+            ..RunSummary::default()
+        };
+        (summary, end)
     });
     println!(
         "{:<22} {:>10} {:>10} {:>14}",
         "policy", "completed", "attempts", "finished at"
     );
-    let mut runs = Vec::with_capacity(rows.len());
-    let mut busy = std::time::Duration::ZERO;
-    for (point, (done, attempts, end, wall)) in spec.points().iter().zip(&rows) {
+    for (run, end) in report.runs.iter().zip(&ends) {
         println!(
             "{:<22} {:>10} {:>10} {:>14}",
-            point.label,
-            done,
-            attempts,
+            run.point.label,
+            run.summary.completions,
+            run.summary.attempts,
             format!("{:.0}s", end.as_secs_f64())
         );
-        busy += *wall;
-        runs.push(SweepRun {
-            point: point.clone(),
-            summary: RunSummary {
-                attempts: *attempts,
-                completions: u64::from(*done),
-                failures: attempts.saturating_sub(u64::from(*done)),
-                end: *end,
-                wall: *wall,
-                ..RunSummary::default()
-            },
-        });
     }
-    let report = SweepReport {
-        name: spec.name(),
-        workers: available_workers().min(spec.points().len()),
-        wall: started.elapsed(),
-        worker_stats: vec![WorkerStats {
-            worker: 0,
-            points: rows.len() as u64,
-            busy,
-        }],
-        runs,
-    };
     sweep_footer(&report);
     println!();
     println!("Expected shape: the task-restart policy livelocks on the");

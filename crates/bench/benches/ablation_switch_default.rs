@@ -86,18 +86,13 @@ fn main() {
     println!("{:<18} {:>12} {:>14}", "big-bank switch", "completions", "wasted attempts");
     let spec = SweepSpec::new("ablation-switch-default", SimTime::from_secs(20 * 520))
         .base_seed(FIGURE_SEED)
-        .point("normally-open", &[("normally_open", 1.0)])
-        .point("normally-closed", &[("normally_open", 0.0)]);
+        .axis(
+            "kind",
+            &[SwitchKind::NormallyOpen, SwitchKind::NormallyClosed],
+        );
     let (report, rows) = run_sweep_extract(
         &spec,
-        |point| {
-            let kind = if point.expect_param("normally_open") > 0.5 {
-                SwitchKind::NormallyOpen
-            } else {
-                SwitchKind::NormallyClosed
-            };
-            build(kind)
-        },
+        |point| build(point.expect_axis("kind")),
         |sim, _| (sim.ctx().completions.get(), sim.exec_stats().failures),
     );
     for (run, (done, failed)) in report.runs.iter().zip(rows) {

@@ -32,15 +32,14 @@ fn main() {
         "{:<8} {:>12} {:>14} {:>22}",
         "system", "bank", "deep cycles", "projected EDLC life"
     );
-    let mut spec = SweepSpec::new("ablation-wear", ta::HORIZON).base_seed(FIGURE_SEED);
-    for (si, v) in SYSTEMS.iter().enumerate() {
-        spec = spec.point(v.label().to_string(), &[("system", si as f64)]);
-    }
+    let spec = SweepSpec::new("ablation-wear", ta::HORIZON)
+        .base_seed(FIGURE_SEED)
+        .axis("system", &SYSTEMS);
     let events_ref = &events;
     let (report, rows) = run_sweep_extract(
         &spec,
         |point| {
-            let v = SYSTEMS[point.expect_param("system") as usize];
+            let v = point.expect_axis::<Variant>("system");
             ta::build(v, events_ref.clone(), FIGURE_SEED)
         },
         // Per-bank deep-cycle counts from the finished run (§5.2 wear

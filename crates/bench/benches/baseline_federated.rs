@@ -6,14 +6,17 @@
 //! buffer before doing any work — the difference shows on a peripheral
 //! that hosts tasks of very different energies (the gesture sensor doing
 //! both cheap proximity samples and expensive gesture reads).
+//!
+//! The three systems are the points of a typed [`BaselineSystem`] sweep
+//! axis run in parallel by `capy_bench::figures::baseline_federated_sweep`;
+//! the printed rows are identical for any worker count.
 
 use capy_apps::events::grc_schedule;
-use capy_apps::federated::FederatedGrc;
-use capy_apps::grc::{self, GrcVariant};
-use capy_apps::metrics::accuracy_fractions;
-use capy_bench::{figure_header, pct, FIGURE_SEED};
-use capybara::variant::Variant;
+use capy_apps::grc;
+use capy_bench::figures::baseline_federated_sweep;
+use capy_bench::{figure_header, pct, sweep_footer, FIGURE_SEED};
 use capy_units::rng::DetRng;
+use capybara::sweep::available_workers;
 
 fn main() {
     figure_header(
@@ -21,44 +24,24 @@ fn main() {
         "UFoP-style federated storage vs Capybara on GRC",
     );
     let events = grc_schedule(&mut DetRng::seed_from_u64(FIGURE_SEED));
-    let horizon = grc::HORIZON;
-
-    let mut fed_dev = FederatedGrc::new();
-    let fed = fed_dev.run(events.clone(), FIGURE_SEED, horizon);
-    let fed_correct = fed.packets.packets().iter().filter(|p| p.correct).count() as f64
-        / fed.events.len() as f64;
-    let fed_sampled = fed.passes_sampled as f64 / fed.events.len() as f64;
-
-    let capy = grc::run(Variant::CapyP, GrcVariant::Fast, events.clone(), FIGURE_SEED);
-    let capy_acc = accuracy_fractions(&capy.classify());
-    let fixed = grc::run(Variant::Fixed, GrcVariant::Fast, events, FIGURE_SEED);
-    let fixed_acc = accuracy_fractions(&fixed.classify());
+    let (report, rows) =
+        baseline_federated_sweep(&events, FIGURE_SEED, grc::HORIZON, available_workers());
 
     println!(
         "{:<22} {:>10} {:>16} {:>14}",
         "system", "correct", "passes sampled", "mcu work"
     );
-    println!(
-        "{:<22} {:>10} {:>16} {:>14}",
-        "Federated (UFoP-ish)",
-        pct(fed_correct),
-        pct(fed_sampled),
-        fed.mcu_iterations
-    );
-    println!(
-        "{:<22} {:>10} {:>16} {:>14}",
-        "Capybara (CB-P)",
-        pct(capy_acc.correct),
-        pct(1.0 - capy_acc.missed),
-        "-"
-    );
-    println!(
-        "{:<22} {:>10} {:>16} {:>14}",
-        "Fixed",
-        pct(fixed_acc.correct),
-        pct(1.0 - fixed_acc.missed),
-        "-"
-    );
+    for (run, row) in report.runs.iter().zip(&rows) {
+        println!(
+            "{:<22} {:>10} {:>16} {:>14}",
+            run.point.label,
+            pct(row.correct),
+            pct(row.sampled),
+            row.mcu_work
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
+        );
+    }
+    sweep_footer(&report);
     println!();
     println!("Expected shape: federation keeps MCU-side work alive (its small");
     println!("store cycles independently) but the sensor peripheral's single");

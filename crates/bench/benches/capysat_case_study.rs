@@ -1,48 +1,23 @@
-//! §6.6 CapySat case study: eligibility, booster feasibility, area, and an
-//! orbit of dual-MCU activity.
+//! §6.6 CapySat case study: eligibility, booster feasibility, area, and
+//! orbits of dual-MCU activity.
+//!
+//! The four case-study sections are the points of a typed
+//! [`capy_bench::figures::CaseItem`] sweep axis run in parallel by
+//! `capy_bench::figures::capysat_sweep`; the orbit loop's sample and
+//! beacon tallies land in the standard `RunSummary` the footer totals.
+//! The printed sections are identical for any worker count.
 
-use capy_bench::figure_header;
-use capy_capysat::{
-    eligible_for_leo, splitter_area, switch_array_area, CapySat, LeoConstraints,
-};
-use capy_power::technology::parts;
+use capy_bench::figures::capysat_sweep;
+use capy_bench::{figure_header, sweep_footer};
+use capybara::sweep::available_workers;
 
 fn main() {
     figure_header("Section 6.6", "CapySat case study");
-    let constraints = LeoConstraints::kicksat();
-    println!(
-        "storage budget: {:.0} mm^3 at -40C",
-        constraints.storage_budget_mm3()
-    );
-    for part in [
-        parts::ceramic_x5r_100uf(),
-        parts::tantalum_1000uf(),
-        parts::edlc_cph3225a(),
-    ] {
-        println!(
-            "  {:<18} eligible={}",
-            part.name(),
-            eligible_for_leo(&part, &constraints)
-        );
+    let (report, sections) = capysat_sweep(2, available_workers());
+    for section in &sections {
+        for line in section {
+            println!("{line}");
+        }
     }
-
-    let mut sat = CapySat::flight();
-    println!(
-        "flight banks: {:.0} mm^3; beacon feasible with boosters: {}; without: {}",
-        sat.storage_volume_mm3(),
-        sat.beacon_feasible(true),
-        sat.beacon_feasible(false)
-    );
-    println!(
-        "splitter area: {:.0} mm^2 vs switch array {:.0} mm^2 ({:.0}% — paper: 20%)",
-        splitter_area().get(),
-        switch_array_area(2).get(),
-        splitter_area() / switch_array_area(2) * 100.0
-    );
-
-    let report = sat.run_orbits(2);
-    println!(
-        "two orbits: samples={} beacons={} failed_beacons={}",
-        report.samples, report.beacons, report.failed_beacons
-    );
+    sweep_footer(&report);
 }

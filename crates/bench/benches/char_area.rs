@@ -5,38 +5,26 @@
 //! 640 mm², and one reconfiguration switch occupies 80 mm² … the switch
 //! uses a 4.7 µF latch capacitor and retains state for approximately
 //! 3 minutes."
+//!
+//! The two characterization blocks are the points of a typed
+//! [`capy_bench::figures::CharItem`] sweep axis run in parallel by
+//! `capy_bench::figures::char_area_sweep`; the printed blocks are
+//! identical for any worker count.
 
-use capy_bench::figure_header;
-use capy_capysat::area::BoardAreas;
-use capy_power::switch::{BankSwitch, SwitchKind, LATCH_CAPACITANCE};
+use capy_bench::figures::char_area_sweep;
+use capy_bench::{figure_header, sweep_footer};
+use capybara::sweep::available_workers;
 
 fn main() {
     figure_header("Section 6.5", "prototype characterization");
-    let areas = BoardAreas::prototype();
-    println!("board area (6x6 cm prototype = 3600 mm^2):");
-    println!("  solar panels:        {:>6.0} mm^2", areas.solar.get());
-    println!("  power system:        {:>6.0} mm^2", areas.power_system.get());
-    println!("  one switch module:   {:>6.0} mm^2", areas.switch_module.get());
-    println!(
-        "  five switch modules: {:>6.0} mm^2",
-        (areas.switch_module * 5.0).get()
-    );
-
-    println!();
-    println!(
-        "latch capacitor: {:.1} uF",
-        LATCH_CAPACITANCE.as_micro()
-    );
-    let retention = BankSwitch::prototype_retention();
-    println!(
-        "latch retention: {:.0} s (paper: approximately 3 minutes)",
-        retention.as_secs_f64()
-    );
-    let no = BankSwitch::new(SwitchKind::NormallyOpen);
-    let nc = BankSwitch::new(SwitchKind::NormallyClosed);
-    println!(
-        "default on latch decay: NO -> {:?}, NC -> {:?}",
-        no.kind().default_state(),
-        nc.kind().default_state()
-    );
+    let (report, blocks) = char_area_sweep(available_workers());
+    for (i, block) in blocks.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        for line in block {
+            println!("{line}");
+        }
+    }
+    sweep_footer(&report);
 }

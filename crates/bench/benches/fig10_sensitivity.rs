@@ -30,16 +30,11 @@ const GRC_MEANS: [u64; 5] = [10, 15, 20, 25, 30];
 const GRC_VARIANTS: [Variant; 3] = [Variant::Continuous, Variant::Fixed, Variant::CapyP];
 
 fn grid(name: &'static str, means: &[u64], variants: &[Variant]) -> SweepSpec {
-    let mut spec = SweepSpec::new(name, SimTime::ZERO).base_seed(FIGURE_SEED);
-    for &mean_s in means {
-        for (vi, v) in variants.iter().enumerate() {
-            spec = spec.point(
-                format!("mean={mean_s} {}", v.label()),
-                &[("mean_s", mean_s as f64), ("variant", vi as f64)],
-            );
-        }
-    }
-    spec
+    let means: Vec<f64> = means.iter().map(|&m| m as f64).collect();
+    SweepSpec::new(name, SimTime::ZERO)
+        .base_seed(FIGURE_SEED)
+        .grid("mean_s", &means)
+        .axis("variant", variants)
 }
 
 fn main() {
@@ -56,7 +51,7 @@ fn main() {
     let ta_spec = grid("fig10-ta", &TA_MEANS, &Variant::ALL);
     let (ta_report, ta_correct) = run_sweep_with(&ta_spec, |point| {
         let mean_s = point.expect_param("mean_s") as u64;
-        let v = Variant::ALL[point.expect_param("variant") as usize];
+        let v = point.expect_axis::<Variant>("variant");
         let events = poisson_events(
             &mut DetRng::seed_from_u64(FIGURE_SEED ^ mean_s),
             SimDuration::from_secs(mean_s),
@@ -85,7 +80,7 @@ fn main() {
     let grc_spec = grid("fig10-grc", &GRC_MEANS, &GRC_VARIANTS);
     let (grc_report, grc_reported) = run_sweep_with(&grc_spec, |point| {
         let mean_s = point.expect_param("mean_s") as u64;
-        let v = GRC_VARIANTS[point.expect_param("variant") as usize];
+        let v = point.expect_axis::<Variant>("variant");
         let events = poisson_events(
             &mut DetRng::seed_from_u64(FIGURE_SEED ^ (mean_s << 8)),
             SimDuration::from_secs(mean_s),

@@ -28,6 +28,10 @@ struct PanelDetail {
     quiet: usize,
     with_missed_events: usize,
     events_missed_in_gaps: usize,
+    /// Non-back-to-back intervals outside both histogram ranges
+    /// ([1 s, 5 s) and [10 s, 360 s]) — printed so the bars plus this
+    /// count account for every interval.
+    out_of_range: usize,
     bars: Vec<(String, usize)>,
 }
 
@@ -45,13 +49,12 @@ fn main() {
     );
     let horizon = *events.last().expect("events nonempty") + SimDuration::from_secs(200);
 
-    let mut spec = SweepSpec::new("fig11", horizon).base_seed(FIGURE_SEED);
-    for (vi, v) in VARIANTS.iter().enumerate() {
-        spec = spec.point(v.label(), &[("variant", vi as f64)]);
-    }
+    let spec = SweepSpec::new("fig11", horizon)
+        .base_seed(FIGURE_SEED)
+        .axis("variant", &VARIANTS);
     let events_ref = &events;
     let (report, details) = run_sweep_with(&spec, |point| {
-        let v = VARIANTS[point.expect_param("variant") as usize];
+        let v = point.expect_axis::<Variant>("variant");
         let mut sim = ta::build(v, events_ref.clone(), FIGURE_SEED);
         sim.run_until(horizon);
         let classes = intersample_histogram(
@@ -61,14 +64,21 @@ fn main() {
         );
         let summary = intersample_summary(&classes);
         // Histogram of the >=1 s intervals in the paper's two ranges.
+        // Both ranges are guarded explicitly: an interval below 1 s
+        // would otherwise saturate `(s - 1.0) / 0.5` to bin 0, and the
+        // [5 s, 10 s) band between the ranges is tallied instead of
+        // silently dropped, so every interval is accounted for.
         let mut short_bins = [0usize; 8]; // 0.5 s bins over 1..5 s
         let mut long_bins = [0usize; 7]; // 50 s bins over 10..360 s
+        let mut out_of_range = 0usize;
         for c in classes.iter().filter(|c| !c.back_to_back) {
             let s = c.length.as_secs_f64();
-            if s < 5.0 {
+            if (1.0..5.0).contains(&s) {
                 short_bins[(((s - 1.0) / 0.5) as usize).min(7)] += 1;
             } else if s >= 10.0 {
                 long_bins[(((s - 10.0) / 50.0) as usize).min(6)] += 1;
+            } else {
+                out_of_range += 1;
             }
         }
         let mut bars: Vec<(String, usize)> = short_bins
@@ -92,6 +102,7 @@ fn main() {
             quiet: summary.quiet,
             with_missed_events: summary.with_missed_events,
             events_missed_in_gaps: summary.events_missed_in_gaps,
+            out_of_range,
             bars,
         };
         (sim, detail)
@@ -100,11 +111,12 @@ fn main() {
     for (run, detail) in report.runs.iter().zip(&details) {
         println!("-- {} --", run.point.label);
         println!(
-            "back_to_back(<1s)={} quiet(>=1s)={} gaps_with_missed_events={} events_in_gaps={}",
+            "back_to_back(<1s)={} quiet(>=1s)={} gaps_with_missed_events={} events_in_gaps={} outside_histogram_ranges={}",
             detail.back_to_back,
             detail.quiet,
             detail.with_missed_events,
-            detail.events_missed_in_gaps
+            detail.events_missed_in_gaps,
+            detail.out_of_range
         );
         print!("{}", capy_bench::plot::bar_chart(&detail.bars, 40));
         println!();

@@ -16,6 +16,7 @@
 //! and mean charge time come straight from each run's [`RunSummary`].
 
 use capy_apps::prelude::*;
+use capy_bench::figures::Fig2Panel;
 use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_device::peripherals::{BleRadio, Tmp36};
 use capy_power::prelude::{Bank, ConstantHarvester, PowerSystem, SwitchKind};
@@ -49,13 +50,13 @@ impl SimContext for Fig2Ctx {
 
 const HORIZON: SimTime = SimTime::from_secs(60);
 
-fn panel_bank(panel: usize) -> Bank {
+fn panel_bank(panel: Fig2Panel) -> Bank {
     match panel {
-        0 => Bank::builder("low")
+        Fig2Panel::Low => Bank::builder("low")
             .with(parts::ceramic_x5r_400uf())
             .with(parts::tantalum_330uf())
             .build(),
-        _ => Bank::builder("high")
+        Fig2Panel::High => Bank::builder("high")
             .with(parts::ceramic_x5r_300uf())
             .with(parts::tantalum_100uf())
             .with(parts::tantalum_1000uf())
@@ -73,7 +74,7 @@ struct PanelDetail {
     trace: Vec<(f64, f64)>,
 }
 
-fn run_panel(panel: usize) -> (Simulator<ConstantHarvester, Fig2Ctx>, PanelDetail) {
+fn run_panel(panel: Fig2Panel) -> (Simulator<ConstantHarvester, Fig2Ctx>, PanelDetail) {
     let power = PowerSystem::builder()
         .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
         .bank(panel_bank(panel), SwitchKind::NormallyClosed)
@@ -149,17 +150,9 @@ fn main() {
         "Figure 2",
         "fixed-capacity execution: 15-sample series + radio packet",
     );
-    let spec = SweepSpec::new("fig2", HORIZON)
-        .point(
-            "Low capacity (730 uF): reactive sampling, packet never completes",
-            &[("panel", 0.0)],
-        )
-        .point(
-            "High capacity (8.9 mF): packet completes, long inactive charging",
-            &[("panel", 1.0)],
-        );
+    let spec = SweepSpec::new("fig2", HORIZON).axis("panel", &Fig2Panel::ALL);
     let (report, details) =
-        run_sweep_with(&spec, |point| run_panel(point.expect_param("panel") as usize));
+        run_sweep_with(&spec, |point| run_panel(point.expect_axis("panel")));
 
     for (run, detail) in report.runs.iter().zip(&details) {
         let s = &run.summary;

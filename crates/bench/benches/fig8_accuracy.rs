@@ -33,13 +33,11 @@ fn print_row(system: &str, f: AccuracyBreakdown) {
     );
 }
 
-/// One sweep point per power-system variant.
+/// One sweep point per power-system variant, on a typed axis.
 fn variant_spec(name: &'static str, horizon: capy_units::SimTime) -> SweepSpec {
-    let mut spec = SweepSpec::new(name, horizon).base_seed(FIGURE_SEED);
-    for (vi, v) in Variant::ALL.iter().enumerate() {
-        spec = spec.point(v.label().to_string(), &[("variant", vi as f64)]);
-    }
-    spec
+    SweepSpec::new(name, horizon)
+        .base_seed(FIGURE_SEED)
+        .axis("variant", &Variant::ALL)
 }
 
 fn print_variant_rows(rows: Vec<AccuracyBreakdown>) {
@@ -61,7 +59,7 @@ fn main() {
     let (report, rows) = run_sweep_extract(
         &variant_spec("fig8-ta", ta::HORIZON),
         |point| {
-            let v = Variant::ALL[point.expect_param("variant") as usize];
+            let v = point.expect_axis::<Variant>("variant");
             ta::build(v, events.clone(), FIGURE_SEED)
         },
         |sim, _| accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets)),
@@ -80,7 +78,7 @@ fn main() {
         let (report, rows) = run_sweep_extract(
             &variant_spec(name, grc::HORIZON),
             |point| {
-                let v = Variant::ALL[point.expect_param("variant") as usize];
+                let v = point.expect_axis::<Variant>("variant");
                 grc::build(v, gv, events.clone(), FIGURE_SEED)
             },
             |sim, _| {
@@ -96,7 +94,7 @@ fn main() {
     let (report, rows) = run_sweep_extract(
         &variant_spec("fig8-csr", grc::HORIZON),
         |point| {
-            let v = Variant::ALL[point.expect_param("variant") as usize];
+            let v = point.expect_axis::<Variant>("variant");
             csr::build(v, events.clone(), FIGURE_SEED)
         },
         |sim, _| accuracy_fractions(&classify_reported(events.len(), &sim.ctx().packets)),

@@ -38,19 +38,14 @@ fn main() {
     capy_apps::events::fit_span(&mut events, SimDuration::from_secs(3_500));
     let horizon = SimTime::from_secs(3_600);
 
-    let mut spec = SweepSpec::new("input-power", horizon).base_seed(FIGURE_SEED);
-    for &irr in &IRRADIANCES {
-        for (vi, v) in VARIANTS.iter().enumerate() {
-            spec = spec.point(
-                format!("irr={irr} {}", v.label()),
-                &[("irradiance", irr), ("variant", vi as f64)],
-            );
-        }
-    }
+    let spec = SweepSpec::new("input-power", horizon)
+        .base_seed(FIGURE_SEED)
+        .grid("irradiance", &IRRADIANCES)
+        .axis("variant", &VARIANTS);
 
     let events_ref = &events;
     let (report, correct) = run_sweep_with(&spec, |point| {
-        let v = VARIANTS[point.expect_param("variant") as usize];
+        let v = point.expect_axis::<Variant>("variant");
         let mut sim = ta::build(v, events_ref.clone(), FIGURE_SEED);
         sim.power_mut()
             .harvester_mut()

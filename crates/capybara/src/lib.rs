@@ -109,8 +109,8 @@ pub mod prelude {
     pub use crate::provision::{provision_bank_units, ProvisioningReport};
     pub use crate::sim::{BuildError, SimContext, SimEvent, Simulator, SimulatorBuilder, StepResult};
     pub use crate::sweep::{
-        run_sweep, run_sweep_with, RunSummary, SweepPoint, SweepReport, SweepRun, SweepSpec,
-        WorkerStats,
+        run_sweep, run_sweep_tally, run_sweep_with, AxisError, AxisTable, AxisValue, RunSummary,
+        SweepPoint, SweepReport, SweepRun, SweepSpec, WorkerStats,
     };
     pub use crate::variant::Variant;
 

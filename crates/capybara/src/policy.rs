@@ -53,7 +53,7 @@ use crate::mode::EnergyMode;
 use crate::runtime::RuntimeState;
 use crate::sim::{SimContext, SimEvent, Simulator};
 use crate::sweep::{
-    available_workers, run_sweep_on, RunSummary, SweepPoint, SweepReport, SweepSpec,
+    available_workers, run_sweep_on, AxisValue, RunSummary, SweepPoint, SweepReport, SweepSpec,
 };
 
 /// What a policy sees at a task boundary, immediately before the runtime
@@ -593,6 +593,12 @@ impl core::fmt::Debug for NamedPolicy {
     }
 }
 
+impl AxisValue for NamedPolicy {
+    fn axis_label(&self) -> String {
+        self.label.to_string()
+    }
+}
+
 /// A labeled environment/workload cell of the comparison grid (e.g. one
 /// input-power condition).
 #[derive(Debug, Clone, PartialEq)]
@@ -624,6 +630,12 @@ impl Scenario {
     pub fn at_horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = Some(horizon);
         self
+    }
+}
+
+impl AxisValue for Scenario {
+    fn axis_label(&self) -> String {
+        self.label.clone()
     }
 }
 
@@ -722,7 +734,14 @@ where
     C: SimContext,
     F: Fn(&SweepPoint, Box<dyn ReconfigPolicy>) -> Simulator<H, C> + Sync,
 {
-    let mut spec = SweepSpec::new(name, horizon).base_seed(base_seed);
+    // The grid needs custom "{policy}/{scenario}" labels, extra
+    // scenario parameters, and per-scenario horizons, so the points are
+    // laid out explicitly; the typed axes are declared on the side and
+    // each point stores its row/column indices under the axis names.
+    let mut spec = SweepSpec::new(name, horizon)
+        .base_seed(base_seed)
+        .declare_axis("policy", policies)
+        .declare_axis("scenario", scenarios);
     for (pi, policy) in policies.iter().enumerate() {
         for (si, scenario) in scenarios.iter().enumerate() {
             #[allow(clippy::cast_precision_loss)]
@@ -736,9 +755,8 @@ where
         }
     }
     let report = run_sweep_on(&spec, workers, |point| {
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let pi = point.expect_param("policy") as usize;
-        build(point, policies[pi].instantiate(point))
+        let policy = point.expect_axis::<NamedPolicy>("policy");
+        build(point, policy.instantiate(point))
     });
     PolicyComparison {
         report,

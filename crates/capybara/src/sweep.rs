@@ -12,7 +12,14 @@
 //!   OS threads with [`std::thread::scope`] (no dependencies, no
 //!   runtime) and runs one simulator per point to the spec's horizon;
 //! * [`RunSummary`] condenses each run's [`SimEvent`] log and execution
-//!   statistics into the repo's standard observability record.
+//!   statistics into the repo's standard observability record;
+//! * **typed axes** ([`AxisValue`], [`SweepSpec::axis`]) let structured
+//!   values — system variants, mechanisms, policies — ride a grid
+//!   without the caller round-tripping them through `f64` indices:
+//!   the spec stores each value's index as an ordinary parameter (so
+//!   seed derivation and report identity are unchanged) and
+//!   [`SweepPoint::axis`] recovers the value itself, with a labeled
+//!   [`AxisError`] instead of a raw slice-index panic on mistakes.
 //!
 //! # Determinism
 //!
@@ -33,19 +40,225 @@
 //! assert_ne!(spec.points()[0].seed, spec.points()[1].seed);
 //! ```
 
+use std::any::Any;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use capy_power::harvester::Harvester;
+use capy_power::mechanism::Mechanism;
+use capy_power::switch::SwitchKind;
 use capy_units::rng::derive_seed;
 use capy_units::{Joules, SimDuration, SimTime};
 
 use crate::sim::{SimContext, SimEvent, Simulator};
+use crate::variant::Variant;
+
+/// A value that can ride a typed sweep axis.
+///
+/// Implementors are the structured quantities the evaluation varies —
+/// system [`Variant`]s, reconfiguration [`Mechanism`]s, policies,
+/// scenario descriptors. The value is stored once on the
+/// [`SweepSpec`]'s axis registry; each point carries only its *index*
+/// (as an ordinary `(name, f64)` parameter), so typed axes change
+/// neither seed derivation nor report identity.
+pub trait AxisValue: Clone + Send + Sync + 'static {
+    /// The label fragment this value contributes to a point's label
+    /// (what [`SweepSpec::grid`] would render as `"axis=value"`).
+    fn axis_label(&self) -> String;
+}
+
+impl AxisValue for Variant {
+    fn axis_label(&self) -> String {
+        self.label().to_string()
+    }
+}
+
+impl AxisValue for Mechanism {
+    fn axis_label(&self) -> String {
+        self.label().to_string()
+    }
+}
+
+impl AxisValue for SwitchKind {
+    fn axis_label(&self) -> String {
+        match self {
+            SwitchKind::NormallyOpen => "normally-open".to_string(),
+            SwitchKind::NormallyClosed => "normally-closed".to_string(),
+        }
+    }
+}
+
+/// The spec-level registry entry for one typed axis: the axis name, the
+/// declared values (type-erased behind [`Any`]), and their labels.
+#[derive(Clone)]
+pub struct AxisTable {
+    name: &'static str,
+    labels: Vec<String>,
+    type_name: &'static str,
+    values: Arc<dyn Any + Send + Sync>,
+}
+
+impl AxisTable {
+    fn new<T: AxisValue>(name: &'static str, values: &[T]) -> Self {
+        Self {
+            name,
+            labels: values.iter().map(AxisValue::axis_label).collect(),
+            type_name: std::any::type_name::<T>(),
+            values: Arc::new(values.to_vec()),
+        }
+    }
+
+    /// The axis name (the parameter key its indices are stored under).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The label of every declared value, in index order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of declared values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the axis declares no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+impl fmt::Debug for AxisTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AxisTable")
+            .field("name", &self.name)
+            .field("type", &self.type_name)
+            .field("labels", &self.labels)
+            .finish()
+    }
+}
+
+impl PartialEq for AxisTable {
+    fn eq(&self, other: &Self) -> bool {
+        // The type-erased values are excluded: two tables declaring the
+        // same name, type, and labels describe the same axis.
+        self.name == other.name
+            && self.type_name == other.type_name
+            && self.labels == other.labels
+    }
+}
+
+/// Why a typed-axis lookup on a [`SweepPoint`] failed. Every variant
+/// names the point and the axis, so a typo'd or miswired axis is
+/// diagnosable from the error alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisError {
+    /// No axis of that name is declared on the point's spec.
+    UnknownAxis {
+        /// Label of the point the lookup ran against.
+        point: String,
+        /// The requested axis name.
+        axis: String,
+        /// Every axis the spec does declare.
+        declared: Vec<&'static str>,
+    },
+    /// The axis is declared but the point carries no parameter with its
+    /// name (hand-built point, or [`SweepSpec::declare_axis`] without a
+    /// matching parameter).
+    MissingParam {
+        /// Label of the point the lookup ran against.
+        point: String,
+        /// The requested axis name.
+        axis: String,
+    },
+    /// The point's parameter value is not a non-negative integer, so it
+    /// cannot be an index into the axis.
+    NotAnIndex {
+        /// Label of the point the lookup ran against.
+        point: String,
+        /// The requested axis name.
+        axis: String,
+        /// The offending parameter value.
+        value: f64,
+    },
+    /// The index is past the end of the declared values.
+    OutOfRange {
+        /// Label of the point the lookup ran against.
+        point: String,
+        /// The requested axis name.
+        axis: String,
+        /// The out-of-range index the point carried.
+        index: usize,
+        /// How many values the axis declares.
+        len: usize,
+    },
+    /// The axis holds values of a different type than requested.
+    TypeMismatch {
+        /// Label of the point the lookup ran against.
+        point: String,
+        /// The requested axis name.
+        axis: String,
+        /// Type the axis was declared with.
+        declared: &'static str,
+        /// Type the caller asked for.
+        requested: &'static str,
+    },
+}
+
+impl fmt::Display for AxisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownAxis {
+                point,
+                axis,
+                declared,
+            } => write!(
+                f,
+                "sweep point '{point}' has no typed axis '{axis}' (declared axes: {declared:?})"
+            ),
+            Self::MissingParam { point, axis } => write!(
+                f,
+                "sweep point '{point}' declares axis '{axis}' but carries no '{axis}' parameter"
+            ),
+            Self::NotAnIndex { point, axis, value } => write!(
+                f,
+                "sweep point '{point}': axis '{axis}' parameter {value} is not an index"
+            ),
+            Self::OutOfRange {
+                point,
+                axis,
+                index,
+                len,
+            } => write!(
+                f,
+                "sweep point '{point}': axis '{axis}' index {index} out of range \
+                 (axis declares {len} values)"
+            ),
+            Self::TypeMismatch {
+                point,
+                axis,
+                declared,
+                requested,
+            } => write!(
+                f,
+                "sweep point '{point}': axis '{axis}' holds {declared}, not {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AxisError {}
 
 /// One labeled point of a parameter grid.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Position in the spec (also the aggregation order).
     pub index: usize,
@@ -62,9 +275,40 @@ pub struct SweepPoint {
     /// horizon — for grids whose points represent differently-sized
     /// missions (e.g. kill grids, scenario suites).
     pub horizon: Option<SimTime>,
+    /// The spec's typed-axis registry, shared by every point.
+    axes: Arc<Vec<AxisTable>>,
+}
+
+impl PartialEq for SweepPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // The axis registry is spec-level metadata — a lookup table for
+        // recovering typed values from the index parameters — and is
+        // excluded so report identity is exactly what it was before
+        // typed axes existed: index, label, params, seed, horizon.
+        self.index == other.index
+            && self.label == other.label
+            && self.params == other.params
+            && self.seed == other.seed
+            && self.horizon == other.horizon
+    }
 }
 
 impl SweepPoint {
+    /// A free-standing point (index 0, seed 0, no typed axes) — for
+    /// probing factories or builders outside any sweep, e.g. asking a
+    /// policy what it would do at a hypothetical parameter setting.
+    #[must_use]
+    pub fn probe(label: impl Into<String>, params: &[(&'static str, f64)]) -> Self {
+        Self {
+            index: 0,
+            label: label.into(),
+            params: params.to_vec(),
+            seed: 0,
+            horizon: None,
+            axes: Arc::new(Vec::new()),
+        }
+    }
+
     /// The value of parameter `name`, if the point carries it.
     #[must_use]
     pub fn param(&self, name: &str) -> Option<f64> {
@@ -76,10 +320,102 @@ impl SweepPoint {
 
     /// Like [`SweepPoint::param`] but panicking with a clear message —
     /// for sweep closures where a missing axis is a programming error.
+    /// The message lists the parameters the point *does* carry, so a
+    /// typo'd axis name is diagnosable from the panic alone.
     #[must_use]
     pub fn expect_param(&self, name: &str) -> f64 {
-        self.param(name)
-            .unwrap_or_else(|| panic!("sweep point '{}' has no parameter '{name}'", self.label))
+        self.param(name).unwrap_or_else(|| {
+            let available: Vec<&'static str> = self.params.iter().map(|(n, _)| *n).collect();
+            panic!(
+                "sweep point '{}' has no parameter '{name}' (available: {available:?})",
+                self.label
+            )
+        })
+    }
+
+    /// The value this point takes on typed axis `name`.
+    ///
+    /// The point stores only the value's index (an ordinary parameter);
+    /// this recovers the value itself from the spec's axis registry.
+    ///
+    /// # Errors
+    ///
+    /// [`AxisError`] when the axis is undeclared, the point carries no
+    /// index for it, the index is out of range or not an integer, or
+    /// `T` is not the type the axis was declared with.
+    pub fn axis<T: AxisValue>(&self, name: &str) -> Result<T, AxisError> {
+        let (idx, table) = self.axis_entry(name)?;
+        let values =
+            table
+                .values
+                .downcast_ref::<Vec<T>>()
+                .ok_or_else(|| AxisError::TypeMismatch {
+                    point: self.label.clone(),
+                    axis: name.to_string(),
+                    declared: table.type_name,
+                    requested: std::any::type_name::<T>(),
+                })?;
+        Ok(values[idx].clone())
+    }
+
+    /// Like [`SweepPoint::axis`] but panicking with the [`AxisError`]'s
+    /// message — for sweep closures where a bad axis is a programming
+    /// error.
+    #[must_use]
+    pub fn expect_axis<T: AxisValue>(&self, name: &str) -> T {
+        self.axis(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The index this point takes on typed axis `name` — for callers
+    /// that index their own parallel tables rather than needing the
+    /// value itself.
+    ///
+    /// # Errors
+    ///
+    /// [`AxisError`] as for [`SweepPoint::axis`] (type mismatch
+    /// excepted: the index is type-agnostic).
+    pub fn axis_index(&self, name: &str) -> Result<usize, AxisError> {
+        self.axis_entry(name).map(|(idx, _)| idx)
+    }
+
+    /// Panicking form of [`SweepPoint::axis_index`].
+    #[must_use]
+    pub fn expect_axis_index(&self, name: &str) -> usize {
+        self.axis_index(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn axis_entry(&self, name: &str) -> Result<(usize, &AxisTable), AxisError> {
+        let Some(table) = self.axes.iter().find(|t| t.name == name) else {
+            return Err(AxisError::UnknownAxis {
+                point: self.label.clone(),
+                axis: name.to_string(),
+                declared: self.axes.iter().map(AxisTable::name).collect(),
+            });
+        };
+        let Some(raw) = self.param(name) else {
+            return Err(AxisError::MissingParam {
+                point: self.label.clone(),
+                axis: name.to_string(),
+            });
+        };
+        if raw < 0.0 || raw.fract() != 0.0 || raw > usize::MAX as f64 {
+            return Err(AxisError::NotAnIndex {
+                point: self.label.clone(),
+                axis: name.to_string(),
+                value: raw,
+            });
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = raw as usize;
+        if idx >= table.len() {
+            return Err(AxisError::OutOfRange {
+                point: self.label.clone(),
+                axis: name.to_string(),
+                index: idx,
+                len: table.len(),
+            });
+        }
+        Ok((idx, table))
     }
 
     /// The horizon this point's run executes to: the point's own
@@ -98,6 +434,7 @@ pub struct SweepSpec {
     horizon: SimTime,
     base_seed: u64,
     points: Vec<SweepPoint>,
+    axes: Arc<Vec<AxisTable>>,
 }
 
 /// Default base seed (shared with the figure benches).
@@ -113,6 +450,7 @@ impl SweepSpec {
             horizon,
             base_seed: DEFAULT_BASE_SEED,
             points: Vec::new(),
+            axes: Arc::new(Vec::new()),
         }
     }
 
@@ -134,6 +472,7 @@ impl SweepSpec {
             params: params.to_vec(),
             seed: derive_seed(self.base_seed, index as u64),
             horizon: None,
+            axes: Arc::clone(&self.axes),
         });
         self
     }
@@ -154,6 +493,7 @@ impl SweepSpec {
             params: params.to_vec(),
             seed: derive_seed(self.base_seed, index as u64),
             horizon: Some(horizon),
+            axes: Arc::clone(&self.axes),
         });
         self
     }
@@ -180,6 +520,7 @@ impl SweepSpec {
                     params: vec![(axis, v)],
                     seed: 0,
                     horizon: None,
+                    axes: Arc::clone(&self.axes),
                 });
             }
         } else {
@@ -195,6 +536,7 @@ impl SweepSpec {
                         params,
                         seed: 0,
                         horizon: p.horizon,
+                        axes: Arc::clone(&self.axes),
                     });
                 }
             }
@@ -203,10 +545,100 @@ impl SweepSpec {
         self
     }
 
+    /// Crosses the existing points with a **typed** axis: every current
+    /// point is replicated once per value, exactly like
+    /// [`SweepSpec::grid`], but the values live on the spec's axis
+    /// registry and each point stores only its value's *index* as the
+    /// `name` parameter. Label fragments are the values'
+    /// [`AxisValue::axis_label`]s; seeds are re-derived from the final
+    /// indices, so a typed axis is bit-compatible with the equivalent
+    /// hand-indexed `point(label, &[(name, i as f64)])` construction.
+    ///
+    /// # Panics
+    ///
+    /// When an axis of the same name is already declared.
+    #[must_use]
+    pub fn axis<T: AxisValue>(mut self, name: &'static str, values: &[T]) -> Self {
+        let labels: Vec<String> = values.iter().map(AxisValue::axis_label).collect();
+        self.register_axis(AxisTable::new(name, values));
+        #[allow(clippy::cast_precision_loss)]
+        if self.points.is_empty() {
+            for (i, label) in labels.iter().enumerate() {
+                let index = self.points.len();
+                self.points.push(SweepPoint {
+                    index,
+                    label: label.clone(),
+                    params: vec![(name, i as f64)],
+                    seed: 0,
+                    horizon: None,
+                    axes: Arc::clone(&self.axes),
+                });
+            }
+        } else {
+            let base = std::mem::take(&mut self.points);
+            for p in &base {
+                for (i, label) in labels.iter().enumerate() {
+                    let index = self.points.len();
+                    let mut params = p.params.clone();
+                    params.push((name, i as f64));
+                    self.points.push(SweepPoint {
+                        index,
+                        label: format!("{} {label}", p.label),
+                        params,
+                        seed: 0,
+                        horizon: p.horizon,
+                        axes: Arc::clone(&self.axes),
+                    });
+                }
+            }
+        }
+        self.reseed();
+        self
+    }
+
+    /// Registers a typed axis **without** crossing it into the points —
+    /// for specs that lay out their grid with explicit
+    /// [`SweepSpec::point`] calls (custom labels, per-point horizons,
+    /// extra parameters) and store each point's index themselves. The
+    /// points must carry a `name` parameter holding the value's index
+    /// for [`SweepPoint::axis`] to resolve it.
+    ///
+    /// # Panics
+    ///
+    /// When an axis of the same name is already declared.
+    #[must_use]
+    pub fn declare_axis<T: AxisValue>(mut self, name: &'static str, values: &[T]) -> Self {
+        self.register_axis(AxisTable::new(name, values));
+        self
+    }
+
+    fn register_axis(&mut self, table: AxisTable) {
+        assert!(
+            self.axes.iter().all(|t| t.name != table.name),
+            "axis '{}' declared twice on sweep spec '{}'",
+            table.name,
+            self.name
+        );
+        let mut axes = (*self.axes).clone();
+        axes.push(table);
+        self.axes = Arc::new(axes);
+        // Every point shares the registry, including ones added before
+        // this declaration.
+        for p in &mut self.points {
+            p.axes = Arc::clone(&self.axes);
+        }
+    }
+
     fn reseed(&mut self) {
         for p in &mut self.points {
             p.seed = derive_seed(self.base_seed, p.index as u64);
         }
+    }
+
+    /// The typed axes declared on this spec, in declaration order.
+    #[must_use]
+    pub fn axes(&self) -> &[AxisTable] {
+        &self.axes
     }
 
     /// The spec's name.
@@ -652,11 +1084,43 @@ where
     R: Send,
     F: Fn(&SweepPoint) -> (Simulator<H, C>, R) + Sync,
 {
+    // The tally engine stamps each summary's wall time around the whole
+    // closure, so the placeholder Duration here is never observed.
+    run_sweep_tally_on(spec, workers, |point| {
+        let (sim, extract) = run(point);
+        (RunSummary::from_sim(&sim, Duration::ZERO), extract)
+    })
+}
+
+/// Runs one **non-simulator** job per point in parallel — for
+/// evaluation targets whose per-point work is a custom loop or an
+/// analytic calculation rather than a [`Simulator`] (the federated-GRC
+/// cascade, the CapySat orbit loop, board-area characterization). The
+/// closure returns the point's [`RunSummary`] plus a caller-chosen
+/// extract; the engine stamps the summary's wall time and assembles the
+/// standard [`SweepReport`], so these targets share footers, worker
+/// telemetry, and 1-vs-N bit-identity with the simulator sweeps.
+pub fn run_sweep_tally<R, F>(spec: &SweepSpec, run: F) -> (SweepReport, Vec<R>)
+where
+    R: Send,
+    F: Fn(&SweepPoint) -> (RunSummary, R) + Sync,
+{
+    run_sweep_tally_on(spec, available_workers(), run)
+}
+
+/// [`run_sweep_tally`] pinned to an explicit worker count (used by the
+/// determinism tests; prefer [`run_sweep_tally`]).
+pub fn run_sweep_tally_on<R, F>(spec: &SweepSpec, workers: usize, run: F) -> (SweepReport, Vec<R>)
+where
+    R: Send,
+    F: Fn(&SweepPoint) -> (RunSummary, R) + Sync,
+{
     let started = Instant::now();
     let (outcomes, worker_stats) = map_points_stats(spec, workers, |point| {
         let t0 = Instant::now();
-        let (sim, extract) = run(point);
-        (RunSummary::from_sim(&sim, t0.elapsed()), extract)
+        let (mut summary, extract) = run(point);
+        summary.wall = t0.elapsed();
+        (summary, extract)
     });
     let mut runs = Vec::with_capacity(outcomes.len());
     let mut extracts = Vec::with_capacity(outcomes.len());
@@ -994,5 +1458,167 @@ mod tests {
         let serial: Vec<u64> = map_points_on(&spec, 1, |p| p.seed ^ p.index as u64);
         let parallel: Vec<u64> = map_points_on(&spec, 8, |p| p.seed ^ p.index as u64);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no parameter 'task_mss' (available: [\"harvest_uw\", \"task_ms\"])")]
+    fn expect_param_lists_available_parameters() {
+        let spec = demo_spec();
+        let _ = spec.points()[0].expect_param("task_mss");
+    }
+
+    #[test]
+    fn typed_axis_round_trips_every_standard_enum() {
+        use capy_power::mechanism::Mechanism;
+
+        let spec = SweepSpec::new("axes", SimTime::ZERO)
+            .axis("variant", &Variant::ALL)
+            .axis("mechanism", &Mechanism::ALL)
+            .axis(
+                "kind",
+                &[SwitchKind::NormallyOpen, SwitchKind::NormallyClosed],
+            );
+        assert_eq!(
+            spec.points().len(),
+            Variant::ALL.len() * Mechanism::ALL.len() * 2
+        );
+        for point in spec.points() {
+            let v: Variant = point.axis("variant").unwrap();
+            let m: Mechanism = point.axis("mechanism").unwrap();
+            let k: SwitchKind = point.axis("kind").unwrap();
+            assert_eq!(v, Variant::ALL[point.axis_index("variant").unwrap()]);
+            assert_eq!(m, Mechanism::ALL[point.axis_index("mechanism").unwrap()]);
+            // The label is the composition of the three fragments.
+            assert_eq!(
+                point.label,
+                format!("{} {} {}", v.axis_label(), m.axis_label(), k.axis_label())
+            );
+        }
+    }
+
+    #[test]
+    fn typed_axis_is_bit_compatible_with_hand_indexed_points() {
+        // The typed construction must produce the same labels, params,
+        // and seeds as the hand-indexed `.point(label, [(name, i)])`
+        // layout it replaces, so migrated benches keep their reports.
+        let typed = SweepSpec::new("compat", SimTime::from_secs(1)).axis("variant", &Variant::ALL);
+        let mut hand = SweepSpec::new("compat", SimTime::from_secs(1));
+        for (vi, v) in Variant::ALL.iter().enumerate() {
+            hand = hand.point(v.label(), &[("variant", vi as f64)]);
+        }
+        assert_eq!(typed.points(), hand.points());
+    }
+
+    #[test]
+    fn axis_errors_name_the_point_and_the_declared_axes() {
+        let spec = SweepSpec::new("errs", SimTime::ZERO).axis("variant", &Variant::ALL);
+        let point = &spec.points()[0];
+
+        let unknown = point.axis::<Variant>("varient").unwrap_err();
+        let msg = unknown.to_string();
+        assert!(msg.contains("'varient'") && msg.contains("variant"), "{msg}");
+        assert_eq!(
+            unknown,
+            AxisError::UnknownAxis {
+                point: point.label.clone(),
+                axis: "varient".into(),
+                declared: vec!["variant"],
+            }
+        );
+
+        let mismatch = point.axis::<SwitchKind>("variant").unwrap_err();
+        assert!(
+            matches!(mismatch, AxisError::TypeMismatch { .. }),
+            "{mismatch}"
+        );
+
+        // A hand-built point can carry an out-of-range or non-index
+        // value; both must be labeled errors, not slice panics.
+        let bad = SweepSpec::new("errs", SimTime::ZERO)
+            .declare_axis("variant", &Variant::ALL)
+            .point("bad", &[("variant", 99.0)])
+            .point("frac", &[("variant", 0.5)])
+            .point("none", &[]);
+        assert_eq!(
+            bad.points()[0].axis::<Variant>("variant").unwrap_err(),
+            AxisError::OutOfRange {
+                point: "bad".into(),
+                axis: "variant".into(),
+                index: 99,
+                len: Variant::ALL.len(),
+            }
+        );
+        assert!(matches!(
+            bad.points()[1].axis::<Variant>("variant").unwrap_err(),
+            AxisError::NotAnIndex { value, .. } if value == 0.5
+        ));
+        assert!(matches!(
+            bad.points()[2].axis::<Variant>("variant").unwrap_err(),
+            AxisError::MissingParam { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 'variant' index 99 out of range")]
+    fn expect_axis_panics_with_the_labeled_error() {
+        let spec = SweepSpec::new("panic", SimTime::ZERO)
+            .declare_axis("variant", &Variant::ALL)
+            .point("bad", &[("variant", 99.0)]);
+        let _ = spec.points()[0].expect_axis::<Variant>("variant");
+    }
+
+    #[test]
+    #[should_panic(expected = "axis 'variant' declared twice")]
+    fn duplicate_axis_declaration_panics() {
+        let _ = SweepSpec::new("dup", SimTime::ZERO)
+            .axis("variant", &Variant::ALL)
+            .declare_axis("variant", &Variant::ALL);
+    }
+
+    #[test]
+    fn declared_axis_reaches_points_added_before_the_declaration() {
+        let spec = SweepSpec::new("late", SimTime::ZERO)
+            .point("first", &[("variant", 1.0)])
+            .declare_axis("variant", &Variant::ALL);
+        assert_eq!(
+            spec.points()[0].axis::<Variant>("variant").unwrap(),
+            Variant::ALL[1]
+        );
+        assert_eq!(spec.axes().len(), 1);
+        assert_eq!(spec.axes()[0].name(), "variant");
+        assert_eq!(spec.axes()[0].len(), Variant::ALL.len());
+    }
+
+    #[test]
+    fn probe_points_have_no_axes() {
+        let probe = SweepPoint::probe("p", &[("variant", 0.0)]);
+        assert!(matches!(
+            probe.axis::<Variant>("variant").unwrap_err(),
+            AxisError::UnknownAxis { ref declared, .. } if declared.is_empty()
+        ));
+        assert_eq!(probe.expect_param("variant"), 0.0);
+    }
+
+    #[test]
+    fn tally_report_is_identical_for_one_and_many_workers() {
+        let spec = demo_spec();
+        let tally = |point: &SweepPoint| {
+            let summary = RunSummary {
+                completions: point.index as u64 + 1,
+                attempts: point.index as u64 + 1,
+                end: SimTime::from_secs(1),
+                ..RunSummary::default()
+            };
+            (summary, point.seed)
+        };
+        let (serial, seeds_serial) = run_sweep_tally_on(&spec, 1, tally);
+        let (parallel, seeds_parallel) = run_sweep_tally_on(&spec, 8, tally);
+        assert_eq!(serial, parallel);
+        assert_eq!(seeds_serial, seeds_parallel);
+        assert_eq!(serial.runs.len(), 9);
+        assert_eq!(serial.total_completions(), (1..=9).sum::<u64>());
+        // Wall time is stamped by the engine on every summary.
+        let claimed: u64 = parallel.worker_stats.iter().map(|w| w.points).sum();
+        assert_eq!(claimed, 9);
     }
 }
