@@ -29,4 +29,22 @@ run cargo bench -p capy-bench --bench baseline_federated
 run cargo bench -p capy-bench --bench char_area
 run cargo bench -p capy-bench --bench capysat_case_study
 
+# Perf trajectory: the sim-kernel throughput bench must run and emit a
+# well-formed BENCH_sim_throughput.json at the repo root; the artifact
+# is checked in per PR as the recorded trajectory. Quick mode keeps the
+# gate fast — for steadier numbers run the bench without --quick.
+# (`cargo bench` runs the binary with the package dir as CWD, so the
+# output path must be absolute to land at the workspace root.)
+run cargo bench -p capy-bench --bench sim_throughput -- --quick --out "$PWD/BENCH_sim_throughput.json"
+if [[ ! -s BENCH_sim_throughput.json ]]; then
+    echo "ci.sh: BENCH_sim_throughput.json missing or empty" >&2
+    exit 1
+fi
+if ! grep -q '"schema": "capybara-sim-throughput/v1"' BENCH_sim_throughput.json \
+    || ! grep -q '"cases"' BENCH_sim_throughput.json \
+    || [[ "$(tail -c 2 BENCH_sim_throughput.json)" != "}" ]]; then
+    echo "ci.sh: BENCH_sim_throughput.json is malformed" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all checks passed"

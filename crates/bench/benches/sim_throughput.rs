@@ -1,24 +1,45 @@
 //! Performance benches for the simulator substrate itself: analytic
-//! charging, ESR-aware discharge, and a full Temperature Alarm minute.
-//! These guard the hybrid analytic/adaptive integration strategy that
-//! keeps multi-hour experiments fast.
+//! charging, ESR-aware discharge, full application minutes, and a sweep
+//! throughput case — with a machine-readable perf trajectory.
+//!
+//! Besides the familiar per-case lines, this bench writes
+//! `BENCH_sim_throughput.json` (path via `--out`, `--quick` for the CI
+//! mode): ns/iter per micro case, steps/s for the simulator cases under
+//! the optimized vs. baseline [`KernelTuning`], and points/s + worker
+//! utilization for the sweep case. CI runs the quick mode on every PR,
+//! so speedups (and regressions) accumulate as a recorded trajectory.
 //!
 //! Self-contained timing harness (no external bench framework): each
-//! case is warmed up, then run for a fixed wall-time budget, and the
-//! per-iteration time is reported as ns/iter with min/mean.
+//! case is warmed up, then run for a fixed wall-time budget. Mean and
+//! min are both computed from the same summed per-iteration timings, so
+//! the harness's own `Instant::now()` overhead biases neither.
 
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use capy_apps::prelude::*;
 use capy_apps::ta;
+use capy_bench::FIGURE_SEED;
+use capy_device::load::TaskLoad;
 use capy_power::capacitor;
-use capy_power::prelude::*;
+use capy_power::harvester::Harvester;
+use capy_power::prelude::{Bank, ConstantHarvester, KernelTuning, PowerSystem};
 use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
-use capybara::variant::Variant;
+use capybara::sweep::{run_sweep_extract, SweepSpec};
+
+// --- timing harness -----------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct Timing {
+    iters: u64,
+    mean_ns: f64,
+    min_ns: u64,
+}
 
 /// Times `f` for ~`budget` of wall time (after a warm-up) and prints a
 /// stable one-line report.
-fn bench_function<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) {
+fn bench_function<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) -> Timing {
     // Warm-up: let caches, branch predictors, and the allocator settle.
     let warmup_end = Instant::now() + budget / 10;
     while Instant::now() < warmup_end {
@@ -27,42 +48,142 @@ fn bench_function<R>(name: &str, budget: Duration, mut f: impl FnMut() -> R) {
 
     let mut iters: u64 = 0;
     let mut best = Duration::MAX;
+    // Summed per-iteration time: the mean must exclude the harness's own
+    // clock reads, exactly like the min does.
+    let mut spent = Duration::ZERO;
     let started = Instant::now();
     while started.elapsed() < budget {
         let t0 = Instant::now();
         black_box(f());
         let dt = t0.elapsed();
         best = best.min(dt);
+        spent += dt;
         iters += 1;
     }
-    let mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    let mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
     println!(
-        "{name:<36} {iters:>9} iters   mean {:>12.0} ns/iter   min {:>12} ns",
+        "{name:<40} {iters:>9} iters   mean {:>12.0} ns/iter   min {:>12} ns",
         mean_ns,
         best.as_nanos()
     );
+    Timing {
+        iters,
+        mean_ns,
+        min_ns: u64::try_from(best.as_nanos()).unwrap_or(u64::MAX),
+    }
 }
 
-const BUDGET: Duration = Duration::from_millis(500);
+#[derive(Clone, Copy)]
+struct SimStats {
+    runs: u64,
+    steps: u64,
+    wall: Duration,
+}
 
-fn bench_charge() {
+impl SimStats {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn ns_per_step(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.steps.max(1) as f64
+    }
+}
+
+/// Runs `run_once` (build + simulate; returns the step count) repeatedly
+/// for ~`budget` and accumulates step-throughput statistics.
+fn bench_sim_case(budget: Duration, mut run_once: impl FnMut() -> u64) -> SimStats {
+    let _ = black_box(run_once()); // warm-up
+    let mut stats = SimStats {
+        runs: 0,
+        steps: 0,
+        wall: Duration::ZERO,
+    };
+    let started = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        let steps = black_box(run_once());
+        stats.wall += t0.elapsed();
+        stats.steps += steps;
+        stats.runs += 1;
+        if started.elapsed() >= budget {
+            break;
+        }
+    }
+    stats
+}
+
+/// A/B-runs a simulator scenario under the optimized and baseline kernel
+/// tunings and prints both lines plus the speedup.
+fn bench_sim_ab<H, C>(
+    name: &str,
+    budget: Duration,
+    horizon: SimTime,
+    build: impl Fn() -> Simulator<H, C>,
+) -> (SimStats, SimStats)
+where
+    H: Harvester,
+    C: SimContext,
+{
+    let run_with = |tuning: KernelTuning| {
+        bench_sim_case(budget, || {
+            let mut sim = build();
+            sim.power_mut().set_tuning(tuning);
+            sim.run_until(horizon);
+            sim.exec_stats().attempts
+        })
+    };
+    let opt = run_with(KernelTuning::optimized());
+    let base = run_with(KernelTuning::baseline());
+    for (label, s) in [("optimized", &opt), ("baseline", &base)] {
+        println!(
+            "{:<40} {:>9} runs    {:>9} steps   {:>12.0} steps/s   {:>9.0} ns/step",
+            format!("{name} [{label}]"),
+            s.runs,
+            s.steps,
+            s.steps_per_sec(),
+            s.ns_per_step()
+        );
+    }
+    println!(
+        "{name:<40} speedup {:.2}x steps/s (optimized vs baseline tuning)",
+        opt.steps_per_sec() / base.steps_per_sec().max(1e-9)
+    );
+    (opt, base)
+}
+
+// --- cases --------------------------------------------------------------
+
+fn charge_bench_system() -> PowerSystem<ConstantHarvester> {
     let bank = Bank::builder("bench")
         .with(parts::ceramic_x5r_400uf())
         .with(parts::tantalum_330uf())
         .build();
-    let sys = PowerSystem::builder()
+    PowerSystem::builder()
         .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
         .bank(bank, SwitchKind::NormallyClosed)
-        .build();
-    bench_function("power_system_charge_until_full", BUDGET, || {
-        let mut sys = sys.clone();
+        .build()
+}
+
+fn bench_charge(budget: Duration) -> (Timing, Timing) {
+    let opt = charge_bench_system();
+    let mut base = charge_bench_system();
+    base.set_tuning(KernelTuning::baseline());
+    let t_opt = bench_function("power_system_charge_until_full", budget, || {
+        let mut sys = opt.clone();
         let mut now = SimTime::ZERO;
         sys.charge_until_full(&mut now).expect("charges")
     });
+    let t_base = bench_function("power_system_charge_until_full [base]", budget, || {
+        let mut sys = base.clone();
+        let mut now = SimTime::ZERO;
+        sys.charge_until_full(&mut now).expect("charges")
+    });
+    (t_opt, t_base)
 }
 
-fn bench_discharge() {
-    bench_function("esr_discharge_deep", BUDGET, || {
+fn bench_discharge(budget: Duration) -> (Timing, Timing) {
+    let deep = bench_function("esr_discharge_deep", budget, || {
         capacitor::discharge(
             Farads::from_milli(11.0),
             Ohms::new(120.0),
@@ -72,7 +193,7 @@ fn bench_discharge() {
             SimDuration::from_secs(10),
         )
     });
-    bench_function("esr_discharge_shallow", BUDGET, || {
+    let shallow = bench_function("esr_discharge_shallow", budget, || {
         capacitor::discharge(
             Farads::from_milli(11.0),
             Ohms::new(120.0),
@@ -82,23 +203,208 @@ fn bench_discharge() {
             SimDuration::from_millis(10),
         )
     });
+    (deep, shallow)
 }
 
-fn bench_ta_minute() {
-    let events = vec![SimTime::from_secs(30)];
-    bench_function("temp_alarm_one_minute_capy_p", BUDGET, || {
-        ta::run_for(
-            Variant::CapyP,
-            events.clone(),
-            7,
-            SimTime::from_secs(60),
+/// A fixed-capacity duty-cycle sleeper: a 5 ms task followed by a long
+/// sleep whose quiescent drain browns the buffer out, forcing a recharge
+/// every cycle. This is the charge-heavy shape the discharge memo and
+/// derived-rail cache exist for: from the second cycle on, every
+/// charge/draw repeats bitwise.
+fn build_sleeper() -> Simulator<ConstantHarvester, ()> {
+    let power = PowerSystem::builder()
+        .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+        .bank(
+            Bank::builder("sleeper")
+                .with(parts::ceramic_x5r_400uf())
+                .with(parts::tantalum_330uf())
+                .build(),
+            SwitchKind::NormallyClosed,
         )
-    });
+        .build();
+    Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
+        .task(
+            "duty-cycle",
+            TaskEnergy::Unannotated,
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(5))),
+            |_c: &mut ()| Transition::Sleep {
+                duration: SimDuration::from_secs(1_000),
+                then: TaskId(0),
+            },
+        )
+        .build(())
+}
+
+struct SweepStats {
+    points: usize,
+    workers: usize,
+    wall: Duration,
+    points_per_sec: f64,
+    utilization: f64,
+}
+
+fn bench_sweep(horizon: SimTime) -> SweepStats {
+    let events = vec![SimTime::from_secs(30)];
+    let spec = SweepSpec::new("sim-throughput-ta", horizon)
+        .base_seed(FIGURE_SEED)
+        .axis("variant", &Variant::ALL);
+    let (report, _) = run_sweep_extract(
+        &spec,
+        |point| {
+            let v = point.expect_axis::<Variant>("variant");
+            ta::build(v, events.clone(), FIGURE_SEED)
+        },
+        |_, _| (),
+    );
+    let stats = SweepStats {
+        points: report.runs.len(),
+        workers: report.workers,
+        wall: report.wall,
+        points_per_sec: report.runs.len() as f64 / report.wall.as_secs_f64().max(1e-9),
+        utilization: report.worker_utilization(),
+    };
+    println!(
+        "{:<40} {:>9} points  {:>9} workers  {:>11.1} points/s   {:>8.0}% utilized",
+        "ta_variant_sweep",
+        stats.points,
+        stats.workers,
+        stats.points_per_sec,
+        stats.utilization * 100.0
+    );
+    stats
+}
+
+// --- JSON emission ------------------------------------------------------
+
+fn json_timing(t: &Timing) -> String {
+    format!(
+        "{{\"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {}}}",
+        t.iters, t.mean_ns, t.min_ns
+    )
+}
+
+fn json_sim(s: &SimStats) -> String {
+    format!(
+        "{{\"runs\": {}, \"steps\": {}, \"wall_ms\": {:.2}, \"steps_per_sec\": {:.1}, \"ns_per_step\": {:.1}}}",
+        s.runs,
+        s.steps,
+        s.wall.as_secs_f64() * 1e3,
+        s.steps_per_sec(),
+        s.ns_per_step()
+    )
 }
 
 fn main() {
-    println!("sim_throughput: substrate micro-benchmarks");
-    bench_charge();
-    bench_discharge();
-    bench_ta_minute();
+    let mut quick = false;
+    let mut out = String::from("BENCH_sim_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = path;
+                }
+            }
+            // `cargo bench` forwards harness flags like `--bench`; ignore
+            // anything unrecognized.
+            _ => {}
+        }
+    }
+
+    let micro_budget = if quick {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(500)
+    };
+    let sim_budget = if quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(700)
+    };
+    let ta_horizon = SimTime::from_secs(if quick { 30 } else { 60 });
+    let sleeper_horizon = SimTime::from_secs(if quick { 600 } else { 1800 });
+    let sweep_horizon = SimTime::from_secs(if quick { 30 } else { 60 });
+
+    println!(
+        "sim_throughput: substrate benchmarks ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+
+    let (charge_opt, charge_base) = bench_charge(micro_budget);
+    let (deep, shallow) = bench_discharge(micro_budget);
+    let ta_events = vec![SimTime::from_secs(15)];
+    let (ta_opt, ta_base) = bench_sim_ab("ta_minute_capy_p", sim_budget, ta_horizon, || {
+        ta::build(Variant::CapyP, ta_events.clone(), 7)
+    });
+    let (sleep_opt, sleep_base) =
+        bench_sim_ab("duty_cycle_sleeper", sim_budget, sleeper_horizon, build_sleeper);
+    let sweep = bench_sweep(sweep_horizon);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"capybara-sim-throughput/v1\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    json.push_str(
+        "  \"baseline_semantics\": \"same kernel with KernelTuning::baseline() \
+         (rail cache and discharge memo disabled)\",\n",
+    );
+    json.push_str("  \"cases\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"power_system_charge_until_full\", \"kind\": \"micro\", \
+         \"optimized\": {}, \"baseline\": {}, \"speedup_mean\": {:.2}}},",
+        json_timing(&charge_opt),
+        json_timing(&charge_base),
+        charge_base.mean_ns / charge_opt.mean_ns.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"esr_discharge_deep\", \"kind\": \"micro\", \"optimized\": {}}},",
+        json_timing(&deep)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"esr_discharge_shallow\", \"kind\": \"micro\", \"optimized\": {}}},",
+        json_timing(&shallow)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"ta_minute_capy_p\", \"kind\": \"sim\", \"horizon_s\": {}, \
+         \"optimized\": {}, \"baseline\": {}, \"speedup_steps_per_sec\": {:.2}}},",
+        ta_horizon.as_secs_f64(),
+        json_sim(&ta_opt),
+        json_sim(&ta_base),
+        ta_opt.steps_per_sec() / ta_base.steps_per_sec().max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"duty_cycle_sleeper\", \"kind\": \"sim\", \"charge_heavy\": true, \
+         \"horizon_s\": {}, \"optimized\": {}, \"baseline\": {}, \
+         \"speedup_steps_per_sec\": {:.2}}},",
+        sleeper_horizon.as_secs_f64(),
+        json_sim(&sleep_opt),
+        json_sim(&sleep_base),
+        sleep_opt.steps_per_sec() / sleep_base.steps_per_sec().max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"ta_variant_sweep\", \"kind\": \"sweep\", \"points\": {}, \
+         \"workers\": {}, \"wall_ms\": {:.2}, \"points_per_sec\": {:.1}, \
+         \"worker_utilization\": {:.3}}}",
+        sweep.points,
+        sweep.workers,
+        sweep.wall.as_secs_f64() * 1e3,
+        sweep.points_per_sec,
+        sweep.utilization
+    );
+    json.push_str("  ]\n}\n");
+
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

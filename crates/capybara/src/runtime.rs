@@ -141,77 +141,85 @@ pub fn plan(
     state: &RuntimeState,
     needs_charge: bool,
 ) -> Vec<Step> {
+    let mut steps = Vec::new();
+    plan_into(variant, energy, state, needs_charge, &mut steps);
+    steps
+}
+
+/// Allocation-free form of [`plan`]: clears `out` and appends the planned
+/// steps, so a caller in a hot loop can reuse one scratch buffer across
+/// simulation steps.
+pub fn plan_into(
+    variant: Variant,
+    energy: TaskEnergy,
+    state: &RuntimeState,
+    needs_charge: bool,
+    out: &mut Vec<Step>,
+) {
+    out.clear();
     match variant {
         // The continuously-powered reference never touches the power
         // system.
-        Variant::Continuous => Vec::new(),
+        Variant::Continuous => {}
         // Fixed capacity: annotations are ignored; recover from failures
         // by charging the (only) configuration.
         Variant::Fixed => {
             if needs_charge {
-                vec![Step::ChargeCurrent]
-            } else {
-                Vec::new()
+                out.push(Step::ChargeCurrent);
             }
         }
-        Variant::CapyR => plan_capy_r(energy, state, needs_charge),
-        Variant::CapyP => plan_capy_p(energy, state, needs_charge),
+        Variant::CapyR => plan_capy_r(energy, state, needs_charge, out),
+        Variant::CapyP => plan_capy_p(energy, state, needs_charge, out),
     }
 }
 
 /// Capy-R treats every annotation as `config(exec_mode)`: reconfigure and
 /// recharge on the critical path (§6: "Capy-R excludes burst task support
 /// and requires recharging after every energy mode reconfiguration").
-fn plan_capy_r(energy: TaskEnergy, state: &RuntimeState, needs_charge: bool) -> Vec<Step> {
+fn plan_capy_r(energy: TaskEnergy, state: &RuntimeState, needs_charge: bool, out: &mut Vec<Step>) {
     match energy.exec_mode() {
         Some(mode) if state.current_mode() != Some(mode) => {
-            vec![Step::ConfigureAndCharge(mode)]
+            out.push(Step::ConfigureAndCharge(mode));
         }
-        _ if needs_charge => vec![Step::ChargeCurrent],
-        _ => Vec::new(),
+        _ if needs_charge => out.push(Step::ChargeCurrent),
+        _ => {}
     }
 }
 
-fn plan_capy_p(energy: TaskEnergy, state: &RuntimeState, needs_charge: bool) -> Vec<Step> {
+fn plan_capy_p(energy: TaskEnergy, state: &RuntimeState, needs_charge: bool, out: &mut Vec<Step>) {
     match energy {
         TaskEnergy::Burst(mode) => {
             if needs_charge {
                 // The pre-charged energy proved insufficient (provisioning
                 // is for the average case, §6.3): recharge the burst mode
                 // on the critical path and retry.
-                vec![Step::ConfigureAndCharge(mode)]
+                out.push(Step::ConfigureAndCharge(mode));
             } else {
-                vec![Step::ActivateBurst(mode)]
+                out.push(Step::ActivateBurst(mode));
             }
         }
         TaskEnergy::Preburst { burst, exec } => {
-            let mut steps = Vec::new();
             if !state.is_precharged(burst) {
-                steps.push(Step::Precharge(burst));
+                out.push(Step::Precharge(burst));
                 // After pre-charging, the array is configured for `burst`,
                 // so the exec mode always needs reconfiguration.
-                steps.push(Step::ConfigureAndCharge(exec));
+                out.push(Step::ConfigureAndCharge(exec));
             } else if state.current_mode() != Some(exec) {
-                steps.push(Step::ConfigureAndCharge(exec));
+                out.push(Step::ConfigureAndCharge(exec));
             } else if needs_charge {
-                steps.push(Step::ChargeCurrent);
+                out.push(Step::ChargeCurrent);
             }
-            steps
         }
         TaskEnergy::Config(mode) => {
             if state.current_mode() != Some(mode) {
-                vec![Step::ConfigureAndCharge(mode)]
+                out.push(Step::ConfigureAndCharge(mode));
             } else if needs_charge {
-                vec![Step::ChargeCurrent]
-            } else {
-                Vec::new()
+                out.push(Step::ChargeCurrent);
             }
         }
         TaskEnergy::Unannotated => {
             if needs_charge {
-                vec![Step::ChargeCurrent]
-            } else {
-                Vec::new()
+                out.push(Step::ChargeCurrent);
             }
         }
     }

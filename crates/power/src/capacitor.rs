@@ -319,6 +319,20 @@ pub fn discharge(
         return Discharge::Failed(SimDuration::ZERO, v0);
     }
 
+    // ESR-free loads admit an exact closed form: the stored energy drains at
+    // exactly `power`, so V(t) = sqrt(V0² − 2Pt/C) and v_min is reached at
+    // t = C·(V0² − V_min²)/(2P). No integration needed, regardless of dt.
+    if esr.get() <= 0.0 {
+        let total = dt.as_secs_f64();
+        let v_floor = v_min.get().max(0.0);
+        let t_fail = 0.5 * c.get() * (v0.squared() - v_floor * v_floor) / power.get();
+        if total <= t_fail {
+            let v2 = (v0.squared() - 2.0 * power.get() * total / c.get()).max(0.0);
+            return Discharge::Sustained(Volts::new(v2.sqrt()));
+        }
+        return Discharge::Failed(SimDuration::from_secs_f64(t_fail.max(0.0)), Volts::new(v_floor));
+    }
+
     let total = dt.as_secs_f64();
     let mut v = v0.get();
     let mut elapsed = 0.0f64;

@@ -32,6 +32,17 @@ pub enum PowerError {
     /// No bank switch is currently closed; there is nowhere to store or
     /// draw energy.
     NoActiveBank,
+    /// A charging operation exhausted its defensive segment budget without
+    /// reaching the target or a stall. This indicates a kernel regression
+    /// (e.g. broken skip-ahead) rather than a physical condition, and is
+    /// deliberately distinct from [`ChargeOutcome::Stalled`] so it cannot
+    /// masquerade as "no input power".
+    ///
+    /// [`ChargeOutcome::Stalled`]: crate::system::ChargeOutcome::Stalled
+    SegmentBudgetExhausted {
+        /// Simulation time when the budget ran out.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for PowerError {
@@ -49,6 +60,9 @@ impl fmt::Display for PowerError {
             ),
             PowerError::UnknownBank { index } => write!(f, "unknown bank index {index}"),
             PowerError::NoActiveBank => write!(f, "no capacitor bank is connected"),
+            PowerError::SegmentBudgetExhausted { at } => {
+                write!(f, "charge segment budget exhausted at {at}")
+            }
         }
     }
 }

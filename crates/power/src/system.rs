@@ -21,7 +21,7 @@
 
 use capy_units::{Farads, Joules, Ohms, SimDuration, SimTime, Volts, Watts};
 
-use crate::bank::{share_charge, Bank, BankId};
+use crate::bank::{Bank, BankId};
 use crate::booster::{Bypass, ChargeRegime, InputBooster, OutputBooster, VoltageLimiter};
 use crate::capacitor::{self, Discharge};
 use crate::harvester::Harvester;
@@ -103,6 +103,112 @@ impl DrawOutcome {
     }
 }
 
+/// Toggles for the kernel's gated memoization layers.
+///
+/// Both modes compute bitwise-identical results: every gated optimization
+/// is pure memoization — a cached value is exactly what recomputation
+/// would produce — which is what the bit-identity test suite asserts on
+/// the fig8/fig9/TA scenarios. [`KernelTuning::baseline`] exists so those
+/// tests (and A/B throughput benchmarks) can force the un-memoized paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTuning {
+    /// Cache derived per-configuration rail quantities (capacitance, ESR,
+    /// leakage current, full voltage) between closed-set changes.
+    pub rail_cache: bool,
+    /// Memoize [`capacitor::discharge`] results keyed on the exact bit
+    /// patterns of the inputs (cyclic workloads repeat keys verbatim).
+    pub discharge_memo: bool,
+}
+
+impl KernelTuning {
+    /// All memoization layers enabled (the default).
+    #[must_use]
+    pub fn optimized() -> Self {
+        Self { rail_cache: true, discharge_memo: true }
+    }
+
+    /// All memoization layers disabled; every derived quantity is
+    /// recomputed from first principles on every operation.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self { rail_cache: false, discharge_memo: false }
+    }
+}
+
+impl Default for KernelTuning {
+    fn default() -> Self {
+        Self::optimized()
+    }
+}
+
+/// Derived rail quantities that are a pure function of the bank specs,
+/// their deratings, and the closed switch set — not of rail voltage or
+/// time. Invalidated on any closed-set change, hardware fault, wear
+/// derating, or tuning change (see DESIGN.md, "Kernel memoization").
+#[derive(Debug, Clone, Copy)]
+struct RailDerived {
+    capacitance: Farads,
+    esr: Ohms,
+    /// Σ bank leakage current over the closed set, in amps.
+    leak_current: f64,
+    full_voltage: Volts,
+}
+
+const DISCHARGE_MEMO_CAPACITY: usize = 32;
+
+/// Draws shorter than this skip the discharge memo entirely: the adaptive
+/// integration loop resolves them in a handful of steps, cheaper than a
+/// memo scan plus insert.
+const DISCHARGE_MEMO_MIN_DT: SimDuration = SimDuration::from_millis(100);
+
+/// Exact-key memo for [`capacitor::discharge`]: inputs are keyed on their
+/// raw bit patterns, so a hit returns the bitwise-identical `Discharge`
+/// the function would compute. Small and round-robin — cyclic workloads
+/// only ever touch a handful of distinct keys.
+#[derive(Debug, Clone, Default)]
+struct DischargeMemo {
+    entries: Vec<([u64; 6], Discharge)>,
+    cursor: usize,
+}
+
+impl DischargeMemo {
+    fn key(
+        c: Farads,
+        esr: Ohms,
+        v0: Volts,
+        power: Watts,
+        v_min: Volts,
+        dt: SimDuration,
+    ) -> [u64; 6] {
+        [
+            c.get().to_bits(),
+            esr.get().to_bits(),
+            v0.get().to_bits(),
+            power.get().to_bits(),
+            v_min.get().to_bits(),
+            dt.as_micros(),
+        ]
+    }
+
+    fn get(&self, key: &[u64; 6]) -> Option<Discharge> {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, d)| d)
+    }
+
+    fn insert(&mut self, key: [u64; 6], value: Discharge) {
+        if self.entries.len() < DISCHARGE_MEMO_CAPACITY {
+            self.entries.push((key, value));
+        } else {
+            self.entries[self.cursor] = (key, value);
+            self.cursor = (self.cursor + 1) % DISCHARGE_MEMO_CAPACITY;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.cursor = 0;
+    }
+}
+
 /// A complete Capybara-style power system.
 ///
 /// See the [crate-level example](crate) for typical construction and use.
@@ -128,6 +234,15 @@ pub struct PowerSystem<H> {
     /// Extra rail voltage required above the booster's startup threshold
     /// before a cold boot succeeds (brownout-prone supervisors).
     startup_margin: Volts,
+    /// Kernel memoization toggles; see [`KernelTuning`].
+    tuning: KernelTuning,
+    /// Cached derived rail quantities (`None` = recompute on next use).
+    rail_derived: Option<RailDerived>,
+    /// Exact-key discharge memo; see [`DischargeMemo`].
+    discharge_memo: DischargeMemo,
+    /// Cumulative analytic charge segments integrated by `charge_until`,
+    /// for O(1)-segment assertions and bench reporting.
+    charge_segments: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -281,6 +396,29 @@ impl<H: Harvester> PowerSystem<H> {
         self.startup_margin = margin.max(Volts::ZERO);
     }
 
+    /// Replaces the kernel tuning, dropping every memoized value so both
+    /// modes proceed from identical state.
+    pub fn set_tuning(&mut self, tuning: KernelTuning) {
+        self.tuning = tuning;
+        self.rail_derived = None;
+        self.discharge_memo.clear();
+    }
+
+    /// The active kernel tuning.
+    #[must_use]
+    pub fn tuning(&self) -> KernelTuning {
+        self.tuning
+    }
+
+    /// Cumulative number of analytic segments integrated by
+    /// [`PowerSystem::charge_until`] since construction. Crossing a long
+    /// constant-harvest interval must cost O(1) segments, not
+    /// O(duration) — tests pin this.
+    #[must_use]
+    pub fn charge_segments(&self) -> u64 {
+        self.charge_segments
+    }
+
     /// Indices of banks whose switches are effectively closed at `now`.
     #[must_use]
     pub fn closed_banks(&self, now: SimTime) -> Vec<BankId> {
@@ -381,13 +519,18 @@ impl<H: Harvester> PowerSystem<H> {
                 self.apply_fault(fault);
             }
         }
-        let closed_now: Vec<bool> = self
-            .banks
-            .iter()
-            .map(|s| s.switch.state(now).is_closed())
-            .collect();
-        if closed_now != self.closed_cache {
-            self.closed_cache = closed_now;
+        // In-place closed-set comparison: `sync` runs on every kernel
+        // operation, so it must not allocate.
+        let mut changed = false;
+        for i in 0..self.banks.len() {
+            let closed = self.banks[i].switch.state(now).is_closed();
+            if self.closed_cache[i] != closed {
+                self.closed_cache[i] = closed;
+                changed = true;
+            }
+        }
+        if changed {
+            self.rail_derived = None;
         }
         self.equalize(now);
     }
@@ -403,14 +546,17 @@ impl<H: Harvester> PowerSystem<H> {
     ///
     /// # Errors
     ///
-    /// Returns [`PowerError::NoActiveBank`] when no switch is closed.
+    /// Returns [`PowerError::NoActiveBank`] when no switch is closed, and
+    /// [`PowerError::SegmentBudgetExhausted`] if the defensive segment
+    /// bound runs out before the target or a stall is reached (a kernel
+    /// regression, not a physical condition).
     pub fn charge_until(
         &mut self,
         target: Volts,
         now: &mut SimTime,
     ) -> Result<ChargeOutcome, PowerError> {
         self.sync(*now);
-        if self.closed_banks(*now).is_empty() {
+        if !self.banks.iter().any(|s| s.switch.state(*now).is_closed()) {
             return Err(PowerError::NoActiveBank);
         }
         let start = *now;
@@ -430,6 +576,8 @@ impl<H: Harvester> PowerSystem<H> {
                     }
                 }
             }
+            // Deratings may have moved; the derived cache is stale.
+            self.rail_derived = None;
         }
         // Bound the number of analytic segments defensively; real runs use
         // a handful.
@@ -439,7 +587,9 @@ impl<H: Harvester> PowerSystem<H> {
             if v >= target {
                 return Ok(ChargeOutcome::Reached(*now - start));
             }
-            let c = self.rail_capacitance(*now);
+            self.charge_segments += 1;
+            let derived = self.rail_derived_at(*now);
+            let c = derived.capacitance;
             if c.get() <= 0.0 {
                 return Err(PowerError::NoActiveBank);
             }
@@ -449,7 +599,7 @@ impl<H: Harvester> PowerSystem<H> {
             let (p_charge, regime) =
                 self.input_booster
                     .charge_power(p_raw, v, self.bypass.as_ref(), hv);
-            let p_net = p_charge - self.rail_leakage(*now);
+            let p_net = p_charge - Watts::new(v.get() * derived.leak_current);
             if p_net.get() <= 0.0 {
                 // Stalled in this segment; if the harvester will change,
                 // leak until then and retry, otherwise report the stall.
@@ -493,7 +643,9 @@ impl<H: Harvester> PowerSystem<H> {
             self.leak_open(dt, *now);
             *now = now.saturating_add(dt);
         }
-        Ok(ChargeOutcome::Stalled(self.rail_voltage(*now)))
+        // Distinct from a genuine stall: a skip-ahead regression must not
+        // masquerade as "no input power".
+        Err(PowerError::SegmentBudgetExhausted { at: *now })
     }
 
     /// Charges until the configuration's full voltage.
@@ -523,16 +675,17 @@ impl<H: Harvester> PowerSystem<H> {
     /// operating minimum.
     pub fn draw(&mut self, load: Watts, duration: SimDuration, now: &mut SimTime) -> DrawOutcome {
         self.sync(*now);
-        let c = self.rail_capacitance(*now);
+        let derived = self.rail_derived_at(*now);
+        let c = derived.capacitance;
         if c.get() <= 0.0 {
             return DrawOutcome::Failed(SimDuration::ZERO);
         }
-        let esr = self.rail_esr(*now);
+        let esr = derived.esr;
         let v0 = self.rail_voltage(*now);
         let p_in = self.output_booster.input_power_for(load);
         let v_min = self.output_booster.min_operating_voltage();
 
-        let out = capacitor::discharge(c, esr, v0, p_in, v_min, duration);
+        let out = self.discharge_memoized(c, esr, v0, p_in, v_min, duration);
         let (survived, v_end, outcome) = match out {
             Discharge::Sustained(v) => (duration, v, DrawOutcome::Complete),
             Discharge::Failed(t, v) => (t, v, DrawOutcome::Failed(t)),
@@ -558,11 +711,12 @@ impl<H: Harvester> PowerSystem<H> {
         now: &mut SimTime,
     ) -> DrawOutcome {
         self.sync(*now);
-        let c = self.rail_capacitance(*now);
+        let derived = self.rail_derived_at(*now);
+        let c = derived.capacitance;
         if c.get() <= 0.0 {
             return DrawOutcome::Failed(SimDuration::ZERO);
         }
-        let esr = self.rail_esr(*now);
+        let esr = derived.esr;
         let v0 = self.rail_voltage(*now);
         let p_load = self.output_booster.input_power_for(load);
         let p_raw = self.harvester.power_at(*now);
@@ -575,10 +729,10 @@ impl<H: Harvester> PowerSystem<H> {
         let (survived, v_end, outcome) = if p_charge >= p_load {
             // Net surplus: the rail holds or climbs toward full.
             let v = capacitor::voltage_after_charge(c, v0, p_charge - p_load, duration)
-                .min(self.full_voltage(*now));
+                .min(derived.full_voltage);
             (duration, v, DrawOutcome::Complete)
         } else {
-            match capacitor::discharge(c, esr, v0, p_load - p_charge, v_min, duration) {
+            match self.discharge_memoized(c, esr, v0, p_load - p_charge, v_min, duration) {
                 Discharge::Sustained(v) => (duration, v, DrawOutcome::Complete),
                 Discharge::Failed(t, v) => (t, v, DrawOutcome::Failed(t)),
             }
@@ -622,6 +776,9 @@ impl<H: Harvester> PowerSystem<H> {
     // --- internals -------------------------------------------------------
 
     fn apply_fault(&mut self, fault: HardwareFault) {
+        // Faults change switch behavior or bank deratings; either way the
+        // derived rail quantities are stale.
+        self.rail_derived = None;
         match fault {
             HardwareFault::Switch { bank, fault } => {
                 if let Some(slot) = self.banks.get_mut(bank.0) {
@@ -650,20 +807,35 @@ impl<H: Harvester> PowerSystem<H> {
     }
 
     fn equalize(&mut self, now: SimTime) {
-        let closed: Vec<usize> = self
-            .banks
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.switch.state(now).is_closed())
-            .map(|(i, _)| i)
-            .collect();
-        if closed.len() < 2 {
+        // Exact no-op early-out: with fewer than two closed banks, or with
+        // every closed bank already at one voltage, redistribution has
+        // nothing to move. Shared by both tuning modes, so it cannot
+        // perturb optimized-vs-baseline bit-identity.
+        let mut count = 0usize;
+        let mut v_first = Volts::ZERO;
+        let mut uniform = true;
+        for s in self.closed_slots(now) {
+            if count == 0 {
+                v_first = s.bank.voltage();
+            } else if s.bank.voltage() != v_first {
+                uniform = false;
+            }
+            count += 1;
+        }
+        if count < 2 || uniform {
             return;
         }
-        let refs: Vec<&Bank> = closed.iter().map(|&i| &self.banks[i].bank).collect();
-        let v = share_charge(&refs);
-        for &i in &closed {
-            self.banks[i].bank.set_voltage(v);
+        // `share_charge` semantics, allocation-free: total charge over
+        // total capacitance across the closed set, in bank order.
+        let total_c: f64 = self.closed_slots(now).map(|s| s.bank.capacitance().get()).sum();
+        let v = if total_c <= 0.0 {
+            Volts::ZERO
+        } else {
+            let total_q: f64 = self.closed_slots(now).map(|s| s.bank.charge()).sum();
+            Volts::new(total_q / total_c)
+        };
+        for bank in self.closed_slots_mut_at(now) {
+            bank.set_voltage(v);
         }
     }
 
@@ -685,6 +857,59 @@ impl<H: Harvester> PowerSystem<H> {
         for slot in &mut self.banks {
             slot.bank.apply_leakage(dt);
         }
+    }
+
+    /// Derived rail quantities at `now`, memoized when the tuning allows.
+    /// The cached value is bitwise identical to recomputation: it is only
+    /// ever filled from `compute_rail_derived`, and every mutation that
+    /// can change an input (closed set, faults, wear derating) clears it.
+    fn rail_derived_at(&mut self, now: SimTime) -> RailDerived {
+        if !self.tuning.rail_cache {
+            return self.compute_rail_derived(now);
+        }
+        if let Some(d) = self.rail_derived {
+            return d;
+        }
+        let d = self.compute_rail_derived(now);
+        self.rail_derived = Some(d);
+        d
+    }
+
+    fn compute_rail_derived(&self, now: SimTime) -> RailDerived {
+        RailDerived {
+            capacitance: self.rail_capacitance(now),
+            esr: self.rail_esr(now),
+            leak_current: self.closed_slots(now).map(|s| s.bank.leakage().get()).sum(),
+            full_voltage: self.full_voltage(now),
+        }
+    }
+
+    /// [`capacitor::discharge`] through the exact-key memo (when enabled).
+    #[allow(clippy::too_many_arguments)]
+    fn discharge_memoized(
+        &mut self,
+        c: Farads,
+        esr: Ohms,
+        v0: Volts,
+        power: Watts,
+        v_min: Volts,
+        dt: SimDuration,
+    ) -> Discharge {
+        // Short draws make the adaptive integration loop cheaper than a
+        // memo scan-and-insert, and in event-paced workloads their start
+        // voltages rarely repeat anyway — only memoize draws long enough
+        // for the loop to dominate. Gating by `dt` never changes results:
+        // a hit is bitwise-exact whether or not a given call is cached.
+        if !self.tuning.discharge_memo || dt < DISCHARGE_MEMO_MIN_DT {
+            return capacitor::discharge(c, esr, v0, power, v_min, dt);
+        }
+        let key = DischargeMemo::key(c, esr, v0, power, v_min, dt);
+        if let Some(hit) = self.discharge_memo.get(&key) {
+            return hit;
+        }
+        let out = capacitor::discharge(c, esr, v0, power, v_min, dt);
+        self.discharge_memo.insert(key, out);
+        out
     }
 
     fn next_latch_decay(&self, now: SimTime) -> SimTime {
@@ -777,6 +1002,10 @@ impl<H: Harvester> PowerSystemBuilder<H> {
             pending_faults: Vec::new(),
             wear_model: None,
             startup_margin: Volts::ZERO,
+            tuning: KernelTuning::default(),
+            rail_derived: None,
+            discharge_memo: DischargeMemo::default(),
+            charge_segments: 0,
         }
     }
 }
@@ -1152,5 +1381,113 @@ mod tests {
             "cycled EDLC must show capacitance fade under the wear model"
         );
         assert!(bank.derating().1 > 1.0, "ESR must grow with wear");
+    }
+
+    /// A pathological dark source whose piecewise-constant segments creep
+    /// one microsecond at a time, so `charge_until` can never reach the
+    /// target, never sees an infinite stall, and must exhaust its segment
+    /// budget.
+    #[derive(Debug, Clone, Copy)]
+    struct CreepingDark;
+
+    impl Harvester for CreepingDark {
+        fn power_at(&self, _t: SimTime) -> Watts {
+            Watts::ZERO
+        }
+
+        fn valid_until(&self, t: SimTime) -> SimTime {
+            t.saturating_add(SimDuration::from_micros(1))
+        }
+
+        fn open_voltage(&self, _t: SimTime) -> Volts {
+            Volts::ZERO
+        }
+    }
+
+    #[test]
+    fn segment_budget_exhaustion_is_a_typed_error() {
+        let mut sys = PowerSystem::builder()
+            .harvester(CreepingDark)
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .build();
+        let mut now = SimTime::ZERO;
+        let err = sys.charge_until(Volts::new(2.8), &mut now).unwrap_err();
+        assert!(
+            matches!(err, PowerError::SegmentBudgetExhausted { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn long_constant_harvest_charges_in_constant_segments() {
+        // Crossing a multi-minute constant-harvest charge must cost O(1)
+        // analytic segments, not O(duration) — in both tuning modes, and
+        // with the same count (segmentation is tuning-independent).
+        let mut counts = Vec::new();
+        for tuning in [KernelTuning::optimized(), KernelTuning::baseline()] {
+            let weak = ConstantHarvester::new(Watts::from_micro(500.0), Volts::new(2.5));
+            let mut sys = PowerSystem::builder()
+                .harvester(weak)
+                .bank(big_bank(), SwitchKind::NormallyClosed)
+                .build();
+            sys.set_tuning(tuning);
+            let mut now = SimTime::ZERO;
+            let before = sys.charge_segments();
+            sys.charge_until_full(&mut now).unwrap();
+            let used = sys.charge_segments() - before;
+            assert!(now > SimTime::from_secs(60), "expected a long charge, now = {now}");
+            assert!(used <= 10, "segments = {used} under {tuning:?}");
+            counts.push(used);
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn optimized_and_baseline_kernels_agree_bitwise() {
+        let mut opt = PowerSystem::builder()
+            .harvester(ten_mw())
+            .bank(small_bank(), SwitchKind::NormallyClosed)
+            .bank(big_bank(), SwitchKind::NormallyOpen)
+            .build();
+        let mut base = opt.clone();
+        opt.set_tuning(KernelTuning::optimized());
+        base.set_tuning(KernelTuning::baseline());
+        let mut ta = SimTime::ZERO;
+        let mut tb = SimTime::ZERO;
+        for _ in 0..5 {
+            assert_eq!(
+                opt.charge_until(Volts::new(2.5), &mut ta),
+                base.charge_until(Volts::new(2.5), &mut tb)
+            );
+            assert_eq!(
+                opt.draw(Watts::from_milli(8.0), SimDuration::from_millis(40), &mut ta),
+                base.draw(Watts::from_milli(8.0), SimDuration::from_millis(40), &mut tb)
+            );
+            // Sleep-style micro-draw: from the second cycle on, the memo
+            // key repeats verbatim and the optimized side answers from
+            // cache — results must stay bitwise equal regardless.
+            assert_eq!(
+                opt.draw(Watts::from_micro(20.0), SimDuration::from_secs(2), &mut ta),
+                base.draw(Watts::from_micro(20.0), SimDuration::from_secs(2), &mut tb)
+            );
+            assert_eq!(ta, tb);
+            assert_eq!(
+                opt.rail_voltage(ta).get().to_bits(),
+                base.rail_voltage(tb).get().to_bits()
+            );
+        }
+        // Reconfiguration invalidates the derived cache on the optimized
+        // side; both must keep agreeing afterwards.
+        opt.command_switch(BankId(1), SwitchState::Closed, ta).unwrap();
+        base.command_switch(BankId(1), SwitchState::Closed, tb).unwrap();
+        assert_eq!(
+            opt.charge_until(Volts::new(1.8), &mut ta),
+            base.charge_until(Volts::new(1.8), &mut tb)
+        );
+        assert_eq!(
+            opt.rail_voltage(ta).get().to_bits(),
+            base.rail_voltage(tb).get().to_bits()
+        );
+        assert_eq!(opt.energy_delivered(), base.energy_delivered());
     }
 }
