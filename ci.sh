@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Local CI: everything a PR must keep green.
 #
-#   ./ci.sh          run the full gate
+#   ./ci.sh          run the full gate: build, tests, lints, formatting,
+#                    bench compile + end-to-end bench runs, the perf
+#                    trajectory artifact, and the manifests/ scenario
+#                    batch with schema-validated result.json artifacts
+#   ./ci.sh --quick  the fast inner loop: build, tests, clippy, fmt, and
+#                    the capy-run smoke batch — skips the benches and
+#                    example smoke runs (minutes → seconds)
 #
 # The bench compile check (`cargo bench --no-run`) keeps the
 # harness = false figure binaries from rotting — `cargo test` alone
 # never builds them.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
 
 run() {
     echo "==> $*"
@@ -19,6 +30,26 @@ run() {
 run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --all -- --check
+
+# The scenario-manifest batch: compile capy-run, execute every checked-in
+# manifest headlessly, and fail the gate on any nonzero exit (assertion
+# failure, limit hit, manifest error) or malformed artifact. The runner
+# regenerates the checked-in result.json files in place; golden tests in
+# tests/manifest_protocol.rs pin their content, and `git status` will
+# show any drift to commit.
+run cargo build --release --bin capy-run
+CAPY_RUN=target/release/capy-run
+run "$CAPY_RUN" manifests/
+for artifact in manifests/*.result.json; do
+    run "$CAPY_RUN" --validate-json "$artifact" --schema capy-result/v1
+done
+
+if [[ "$QUICK" == "1" ]]; then
+    echo "==> ci.sh: quick gate passed (benches skipped)"
+    exit 0
+fi
+
 run cargo bench --no-run --workspace
 run cargo run --release --example policy_compare -- --smoke
 run cargo run --release --example faults -- --smoke
@@ -36,15 +67,6 @@ run cargo bench -p capy-bench --bench capysat_case_study
 # (`cargo bench` runs the binary with the package dir as CWD, so the
 # output path must be absolute to land at the workspace root.)
 run cargo bench -p capy-bench --bench sim_throughput -- --quick --out "$PWD/BENCH_sim_throughput.json"
-if [[ ! -s BENCH_sim_throughput.json ]]; then
-    echo "ci.sh: BENCH_sim_throughput.json missing or empty" >&2
-    exit 1
-fi
-if ! grep -q '"schema": "capybara-sim-throughput/v1"' BENCH_sim_throughput.json \
-    || ! grep -q '"cases"' BENCH_sim_throughput.json \
-    || [[ "$(tail -c 2 BENCH_sim_throughput.json)" != "}" ]]; then
-    echo "ci.sh: BENCH_sim_throughput.json is malformed" >&2
-    exit 1
-fi
+run "$CAPY_RUN" --validate-json BENCH_sim_throughput.json --schema capybara-sim-throughput/v1
 
 echo "==> ci.sh: all checks passed"

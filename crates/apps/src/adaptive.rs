@@ -301,8 +301,7 @@ pub fn compare_policies(
     scenarios: &[(&'static str, TrackerScenario)],
     workers: usize,
 ) -> (PolicyComparison, Vec<OracleReport>) {
-    let oracle_reports: Vec<OracleReport> =
-        scenarios.iter().map(|(_, sc)| sc.oracle()).collect();
+    let oracle_reports: Vec<OracleReport> = scenarios.iter().map(|(_, sc)| sc.oracle()).collect();
     let oracles: Vec<Oracle> = oracle_reports.iter().map(|r| r.oracle.clone()).collect();
 
     let mut policies = lineup();
@@ -389,7 +388,10 @@ mod tests {
     fn comparison_grid_is_deterministic_across_worker_counts() {
         let scenarios = [
             ("square", TrackerScenario::benchmark(3)),
-            ("steady-weak", TrackerScenario::steady(Watts::from_micro(200.0))),
+            (
+                "steady-weak",
+                TrackerScenario::steady(Watts::from_micro(200.0)),
+            ),
         ];
         let (serial, _) = compare_policies(&scenarios, 1);
         let (parallel, _) = compare_policies(&scenarios, available_workers().max(4));
@@ -409,4 +411,3 @@ mod tests {
         }
     }
 }
-

@@ -21,13 +21,13 @@ use capy_power::harvester::RegulatedSupply;
 use capy_power::switch::SwitchKind;
 use capy_power::system::PowerSystem;
 use capy_power::technology::parts;
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
 use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
 use capybara::policy::ReconfigPolicy;
 use capybara::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder};
 use capybara::variant::Variant;
-use capy_units::rng::DetRng;
 
 use crate::env::PendulumRig;
 use crate::observer::PacketLog;
@@ -244,12 +244,7 @@ pub fn run(variant: Variant, events: Vec<SimTime>, seed: u64) -> CsrReport {
 
 /// Runs CSR until `horizon`.
 #[must_use]
-pub fn run_for(
-    variant: Variant,
-    events: Vec<SimTime>,
-    seed: u64,
-    horizon: SimTime,
-) -> CsrReport {
+pub fn run_for(variant: Variant, events: Vec<SimTime>, seed: u64, horizon: SimTime) -> CsrReport {
     let mut sim = build(variant, events.clone(), seed);
     sim.run_until(horizon);
     let ctx = sim.ctx();

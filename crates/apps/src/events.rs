@@ -102,7 +102,12 @@ mod tests {
     #[test]
     fn events_are_strictly_increasing() {
         let mut rng = DetRng::seed_from_u64(1);
-        let ev = poisson_events(&mut rng, SimDuration::from_secs(10), 200, SimDuration::from_secs(1));
+        let ev = poisson_events(
+            &mut rng,
+            SimDuration::from_secs(10),
+            200,
+            SimDuration::from_secs(1),
+        );
         assert!(ev.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -113,10 +118,7 @@ mod tests {
         let ev = poisson_events(&mut rng, mean, 5_000, SimDuration::ZERO);
         let total = (*ev.last().unwrap() - ev[0]).as_secs_f64();
         let measured = total / (ev.len() - 1) as f64;
-        assert!(
-            (measured - 30.0).abs() < 2.0,
-            "measured mean = {measured}"
-        );
+        assert!((measured - 30.0).abs() < 2.0, "measured mean = {measured}");
     }
 
     #[test]
@@ -141,7 +143,10 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(11);
         let mut ev = poisson_events(&mut rng, SimDuration::from_secs(100), 20, SimDuration::ZERO);
         fit_span(&mut ev, SimDuration::from_secs(1_000));
-        assert_eq!(*ev.last().unwrap(), SimTime::ZERO + SimDuration::from_secs(1_000));
+        assert_eq!(
+            *ev.last().unwrap(),
+            SimTime::ZERO + SimDuration::from_secs(1_000)
+        );
         assert!(ev.windows(2).all(|w| w[0] < w[1]), "order preserved");
     }
 

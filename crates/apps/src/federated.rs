@@ -25,8 +25,8 @@ use capy_power::bank::Bank;
 use capy_power::booster::{InputBooster, OutputBooster};
 use capy_power::capacitor::{self, Discharge};
 use capy_power::technology::parts;
-use capy_units::{SimDuration, SimTime, Volts, Watts};
 use capy_units::rng::DetRng;
+use capy_units::{SimDuration, SimTime, Volts, Watts};
 
 use crate::env::PendulumRig;
 use crate::observer::{GestureOutcome, PacketLog};
@@ -99,11 +99,15 @@ impl FederatedGrc {
         Self {
             mcu_store: Store::new(
                 "mcu",
-                Bank::builder("fed-mcu").with(parts::ceramic_x5r_400uf()).build(),
+                Bank::builder("fed-mcu")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
             ),
             sensor_store: Store::new(
                 "sensor",
-                Bank::builder("fed-sensor").with_n(parts::edlc_22_5mf(), 2).build(),
+                Bank::builder("fed-sensor")
+                    .with_n(parts::edlc_22_5mf(), 2)
+                    .build(),
             ),
             radio_store: Store::new(
                 "radio",
@@ -129,9 +133,7 @@ impl FederatedGrc {
             &mut self.sensor_store,
             &mut self.radio_store,
         ];
-        let target = stores
-            .into_iter()
-            .find(|s| !s.armed && !s.full(full));
+        let target = stores.into_iter().find(|s| !s.armed && !s.full(full));
         if let Some(store) = target {
             let (p, _) = input.charge_power(p_raw, store.bank.voltage(), None, Volts::new(3.0));
             let v = capacitor::voltage_after_charge(
@@ -179,11 +181,15 @@ impl FederatedGrc {
         let rig = PendulumRig::new(events.clone());
         let mut rng = DetRng::seed_from_u64(seed ^ 0xFED);
         let mcu = Mcu::cc2650();
-        let photo = Phototransistor::new().sample().plus_power(mcu.active_power());
+        let photo = Phototransistor::new()
+            .sample()
+            .plus_power(mcu.active_power());
         let gesture = Apds9960::new()
             .recognize_gesture()
             .plus_power(mcu.active_power());
-        let tx = BleRadio::cc2650().tx_packet_warm(8).plus_power(mcu.active_power());
+        let tx = BleRadio::cc2650()
+            .tx_packet_warm(8)
+            .plus_power(mcu.active_power());
         let mcu_tick = TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(5)));
 
         let step = SimDuration::from_millis(10);
@@ -217,8 +223,7 @@ impl FederatedGrc {
 
             // Proximity sampling shares the *sensor* store — and therefore
             // the gesture-sized provisioning and its hysteresis.
-            if self.sensor_store.armed
-                && Self::drain(&mut self.sensor_store, &photo, &self.output)
+            if self.sensor_store.armed && Self::drain(&mut self.sensor_store, &photo, &self.output)
             {
                 if let Some(id) = rig.pass_at(t) {
                     sampled_passes[id] = true;
@@ -227,9 +232,7 @@ impl FederatedGrc {
                         let start = t;
                         if Self::drain(&mut self.sensor_store, &gesture, &self.output) {
                             let outcome = match rig.gesture_read_at(start) {
-                                Some((_, true)) if rng.gen_f64() < 0.85 => {
-                                    GestureOutcome::Correct
-                                }
+                                Some((_, true)) if rng.gen_f64() < 0.85 => GestureOutcome::Correct,
                                 Some((_, true)) => GestureOutcome::ProximityOnly,
                                 Some((_, false)) if rng.gen_f64() < 0.55 => {
                                     GestureOutcome::Misclassified
@@ -294,7 +297,11 @@ mod tests {
         // compute continues while peripheral stores recharge.
         let mut dev = FederatedGrc::new();
         let report = dev.run(schedule(), 5, HORIZON);
-        assert!(report.mcu_iterations > 10_000, "mcu = {}", report.mcu_iterations);
+        assert!(
+            report.mcu_iterations > 10_000,
+            "mcu = {}",
+            report.mcu_iterations
+        );
     }
 
     #[test]
@@ -306,15 +313,17 @@ mod tests {
         let fed = dev.run(schedule(), 5, HORIZON);
         let capy = grc::run_for(Variant::CapyP, GrcVariant::Fast, schedule(), 5, HORIZON);
         let capy_correct = accuracy_fractions(&capy.classify()).correct;
-        let fed_correct =
-            fed.packets.packets().iter().filter(|p| p.correct).count() as f64
-                / fed.events.len() as f64;
+        let fed_correct = fed.packets.packets().iter().filter(|p| p.correct).count() as f64
+            / fed.events.len() as f64;
         assert!(
             capy_correct > fed_correct,
             "capybara {capy_correct:.2} vs federated {fed_correct:.2}"
         );
         let fed_sampled = fed.passes_sampled as f64 / fed.events.len() as f64;
-        assert!(fed_sampled < 0.9, "federated sampling coverage {fed_sampled}");
+        assert!(
+            fed_sampled < 0.9,
+            "federated sampling coverage {fed_sampled}"
+        );
     }
 
     #[test]

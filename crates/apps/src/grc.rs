@@ -31,13 +31,13 @@ use capy_power::harvester::RegulatedSupply;
 use capy_power::switch::SwitchKind;
 use capy_power::system::PowerSystem;
 use capy_power::technology::parts;
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
 use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
 use capybara::policy::ReconfigPolicy;
 use capybara::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder};
 use capybara::variant::Variant;
-use capy_units::rng::DetRng;
 
 use crate::env::PendulumRig;
 use crate::metrics::EventOutcome;
@@ -331,8 +331,10 @@ fn assemble(
     // The APDS engine starts observing after its init phase; bodies run at
     // task end. Lead = (task duration) − (init duration).
     let gesture_task_duration = match grc {
-        GrcVariant::Fast => Apds9960::new().recognize_gesture().duration()
-            + BleRadio::cc2650().tx_packet_warm(8).duration(),
+        GrcVariant::Fast => {
+            Apds9960::new().recognize_gesture().duration()
+                + BleRadio::cc2650().tx_packet_warm(8).duration()
+        }
         GrcVariant::Compact => Apds9960::new().recognize_gesture().duration(),
     };
     let gesture_lead = gesture_task_duration - SimDuration::from_millis(25);
@@ -423,7 +425,11 @@ fn assemble(
             .task(
                 "radio_tx",
                 TaskEnergy::Config(M_HIGH),
-                |_, mcu| BleRadio::cc2650().tx_packet(8).plus_power(mcu.active_power()),
+                |_, mcu| {
+                    BleRadio::cc2650()
+                        .tx_packet(8)
+                        .plus_power(mcu.active_power())
+                },
                 |ctx: &mut GrcCtx| {
                     if let Some((id, correct)) = ctx.pending.get() {
                         if ctx.rng.gen_f64() >= BLE_LOSS {
@@ -482,7 +488,13 @@ mod tests {
 
     #[test]
     fn continuous_detects_most_gestures() {
-        let report = run_for(Variant::Continuous, GrcVariant::Fast, short_schedule(), 3, SIX_MIN);
+        let report = run_for(
+            Variant::Continuous,
+            GrcVariant::Fast,
+            short_schedule(),
+            3,
+            SIX_MIN,
+        );
         let f = accuracy_fractions(&report.classify());
         assert!(f.correct > 0.6, "correct = {}", f.correct);
         assert!(f.missed < 0.05, "missed = {}", f.missed);
@@ -490,7 +502,13 @@ mod tests {
 
     #[test]
     fn capy_p_fast_detects_most_and_quickly() {
-        let report = run_for(Variant::CapyP, GrcVariant::Fast, short_schedule(), 3, SIX_MIN);
+        let report = run_for(
+            Variant::CapyP,
+            GrcVariant::Fast,
+            short_schedule(),
+            3,
+            SIX_MIN,
+        );
         let f = accuracy_fractions(&report.classify());
         assert!(
             f.correct + f.misclassified > 0.4,
@@ -507,7 +525,13 @@ mod tests {
         // §6.2: "Capy-R is not suitable for GRC, because it incurs a
         // charging delay between proximity detection and the gesture
         // recognition task, during which the gesture motion completes."
-        let report = run_for(Variant::CapyR, GrcVariant::Fast, short_schedule(), 3, SIX_MIN);
+        let report = run_for(
+            Variant::CapyR,
+            GrcVariant::Fast,
+            short_schedule(),
+            3,
+            SIX_MIN,
+        );
         let f = accuracy_fractions(&report.classify());
         assert!(f.correct < 0.15, "correct = {}", f.correct);
         // The attempts it does make are proximity-only.
@@ -519,8 +543,20 @@ mod tests {
 
     #[test]
     fn fixed_misses_many_events_to_charging() {
-        let fixed = run_for(Variant::Fixed, GrcVariant::Fast, short_schedule(), 3, SIX_MIN);
-        let capy = run_for(Variant::CapyP, GrcVariant::Fast, short_schedule(), 3, SIX_MIN);
+        let fixed = run_for(
+            Variant::Fixed,
+            GrcVariant::Fast,
+            short_schedule(),
+            3,
+            SIX_MIN,
+        );
+        let capy = run_for(
+            Variant::CapyP,
+            GrcVariant::Fast,
+            short_schedule(),
+            3,
+            SIX_MIN,
+        );
         let f_fixed = accuracy_fractions(&fixed.classify());
         let f_capy = accuracy_fractions(&capy.classify());
         assert!(
@@ -533,7 +569,13 @@ mod tests {
 
     #[test]
     fn compact_variant_also_works_under_capy_p() {
-        let report = run_for(Variant::CapyP, GrcVariant::Compact, short_schedule(), 3, SIX_MIN);
+        let report = run_for(
+            Variant::CapyP,
+            GrcVariant::Compact,
+            short_schedule(),
+            3,
+            SIX_MIN,
+        );
         let f = accuracy_fractions(&report.classify());
         assert!(
             f.correct + f.misclassified > 0.3,
@@ -544,8 +586,20 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run_for(Variant::CapyP, GrcVariant::Fast, short_schedule(), 11, SIX_MIN);
-        let b = run_for(Variant::CapyP, GrcVariant::Fast, short_schedule(), 11, SIX_MIN);
+        let a = run_for(
+            Variant::CapyP,
+            GrcVariant::Fast,
+            short_schedule(),
+            11,
+            SIX_MIN,
+        );
+        let b = run_for(
+            Variant::CapyP,
+            GrcVariant::Fast,
+            short_schedule(),
+            11,
+            SIX_MIN,
+        );
         assert_eq!(a.packets.packets(), b.packets.packets());
         assert_eq!(a.classify(), b.classify());
     }

@@ -23,8 +23,8 @@
 pub mod adaptive;
 pub mod csr;
 pub mod env;
-pub mod federated;
 pub mod events;
+pub mod federated;
 pub mod grc;
 pub mod metrics;
 pub mod observer;
@@ -36,11 +36,11 @@ pub mod prelude {
     pub use crate::adaptive::{self, TrackerScenario};
     pub use crate::csr::{self, CsrReport};
     pub use crate::env::{HeatsinkRig, PendulumRig};
-    pub use crate::federated::{FederatedGrc, FederatedReport};
     pub use crate::events::poisson_events;
+    pub use crate::federated::{FederatedGrc, FederatedReport};
     pub use crate::grc::{self, GrcReport, GrcVariant};
     pub use crate::metrics::{
-        accuracy_fractions, latency_stats, intersample_histogram, EventOutcome, LatencyStats,
+        accuracy_fractions, intersample_histogram, latency_stats, EventOutcome, LatencyStats,
     };
     pub use crate::observer::{GestureOutcome, PacketLog, SampleLog};
     pub use crate::ta::{self, TaReport};

@@ -29,13 +29,13 @@ use capy_power::harvester::SolarPanel;
 use capy_power::switch::SwitchKind;
 use capy_power::system::PowerSystem;
 use capy_power::technology::parts;
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
 use capybara::annotation::TaskEnergy;
 use capybara::mode::EnergyMode;
 use capybara::policy::ReconfigPolicy;
 use capybara::sim::{SimContext, SimEvent, Simulator, SimulatorBuilder};
 use capybara::variant::Variant;
-use capy_units::rng::DetRng;
 
 use crate::env::HeatsinkRig;
 use crate::observer::{PacketLog, SampleLog};
@@ -177,11 +177,7 @@ fn mode_banks(variant: Variant) -> ([BankId; 1], Vec<BankId>) {
 /// Builds a ready-to-run TA simulator for `variant` over the excursion
 /// schedule `events`.
 #[must_use]
-pub fn build(
-    variant: Variant,
-    events: Vec<SimTime>,
-    seed: u64,
-) -> Simulator<SolarPanel, TaCtx> {
+pub fn build(variant: Variant, events: Vec<SimTime>, seed: u64) -> Simulator<SolarPanel, TaCtx> {
     let (builder, ctx) = assemble(variant, events, seed);
     builder.build(ctx)
 }
@@ -284,12 +280,7 @@ pub fn run(variant: Variant, events: Vec<SimTime>, seed: u64) -> TaReport {
 
 /// Runs TA under `variant` until `horizon`.
 #[must_use]
-pub fn run_for(
-    variant: Variant,
-    events: Vec<SimTime>,
-    seed: u64,
-    horizon: SimTime,
-) -> TaReport {
+pub fn run_for(variant: Variant, events: Vec<SimTime>, seed: u64, horizon: SimTime) -> TaReport {
     let mut sim = build(variant, events.clone(), seed);
     sim.run_until(horizon);
     let bank_cycles = (0..sim.power().bank_count())
@@ -344,12 +335,20 @@ mod tests {
     #[test]
     fn capy_p_reports_events_with_low_latency() {
         let report = run_for(Variant::CapyP, short_schedule(), 1, TEN_MIN);
-        assert!(report.packets.len() >= 3, "packets = {}", report.packets.len());
+        assert!(
+            report.packets.len() >= 3,
+            "packets = {}",
+            report.packets.len()
+        );
         // Each alarm followed its event quickly (within the 40 s hold).
         for p in report.packets.packets() {
             let ev = report.events[p.event_id.unwrap()];
             assert!(p.at >= ev);
-            assert!(p.at - ev < SimDuration::from_secs(20), "latency {}", p.at - ev);
+            assert!(
+                p.at - ev < SimDuration::from_secs(20),
+                "latency {}",
+                p.at - ev
+            );
         }
     }
 
@@ -381,7 +380,10 @@ mod tests {
         let report = run_for(Variant::Fixed, short_schedule(), 1, TEN_MIN);
         let intervals = report.samples.intervals();
         assert!(!intervals.is_empty());
-        let max_gap = intervals.iter().map(|d| d.as_secs_f64()).fold(0.0, f64::max);
+        let max_gap = intervals
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max);
         // The fixed bank's recharge dwarfs the Capybara small bank's.
         let capy = run_for(Variant::CapyP, short_schedule(), 1, TEN_MIN);
         let capy_secs: Vec<f64> = capy

@@ -140,10 +140,7 @@ impl VibrationReport {
 
 /// Builds the monitor for `variant` over a shake-event schedule.
 #[must_use]
-pub fn build(
-    variant: Variant,
-    events: Vec<SimTime>,
-) -> Simulator<SolarPanel, VibCtx> {
+pub fn build(variant: Variant, events: Vec<SimTime>) -> Simulator<SolarPanel, VibCtx> {
     // Fixed/Continuous hardware statically connects everything; the
     // Capybara variants split the same capacitors into switchable banks.
     let harvester = SolarPanel::trisolx_pair_halogen();
@@ -247,8 +244,7 @@ pub fn build(
                         // Scan without consuming: pops are staged and then
                         // aborted by inspecting a clone.
                         let mut probe = ctx.queue.clone();
-                        std::iter::from_fn(|| probe.pop())
-                            .any(|(_, magnitude)| magnitude > 0.5)
+                        std::iter::from_fn(|| probe.pop()).any(|(_, magnitude)| magnitude > 0.5)
                     };
                 ctx.anomaly.set(shaken);
                 if shaken {
@@ -267,7 +263,11 @@ pub fn build(
         .task(
             "upload",
             TaskEnergy::Burst(M_UPLOAD),
-            |_, mcu| BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power()),
+            |_, mcu| {
+                BleRadio::cc2650()
+                    .tx_packet(25)
+                    .plus_power(mcu.active_power())
+            },
             |ctx: &mut VibCtx| {
                 let mut n = 0u64;
                 while let Some((seq, _)) = ctx.queue.pop() {
@@ -333,16 +333,16 @@ mod tests {
     fn quiet_monitor_uploads_nothing() {
         let report = run_for(Variant::CapyP, vec![SimTime::from_secs(100_000)], HORIZON);
         assert_eq!(report.packets.len(), 0);
-        report.verify().expect("conservation holds with zero uploads");
+        report
+            .verify()
+            .expect("conservation holds with zero uploads");
     }
 
     #[test]
     fn conservation_holds_for_every_variant() {
         for variant in Variant::ALL {
             let report = run_for(variant, shake_schedule(), HORIZON);
-            report
-                .verify()
-                .unwrap_or_else(|e| panic!("{variant}: {e}"));
+            report.verify().unwrap_or_else(|e| panic!("{variant}: {e}"));
         }
     }
 

@@ -12,9 +12,9 @@ use capy_apps::events::grc_schedule;
 use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::accuracy_fractions;
 use capy_bench::{figure_header, pct, sweep_footer, FIGURE_SEED};
+use capy_units::rng::DetRng;
 use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
-use capy_units::rng::DetRng;
 
 /// The two systems compared: the paper's fixed bulk vs Capy-P.
 const SYSTEMS: [Variant; 2] = [Variant::Fixed, Variant::CapyP];
@@ -41,10 +41,21 @@ fn main() {
         |point| {
             let v = point.expect_axis::<Variant>("system");
             let harvesting = point.expect_param("harvesting") > 0.5;
-            grc::build_with_model(v, GrcVariant::Fast, events_ref.clone(), FIGURE_SEED, harvesting)
+            grc::build_with_model(
+                v,
+                GrcVariant::Fast,
+                events_ref.clone(),
+                FIGURE_SEED,
+                harvesting,
+            )
         },
         |sim, _| {
-            sim.ctx().packets.packets().iter().filter(|p| p.correct).count() as f64
+            sim.ctx()
+                .packets
+                .packets()
+                .iter()
+                .filter(|p| p.correct)
+                .count() as f64
                 / events_ref.len() as f64
         },
     );
@@ -55,7 +66,10 @@ fn main() {
     // Context: the accuracy scale of the main experiment.
     let base = grc::run(Variant::CapyP, GrcVariant::Fast, events, FIGURE_SEED);
     let f = accuracy_fractions(&base.classify());
-    println!("\n(reference CB-P correct fraction incl. classification: {})", pct(f.correct));
+    println!(
+        "\n(reference CB-P correct fraction incl. classification: {})",
+        pct(f.correct)
+    );
     println!();
     println!("Expected shape: concurrent harvesting stretches every on-period");
     println!("(net drain 9-x mW instead of 9 mW), lifting the Fixed baseline's");

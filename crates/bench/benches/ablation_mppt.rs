@@ -38,11 +38,7 @@ fn main() {
     let rows = map_points(&spec, |point| {
         let irr = point.expect_param("irradiance");
         // Two wings in series: double the voltage at the same current.
-        let pv = PvCurve::new(
-            PvCurve::trisolx(irr).i_sc,
-            Volts::new(2.4),
-            10.0,
-        );
+        let pv = PvCurve::new(PvCurve::trisolx(irr).i_sc, Volts::new(2.4), 10.0);
         let (_, p_mpp) = pv.mpp();
         let tracked = harvested_power(&pv, Tracking::prototype());
         // A direct charger pins the panel near the capacitor's mid-charge

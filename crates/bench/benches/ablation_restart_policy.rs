@@ -11,12 +11,12 @@
 
 use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_intermittent::checkpoint::CheckpointedMachine;
-use capybara::sweep::{available_workers, run_sweep_tally_on, AxisValue, RunSummary, SweepSpec};
 use capy_intermittent::machine::ExecutionMachine;
 use capy_intermittent::nv::{NvState, NvVar};
 use capy_intermittent::task::{TaskGraph, TaskId, Transition};
 use capy_power::prelude::*;
 use capy_units::{SimDuration, SimTime, Volts, Watts};
+use capybara::sweep::{available_workers, run_sweep_tally_on, AxisValue, RunSummary, SweepSpec};
 
 /// Units of compute in the long task; each unit is 100 ms at ~1 mW.
 const TASK_UNITS: usize = 100;
@@ -27,9 +27,14 @@ fn power_system() -> PowerSystem<ConstantHarvester> {
     // A buffer sustaining only ~18 units per charge: far too small for the
     // whole 100-unit task.
     PowerSystem::builder()
-        .harvester(ConstantHarvester::new(Watts::from_milli(5.0), Volts::new(3.0)))
+        .harvester(ConstantHarvester::new(
+            Watts::from_milli(5.0),
+            Volts::new(3.0),
+        ))
         .bank(
-            Bank::builder("small").with(parts::tantalum_1000uf()).build(),
+            Bank::builder("small")
+                .with(parts::tantalum_1000uf())
+                .build(),
             SwitchKind::NormallyClosed,
         )
         .build()

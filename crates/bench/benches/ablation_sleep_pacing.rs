@@ -49,32 +49,32 @@ fn build(paced: bool) -> Simulator<SolarPanel, Ctx> {
         )
         .build();
     Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
-            .task(
-                "sample",
-                TaskEnergy::Unannotated,
-                |_, mcu| {
-                    capy_device::peripherals::Tmp36::new()
-                        .sample()
-                        .plus_power(mcu.active_power())
-                        .then(mcu.compute_for(SimDuration::from_millis(3)))
-                },
-                |c: &mut Ctx| {
-                    c.samples.push(c.now);
-                    if c.paced {
-                        Transition::Sleep {
-                            duration: SimDuration::from_secs(1),
-                            then: TaskId(0),
-                        }
-                    } else {
-                        Transition::Stay
+        .task(
+            "sample",
+            TaskEnergy::Unannotated,
+            |_, mcu| {
+                capy_device::peripherals::Tmp36::new()
+                    .sample()
+                    .plus_power(mcu.active_power())
+                    .then(mcu.compute_for(SimDuration::from_millis(3)))
+            },
+            |c: &mut Ctx| {
+                c.samples.push(c.now);
+                if c.paced {
+                    Transition::Sleep {
+                        duration: SimDuration::from_secs(1),
+                        then: TaskId(0),
                     }
-                },
-            )
-            .build(Ctx {
-                now: SimTime::ZERO,
-                samples: Vec::new(),
-                paced,
-            })
+                } else {
+                    Transition::Stay
+                }
+            },
+        )
+        .build(Ctx {
+            now: SimTime::ZERO,
+            samples: Vec::new(),
+            paced,
+        })
 }
 
 /// Sample-gap statistics of a finished run: count, gaps over 30 s, and

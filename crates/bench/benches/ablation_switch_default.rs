@@ -55,10 +55,7 @@ fn build(kind: SwitchKind) -> Simulator<TraceHarvester, Ctx> {
                 .build(),
             SwitchKind::NormallyClosed, // the always-there default bank
         )
-        .bank(
-            Bank::builder("big").with(parts::edlc_7_5mf()).build(),
-            kind,
-        )
+        .bank(Bank::builder("big").with(parts::edlc_7_5mf()).build(), kind)
         .build();
     Simulator::builder(Variant::CapyP, power, Mcu::msp430fr5969())
         .mode("small", &[BankId(0)])
@@ -83,7 +80,10 @@ fn main() {
         "Ablation (5.2)",
         "NO vs NC switch default under outages longer than latch retention",
     );
-    println!("{:<18} {:>12} {:>14}", "big-bank switch", "completions", "wasted attempts");
+    println!(
+        "{:<18} {:>12} {:>14}",
+        "big-bank switch", "completions", "wasted attempts"
+    );
     let spec = SweepSpec::new("ablation-switch-default", SimTime::from_secs(20 * 520))
         .base_seed(FIGURE_SEED)
         .axis(

@@ -15,9 +15,9 @@ use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
 use capy_power::bank::BankId;
 use capy_power::lifetime::{projected_lifetime, typical_cycle_life, WearReport};
 use capy_power::technology::Technology;
+use capy_units::rng::DetRng;
 use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
-use capy_units::rng::DetRng;
 
 /// The two systems compared: the paper's fixed bulk vs Capy-P.
 const SYSTEMS: [Variant; 2] = [Variant::Fixed, Variant::CapyP];
@@ -62,8 +62,7 @@ fn main() {
                 let wear = WearReport {
                     cycles: *cycles,
                     cycle_life: typical_cycle_life(Technology::Edlc),
-                    consumed: *cycles as f64
-                        / typical_cycle_life(Technology::Edlc).unwrap() as f64,
+                    consumed: *cycles as f64 / typical_cycle_life(Technology::Edlc).unwrap() as f64,
                 };
                 projected_lifetime(&wear, ta::HORIZON.elapsed_since_origin())
                     .map_or("unlimited".to_string(), |d| {

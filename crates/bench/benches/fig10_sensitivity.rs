@@ -58,8 +58,7 @@ fn main() {
             50,
             SimDuration::from_secs(45),
         );
-        let horizon =
-            events.last().copied().unwrap_or(SimTime::ZERO) + SimDuration::from_secs(120);
+        let horizon = events.last().copied().unwrap_or(SimTime::ZERO) + SimDuration::from_secs(120);
         let n_events = events.len();
         let mut sim = ta::build(v, events, FIGURE_SEED);
         sim.run_until(horizon);
@@ -76,7 +75,10 @@ fn main() {
     sweep_footer(&ta_report);
 
     println!("GestureFast (80 events per sequence; Pwr / Fixed / CB-P as in the paper):");
-    println!("  {:>10} {:>8} {:>8} {:>8}", "mean(s)", "Pwr", "Fixed", "CB-P");
+    println!(
+        "  {:>10} {:>8} {:>8} {:>8}",
+        "mean(s)", "Pwr", "Fixed", "CB-P"
+    );
     let grc_spec = grid("fig10-grc", &GRC_MEANS, &GRC_VARIANTS);
     let (grc_report, grc_reported) = run_sweep_with(&grc_spec, |point| {
         let mean_s = point.expect_param("mean_s") as u64;
@@ -87,8 +89,7 @@ fn main() {
             80,
             SimDuration::from_secs(3),
         );
-        let horizon =
-            events.last().copied().unwrap_or(SimTime::ZERO) + SimDuration::from_secs(60);
+        let horizon = events.last().copied().unwrap_or(SimTime::ZERO) + SimDuration::from_secs(60);
         let n_events = events.len();
         let mut sim = grc::build(v, GrcVariant::Fast, events, FIGURE_SEED);
         sim.run_until(horizon);

@@ -57,11 +57,8 @@ fn main() {
         let v = point.expect_axis::<Variant>("variant");
         let mut sim = ta::build(v, events_ref.clone(), FIGURE_SEED);
         sim.run_until(horizon);
-        let classes = intersample_histogram(
-            &sim.ctx().samples,
-            events_ref,
-            SimDuration::from_secs(40),
-        );
+        let classes =
+            intersample_histogram(&sim.ctx().samples, events_ref, SimDuration::from_secs(40));
         let summary = intersample_summary(&classes);
         // Histogram of the >=1 s intervals in the paper's two ranges.
         // Both ranges are guarded explicitly: an interval below 1 s
@@ -86,7 +83,11 @@ fn main() {
             .enumerate()
             .map(|(i, n)| {
                 (
-                    format!("{:>4.1}-{:<4.1}s", 1.0 + 0.5 * i as f64, 1.5 + 0.5 * i as f64),
+                    format!(
+                        "{:>4.1}-{:<4.1}s",
+                        1.0 + 0.5 * i as f64,
+                        1.5 + 0.5 * i as f64
+                    ),
                     *n,
                 )
             })

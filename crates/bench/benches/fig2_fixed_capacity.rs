@@ -76,7 +76,10 @@ struct PanelDetail {
 
 fn run_panel(panel: Fig2Panel) -> (Simulator<ConstantHarvester, Fig2Ctx>, PanelDetail) {
     let power = PowerSystem::builder()
-        .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+        .harvester(ConstantHarvester::new(
+            Watts::from_milli(10.0),
+            Volts::new(3.0),
+        ))
         .bank(panel_bank(panel), SwitchKind::NormallyClosed)
         .build();
     let ctx = Fig2Ctx {
@@ -111,7 +114,11 @@ fn run_panel(panel: Fig2Panel) -> (Simulator<ConstantHarvester, Fig2Ctx>, PanelD
         .task(
             "radio_tx",
             TaskEnergy::Unannotated,
-            |_, mcu| BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power()),
+            |_, mcu| {
+                BleRadio::cc2650()
+                    .tx_packet(25)
+                    .plus_power(mcu.active_power())
+            },
             |ctx: &mut Fig2Ctx| {
                 ctx.packet_times.push(ctx.now);
                 ctx.completed_packets.update(|n| n + 1);
@@ -151,8 +158,7 @@ fn main() {
         "fixed-capacity execution: 15-sample series + radio packet",
     );
     let spec = SweepSpec::new("fig2", HORIZON).axis("panel", &Fig2Panel::ALL);
-    let (report, details) =
-        run_sweep_with(&spec, |point| run_panel(point.expect_axis("panel")));
+    let (report, details) = run_sweep_with(&spec, |point| run_panel(point.expect_axis("panel")));
 
     for (run, detail) in report.runs.iter().zip(&details) {
         let s = &run.summary;

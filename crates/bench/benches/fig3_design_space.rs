@@ -33,10 +33,7 @@ fn main() {
     let v_min = booster.min_operating_voltage();
     let p = booster.input_power_for(mcu.active_power());
 
-    println!(
-        "{:>12} {:>12} {:>16}",
-        "C(uF)", "Mops", "recharge@1mW(s)"
-    );
+    println!("{:>12} {:>12} {:>16}", "C(uF)", "Mops", "recharge@1mW(s)");
     // Log sweep over 10² .. 10⁴ µF, the paper's x-axis.
     let caps: Vec<f64> = (0..=24)
         .map(|i| 100.0 * 10f64.powf(f64::from(i) / 12.0))
@@ -47,8 +44,7 @@ fn main() {
         let c = Farads::from_micro(c_uf);
         let (on_time, _) = capacitor::sustain_time(c, Ohms::ZERO, v_full, p, v_min);
         let mops = on_time.as_secs_f64() * mcu.ops_per_second() / 1e6;
-        let recharge =
-            capacitor::time_to_charge(c, v_min, v_full, Watts::from_milli(1.0) * 0.8);
+        let recharge = capacitor::time_to_charge(c, v_min, v_full, Watts::from_milli(1.0) * 0.8);
         (c_uf, mops, recharge.as_secs_f64())
     });
     for &(c_uf, mops, recharge) in &rows {

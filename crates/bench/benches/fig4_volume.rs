@@ -25,8 +25,7 @@ fn atomicity_mops(unit: &CapacitorSpec, n: usize, mcu: &Mcu, booster: &OutputBoo
     };
     let v_full = Volts::new(2.8).min(unit.rated_voltage());
     let p = booster.input_power_for(mcu.active_power());
-    let (on_time, _) =
-        capacitor::sustain_time(c, esr, v_full, p, booster.min_operating_voltage());
+    let (on_time, _) = capacitor::sustain_time(c, esr, v_full, p, booster.min_operating_voltage());
     on_time.as_secs_f64() * mcu.ops_per_second() / 1e6
 }
 
@@ -38,7 +37,10 @@ fn main() {
     let mcu = Mcu::msp430fr5969_full_speed();
     let booster = OutputBooster::prototype();
 
-    println!("{:>20} {:>6} {:>12} {:>10}", "part", "units", "volume(mm3)", "Mops");
+    println!(
+        "{:>20} {:>6} {:>12} {:>10}",
+        "part", "units", "volume(mm3)", "Mops"
+    );
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for unit in [parts::ceramic_x5r_100uf(), parts::edlc_cph3225a()] {
         let mut points = Vec::new();
@@ -59,7 +61,11 @@ fn main() {
     let ceramic = &series[0].1;
     let edlc = &series[1].1;
     let ceramic_max = ceramic.iter().map(|p| p.1).fold(0.0, f64::max);
-    let edlc_min_useful = edlc.iter().map(|p| p.1).filter(|&m| m > 0.0).fold(f64::MAX, f64::min);
+    let edlc_min_useful = edlc
+        .iter()
+        .map(|p| p.1)
+        .filter(|&m| m > 0.0)
+        .fold(f64::MAX, f64::min);
     println!(
         "observation 1: largest ceramic bank = {ceramic_max:.3} Mops < smallest useful supercap = {edlc_min_useful:.3} Mops: {}",
         edlc_min_useful > ceramic_max

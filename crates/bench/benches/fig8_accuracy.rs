@@ -83,7 +83,11 @@ fn main() {
             },
             |sim, _| {
                 let ctx = sim.ctx();
-                accuracy_fractions(&grc::classify_run(events.len(), &ctx.packets, &ctx.attempts))
+                accuracy_fractions(&grc::classify_run(
+                    events.len(),
+                    &ctx.packets,
+                    &ctx.attempts,
+                ))
             },
         );
         print_variant_rows(rows);

@@ -19,10 +19,10 @@ use capy_apps::metrics::{event_latencies, latency_stats, LatencyStats};
 use capy_apps::observer::PacketLog;
 use capy_apps::{csr, ta};
 use capy_bench::{figure_header, sweep_footer, FIGURE_SEED};
+use capy_units::rng::DetRng;
 use capy_units::{SimDuration, SimTime};
 use capybara::sweep::{run_sweep_extract, SweepSpec};
 use capybara::variant::Variant;
-use capy_units::rng::DetRng;
 
 fn print_row(system: &str, stats: Option<LatencyStats>) {
     match stats {
@@ -30,7 +30,10 @@ fn print_row(system: &str, stats: Option<LatencyStats>) {
             "  {:<8} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             system, s.count, s.mean, s.median, s.p95, s.max
         ),
-        None => println!("  {:<8} {:>6} {:>10} {:>10} {:>10} {:>10}", system, 0, "-", "-", "-", "-"),
+        None => println!(
+            "  {:<8} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            system, 0, "-", "-", "-", "-"
+        ),
     }
 }
 

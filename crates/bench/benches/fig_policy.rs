@@ -23,8 +23,14 @@ fn main() {
 
     let scenarios = [
         ("square", TrackerScenario::benchmark(FIGURE_SEED)),
-        ("steady-strong", TrackerScenario::steady(Watts::from_milli(50.0))),
-        ("steady-weak", TrackerScenario::steady(Watts::from_micro(200.0))),
+        (
+            "steady-strong",
+            TrackerScenario::steady(Watts::from_milli(50.0)),
+        ),
+        (
+            "steady-weak",
+            TrackerScenario::steady(Watts::from_micro(200.0)),
+        ),
     ];
     let (cmp, oracle_reports) = compare_policies(&scenarios, available_workers());
 
@@ -77,14 +83,12 @@ fn main() {
         .expect("ewma in lineup");
     let oracle = cmp.policies.len() - 1;
     let square = 0;
-    let adaptive_wins = (0..STATIC_POLICIES)
-        .all(|p| cmp.completions(ewma, square) > cmp.completions(p, square));
+    let adaptive_wins =
+        (0..STATIC_POLICIES).all(|p| cmp.completions(ewma, square) > cmp.completions(p, square));
     let oracle_bounds = (0..cmp.scenarios.len()).all(|s| {
         (0..cmp.policies.len()).all(|p| cmp.completions(oracle, s) >= cmp.completions(p, s))
     });
-    println!(
-        "  ewma beats every static configuration on 'square': {adaptive_wins}"
-    );
+    println!("  ewma beats every static configuration on 'square': {adaptive_wins}");
     println!("  oracle bounds every policy on every scenario:     {oracle_bounds}");
     sweep_footer(&cmp.report);
 }

@@ -160,7 +160,10 @@ fn charge_bench_system() -> PowerSystem<ConstantHarvester> {
         .with(parts::tantalum_330uf())
         .build();
     PowerSystem::builder()
-        .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+        .harvester(ConstantHarvester::new(
+            Watts::from_milli(10.0),
+            Volts::new(3.0),
+        ))
         .bank(bank, SwitchKind::NormallyClosed)
         .build()
 }
@@ -213,7 +216,10 @@ fn bench_discharge(budget: Duration) -> (Timing, Timing) {
 /// charge/draw repeats bitwise.
 fn build_sleeper() -> Simulator<ConstantHarvester, ()> {
     let power = PowerSystem::builder()
-        .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+        .harvester(ConstantHarvester::new(
+            Watts::from_milli(10.0),
+            Volts::new(3.0),
+        ))
         .bank(
             Bank::builder("sleeper")
                 .with(parts::ceramic_x5r_400uf())
@@ -337,14 +343,22 @@ fn main() {
     let (ta_opt, ta_base) = bench_sim_ab("ta_minute_capy_p", sim_budget, ta_horizon, || {
         ta::build(Variant::CapyP, ta_events.clone(), 7)
     });
-    let (sleep_opt, sleep_base) =
-        bench_sim_ab("duty_cycle_sleeper", sim_budget, sleeper_horizon, build_sleeper);
+    let (sleep_opt, sleep_base) = bench_sim_ab(
+        "duty_cycle_sleeper",
+        sim_budget,
+        sleeper_horizon,
+        build_sleeper,
+    );
     let sweep = bench_sweep(sweep_horizon);
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"capybara-sim-throughput/v1\",\n");
-    let _ = writeln!(json, "  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
     json.push_str(
         "  \"baseline_semantics\": \"same kernel with KernelTuning::baseline() \
          (rail cache and discharge memo disabled)\",\n",

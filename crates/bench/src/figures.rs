@@ -13,9 +13,7 @@ use capy_apps::federated::FederatedGrc;
 use capy_apps::grc::{self, GrcVariant};
 use capy_apps::metrics::accuracy_fractions;
 use capy_capysat::area::BoardAreas;
-use capy_capysat::{
-    eligible_for_leo, splitter_area, switch_array_area, CapySat, LeoConstraints,
-};
+use capy_capysat::{eligible_for_leo, splitter_area, switch_array_area, CapySat, LeoConstraints};
 use capy_power::switch::{BankSwitch, SwitchKind, LATCH_CAPACITANCE};
 use capy_power::technology::parts;
 use capy_units::SimTime;
@@ -184,8 +182,14 @@ pub fn char_area_sweep(workers: usize) -> (SweepReport, Vec<Vec<String>>) {
                 vec![
                     "board area (6x6 cm prototype = 3600 mm^2):".to_string(),
                     format!("  solar panels:        {:>6.0} mm^2", areas.solar.get()),
-                    format!("  power system:        {:>6.0} mm^2", areas.power_system.get()),
-                    format!("  one switch module:   {:>6.0} mm^2", areas.switch_module.get()),
+                    format!(
+                        "  power system:        {:>6.0} mm^2",
+                        areas.power_system.get()
+                    ),
+                    format!(
+                        "  one switch module:   {:>6.0} mm^2",
+                        areas.switch_module.get()
+                    ),
                     format!(
                         "  five switch modules: {:>6.0} mm^2",
                         (areas.switch_module * 5.0).get()
@@ -228,12 +232,7 @@ pub enum CaseItem {
 
 impl CaseItem {
     /// Every case-study section, in printed order.
-    pub const ALL: [Self; 4] = [
-        Self::Eligibility,
-        Self::Flight,
-        Self::Area,
-        Self::Orbits,
-    ];
+    pub const ALL: [Self; 4] = [Self::Eligibility, Self::Flight, Self::Area, Self::Orbits];
 }
 
 impl AxisValue for CaseItem {
@@ -256,62 +255,62 @@ impl AxisValue for CaseItem {
 pub fn capysat_sweep(orbits: u32, workers: usize) -> (SweepReport, Vec<Vec<String>>) {
     let orbit_horizon = SimTime::ZERO + (CapySat::SUNLIT + CapySat::ECLIPSE) * u64::from(orbits);
     let spec = SweepSpec::new("capysat-case-study", orbit_horizon).axis("item", &CaseItem::ALL);
-    run_sweep_tally_on(&spec, workers, |point| match point
-        .expect_axis::<CaseItem>("item")
-    {
-        CaseItem::Eligibility => {
-            let constraints = LeoConstraints::kicksat();
-            let mut lines = vec![format!(
-                "storage budget: {:.0} mm^3 at -40C",
-                constraints.storage_budget_mm3()
-            )];
-            for part in [
-                parts::ceramic_x5r_100uf(),
-                parts::tantalum_1000uf(),
-                parts::edlc_cph3225a(),
-            ] {
-                lines.push(format!(
-                    "  {:<18} eligible={}",
-                    part.name(),
-                    eligible_for_leo(&part, &constraints)
-                ));
+    run_sweep_tally_on(&spec, workers, |point| {
+        match point.expect_axis::<CaseItem>("item") {
+            CaseItem::Eligibility => {
+                let constraints = LeoConstraints::kicksat();
+                let mut lines = vec![format!(
+                    "storage budget: {:.0} mm^3 at -40C",
+                    constraints.storage_budget_mm3()
+                )];
+                for part in [
+                    parts::ceramic_x5r_100uf(),
+                    parts::tantalum_1000uf(),
+                    parts::edlc_cph3225a(),
+                ] {
+                    lines.push(format!(
+                        "  {:<18} eligible={}",
+                        part.name(),
+                        eligible_for_leo(&part, &constraints)
+                    ));
+                }
+                (RunSummary::default(), lines)
             }
-            (RunSummary::default(), lines)
-        }
-        CaseItem::Flight => {
-            let sat = CapySat::flight();
-            let lines = vec![format!(
-                "flight banks: {:.0} mm^3; beacon feasible with boosters: {}; without: {}",
-                sat.storage_volume_mm3(),
-                sat.beacon_feasible(true),
-                sat.beacon_feasible(false)
-            )];
-            (RunSummary::default(), lines)
-        }
-        CaseItem::Area => {
-            let lines = vec![format!(
-                "splitter area: {:.0} mm^2 vs switch array {:.0} mm^2 ({:.0}% — paper: 20%)",
-                splitter_area().get(),
-                switch_array_area(2).get(),
-                splitter_area() / switch_array_area(2) * 100.0
-            )];
-            (RunSummary::default(), lines)
-        }
-        CaseItem::Orbits => {
-            let mut sat = CapySat::flight();
-            let report = sat.run_orbits(orbits);
-            let lines = vec![format!(
-                "{} orbits: samples={} beacons={} failed_beacons={}",
-                orbits, report.samples, report.beacons, report.failed_beacons
-            )];
-            let summary = RunSummary {
-                attempts: report.samples + report.beacons + report.failed_beacons,
-                completions: report.samples + report.beacons,
-                failures: report.failed_beacons,
-                end: orbit_horizon,
-                ..RunSummary::default()
-            };
-            (summary, lines)
+            CaseItem::Flight => {
+                let sat = CapySat::flight();
+                let lines = vec![format!(
+                    "flight banks: {:.0} mm^3; beacon feasible with boosters: {}; without: {}",
+                    sat.storage_volume_mm3(),
+                    sat.beacon_feasible(true),
+                    sat.beacon_feasible(false)
+                )];
+                (RunSummary::default(), lines)
+            }
+            CaseItem::Area => {
+                let lines = vec![format!(
+                    "splitter area: {:.0} mm^2 vs switch array {:.0} mm^2 ({:.0}% — paper: 20%)",
+                    splitter_area().get(),
+                    switch_array_area(2).get(),
+                    splitter_area() / switch_array_area(2) * 100.0
+                )];
+                (RunSummary::default(), lines)
+            }
+            CaseItem::Orbits => {
+                let mut sat = CapySat::flight();
+                let report = sat.run_orbits(orbits);
+                let lines = vec![format!(
+                    "{} orbits: samples={} beacons={} failed_beacons={}",
+                    orbits, report.samples, report.beacons, report.failed_beacons
+                )];
+                let summary = RunSummary {
+                    attempts: report.samples + report.beacons + report.failed_beacons,
+                    completions: report.samples + report.beacons,
+                    failures: report.failed_beacons,
+                    end: orbit_horizon,
+                    ..RunSummary::default()
+                };
+                (summary, lines)
+            }
         }
     })
 }

@@ -56,7 +56,11 @@ pub fn line_chart(series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usiz
         width = width - 3
     ));
     for (si, (name, _)) in series.iter().enumerate() {
-        out.push_str(&format!("           {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+        out.push_str(&format!(
+            "           {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            name
+        ));
     }
     out
 }
@@ -113,7 +117,11 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let bins = vec![("a".to_string(), 10), ("bb".to_string(), 5), ("c".to_string(), 0)];
+        let bins = vec![
+            ("a".to_string(), 10),
+            ("bb".to_string(), 5),
+            ("c".to_string(), 0),
+        ];
         let chart = bar_chart(&bins, 10);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3);

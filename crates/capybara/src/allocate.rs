@@ -101,7 +101,9 @@ impl PlannedBank {
     /// Materializes the bank.
     #[must_use]
     pub fn build(&self) -> Bank {
-        Bank::builder(self.name).with_n(self.unit.clone(), self.units).build()
+        Bank::builder(self.name)
+            .with_n(self.unit.clone(), self.units)
+            .build()
     }
 }
 
@@ -202,12 +204,24 @@ fn required_capacitance(
 
 /// Verifies a mode (total capacitance `c`, parallel `esr`) sustains
 /// `load` from full charge.
-fn mode_sustains(c: Farads, esr: Ohms, load: &TaskLoad, booster: &OutputBooster, full: Volts) -> bool {
+fn mode_sustains(
+    c: Farads,
+    esr: Ohms,
+    load: &TaskLoad,
+    booster: &OutputBooster,
+    full: Volts,
+) -> bool {
     let mut v = full;
     for phase in load.phases() {
         let p = booster.input_power_for(phase.power());
-        match capacitor::discharge(c, esr, v, p, booster.min_operating_voltage(), phase.duration())
-        {
+        match capacitor::discharge(
+            c,
+            esr,
+            v,
+            p,
+            booster.min_operating_voltage(),
+            phase.duration(),
+        ) {
             Discharge::Sustained(v_end) => v = v_end,
             Discharge::Failed(..) => return false,
         }
@@ -304,12 +318,12 @@ pub fn allocate(
             // robust parts; higher increments cycle only when their big
             // modes run, so dense parts are acceptable there.
             let prefer_dense = options.wear_levelling && !banks.is_empty();
-            let unit = pick_unit(missing, prefer_dense, options.max_units_per_bank)
-                .ok_or(AllocateError::Infeasible {
+            let unit = pick_unit(missing, prefer_dense, options.max_units_per_bank).ok_or(
+                AllocateError::Infeasible {
                     task: demands[demand_idx].name,
-                })?;
-            let units =
-                ((missing.get() / unit.capacitance().get()).ceil() as usize).max(1);
+                },
+            )?;
+            let units = ((missing.get() / unit.capacitance().get()).ceil() as usize).max(1);
             if units > options.max_units_per_bank {
                 return Err(AllocateError::Infeasible {
                     task: demands[demand_idx].name,
@@ -361,9 +375,9 @@ fn pick_unit(missing: Farads, prefer_dense: bool, max_units: usize) -> Option<Ca
     } else {
         [robust_unit(), dense_unit()]
     };
-    candidates.into_iter().find(|unit| {
-        (missing.get() / unit.capacitance().get()).ceil() as usize <= max_units
-    })
+    candidates
+        .into_iter()
+        .find(|unit| (missing.get() / unit.capacitance().get()).ceil() as usize <= max_units)
 }
 
 #[cfg(test)]
@@ -375,7 +389,11 @@ mod tests {
     use capy_units::{SimDuration, Watts};
 
     fn load(ms: u64, mw: f64) -> TaskLoad {
-        TaskLoad::new().then(LoadPhase::new("l", SimDuration::from_millis(ms), Watts::from_milli(mw)))
+        TaskLoad::new().then(LoadPhase::new(
+            "l",
+            SimDuration::from_millis(ms),
+            Watts::from_milli(mw),
+        ))
     }
 
     fn booster() -> OutputBooster {

@@ -71,7 +71,11 @@ mod tests {
         assert_eq!(TaskEnergy::Config(m0).exec_mode(), Some(m0));
         assert_eq!(TaskEnergy::Burst(m1).exec_mode(), Some(m1));
         assert_eq!(
-            TaskEnergy::Preburst { burst: m1, exec: m0 }.exec_mode(),
+            TaskEnergy::Preburst {
+                burst: m1,
+                exec: m0
+            }
+            .exec_mode(),
             Some(m0)
         );
     }
@@ -81,7 +85,11 @@ mod tests {
         let m = EnergyMode(2);
         assert_eq!(TaskEnergy::Config(m).precharge_mode(), None);
         assert_eq!(
-            TaskEnergy::Preburst { burst: m, exec: EnergyMode(0) }.precharge_mode(),
+            TaskEnergy::Preburst {
+                burst: m,
+                exec: EnergyMode(0)
+            }
+            .precharge_mode(),
             Some(m)
         );
     }

@@ -133,13 +133,7 @@ impl FaultPlan {
     /// drops to `cap_derate ×` nominal and ESR grows by `esr_scale ×`
     /// (a dead bank is `cap_derate = 0.0`).
     #[must_use]
-    pub fn bank_degraded(
-        self,
-        at: SimTime,
-        bank: BankId,
-        cap_derate: f64,
-        esr_scale: f64,
-    ) -> Self {
+    pub fn bank_degraded(self, at: SimTime, bank: BankId, cap_derate: f64, esr_scale: f64) -> Self {
         self.fault_at(
             at,
             HardwareFault::BankDegraded {
@@ -356,9 +350,9 @@ fn subsample(grid: &[SimTime], options: &KillGridOptions) -> Vec<SimTime> {
         .copied()
         .collect();
     match options.max_points {
-        Some(cap) if cap > 0 && strided.len() > cap => (0..cap)
-            .map(|i| strided[i * strided.len() / cap])
-            .collect(),
+        Some(cap) if cap > 0 && strided.len() > cap => {
+            (0..cap).map(|i| strided[i * strided.len() / cap]).collect()
+        }
         _ => strided,
     }
 }
@@ -407,10 +401,11 @@ where
 
     let selected = subsample(&grid, options);
     #[allow(clippy::cast_precision_loss)]
-    let spec = selected.iter().fold(
-        SweepSpec::new("kill-grid", horizon),
-        |spec, &t| spec.point(format!("kill@{t}"), &[("kill_us", t.as_micros() as f64)]),
-    );
+    let spec = selected
+        .iter()
+        .fold(SweepSpec::new("kill-grid", horizon), |spec, &t| {
+            spec.point(format!("kill@{t}"), &[("kill_us", t.as_micros() as f64)])
+        });
     let workers = if options.workers == 0 {
         available_workers()
     } else {
@@ -685,7 +680,10 @@ mod tests {
         assert!(smoke.is_clean());
         // The subsample is a subset of the full grid.
         let full_times: Vec<SimTime> = full.outcomes.iter().map(|o| o.kill_at).collect();
-        assert!(smoke.outcomes.iter().all(|o| full_times.contains(&o.kill_at)));
+        assert!(smoke
+            .outcomes
+            .iter()
+            .all(|o| full_times.contains(&o.kill_at)));
     }
 
     #[test]
@@ -702,9 +700,13 @@ mod tests {
         let result = sim.run_until(HORIZON);
         assert_eq!(result, StepResult::Progress);
         let events = sim.events();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, SimEvent::BankFailed { bank: BankId(0), .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SimEvent::BankFailed {
+                bank: BankId(0),
+                ..
+            }
+        )));
         let failed_at = events
             .iter()
             .find_map(|e| match e {

@@ -107,7 +107,10 @@ pub mod prelude {
         StaticAnnotation,
     };
     pub use crate::provision::{provision_bank_units, ProvisioningReport};
-    pub use crate::sim::{BuildError, SimContext, SimEvent, Simulator, SimulatorBuilder, StepResult};
+    pub use crate::sim::{
+        BuildError, RunLimits, RunOutcome, SimContext, SimEvent, Simulator, SimulatorBuilder,
+        StepResult,
+    };
     pub use crate::sweep::{
         run_sweep, run_sweep_tally, run_sweep_with, AxisError, AxisTable, AxisValue, RunSummary,
         SweepPoint, SweepReport, SweepRun, SweepSpec, WorkerStats,

@@ -236,6 +236,9 @@ mod tests {
         let _ = t.add("small", &[BankId(0)]);
         let _ = t.add("big", &[BankId(1)]);
         assert!(!t.remap_excluding(&[BankId(1)]).is_empty());
-        assert!(t.remap_excluding(&[BankId(1)]).is_empty(), "second remap is a no-op");
+        assert!(
+            t.remap_excluding(&[BankId(1)]).is_empty(),
+            "second remap is a no-op"
+        );
     }
 }

@@ -212,7 +212,10 @@ impl ReactiveDownsize {
     /// Panics when `ladder` is empty.
     #[must_use]
     pub fn new(ladder: Vec<EnergyMode>, timeout: SimDuration) -> Self {
-        assert!(!ladder.is_empty(), "the mode ladder needs at least one tier");
+        assert!(
+            !ladder.is_empty(),
+            "the mode ladder needs at least one tier"
+        );
         let top = ladder.len() - 1;
         Self {
             ladder,
@@ -532,7 +535,10 @@ where
     B: Fn(Box<dyn ReconfigPolicy>) -> Simulator<H, C>,
     S: Fn(&Simulator<H, C>) -> f64,
 {
-    assert!(!candidates.is_empty(), "oracle needs at least one candidate");
+    assert!(
+        !candidates.is_empty(),
+        "oracle needs at least one candidate"
+    );
     let mut scores = Vec::new();
     let mut best: Option<(usize, f64, DecisionLog)> = None;
     for (i, (label, policy)) in candidates.into_iter().enumerate() {
@@ -589,7 +595,9 @@ impl NamedPolicy {
 
 impl core::fmt::Debug for NamedPolicy {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("NamedPolicy").field("label", &self.label).finish()
+        f.debug_struct("NamedPolicy")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -844,7 +852,10 @@ mod tests {
             TaskEnergy::Unannotated,
             TaskEnergy::Config(M1),
             TaskEnergy::Burst(M1),
-            TaskEnergy::Preburst { burst: M1, exec: M0 },
+            TaskEnergy::Preburst {
+                burst: M1,
+                exec: M0,
+            },
         ] {
             assert_eq!(p.decide(&obs(&state, &[], 100.0), a), a);
         }
@@ -857,20 +868,32 @@ mod tests {
         let state = RuntimeState::new(2);
         let mut p = Pinned::new(M1);
         let o = obs(&state, &[], 100.0);
-        assert_eq!(p.decide(&o, TaskEnergy::Unannotated), TaskEnergy::Config(M1));
+        assert_eq!(
+            p.decide(&o, TaskEnergy::Unannotated),
+            TaskEnergy::Config(M1)
+        );
         assert_eq!(p.decide(&o, TaskEnergy::Config(M0)), TaskEnergy::Config(M1));
         assert_eq!(p.decide(&o, TaskEnergy::Burst(M0)), TaskEnergy::Burst(M0));
         assert_eq!(
-            p.decide(&o, TaskEnergy::Preburst { burst: M1, exec: M0 }),
-            TaskEnergy::Preburst { burst: M1, exec: M0 }
+            p.decide(
+                &o,
+                TaskEnergy::Preburst {
+                    burst: M1,
+                    exec: M0
+                }
+            ),
+            TaskEnergy::Preburst {
+                burst: M1,
+                exec: M0
+            }
         );
     }
 
     #[test]
     fn reactive_downsizes_on_slow_charge_and_recovers() {
         let state = RuntimeState::new(2);
-        let mut p = ReactiveDownsize::new(vec![M0, M1], SimDuration::from_secs(10))
-            .with_recovery(2);
+        let mut p =
+            ReactiveDownsize::new(vec![M0, M1], SimDuration::from_secs(10)).with_recovery(2);
         assert_eq!(p.tier(), 1, "starts at the top tier");
 
         // A slow on-path charge sheds a tier.
@@ -881,7 +904,11 @@ mod tests {
         assert_eq!(p.tier(), 0);
 
         // Two fast charges regrow it.
-        let events = [charge_event(0, 60), charge_event(61, 62), charge_event(63, 64)];
+        let events = [
+            charge_event(0, 60),
+            charge_event(61, 62),
+            charge_event(63, 64),
+        ];
         let d = p.decide(&obs(&state, &events, 100.0), TaskEnergy::Config(M1));
         p.commit();
         assert_eq!(d, TaskEnergy::Config(M1));
@@ -936,12 +963,21 @@ mod tests {
         assert!(!o.is_empty());
         assert_eq!(o.source(), "best");
         let ob = obs(&state, &[], 100.0);
-        assert_eq!(o.decide(&ob, TaskEnergy::Unannotated), TaskEnergy::Config(M1));
+        assert_eq!(
+            o.decide(&ob, TaskEnergy::Unannotated),
+            TaskEnergy::Config(M1)
+        );
         o.commit();
-        assert_eq!(o.decide(&ob, TaskEnergy::Unannotated), TaskEnergy::Config(M0));
+        assert_eq!(
+            o.decide(&ob, TaskEnergy::Unannotated),
+            TaskEnergy::Config(M0)
+        );
         o.commit();
         // Replay exhausted: the static annotation is final again.
-        assert_eq!(o.decide(&ob, TaskEnergy::Unannotated), TaskEnergy::Unannotated);
+        assert_eq!(
+            o.decide(&ob, TaskEnergy::Unannotated),
+            TaskEnergy::Unannotated
+        );
     }
 
     #[test]
@@ -962,7 +998,10 @@ mod tests {
         let ob = obs(&state, &[], 100.0);
         let _ = r.decide(&ob, TaskEnergy::Unannotated);
         r.abort();
-        assert!(log.decisions().is_empty(), "aborted decisions are not recorded");
+        assert!(
+            log.decisions().is_empty(),
+            "aborted decisions are not recorded"
+        );
         let _ = r.decide(&ob, TaskEnergy::Unannotated);
         r.commit();
         assert_eq!(log.decisions(), vec![TaskEnergy::Config(M1)]);
@@ -998,7 +1037,9 @@ mod tests {
                 Volts::new(3.0),
             ))
             .bank(
-                Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+                Bank::builder("small")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
                 SwitchKind::NormallyClosed,
             )
             .bank(
@@ -1056,7 +1097,10 @@ mod tests {
             NamedPolicy::new("static", |_| Box::new(StaticAnnotation)),
             NamedPolicy::new("pin-big", |_| Box::new(Pinned::new(M1))),
             NamedPolicy::new("reactive", |_| {
-                Box::new(ReactiveDownsize::new(vec![M0, M1], SimDuration::from_secs(5)))
+                Box::new(ReactiveDownsize::new(
+                    vec![M0, M1],
+                    SimDuration::from_secs(5),
+                ))
             }),
             NamedPolicy::new("ewma", |_| {
                 Box::new(EwmaAdaptive::new(
@@ -1074,8 +1118,7 @@ mod tests {
             sampler(point.expect_param("harvest_uw"), Some(policy))
         };
         let horizon = SimTime::from_secs(20);
-        let serial =
-            run_policy_sweep_on("policy-det", horizon, 7, &policies, &scenarios, 1, build);
+        let serial = run_policy_sweep_on("policy-det", horizon, 7, &policies, &scenarios, 1, build);
         let parallel =
             run_policy_sweep_on("policy-det", horizon, 7, &policies, &scenarios, 4, build);
         assert_eq!(serial.report, parallel.report);

@@ -48,8 +48,14 @@ pub fn bank_sustains(
     let mut v = full.min(unit.rated_voltage());
     for phase in load.phases() {
         let p = booster.input_power_for(phase.power());
-        match capacitor::discharge(c, esr, v, p, booster.min_operating_voltage(), phase.duration())
-        {
+        match capacitor::discharge(
+            c,
+            esr,
+            v,
+            p,
+            booster.min_operating_voltage(),
+            phase.duration(),
+        ) {
             Discharge::Sustained(v_end) => v = v_end,
             Discharge::Failed(..) => return false,
         }
@@ -206,10 +212,15 @@ mod tests {
         // the stored energy; parallel units divide the ESR.
         let unit = parts::edlc_cph3225a();
         let booster = OutputBooster::prototype();
-        assert!(!bank_sustains(&unit, 1, &radio_like_load(), &booster, Volts::new(2.8)));
-        let report =
-            provision_bank_units(&unit, &radio_like_load(), &booster, Volts::new(2.8), 64)
-                .expect("parallel supercaps eventually deliver");
+        assert!(!bank_sustains(
+            &unit,
+            1,
+            &radio_like_load(),
+            &booster,
+            Volts::new(2.8)
+        ));
+        let report = provision_bank_units(&unit, &radio_like_load(), &booster, Volts::new(2.8), 64)
+            .expect("parallel supercaps eventually deliver");
         assert!(report.units > 1);
     }
 
@@ -217,8 +228,20 @@ mod tests {
     fn zero_units_only_sustains_empty_load() {
         let unit = parts::ceramic_x5r_100uf();
         let booster = OutputBooster::prototype();
-        assert!(bank_sustains(&unit, 0, &TaskLoad::new(), &booster, Volts::new(2.8)));
-        assert!(!bank_sustains(&unit, 0, &sample_like_load(), &booster, Volts::new(2.8)));
+        assert!(bank_sustains(
+            &unit,
+            0,
+            &TaskLoad::new(),
+            &booster,
+            Volts::new(2.8)
+        ));
+        assert!(!bank_sustains(
+            &unit,
+            0,
+            &sample_like_load(),
+            &booster,
+            Volts::new(2.8)
+        ));
     }
 
     #[test]
@@ -228,12 +251,8 @@ mod tests {
         // margin for a low-ESR bank.
         let booster = OutputBooster::prototype();
         let load = radio_like_load();
-        let analytic = capacitance_for_energy(
-            measure_task_energy(&load),
-            &booster,
-            Volts::new(2.8),
-            0.0,
-        );
+        let analytic =
+            capacitance_for_energy(measure_task_energy(&load), &booster, Volts::new(2.8), 0.0);
         let iterative = provision_bank_units(
             &parts::ceramic_x5r_100uf(),
             &load,
@@ -264,9 +283,14 @@ mod tests {
         // Heavier load ⇒ at least as many units.
         let unit = parts::ceramic_x5r_100uf();
         let booster = OutputBooster::prototype();
-        let light = provision_bank_units(&unit, &sample_like_load(), &booster, Volts::new(2.8), 4096).unwrap();
-        let heavy_load = sample_like_load().chain(sample_like_load()).chain(radio_like_load());
-        let heavy = provision_bank_units(&unit, &heavy_load, &booster, Volts::new(2.8), 4096).unwrap();
+        let light =
+            provision_bank_units(&unit, &sample_like_load(), &booster, Volts::new(2.8), 4096)
+                .unwrap();
+        let heavy_load = sample_like_load()
+            .chain(sample_like_load())
+            .chain(radio_like_load());
+        let heavy =
+            provision_bank_units(&unit, &heavy_load, &booster, Volts::new(2.8), 4096).unwrap();
         assert!(heavy.units >= light.units);
     }
 }

@@ -318,7 +318,10 @@ mod tests {
         // Preburst's exec mode is honoured, the burst pre-charge is not.
         assert!(plan(
             Variant::CapyR,
-            TaskEnergy::Preburst { burst: M1, exec: M0 },
+            TaskEnergy::Preburst {
+                burst: M1,
+                exec: M0
+            },
             &s,
             false
         )
@@ -351,7 +354,10 @@ mod tests {
         assert_eq!(
             plan(
                 Variant::CapyP,
-                TaskEnergy::Preburst { burst: M1, exec: M0 },
+                TaskEnergy::Preburst {
+                    burst: M1,
+                    exec: M0
+                },
                 &s,
                 false
             ),
@@ -366,7 +372,10 @@ mod tests {
         s.set_current_mode(M0);
         assert!(plan(
             Variant::CapyP,
-            TaskEnergy::Preburst { burst: M1, exec: M0 },
+            TaskEnergy::Preburst {
+                burst: M1,
+                exec: M0
+            },
             &s,
             false
         )
@@ -437,7 +446,10 @@ mod tests {
             TaskEnergy::Config(M0),
             TaskEnergy::Config(M1),
             TaskEnergy::Burst(M1),
-            TaskEnergy::Preburst { burst: M1, exec: M0 },
+            TaskEnergy::Preburst {
+                burst: M1,
+                exec: M0,
+            },
         ];
         let current_modes = [None, Some(M0), Some(M1)];
         for variant in Variant::ALL {
@@ -478,9 +490,8 @@ mod tests {
                             // 4. Pre-charging appears only when the burst
                             //    mode lacks a reservation, and is always
                             //    followed by configuring the exec mode.
-                            if let Some(pos) = steps
-                                .iter()
-                                .position(|s| matches!(s, Step::Precharge(_)))
+                            if let Some(pos) =
+                                steps.iter().position(|s| matches!(s, Step::Precharge(_)))
                             {
                                 assert_eq!(variant, Variant::CapyP);
                                 assert!(!precharged);

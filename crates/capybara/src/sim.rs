@@ -28,7 +28,7 @@ use capy_power::bank::BankId;
 use capy_power::harvester::Harvester;
 use capy_power::switch::SwitchState;
 use capy_power::system::{ChargeOutcome, PowerSystem};
-use capy_units::{SimDuration, SimTime, Volts};
+use capy_units::{Joules, SimDuration, SimTime, Volts};
 
 use crate::annotation::TaskEnergy;
 use crate::mode::{EnergyMode, ModeTable};
@@ -181,20 +181,20 @@ pub fn validate_event_log(events: &[SimEvent]) -> Option<String> {
                 while j > 0 && matches!(events[j - 1], SimEvent::Boot { .. }) {
                     j -= 1;
                 }
-                if let Some(SimEvent::Charge { end, precharge: false, .. }) =
-                    j.checked_sub(1).map(|k| &events[k])
+                if let Some(SimEvent::Charge {
+                    end,
+                    precharge: false,
+                    ..
+                }) = j.checked_sub(1).map(|k| &events[k])
                 {
                     if end == at {
-                        return Some(format!(
-                            "burst at {at} immediately after an on-path charge"
-                        ));
+                        return Some(format!("burst at {at} immediately after an on-path charge"));
                     }
                 }
             }
-            SimEvent::Stalled { .. }
-                if i + 1 != events.len() => {
-                    return Some(format!("events continue after stall at index {i}"));
-                }
+            SimEvent::Stalled { .. } if i + 1 != events.len() => {
+                return Some(format!("events continue after stall at index {i}"));
+            }
             _ => {}
         }
     }
@@ -272,6 +272,85 @@ pub enum StepResult {
 /// before declaring a livelock (generous: real task schedules advance time
 /// every step or two).
 pub const STALL_STEP_BUDGET: u64 = 100_000;
+
+/// First-class execution limits for [`Simulator::run_limited`]: every
+/// field is optional, and an unset field simply never trips. The scenario
+/// runner (`capy-run`) maps each tripped limit to its standardized exit
+/// code; library callers get the same information as a typed
+/// [`RunOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunLimits {
+    /// Stop (successfully) once simulated time reaches this instant —
+    /// the run's horizon.
+    pub max_sim: Option<SimTime>,
+    /// Trip after this many task-attempt steps.
+    pub max_steps: Option<u64>,
+    /// Livelock watchdog: trip after this many consecutive steps with no
+    /// simulated-time advance (defaults to [`STALL_STEP_BUDGET`]).
+    pub no_progress_steps: Option<u64>,
+    /// Trip once the power system has delivered more than this much
+    /// energy to the load.
+    pub max_energy: Option<Joules>,
+}
+
+impl RunLimits {
+    /// The limits [`Simulator::run_until`] runs under: a horizon and the
+    /// default watchdog, nothing else.
+    #[must_use]
+    pub fn until(end: SimTime) -> Self {
+        Self {
+            max_sim: Some(end),
+            ..Self::default()
+        }
+    }
+}
+
+/// Why [`Simulator::run_limited`] returned: either a terminal condition
+/// of the simulation itself (the first three variants) or a tripped
+/// [`RunLimits`] budget (the rest, for which [`RunOutcome::is_limit`] is
+/// `true`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunOutcome {
+    /// Simulated time reached [`RunLimits::max_sim`].
+    HorizonReached,
+    /// The application returned [`Transition::Stop`].
+    Stopped,
+    /// The power system stalled outright (no usable input power, or the
+    /// cold-start supervisor refused to boot).
+    Stalled {
+        /// Mirror of [`StepResult::Stalled`]'s step count.
+        steps: u64,
+    },
+    /// The [`RunLimits::no_progress_steps`] watchdog caught a livelock:
+    /// this many consecutive steps ran without the clock advancing.
+    NoProgress {
+        /// Consecutive zero-advance steps when the watchdog fired.
+        steps: u64,
+    },
+    /// [`RunLimits::max_steps`] was exhausted.
+    StepBudget {
+        /// Steps executed (equals the budget).
+        steps: u64,
+    },
+    /// [`RunLimits::max_energy`] was exceeded.
+    EnergyBudget {
+        /// Energy actually delivered when the budget tripped.
+        delivered: Joules,
+    },
+}
+
+impl RunOutcome {
+    /// `true` for outcomes that mean an explicit [`RunLimits`] budget
+    /// tripped (`capy-run` exit code 2), as opposed to the simulation
+    /// reaching a terminal condition of its own.
+    #[must_use]
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            Self::NoProgress { .. } | Self::StepBudget { .. } | Self::EnergyBudget { .. }
+        )
+    }
+}
 
 /// Consecutive failed task attempts (without an intervening completion)
 /// after which a degradation-enabled simulator runs the bank self-test.
@@ -461,25 +540,68 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
     /// run is declared stalled and a typed
     /// [`StepResult::Stalled`] is returned instead of hanging.
     pub fn run_until(&mut self, end: SimTime) -> StepResult {
+        match self.run_limited(&RunLimits::until(end)) {
+            RunOutcome::HorizonReached => StepResult::Progress,
+            RunOutcome::Stopped => StepResult::Stopped,
+            RunOutcome::Stalled { steps } | RunOutcome::NoProgress { steps } => {
+                StepResult::Stalled { steps }
+            }
+            // `RunLimits::until` sets neither a step nor an energy budget.
+            RunOutcome::StepBudget { .. } | RunOutcome::EnergyBudget { .. } => {
+                unreachable!("run_until sets no step or energy budget")
+            }
+        }
+    }
+
+    /// Runs steps until a [`RunLimits`] budget trips or the simulation
+    /// reaches a terminal condition, whichever is first, and reports
+    /// which as a typed [`RunOutcome`].
+    ///
+    /// This is the engine under [`Simulator::run_until`] (which is
+    /// exactly `run_limited(&RunLimits::until(end))`) and the service
+    /// surface the `capy-run` scenario runner drives: each limit maps to
+    /// a distinct outcome, so a tripped budget is distinguishable from a
+    /// harvester stall or a clean stop. Limit checks run between steps —
+    /// a step is never cut short mid-attempt, so `max_steps` and
+    /// `max_energy` are exceeded by at most one step's worth of work
+    /// before they trip.
+    pub fn run_limited(&mut self, limits: &RunLimits) -> RunOutcome {
+        let watchdog = limits.no_progress_steps.unwrap_or(STALL_STEP_BUDGET);
         let mut no_advance: u64 = 0;
+        let mut steps: u64 = 0;
         loop {
-            if self.now >= end {
-                return StepResult::Progress;
+            if let Some(end) = limits.max_sim {
+                if self.now >= end {
+                    return RunOutcome::HorizonReached;
+                }
             }
             let before = self.now;
             match self.step() {
                 StepResult::Progress => {
+                    steps += 1;
                     if self.now > before {
                         no_advance = 0;
                     } else {
                         no_advance += 1;
-                        if no_advance >= STALL_STEP_BUDGET {
+                        if no_advance >= watchdog {
                             self.stall();
-                            return StepResult::Stalled { steps: no_advance };
+                            return RunOutcome::NoProgress { steps: no_advance };
+                        }
+                    }
+                    if let Some(max) = limits.max_steps {
+                        if steps >= max {
+                            return RunOutcome::StepBudget { steps };
+                        }
+                    }
+                    if let Some(max) = limits.max_energy {
+                        let delivered = self.power.energy_delivered();
+                        if delivered > max {
+                            return RunOutcome::EnergyBudget { delivered };
                         }
                     }
                 }
-                other => return other,
+                StepResult::Stopped => return RunOutcome::Stopped,
+                StepResult::Stalled { steps } => return RunOutcome::Stalled { steps },
             }
         }
     }
@@ -503,7 +625,13 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         // the duration of execution (step handlers borrow `self` mutably)
         // and restored before every return.
         let mut steps = std::mem::take(&mut self.plan_buf);
-        plan_into(self.variant, energy, &self.state, self.needs_charge, &mut steps);
+        plan_into(
+            self.variant,
+            energy,
+            &self.state,
+            self.needs_charge,
+            &mut steps,
+        );
         for i in 0..steps.len() {
             let ok = match steps[i] {
                 Step::ConfigureAndCharge(mode) => self.configure_and_charge(mode, false),
@@ -516,10 +644,8 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
                 }
                 Step::ActivateBurst(mode) => {
                     self.reconfigure(mode);
-                    self.events.push(SimEvent::BurstActivated {
-                        at: self.now,
-                        mode,
-                    });
+                    self.events
+                        .push(SimEvent::BurstActivated { at: self.now, mode });
                     true
                 }
                 Step::ChargeCurrent => self.charge_current(),
@@ -552,7 +678,8 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
                 self.power
                     .draw_with_harvesting(phase.power(), phase.duration(), &mut self.now)
             } else {
-                self.power.draw(phase.power(), phase.duration(), &mut self.now)
+                self.power
+                    .draw(phase.power(), phase.duration(), &mut self.now)
             };
             if !outcome.is_complete() {
                 self.power_failed(task, energy);
@@ -683,9 +810,11 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
     /// members close (avoiding spurious charge-sharing through the rail).
     fn reconfigure(&mut self, mode: EnergyMode) {
         // The runtime's GPIO traffic costs a sliver of active time.
-        let _ = self
-            .power
-            .draw(self.mcu.active_power(), self.reconfig_overhead, &mut self.now);
+        let _ = self.power.draw(
+            self.mcu.active_power(),
+            self.reconfig_overhead,
+            &mut self.now,
+        );
         for i in 0..self.power.bank_count() {
             if !self.modes.contains(mode, BankId(i)) {
                 let _ = self
@@ -701,7 +830,8 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             }
         }
         self.state.set_current_mode(mode);
-        self.events.push(SimEvent::Reconfigure { at: self.now, mode });
+        self.events
+            .push(SimEvent::Reconfigure { at: self.now, mode });
         self.trace_point();
     }
 
@@ -718,7 +848,9 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             return false;
         }
         let boot = self.mcu.boot_load();
-        let _ = self.power.draw(boot.power(), boot.duration(), &mut self.now);
+        let _ = self
+            .power
+            .draw(boot.power(), boot.duration(), &mut self.now);
         self.power.refresh_switches(self.now);
         self.machine.reboot();
         self.on = true;
@@ -743,7 +875,10 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
     /// (like [`RuntimeState`] mutations), so the policy's non-volatile
     /// state commits as soon as the decision is taken.
     fn decide_energy(&mut self, task: TaskId, annotation: TaskEnergy) -> TaskEnergy {
-        let mut policy = self.policy.take().expect("policy present outside decisions");
+        let mut policy = self
+            .policy
+            .take()
+            .expect("policy present outside decisions");
         let decided = {
             let obs = PolicyObservation {
                 now: self.now,
@@ -789,7 +924,8 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         }
         self.on = false;
         self.needs_charge = true;
-        self.events.push(SimEvent::PowerFailure { at: self.now, task });
+        self.events
+            .push(SimEvent::PowerFailure { at: self.now, task });
         self.trace_point();
         self.consecutive_failures += 1;
         if self.degradation && self.consecutive_failures >= DEGRADATION_FAILURE_THRESHOLD {
@@ -900,7 +1036,9 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
             let _ = self.power.command_switch(id, SwitchState::Closed, self.now);
             let contributed = self.power.rail_capacitance(self.now) - residual;
             let _ = self.power.command_switch(id, SwitchState::Open, self.now);
-            let Ok(bank) = self.power.bank(id) else { continue };
+            let Ok(bank) = self.power.bank(id) else {
+                continue;
+            };
             let nominal = bank.nominal_capacitance();
             if contributed.get() < DEGRADATION_CAPACITANCE_FLOOR * nominal.get() {
                 newly_failed.push(id);
@@ -909,12 +1047,16 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
         let found_new = !newly_failed.is_empty();
         for &id in &newly_failed {
             self.state.mark_bank_failed(id);
-            self.events.push(SimEvent::BankFailed { at: self.now, bank: id });
+            self.events.push(SimEvent::BankFailed {
+                at: self.now,
+                bank: id,
+            });
         }
         if found_new {
             let failed = self.state.failed_banks().to_vec();
             for mode in self.modes.remap_excluding(&failed) {
-                self.events.push(SimEvent::ModeRemapped { at: self.now, mode });
+                self.events
+                    .push(SimEvent::ModeRemapped { at: self.now, mode });
             }
         }
         // The probe left every switch commanded open; end in a
@@ -1096,10 +1238,7 @@ impl<H: Harvester, C: SimContext + 'static> SimulatorBuilder<H, C> {
             harvest_during_operation: self.harvest_during_operation,
             degradation: self.degradation,
             consecutive_failures: 0,
-            policy: Some(
-                self.policy
-                    .unwrap_or_else(|| Box::new(StaticAnnotation)),
-            ),
+            policy: Some(self.policy.unwrap_or_else(|| Box::new(StaticAnnotation))),
             plan_buf: Vec::with_capacity(4),
         })
     }
@@ -1111,9 +1250,9 @@ mod tests {
     use capy_device::load::TaskLoad;
     use capy_intermittent::nv::NvVar;
     use capy_power::harvester::{ConstantHarvester, TraceHarvester};
+    use capy_power::prelude::Bank;
     use capy_power::switch::SwitchKind;
     use capy_power::technology::parts;
-    use capy_power::prelude::Bank;
     use capy_units::Watts;
 
     struct Counter {
@@ -1145,9 +1284,14 @@ mod tests {
 
     fn bench_power() -> PowerSystem<ConstantHarvester> {
         PowerSystem::builder()
-            .harvester(ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)))
+            .harvester(ConstantHarvester::new(
+                Watts::from_milli(10.0),
+                Volts::new(3.0),
+            ))
             .bank(
-                Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+                Bank::builder("small")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
                 SwitchKind::NormallyClosed,
             )
             .bank(
@@ -1181,7 +1325,10 @@ mod tests {
         let n = sim.ctx().n.get();
         assert!((48..=52).contains(&n), "n = {n}");
         assert_eq!(sim.exec_stats().failures, 0);
-        assert!(!sim.events().iter().any(|e| matches!(e, SimEvent::Charge { .. })));
+        assert!(!sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::Charge { .. })));
     }
 
     #[test]
@@ -1189,8 +1336,15 @@ mod tests {
         let mut sim = sampling_sim(Variant::CapyR);
         sim.run_until(SimTime::from_secs(30));
         let stats = sim.exec_stats();
-        assert!(stats.completions > 50, "completions = {}", stats.completions);
-        assert!(stats.failures > 0, "an intermittent device must fail sometimes");
+        assert!(
+            stats.completions > 50,
+            "completions = {}",
+            stats.completions
+        );
+        assert!(
+            stats.failures > 0,
+            "an intermittent device must fail sometimes"
+        );
         assert!(stats.reboots > 1);
         // Charges happened, all on the small bank (mode never changes).
         let charges = sim
@@ -1243,9 +1397,13 @@ mod tests {
         // Exactly one pre-charge, one burst activation, and no Charge
         // event between the burst activation and completion.
         let events = sim.events();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, SimEvent::Charge { precharge: true, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SimEvent::Charge {
+                precharge: true,
+                ..
+            }
+        )));
         let burst_at = events
             .iter()
             .find_map(|e| match e {
@@ -1327,7 +1485,9 @@ mod tests {
         let power = PowerSystem::builder()
             .harvester(ConstantHarvester::dark())
             .bank(
-                Bank::builder("only").with(parts::ceramic_x5r_400uf()).build(),
+                Bank::builder("only")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
                 SwitchKind::NormallyClosed,
             )
             .build();
@@ -1345,7 +1505,10 @@ mod tests {
             StepResult::Stalled { steps: 1 }
         );
         assert_eq!(sim.ctx().n.get(), 0);
-        assert!(sim.events().iter().any(|e| matches!(e, SimEvent::Stalled { .. })));
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::Stalled { .. })));
     }
 
     #[test]
@@ -1360,7 +1523,9 @@ mod tests {
                 Volts::ZERO,
             )]))
             .bank(
-                Bank::builder("only").with(parts::ceramic_x5r_400uf()).build(),
+                Bank::builder("only")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
                 SwitchKind::NormallyClosed,
             )
             .build();
@@ -1381,10 +1546,103 @@ mod tests {
             }
         );
         // The stall is recorded on the timeline and the log stays valid.
-        assert!(sim.events().iter().any(|e| matches!(e, SimEvent::Stalled { .. })));
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::Stalled { .. })));
         assert_eq!(validate_event_log(sim.events()), None);
         // Subsequent calls return immediately instead of re-counting.
         assert_eq!(sim.step(), StepResult::Stalled { steps: 1 });
+    }
+
+    #[test]
+    fn step_budget_limit_trips_with_typed_outcome() {
+        let mut sim = sampling_sim(Variant::CapyR);
+        let limits = RunLimits {
+            max_steps: Some(5),
+            ..RunLimits::default()
+        };
+        assert_eq!(
+            sim.run_limited(&limits),
+            RunOutcome::StepBudget { steps: 5 }
+        );
+        assert!(RunOutcome::StepBudget { steps: 5 }.is_limit());
+    }
+
+    #[test]
+    fn energy_budget_limit_trips_with_typed_outcome() {
+        let mut sim = sampling_sim(Variant::CapyR);
+        let limits = RunLimits {
+            max_sim: Some(SimTime::from_secs(30)),
+            max_energy: Some(Joules::from_micro(500.0)),
+            ..RunLimits::default()
+        };
+        let outcome = sim.run_limited(&limits);
+        match outcome {
+            RunOutcome::EnergyBudget { delivered } => {
+                assert!(delivered > Joules::from_micro(500.0));
+                assert!(outcome.is_limit());
+            }
+            other => panic!("expected an energy-budget trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_progress_limit_overrides_default_watchdog() {
+        // Same zero-duration livelock as the watchdog test, but with a
+        // small explicit budget: the typed NoProgress outcome fires at
+        // the configured count instead of STALL_STEP_BUDGET.
+        let power = PowerSystem::builder()
+            .harvester(TraceHarvester::new(vec![(
+                SimTime::ZERO,
+                Watts::ZERO,
+                Volts::ZERO,
+            )]))
+            .bank(
+                Bank::builder("only")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        let mut sim: Simulator<TraceHarvester, Counter> =
+            Simulator::builder(Variant::Continuous, power, Mcu::msp430fr5969())
+                .task(
+                    "spin",
+                    TaskEnergy::Unannotated,
+                    |_, _| TaskLoad::new(),
+                    |_c: &mut Counter| Transition::Stay,
+                )
+                .build(counter());
+        let limits = RunLimits {
+            max_sim: Some(SimTime::from_secs(1)),
+            no_progress_steps: Some(64),
+            ..RunLimits::default()
+        };
+        assert_eq!(
+            sim.run_limited(&limits),
+            RunOutcome::NoProgress { steps: 64 }
+        );
+        // The livelock is recorded as a stall on the timeline, like the
+        // default watchdog's.
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::Stalled { .. })));
+    }
+
+    #[test]
+    fn run_limited_horizon_matches_run_until() {
+        let mut a = sampling_sim(Variant::CapyR);
+        let mut b = sampling_sim(Variant::CapyR);
+        assert_eq!(a.run_until(SimTime::from_secs(10)), StepResult::Progress);
+        assert_eq!(
+            b.run_limited(&RunLimits::until(SimTime::from_secs(10))),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.ctx().n.get(), b.ctx().n.get());
     }
 
     #[test]
@@ -1446,11 +1704,17 @@ mod tests {
         assert!(sim.ctx().n.get() > 0, "mission must continue degraded");
         assert!(sim.events().iter().any(|e| matches!(
             e,
-            SimEvent::BankFailed { bank: BankId(1), .. }
+            SimEvent::BankFailed {
+                bank: BankId(1),
+                ..
+            }
         )));
         assert!(sim.events().iter().any(|e| matches!(
             e,
-            SimEvent::ModeRemapped { mode: EnergyMode(1), .. }
+            SimEvent::ModeRemapped {
+                mode: EnergyMode(1),
+                ..
+            }
         )));
         assert_eq!(sim.runtime_state().failed_banks(), &[BankId(1)]);
         assert_eq!(sim.modes().banks(EnergyMode(1)), &[BankId(0)]);
@@ -1599,7 +1863,11 @@ mod tests {
                 .try_build(counter());
         assert_eq!(build_err(no_tasks), BuildError::NoTasks);
 
-        let err = build_err(one_task_builder().mode("bad", &[BankId(9)]).try_build(counter()));
+        let err = build_err(
+            one_task_builder()
+                .mode("bad", &[BankId(9)])
+                .try_build(counter()),
+        );
         assert_eq!(err, BuildError::BankOutOfRange { bank: 9, banks: 2 });
         assert!(err.to_string().contains("references bank 9"));
     }
@@ -1774,7 +2042,8 @@ mod tests {
     #[test]
     fn precharge_deficit_is_tunable() {
         let mut sim = sampling_sim(Variant::CapyP);
-        sim.runtime_state_mut().set_precharge_deficit(Volts::new(0.0));
+        sim.runtime_state_mut()
+            .set_precharge_deficit(Volts::new(0.0));
         assert_eq!(sim.runtime_state().precharge_deficit(), Volts::new(0.0));
     }
 

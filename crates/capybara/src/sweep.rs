@@ -150,9 +150,7 @@ impl PartialEq for AxisTable {
     fn eq(&self, other: &Self) -> bool {
         // The type-erased values are excluded: two tables declaring the
         // same name, type, and labels describe the same axis.
-        self.name == other.name
-            && self.type_name == other.type_name
-            && self.labels == other.labels
+        self.name == other.name && self.type_name == other.type_name && self.labels == other.labels
     }
 }
 
@@ -887,11 +885,7 @@ impl SweepReport {
         if denom <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .worker_stats
-            .iter()
-            .map(|w| w.busy.as_secs_f64())
-            .sum();
+        let busy: f64 = self.worker_stats.iter().map(|w| w.busy.as_secs_f64()).sum();
         (busy / denom).min(1.0)
     }
 }
@@ -1238,7 +1232,10 @@ mod tests {
     }
 
     fn build(point: &SweepPoint) -> Simulator<ConstantHarvester, Ctx> {
-        sampler(point.expect_param("harvest_uw"), point.expect_param("task_ms") as u64)
+        sampler(
+            point.expect_param("harvest_uw"),
+            point.expect_param("task_ms") as u64,
+        )
     }
 
     #[test]
@@ -1461,7 +1458,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has no parameter 'task_mss' (available: [\"harvest_uw\", \"task_ms\"])")]
+    #[should_panic(
+        expected = "has no parameter 'task_mss' (available: [\"harvest_uw\", \"task_ms\"])"
+    )]
     fn expect_param_lists_available_parameters() {
         let spec = demo_spec();
         let _ = spec.points()[0].expect_param("task_mss");
@@ -1516,7 +1515,10 @@ mod tests {
 
         let unknown = point.axis::<Variant>("varient").unwrap_err();
         let msg = unknown.to_string();
-        assert!(msg.contains("'varient'") && msg.contains("variant"), "{msg}");
+        assert!(
+            msg.contains("'varient'") && msg.contains("variant"),
+            "{msg}"
+        );
         assert_eq!(
             unknown,
             AxisError::UnknownAxis {

@@ -52,7 +52,9 @@ impl CapySat {
     /// full sun).
     #[must_use]
     pub fn flight() -> Self {
-        let comms = Bank::builder("comms").with_n(parts::tantalum_1000uf(), 8).build();
+        let comms = Bank::builder("comms")
+            .with_n(parts::tantalum_1000uf(), 8)
+            .build();
         let sampling = Bank::builder("sampling")
             .with(parts::ceramic_x5r_300uf())
             .build();
@@ -132,11 +134,13 @@ impl CapySat {
         let total = orbit * u64::from(orbits);
         let mut t = SimTime::ZERO;
         while t.elapsed_since_origin() < total {
-            let into_orbit = SimDuration::from_micros(
-                t.as_micros() % orbit.as_micros(),
-            );
+            let into_orbit = SimDuration::from_micros(t.as_micros() % orbit.as_micros());
             let sunlit = into_orbit < Self::SUNLIT;
-            let p_raw = if sunlit { self.sunlit_power } else { Watts::ZERO };
+            let p_raw = if sunlit {
+                self.sunlit_power
+            } else {
+                Watts::ZERO
+            };
 
             // Diode splitter: split between banks still below full.
             let s_full = self.sampling_bank.voltage() >= self.full;

@@ -204,7 +204,11 @@ mod tests {
     use super::*;
 
     fn sample_phase() -> LoadPhase {
-        LoadPhase::new("sample", SimDuration::from_millis(8), Watts::from_milli(1.0))
+        LoadPhase::new(
+            "sample",
+            SimDuration::from_millis(8),
+            Watts::from_milli(1.0),
+        )
     }
 
     fn tx_phase() -> LoadPhase {

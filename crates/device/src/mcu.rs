@@ -142,7 +142,12 @@ impl Mcu {
     /// The boot phase executed on every power-on.
     #[must_use]
     pub fn boot_load(&self) -> LoadPhase {
-        LoadPhase::with_min_voltage("mcu-boot", self.boot_time, self.active_power, self.min_voltage)
+        LoadPhase::with_min_voltage(
+            "mcu-boot",
+            self.boot_time,
+            self.active_power,
+            self.min_voltage,
+        )
     }
 
     /// A pure-compute load of `ops` benchmark iterations.

@@ -191,7 +191,8 @@ impl<T: Clone> NvQueue<T> {
         if self.staged_pops < self.committed.len() {
             Some(&self.committed[self.staged_pops])
         } else {
-            self.staged_pushes.get(self.staged_pops - self.committed.len())
+            self.staged_pushes
+                .get(self.staged_pops - self.committed.len())
         }
     }
 
@@ -335,7 +336,8 @@ mod tests {
                     1 => {
                         // Pop through the combined view.
                         let expect = {
-                            let mut view: VecDeque<u8> = model.iter().chain(staged.iter()).copied().collect();
+                            let mut view: VecDeque<u8> =
+                                model.iter().chain(staged.iter()).copied().collect();
                             let mut popped = None;
                             for _ in 0..=staged_pops {
                                 popped = view.pop_front();

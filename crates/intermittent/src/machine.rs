@@ -170,10 +170,10 @@ mod tests {
                 Transition::To(TaskId(1))
             })
             .task("pong", |c: &mut Counter| {
-            c.n.update(|x| x + 10);
-            Transition::To(TaskId(0))
-        })
-        .build(TaskId(0))
+                c.n.update(|x| x + 10);
+                Transition::To(TaskId(0))
+            })
+            .build(TaskId(0))
     }
 
     #[test]

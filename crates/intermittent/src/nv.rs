@@ -32,7 +32,9 @@ impl<T: Clone> NvVar<T> {
     /// Reads the task-visible value.
     #[must_use]
     pub fn get(&self) -> T {
-        self.working.clone().unwrap_or_else(|| self.committed.clone())
+        self.working
+            .clone()
+            .unwrap_or_else(|| self.committed.clone())
     }
 
     /// Reads the committed value, ignoring any uncommitted write.

@@ -99,10 +99,7 @@ impl<C> TaskGraph<C> {
     /// Looks up a task id by name.
     #[must_use]
     pub fn find(&self, name: &str) -> Option<TaskId> {
-        self.tasks
-            .iter()
-            .position(|t| t.name == name)
-            .map(TaskId)
+        self.tasks.iter().position(|t| t.name == name).map(TaskId)
     }
 
     /// Runs the body of task `id` against `ctx`.
@@ -143,7 +140,10 @@ impl<C> TaskGraphBuilder<C> {
     /// Panics if the graph is empty or `entry` is out of range.
     #[must_use]
     pub fn build(self, entry: TaskId) -> TaskGraph<C> {
-        assert!(!self.tasks.is_empty(), "a task graph needs at least one task");
+        assert!(
+            !self.tasks.is_empty(),
+            "a task graph needs at least one task"
+        );
         assert!(entry.0 < self.tasks.len(), "entry task out of range");
         TaskGraph {
             tasks: self.tasks,

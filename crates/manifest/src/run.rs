@@ -1,0 +1,543 @@
+//! Executes compiled scenarios and renders `capy-result/v1` artifacts.
+//!
+//! A run is **deterministic**: the artifact contains no wall-clock or
+//! host-specific data, so the same manifest produces a bit-identical
+//! `result.json` on every rerun and for any batch worker count (the
+//! golden-determinism tests of the protocol suite). Exit codes are part
+//! of the protocol:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | ran to its outcome, every assertion held |
+//! | 1    | at least one assertion failed |
+//! | 2    | an execution limit tripped ([`RunOutcome::is_limit`]) |
+//! | 3    | the manifest is unreadable, unparseable, or invalid |
+//! | 4    | internal error (a bug in the runner itself) |
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use capy_units::rng::derive_seed;
+use capybara::sim::{RunOutcome, SimEvent};
+use capybara::sweep::{map_points_on, RunSummary, SweepSpec, DEFAULT_BASE_SEED};
+
+use crate::compile::compile;
+use crate::json::JsonValue;
+use crate::model::{variant_keyword, AssertionSpec, EventKind, ScenarioManifest};
+use crate::parse::{parse_manifest, ManifestError};
+
+/// Exit code: ran to its outcome and every assertion held.
+pub const EXIT_PASS: i32 = 0;
+/// Exit code: at least one assertion failed.
+pub const EXIT_ASSERT: i32 = 1;
+/// Exit code: an execution limit tripped.
+pub const EXIT_LIMIT: i32 = 2;
+/// Exit code: the manifest is unreadable, unparseable, or invalid.
+pub const EXIT_MANIFEST: i32 = 3;
+/// Exit code: internal runner error.
+pub const EXIT_INTERNAL: i32 = 4;
+
+/// The `result.json` schema identifier.
+pub const RESULT_SCHEMA: &str = "capy-result/v1";
+
+/// One evaluated assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionResult {
+    /// The assertion, re-rendered in manifest syntax.
+    pub check: String,
+    /// Whether it held.
+    pub passed: bool,
+    /// The observed value, human-readable.
+    pub detail: String,
+}
+
+/// The complete, deterministic outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The manifest's declared name.
+    pub name: String,
+    /// The manifest file, as given to the runner.
+    pub file: String,
+    /// The manifest's declared seed.
+    pub seed: u64,
+    /// The run seed derived from the protocol base seed and the declared
+    /// seed — provenance for future stochastic harvest models
+    /// (independent of batch position, so single-file and batch runs
+    /// agree).
+    pub run_seed: u64,
+    /// The variant keyword.
+    pub variant: &'static str,
+    /// The terminal [`RunOutcome`], as its protocol keyword.
+    pub outcome: &'static str,
+    /// The protocol exit code for this scenario alone.
+    pub exit_code: i32,
+    /// `exit_code == 0`.
+    pub passed: bool,
+    /// The run's aggregate counters.
+    pub summary: RunSummary,
+    /// Fraction of simulated time the device was not charging.
+    pub availability: f64,
+    /// Committed completions per task, manifest order.
+    pub task_completions: Vec<(String, u64)>,
+    /// Every assertion, in manifest order.
+    pub assertions: Vec<AssertionResult>,
+}
+
+fn outcome_keyword(outcome: RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::HorizonReached => "horizon",
+        RunOutcome::Stopped => "stopped",
+        RunOutcome::Stalled { .. } => "stalled",
+        RunOutcome::NoProgress { .. } => "no-progress",
+        RunOutcome::StepBudget { .. } => "step-budget",
+        RunOutcome::EnergyBudget { .. } => "energy-budget",
+    }
+}
+
+fn event_matches(kind: EventKind, event: &SimEvent) -> bool {
+    matches!(
+        (kind, event),
+        (EventKind::Boot, SimEvent::Boot { .. })
+            | (
+                EventKind::Charge,
+                SimEvent::Charge {
+                    precharge: false,
+                    ..
+                }
+            )
+            | (
+                EventKind::Precharge,
+                SimEvent::Charge {
+                    precharge: true,
+                    ..
+                }
+            )
+            | (EventKind::Reconfigure, SimEvent::Reconfigure { .. })
+            | (EventKind::Burst, SimEvent::BurstActivated { .. })
+            | (EventKind::PowerFailure, SimEvent::PowerFailure { .. })
+            | (EventKind::BankFailed, SimEvent::BankFailed { .. })
+            | (EventKind::ModeRemapped, SimEvent::ModeRemapped { .. })
+            | (EventKind::Stalled, SimEvent::Stalled { .. })
+    )
+}
+
+/// Runs `manifest` to its limits and evaluates its assertions.
+/// `file` is recorded verbatim in the artifact.
+///
+/// # Errors
+///
+/// Returns [`ManifestError::Build`] when the scenario does not compile.
+pub fn run_manifest(
+    manifest: &ScenarioManifest,
+    file: &str,
+) -> Result<ScenarioResult, ManifestError> {
+    let compiled = compile(manifest)?;
+    let mut sim = compiled.sim;
+    let outcome = sim.run_limited(&compiled.limits);
+
+    // Wall time is deliberately zeroed: the artifact must be
+    // bit-identical across reruns and hosts.
+    let summary = RunSummary::from_sim(&sim, Duration::ZERO);
+    let availability = 1.0 - summary.charge_fraction();
+    let ctx = sim.ctx();
+
+    let task_completions: Vec<(String, u64)> = manifest
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.clone(), ctx.completions(i)))
+        .collect();
+
+    let task_index = |name: &str| -> usize {
+        manifest
+            .tasks
+            .iter()
+            .position(|t| t.name == name)
+            .expect("parser resolved task references")
+    };
+
+    let assertions: Vec<AssertionResult> = manifest
+        .assertions
+        .iter()
+        .map(|a| match a {
+            AssertionSpec::TaskCompletions { task, op, count } => {
+                let got = ctx.completions(task_index(task));
+                AssertionResult {
+                    check: format!("completions = {task} {} {count}", op.symbol()),
+                    passed: op.holds(got, *count),
+                    detail: format!("task `{task}` committed {got} completions"),
+                }
+            }
+            AssertionSpec::TotalCompletions { op, count } => {
+                let got = ctx.total_completions();
+                AssertionResult {
+                    check: format!("total_completions = {} {count}", op.symbol()),
+                    passed: op.holds(got, *count),
+                    detail: format!("{got} completions committed in total"),
+                }
+            }
+            AssertionSpec::Failures { op, count } => {
+                let got = summary.failures;
+                AssertionResult {
+                    check: format!("failures = {} {count}", op.symbol()),
+                    passed: op.holds(got, *count),
+                    detail: format!("{got} attempts were cut short by power failure"),
+                }
+            }
+            AssertionSpec::RequireEvent(kind) => {
+                let got = sim
+                    .events()
+                    .iter()
+                    .filter(|e| event_matches(*kind, e))
+                    .count();
+                AssertionResult {
+                    check: format!("require_event = {}", kind.keyword()),
+                    passed: got > 0,
+                    detail: format!("{got} `{}` events on the timeline", kind.keyword()),
+                }
+            }
+            AssertionSpec::ForbidEvent(kind) => {
+                let got = sim
+                    .events()
+                    .iter()
+                    .filter(|e| event_matches(*kind, e))
+                    .count();
+                AssertionResult {
+                    check: format!("forbid_event = {}", kind.keyword()),
+                    passed: got == 0,
+                    detail: format!("{got} `{}` events on the timeline", kind.keyword()),
+                }
+            }
+            AssertionSpec::FinalMode(mode) => {
+                let current = sim
+                    .runtime_state()
+                    .current_mode()
+                    .map(|m| manifest.modes[m.0].name.as_str());
+                AssertionResult {
+                    check: format!("final_mode = {mode}"),
+                    passed: current == Some(mode.as_str()),
+                    detail: format!(
+                        "final mode is {}",
+                        current.map_or_else(|| "(none)".to_string(), |m| format!("`{m}`"))
+                    ),
+                }
+            }
+            AssertionSpec::MinAvailability(min) => AssertionResult {
+                check: format!("min_availability = {}", crate::model::fmt_f64(*min)),
+                passed: availability >= *min,
+                detail: format!(
+                    "device was available {:.1}% of simulated time",
+                    availability * 100.0
+                ),
+            },
+        })
+        .collect();
+
+    let exit_code = if outcome.is_limit() {
+        EXIT_LIMIT
+    } else if assertions.iter().any(|a| !a.passed) {
+        EXIT_ASSERT
+    } else {
+        EXIT_PASS
+    };
+
+    Ok(ScenarioResult {
+        name: manifest.name.clone(),
+        file: file.to_string(),
+        seed: manifest.seed,
+        run_seed: derive_seed(DEFAULT_BASE_SEED, manifest.seed),
+        variant: variant_keyword(manifest.variant),
+        outcome: outcome_keyword(outcome),
+        exit_code,
+        passed: exit_code == EXIT_PASS,
+        summary,
+        availability,
+        task_completions,
+        assertions,
+    })
+}
+
+impl ScenarioResult {
+    /// Renders the `capy-result/v1` artifact. Key order is fixed and no
+    /// host-specific value appears, so the text is bit-identical across
+    /// reruns.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let num = |v: u64| JsonValue::Number(v as f64);
+        let summary = JsonValue::Object(vec![
+            ("boots".to_string(), num(self.summary.boots)),
+            ("charges".to_string(), num(self.summary.charges)),
+            ("precharges".to_string(), num(self.summary.precharges)),
+            (
+                "reconfigurations".to_string(),
+                num(self.summary.reconfigurations),
+            ),
+            ("bursts".to_string(), num(self.summary.bursts)),
+            (
+                "power_failures".to_string(),
+                num(self.summary.power_failures),
+            ),
+            ("bank_failures".to_string(), num(self.summary.bank_failures)),
+            ("mode_remaps".to_string(), num(self.summary.mode_remaps)),
+            ("stalled".to_string(), JsonValue::Bool(self.summary.stalled)),
+            (
+                "charge_seconds".to_string(),
+                JsonValue::Number(self.summary.charge_time.as_secs_f64()),
+            ),
+            ("attempts".to_string(), num(self.summary.attempts)),
+            ("completions".to_string(), num(self.summary.completions)),
+            ("failures".to_string(), num(self.summary.failures)),
+            ("reboots".to_string(), num(self.summary.reboots)),
+            (
+                "delivered_joules".to_string(),
+                JsonValue::Number(self.summary.delivered_energy.get()),
+            ),
+            (
+                "availability".to_string(),
+                JsonValue::Number(self.availability),
+            ),
+        ]);
+        let tasks = JsonValue::Object(
+            self.task_completions
+                .iter()
+                .map(|(name, n)| (name.clone(), num(*n)))
+                .collect(),
+        );
+        let assertions = JsonValue::Array(
+            self.assertions
+                .iter()
+                .map(|a| {
+                    JsonValue::Object(vec![
+                        ("check".to_string(), JsonValue::String(a.check.clone())),
+                        ("passed".to_string(), JsonValue::Bool(a.passed)),
+                        ("detail".to_string(), JsonValue::String(a.detail.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            (
+                "schema".to_string(),
+                JsonValue::String(RESULT_SCHEMA.to_string()),
+            ),
+            ("name".to_string(), JsonValue::String(self.name.clone())),
+            ("file".to_string(), JsonValue::String(self.file.clone())),
+            ("seed".to_string(), num(self.seed)),
+            // A u64 does not survive the f64 JSON number type; hex text
+            // keeps the full 64 bits.
+            (
+                "run_seed".to_string(),
+                JsonValue::String(format!("{:#018x}", self.run_seed)),
+            ),
+            (
+                "variant".to_string(),
+                JsonValue::String(self.variant.to_string()),
+            ),
+            (
+                "outcome".to_string(),
+                JsonValue::String(self.outcome.to_string()),
+            ),
+            (
+                "exit_code".to_string(),
+                JsonValue::Number(f64::from(self.exit_code)),
+            ),
+            ("passed".to_string(), JsonValue::Bool(self.passed)),
+            (
+                "sim_seconds".to_string(),
+                JsonValue::Number(self.summary.end.as_secs_f64()),
+            ),
+            ("summary".to_string(), summary),
+            ("task_completions".to_string(), tasks),
+            ("assertions".to_string(), assertions),
+        ])
+    }
+}
+
+/// A minimal `capy-result/v1` artifact for a manifest that never ran
+/// (exit 3): records the error so a batch directory still documents
+/// every input.
+#[must_use]
+pub fn error_result_json(file: &str, error: &ManifestError) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "schema".to_string(),
+            JsonValue::String(RESULT_SCHEMA.to_string()),
+        ),
+        ("file".to_string(), JsonValue::String(file.to_string())),
+        ("error".to_string(), JsonValue::String(error.to_string())),
+        (
+            "exit_code".to_string(),
+            JsonValue::Number(f64::from(EXIT_MANIFEST)),
+        ),
+        ("passed".to_string(), JsonValue::Bool(false)),
+    ])
+}
+
+/// One manifest's batch entry: where it came from, where its artifact
+/// went, and how it ended.
+#[derive(Debug)]
+pub struct BatchEntry {
+    /// The manifest path.
+    pub path: PathBuf,
+    /// The artifact path (written unless the manifest file itself was
+    /// unreadable or the artifact could not be written).
+    pub result_path: PathBuf,
+    /// The scenario result, or the error that prevented one.
+    pub result: Result<ScenarioResult, ManifestError>,
+    /// This entry's exit code.
+    pub exit_code: i32,
+}
+
+/// A finished batch.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-manifest entries, in input order.
+    pub entries: Vec<BatchEntry>,
+    /// The batch exit code: the maximum across entries (so one failure
+    /// fails the batch, and the most severe class wins).
+    pub exit_code: i32,
+}
+
+/// Where a manifest's artifact goes: `<out_dir>/<stem>.result.json`, or
+/// next to the manifest when no `out_dir` is given.
+#[must_use]
+pub fn result_path_for(manifest_path: &Path, out_dir: Option<&Path>) -> PathBuf {
+    let stem = manifest_path
+        .file_stem()
+        .map_or_else(|| "result".to_string(), |s| s.to_string_lossy().to_string());
+    let dir = out_dir.map_or_else(
+        || {
+            manifest_path
+                .parent()
+                .unwrap_or_else(|| Path::new("."))
+                .to_path_buf()
+        },
+        Path::to_path_buf,
+    );
+    dir.join(format!("{stem}.result.json"))
+}
+
+/// Loads, runs, and evaluates one manifest file (no artifact written).
+///
+/// # Errors
+///
+/// Returns a [`ManifestError`] when the file is unreadable, does not
+/// parse, or does not compile.
+pub fn run_file(path: &Path) -> Result<ScenarioResult, ManifestError> {
+    let text = fs::read_to_string(path).map_err(|e| ManifestError::Build {
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    let manifest = parse_manifest(&text)?;
+    run_manifest(&manifest, &path.display().to_string())
+}
+
+/// Runs a batch of manifest files sharded over `workers` threads on the
+/// sweep engine and writes each artifact. Results come back in input
+/// order and each artifact is bit-identical for any worker count.
+#[must_use]
+pub fn run_batch(paths: &[PathBuf], workers: usize, out_dir: Option<&Path>) -> BatchOutcome {
+    let mut spec =
+        SweepSpec::new("capy-run-batch", capy_units::SimTime::ZERO).base_seed(DEFAULT_BASE_SEED);
+    for (i, path) in paths.iter().enumerate() {
+        spec = spec.point(path.display().to_string(), &[("manifest", i as f64)]);
+    }
+
+    let results = map_points_on(&spec, workers.max(1), |point| {
+        let path = &paths[point.index];
+        run_file(path)
+    });
+
+    let mut entries = Vec::with_capacity(paths.len());
+    let mut batch_exit = EXIT_PASS;
+    for (path, result) in paths.iter().zip(results) {
+        let result_path = result_path_for(path, out_dir);
+        let (exit_code, artifact) = match &result {
+            Ok(r) => (r.exit_code, r.to_json()),
+            Err(e) => (
+                EXIT_MANIFEST,
+                error_result_json(&path.display().to_string(), e),
+            ),
+        };
+        let exit_code = match fs::write(&result_path, artifact.pretty()) {
+            Ok(()) => exit_code,
+            Err(_) => EXIT_INTERNAL,
+        };
+        batch_exit = batch_exit.max(exit_code);
+        entries.push(BatchEntry {
+            path: path.clone(),
+            result_path,
+            result,
+            exit_code,
+        });
+    }
+    BatchOutcome {
+        entries,
+        exit_code: batch_exit,
+    }
+}
+
+/// Validates that `text` is well-formed JSON and, when `schema` names a
+/// known schema, that the document structurally matches it.
+///
+/// Known schemas: `capy-result/v1` (requires `name`/`outcome`/
+/// `exit_code`/`passed`/`summary`/`assertions`, or the error form with
+/// `error`) and `capybara-sim-throughput/v1` (requires a non-empty
+/// `cases` array).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem.
+pub fn validate_json(text: &str, schema: Option<&str>) -> Result<(), String> {
+    let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
+    let Some(expected) = schema else {
+        return Ok(());
+    };
+    let declared = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "document has no top-level `schema` string".to_string())?;
+    if declared != expected {
+        return Err(format!("schema is `{declared}`, expected `{expected}`"));
+    }
+    match expected {
+        RESULT_SCHEMA => {
+            if doc.get("error").is_some() {
+                for key in ["file", "exit_code", "passed"] {
+                    if doc.get(key).is_none() {
+                        return Err(format!("error result is missing `{key}`"));
+                    }
+                }
+                return Ok(());
+            }
+            for key in [
+                "name",
+                "file",
+                "variant",
+                "outcome",
+                "exit_code",
+                "passed",
+                "sim_seconds",
+                "summary",
+                "task_completions",
+                "assertions",
+            ] {
+                if doc.get(key).is_none() {
+                    return Err(format!("result is missing `{key}`"));
+                }
+            }
+            Ok(())
+        }
+        "capybara-sim-throughput/v1" => {
+            let cases = doc
+                .get("cases")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| "document has no `cases` array".to_string())?;
+            if cases.is_empty() {
+                return Err("`cases` array is empty".to_string());
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}

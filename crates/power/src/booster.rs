@@ -374,7 +374,12 @@ mod tests {
     #[test]
     fn no_charging_below_min_input() {
         let ib = InputBooster::prototype();
-        let (pw, _) = ib.charge_power(Watts::from_micro(5.0), Volts::new(2.0), None, Volts::new(3.0));
+        let (pw, _) = ib.charge_power(
+            Watts::from_micro(5.0),
+            Volts::new(2.0),
+            None,
+            Volts::new(3.0),
+        );
         assert_eq!(pw, Watts::ZERO);
     }
 
@@ -395,6 +400,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot need less voltage")]
     fn output_booster_rejects_inverted_thresholds() {
-        let _ = OutputBooster::new(Volts::new(3.0), Volts::new(0.5), Volts::new(1.6), 0.85, Watts::ZERO);
+        let _ = OutputBooster::new(
+            Volts::new(3.0),
+            Volts::new(0.5),
+            Volts::new(1.6),
+            0.85,
+            Watts::ZERO,
+        );
     }
 }

@@ -190,10 +190,7 @@ impl CapacitorState {
     /// A capacitor pre-charged to `voltage`.
     #[must_use]
     pub fn at(voltage: Volts) -> Self {
-        Self {
-            voltage,
-            cycles: 0,
-        }
+        Self { voltage, cycles: 0 }
     }
 
     /// Current open-circuit voltage.
@@ -330,7 +327,10 @@ pub fn discharge(
             let v2 = (v0.squared() - 2.0 * power.get() * total / c.get()).max(0.0);
             return Discharge::Sustained(Volts::new(v2.sqrt()));
         }
-        return Discharge::Failed(SimDuration::from_secs_f64(t_fail.max(0.0)), Volts::new(v_floor));
+        return Discharge::Failed(
+            SimDuration::from_secs_f64(t_fail.max(0.0)),
+            Volts::new(v_floor),
+        );
     }
 
     let total = dt.as_secs_f64();
@@ -426,13 +426,7 @@ pub fn leak_time(c: Farads, v0: Volts, leakage: Amps, target: Volts) -> SimDurat
 /// Extractable energy from `v0` down to the ESR-limited cutoff under a
 /// constant-power load: the integral the Figure 4 sweep relies on.
 #[must_use]
-pub fn extractable_energy(
-    c: Farads,
-    esr: Ohms,
-    v0: Volts,
-    power: Watts,
-    v_min: Volts,
-) -> Joules {
+pub fn extractable_energy(c: Farads, esr: Ohms, v0: Volts, power: Watts, v_min: Volts) -> Joules {
     let (t, _) = sustain_time(c, esr, v0, power, v_min);
     power * t
 }
@@ -448,7 +442,12 @@ mod tests {
     #[test]
     fn charge_reaches_expected_voltage() {
         // 1 mW into 100 µF for 1 s: V = sqrt(2·1e-3·1 / 1e-4) = sqrt(20).
-        let v = voltage_after_charge(C, Volts::ZERO, Watts::from_milli(1.0), SimDuration::from_secs(1));
+        let v = voltage_after_charge(
+            C,
+            Volts::ZERO,
+            Watts::from_milli(1.0),
+            SimDuration::from_secs(1),
+        );
         assert!((v.get() - 20f64.sqrt()).abs() < 1e-9);
     }
 
@@ -547,9 +546,19 @@ mod tests {
 
     #[test]
     fn leakage_decays_linearly_and_floors_at_zero() {
-        let v = leak(C, Volts::new(2.0), Amps::from_micro(1.0), SimDuration::from_secs(100));
+        let v = leak(
+            C,
+            Volts::new(2.0),
+            Amps::from_micro(1.0),
+            SimDuration::from_secs(100),
+        );
         assert!((v.get() - 1.0).abs() < 1e-9);
-        let v = leak(C, Volts::new(2.0), Amps::from_micro(1.0), SimDuration::from_secs(10_000));
+        let v = leak(
+            C,
+            Volts::new(2.0),
+            Amps::from_micro(1.0),
+            SimDuration::from_secs(10_000),
+        );
         assert_eq!(v, Volts::ZERO);
     }
 
@@ -557,8 +566,14 @@ mod tests {
     fn leak_time_round_trips() {
         let t = leak_time(C, Volts::new(2.0), Amps::from_micro(1.0), Volts::new(1.5));
         assert_eq!(t, SimDuration::from_secs(50));
-        assert_eq!(leak_time(C, Volts::new(1.0), Amps::from_micro(1.0), Volts::new(1.5)), SimDuration::ZERO);
-        assert_eq!(leak_time(C, Volts::new(2.0), Amps::ZERO, Volts::new(1.5)), SimDuration::MAX);
+        assert_eq!(
+            leak_time(C, Volts::new(1.0), Amps::from_micro(1.0), Volts::new(1.5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            leak_time(C, Volts::new(2.0), Amps::ZERO, Volts::new(1.5)),
+            SimDuration::MAX
+        );
     }
 
     #[test]
@@ -653,8 +668,20 @@ mod tests {
                 continue;
             }
             let (lo, hi) = (p1.min(p2), p1.max(p2));
-            let (t_lo, _) = sustain_time(C, Ohms::new(0.5), Volts::new(2.8), Watts::from_milli(hi), Volts::new(0.9));
-            let (t_hi, _) = sustain_time(C, Ohms::new(0.5), Volts::new(2.8), Watts::from_milli(lo), Volts::new(0.9));
+            let (t_lo, _) = sustain_time(
+                C,
+                Ohms::new(0.5),
+                Volts::new(2.8),
+                Watts::from_milli(hi),
+                Volts::new(0.9),
+            );
+            let (t_hi, _) = sustain_time(
+                C,
+                Ohms::new(0.5),
+                Volts::new(2.8),
+                Watts::from_milli(lo),
+                Volts::new(0.9),
+            );
             assert!(t_hi >= t_lo);
         }
     }
@@ -686,8 +713,17 @@ mod tests {
             let v0 = rng.gen_range(1.5f64..3.3);
             let p_mw = rng.gen_range(0.5f64..20.0);
             let esr = rng.gen_range(0.0f64..50.0);
-            let e = extractable_energy(C, Ohms::new(esr), Volts::new(v0), Watts::from_milli(p_mw), Volts::new(0.9));
-            let ideal = C.energy_between(Volts::new(v0), Volts::new(0.9)).get().max(0.0);
+            let e = extractable_energy(
+                C,
+                Ohms::new(esr),
+                Volts::new(v0),
+                Watts::from_milli(p_mw),
+                Volts::new(0.9),
+            );
+            let ideal = C
+                .energy_between(Volts::new(v0), Volts::new(0.9))
+                .get()
+                .max(0.0);
             // Allow integration slack of 2%.
             assert!(e.get() <= ideal * 1.02 + 1e-12);
         }

@@ -173,7 +173,11 @@ impl Harvester for SolarPanel {
         // Open-circuit voltage sags only logarithmically with irradiance;
         // approximate as proportional to the series count with a mild
         // irradiance knee.
-        let knee = if self.irradiance >= 0.1 { 1.0 } else { self.irradiance / 0.1 };
+        let knee = if self.irradiance >= 0.1 {
+            1.0
+        } else {
+            self.irradiance / 0.1
+        };
         self.panel_voltage * (f64::from(self.panels_in_series) * knee)
     }
 }
@@ -307,9 +311,7 @@ impl Harvester for TraceHarvester {
 
     fn valid_until(&self, t: SimTime) -> SimTime {
         let i = self.segment_index(t);
-        self.points
-            .get(i + 1)
-            .map_or(SimTime::MAX, |p| p.0)
+        self.points.get(i + 1).map_or(SimTime::MAX, |p| p.0)
     }
 
     fn open_voltage(&self, t: SimTime) -> Volts {
@@ -369,7 +371,10 @@ mod tests {
     fn solar_scales_with_series_count_and_irradiance() {
         let one = SolarPanel::new(Watts::from_milli(1.0), Volts::new(1.2), 1, 0.5);
         let two = SolarPanel::new(Watts::from_milli(1.0), Volts::new(1.2), 2, 0.5);
-        assert!((two.power_at(SimTime::ZERO).get() / one.power_at(SimTime::ZERO).get() - 2.0).abs() < 1e-12);
+        assert!(
+            (two.power_at(SimTime::ZERO).get() / one.power_at(SimTime::ZERO).get() - 2.0).abs()
+                < 1e-12
+        );
         assert!(two.open_voltage(SimTime::ZERO) > one.open_voltage(SimTime::ZERO));
     }
 
@@ -377,7 +382,10 @@ mod tests {
     fn ta_rig_is_sub_milliwatt() {
         let h = SolarPanel::trisolx_pair_halogen();
         let p = h.power_at(SimTime::ZERO);
-        assert!(p < Watts::from_milli(1.0) && p > Watts::from_micro(100.0), "p = {p}");
+        assert!(
+            p < Watts::from_milli(1.0) && p > Watts::from_micro(100.0),
+            "p = {p}"
+        );
     }
 
     #[test]
@@ -385,13 +393,20 @@ mod tests {
         let tr = TraceHarvester::new(vec![
             (SimTime::ZERO, Watts::from_milli(1.0), Volts::new(2.0)),
             (SimTime::from_secs(10), Watts::ZERO, Volts::ZERO),
-            (SimTime::from_secs(20), Watts::from_milli(2.0), Volts::new(2.0)),
+            (
+                SimTime::from_secs(20),
+                Watts::from_milli(2.0),
+                Volts::new(2.0),
+            ),
         ]);
         assert_eq!(tr.power_at(SimTime::from_secs(5)), Watts::from_milli(1.0));
         assert_eq!(tr.power_at(SimTime::from_secs(10)), Watts::ZERO);
         assert_eq!(tr.power_at(SimTime::from_secs(15)), Watts::ZERO);
         assert_eq!(tr.power_at(SimTime::from_secs(25)), Watts::from_milli(2.0));
-        assert_eq!(tr.valid_until(SimTime::from_secs(5)), SimTime::from_secs(10));
+        assert_eq!(
+            tr.valid_until(SimTime::from_secs(5)),
+            SimTime::from_secs(10)
+        );
         assert_eq!(tr.valid_until(SimTime::from_secs(25)), SimTime::MAX);
     }
 

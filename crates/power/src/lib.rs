@@ -68,12 +68,12 @@ pub mod prelude {
     pub use crate::bank::{Bank, BankBuilder, BankId};
     pub use crate::booster::{Bypass, InputBooster, OutputBooster, VoltageLimiter};
     pub use crate::capacitor::{CapacitorSpec, CapacitorState};
-    pub use crate::lifetime::{bank_wear, typical_cycle_life, WearModel, WearReport};
-    pub use crate::mechanism::Mechanism;
-    pub use crate::mppt::{harvested_power, PvCurve, Tracking};
     pub use crate::harvester::{
         ConstantHarvester, Harvester, RegulatedSupply, RfHarvester, SolarPanel, TraceHarvester,
     };
+    pub use crate::lifetime::{bank_wear, typical_cycle_life, WearModel, WearReport};
+    pub use crate::mechanism::Mechanism;
+    pub use crate::mppt::{harvested_power, PvCurve, Tracking};
     pub use crate::switch::{BankSwitch, SwitchFault, SwitchKind, SwitchState};
     pub use crate::system::{
         ChargeOutcome, DrawOutcome, HardwareFault, KernelTuning, PowerSystem, PowerSystemBuilder,

@@ -121,10 +121,7 @@ impl WearModel {
 /// rate (`cycles` over `observed`). Returns `None` for unlimited banks or
 /// a zero observed rate.
 #[must_use]
-pub fn projected_lifetime(
-    report: &WearReport,
-    observed: SimDuration,
-) -> Option<SimDuration> {
+pub fn projected_lifetime(report: &WearReport, observed: SimDuration) -> Option<SimDuration> {
     let life = report.cycle_life?;
     if report.cycles == 0 || observed.is_zero() {
         return None;
@@ -164,7 +161,9 @@ mod tests {
 
     #[test]
     fn unlimited_bank_never_wears() {
-        let mut bank = Bank::builder("ceramic").with(parts::ceramic_x5r_100uf()).build();
+        let mut bank = Bank::builder("ceramic")
+            .with(parts::ceramic_x5r_100uf())
+            .build();
         for _ in 0..10_000_000u32 {
             if bank.cycles() > 1_000 {
                 break;
@@ -201,7 +200,11 @@ mod tests {
         let (cap, esr) = model.derating(&half);
         assert!((cap - 0.9).abs() < 1e-12);
         assert!((esr - 1.5).abs() < 1e-12);
-        let fresh = WearReport { cycles: 0, cycle_life: Some(500_000), consumed: 0.0 };
+        let fresh = WearReport {
+            cycles: 0,
+            cycle_life: Some(500_000),
+            consumed: 0.0,
+        };
         assert_eq!(model.derating(&fresh), (1.0, 1.0));
     }
 

@@ -122,9 +122,7 @@ impl Mechanism {
     ) -> SimDuration {
         let startup = booster.startup_voltage();
         match self {
-            Mechanism::SwitchedBanks => {
-                capacitor::time_to_charge(small, Volts::ZERO, full, power)
-            }
+            Mechanism::SwitchedBanks => capacitor::time_to_charge(small, Volts::ZERO, full, power),
             Mechanism::TopThreshold => {
                 // Best case: threshold set to the minimum boostable level,
                 // but the whole array charges together.
@@ -166,7 +164,12 @@ mod tests {
             .map(|m| m.cold_start(s, l, full, &booster, p).as_secs_f64())
             .collect();
         assert!(times[0] < times[1], "C {} vs Vtop {}", times[0], times[1]);
-        assert!(times[1] < times[2], "Vtop {} vs Vbot {}", times[1], times[2]);
+        assert!(
+            times[1] < times[2],
+            "Vtop {} vs Vbot {}",
+            times[1],
+            times[2]
+        );
     }
 
     #[test]

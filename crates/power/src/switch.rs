@@ -183,7 +183,12 @@ impl BankSwitch {
     /// full to the gate threshold under latch leakage.
     #[must_use]
     pub fn prototype_retention() -> SimDuration {
-        crate::capacitor::leak_time(LATCH_CAPACITANCE, LATCH_FULL, LATCH_LEAKAGE, LATCH_THRESHOLD)
+        crate::capacitor::leak_time(
+            LATCH_CAPACITANCE,
+            LATCH_FULL,
+            LATCH_LEAKAGE,
+            LATCH_THRESHOLD,
+        )
     }
 
     /// The switch's default-state variant.
@@ -313,7 +318,8 @@ mod tests {
 
     #[test]
     fn custom_retention_is_respected() {
-        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        let mut sw =
+            BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
         sw.command(SwitchState::Closed, SimTime::ZERO);
         assert_eq!(sw.state(SimTime::from_secs(9)), SwitchState::Closed);
         assert_eq!(sw.state(SimTime::from_secs(11)), SwitchState::Open);
@@ -324,19 +330,24 @@ mod tests {
         // The retention comparison is strict: at exactly the deadline the
         // latch voltage sits at the gate threshold and the commanded state
         // still holds; one instant later it is gone.
-        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        let mut sw =
+            BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
         sw.command(SwitchState::Closed, SimTime::ZERO);
         let deadline = sw.decay_deadline();
         assert_eq!(deadline, SimTime::from_secs(10));
         assert_eq!(sw.state(deadline), SwitchState::Closed);
         assert!(!sw.latch_decayed(deadline));
-        assert_eq!(sw.state(deadline + SimDuration::from_micros(1)), SwitchState::Open);
+        assert_eq!(
+            sw.state(deadline + SimDuration::from_micros(1)),
+            SwitchState::Open
+        );
         assert!(sw.latch_decayed(deadline + SimDuration::from_micros(1)));
     }
 
     #[test]
     fn refresh_immediately_before_decay_extends_retention() {
-        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        let mut sw =
+            BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
         sw.command(SwitchState::Closed, SimTime::ZERO);
         // Refresh right at the deadline (latch not yet decayed): the hold
         // window restarts from the refresh instant.
@@ -348,7 +359,8 @@ mod tests {
 
     #[test]
     fn refresh_immediately_after_decay_maintains_the_default() {
-        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        let mut sw =
+            BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
         sw.command(SwitchState::Closed, SimTime::ZERO);
         // One microsecond past the deadline the physical switch has already
         // reverted; replenishment can only maintain the default from here.
@@ -360,7 +372,8 @@ mod tests {
 
     #[test]
     fn command_during_decay_reasserts_control() {
-        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
+        let mut sw =
+            BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(10));
         sw.command(SwitchState::Closed, SimTime::ZERO);
         // Long after decay the switch sits at its default...
         assert_eq!(sw.state(SimTime::from_secs(100)), SwitchState::Open);
@@ -394,7 +407,8 @@ mod tests {
 
     #[test]
     fn weak_latch_decays_prematurely() {
-        let mut sw = BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(100));
+        let mut sw =
+            BankSwitch::with_retention(SwitchKind::NormallyOpen, SimDuration::from_secs(100));
         sw.inject_fault(SwitchFault::WeakLatch { factor: 10.0 });
         sw.command(SwitchState::Closed, SimTime::ZERO);
         assert_eq!(sw.effective_retention(), SimDuration::from_secs(10));
@@ -410,8 +424,16 @@ mod tests {
             let cmd_closed = rng.gen_bool(0.5);
             let kind_nc = rng.gen_bool(0.5);
             let offset_s = rng.gen_range(0u64..10_000);
-            let kind = if kind_nc { SwitchKind::NormallyClosed } else { SwitchKind::NormallyOpen };
-            let cmd = if cmd_closed { SwitchState::Closed } else { SwitchState::Open };
+            let kind = if kind_nc {
+                SwitchKind::NormallyClosed
+            } else {
+                SwitchKind::NormallyOpen
+            };
+            let cmd = if cmd_closed {
+                SwitchState::Closed
+            } else {
+                SwitchState::Open
+            };
             let mut sw = BankSwitch::new(kind);
             sw.command(cmd, SimTime::ZERO);
             let t = SimTime::from_secs(offset_s);

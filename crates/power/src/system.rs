@@ -124,14 +124,20 @@ impl KernelTuning {
     /// All memoization layers enabled (the default).
     #[must_use]
     pub fn optimized() -> Self {
-        Self { rail_cache: true, discharge_memo: true }
+        Self {
+            rail_cache: true,
+            discharge_memo: true,
+        }
     }
 
     /// All memoization layers disabled; every derived quantity is
     /// recomputed from first principles on every operation.
     #[must_use]
     pub fn baseline() -> Self {
-        Self { rail_cache: false, discharge_memo: false }
+        Self {
+            rail_cache: false,
+            discharge_memo: false,
+        }
     }
 }
 
@@ -433,9 +439,7 @@ impl<H: Harvester> PowerSystem<H> {
     /// Total capacitance currently on the rail.
     #[must_use]
     pub fn rail_capacitance(&self, now: SimTime) -> Farads {
-        self.closed_slots(now)
-            .map(|s| s.bank.capacitance())
-            .sum()
+        self.closed_slots(now).map(|s| s.bank.capacitance()).sum()
     }
 
     /// Combined ESR of the rail (parallel combination of closed banks).
@@ -482,10 +486,7 @@ impl<H: Harvester> PowerSystem<H> {
     #[must_use]
     pub fn rail_leakage(&self, now: SimTime) -> Watts {
         let v = self.rail_voltage(now);
-        let i: f64 = self
-            .closed_slots(now)
-            .map(|s| s.bank.leakage().get())
-            .sum();
+        let i: f64 = self.closed_slots(now).map(|s| s.bank.leakage().get()).sum();
         Watts::new(v.get() * i)
     }
 
@@ -617,7 +618,9 @@ impl<H: Harvester> PowerSystem<H> {
             let mut milestone = target;
             if regime == ChargeRegime::Bypass {
                 if let Some(bp) = &self.bypass {
-                    let ceiling = bp.ceiling(hv).min(self.input_booster.cold_start_threshold());
+                    let ceiling = bp
+                        .ceiling(hv)
+                        .min(self.input_booster.cold_start_threshold());
                     if ceiling > v {
                         milestone = milestone.min(ceiling);
                     }
@@ -636,7 +639,9 @@ impl<H: Harvester> PowerSystem<H> {
                 .valid_until(*now)
                 .min(self.next_latch_decay(*now))
                 .min(now.saturating_add(t_to_milestone));
-            let dt = seg_end.saturating_since(*now).max(SimDuration::from_micros(1));
+            let dt = seg_end
+                .saturating_since(*now)
+                .max(SimDuration::from_micros(1));
 
             let v_new = capacitor::voltage_after_charge(c, v, p_net, dt).min(milestone);
             self.set_rail_voltage(*now, v_new);
@@ -785,7 +790,11 @@ impl<H: Harvester> PowerSystem<H> {
                     slot.switch.inject_fault(fault);
                 }
             }
-            HardwareFault::BankDegraded { bank, cap_derate, esr_scale } => {
+            HardwareFault::BankDegraded {
+                bank,
+                cap_derate,
+                esr_scale,
+            } => {
                 if let Some(slot) = self.banks.get_mut(bank.0) {
                     slot.bank.set_derating(cap_derate, esr_scale);
                 }
@@ -827,7 +836,10 @@ impl<H: Harvester> PowerSystem<H> {
         }
         // `share_charge` semantics, allocation-free: total charge over
         // total capacitance across the closed set, in bank order.
-        let total_c: f64 = self.closed_slots(now).map(|s| s.bank.capacitance().get()).sum();
+        let total_c: f64 = self
+            .closed_slots(now)
+            .map(|s| s.bank.capacitance().get())
+            .sum();
         let v = if total_c <= 0.0 {
             Volts::ZERO
         } else {
@@ -1081,7 +1093,11 @@ mod tests {
         sys.charge_until_full(&mut now).unwrap();
         // 730 µF from 2.8 to 0.9 V ≈ 2.6 mJ stored; at 85% the budget
         // sustains ~2.2 mJ of load. A 1 mW × 50 ms load (50 µJ) must pass.
-        let out = sys.draw(Watts::from_milli(1.0), SimDuration::from_millis(50), &mut now);
+        let out = sys.draw(
+            Watts::from_milli(1.0),
+            SimDuration::from_millis(50),
+            &mut now,
+        );
         assert!(out.is_complete());
         assert!(sys.energy_delivered() > Joules::from_micro(49.0));
     }
@@ -1112,7 +1128,11 @@ mod tests {
         sys.charge_until_full(&mut now).unwrap();
         assert_eq!(sys.bank(BankId(0)).unwrap().cycles(), 2);
         // A shallow top-up does not count.
-        let _ = sys.draw(Watts::from_milli(1.0), SimDuration::from_millis(20), &mut now);
+        let _ = sys.draw(
+            Watts::from_milli(1.0),
+            SimDuration::from_millis(20),
+            &mut now,
+        );
         sys.charge_until_full(&mut now).unwrap();
         assert_eq!(sys.bank(BankId(0)).unwrap().cycles(), 2);
     }
@@ -1127,7 +1147,8 @@ mod tests {
         let now = SimTime::ZERO;
         let c_small = sys.rail_capacitance(now);
         assert!((c_small.as_micro() - 730.0).abs() < 1.0);
-        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        sys.command_switch(BankId(1), SwitchState::Closed, now)
+            .unwrap();
         let c_both = sys.rail_capacitance(now);
         assert!((c_both.as_milli() - 68.23).abs() < 0.1, "c = {c_both}");
     }
@@ -1142,7 +1163,8 @@ mod tests {
         let mut now = SimTime::ZERO;
         sys.charge_until_full(&mut now).unwrap();
         let v_before = sys.rail_voltage(now);
-        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        sys.command_switch(BankId(1), SwitchState::Closed, now)
+            .unwrap();
         let v_after = sys.rail_voltage(now);
         // The big empty bank swallows the small bank's charge.
         assert!(v_after < v_before * 0.05, "v_after = {v_after}");
@@ -1161,15 +1183,20 @@ mod tests {
         sys.charge_until_full(&mut now).unwrap();
         let v_full = sys.bank(BankId(0)).unwrap().voltage();
         // Disconnect the big bank, connect the small one.
-        sys.command_switch(BankId(0), SwitchState::Open, now).unwrap();
-        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        sys.command_switch(BankId(0), SwitchState::Open, now)
+            .unwrap();
+        sys.command_switch(BankId(1), SwitchState::Closed, now)
+            .unwrap();
         // Keep switches alive while idling briefly (device powered).
         sys.refresh_switches(now);
         let mut t = now;
         sys.idle(SimDuration::from_secs(30), &mut t);
         // NB: latch retention is ~3 min, so 30 s idle does not revert.
         let v_after = sys.bank(BankId(0)).unwrap().voltage();
-        assert!(v_after > v_full * 0.99, "leakage too aggressive: {v_after} vs {v_full}");
+        assert!(
+            v_after > v_full * 0.99,
+            "leakage too aggressive: {v_after} vs {v_full}"
+        );
         assert!(v_after <= v_full);
     }
 
@@ -1184,7 +1211,8 @@ mod tests {
             .bank(big_bank(), SwitchKind::NormallyOpen)
             .build();
         let mut now = SimTime::ZERO;
-        sys.command_switch(BankId(1), SwitchState::Closed, now).unwrap();
+        sys.command_switch(BankId(1), SwitchState::Closed, now)
+            .unwrap();
         // Charging 68 mF at ~30 µW takes hours; the latch (≈3 min) decays
         // long before, after which only the small bank charges.
         let outcome = sys.charge_until(Volts::new(2.8), &mut now).unwrap();
@@ -1204,7 +1232,8 @@ mod tests {
             .build();
         let mut now = SimTime::ZERO;
         // Software trims to the small bank only.
-        sys.command_switch(BankId(1), SwitchState::Open, now).unwrap();
+        sys.command_switch(BankId(1), SwitchState::Open, now)
+            .unwrap();
         assert_eq!(sys.closed_banks(now).len(), 1);
         // Long unpowered stretch: NC latch decays, bank reconnects.
         sys.idle(SimDuration::from_secs(600), &mut now);
@@ -1275,11 +1304,8 @@ mod tests {
         let mut now = SimTime::ZERO;
         sys.charge_until_full(&mut now).unwrap();
         // 2 mW load under 8 mW net input: surplus keeps the rail full.
-        let out = sys.draw_with_harvesting(
-            Watts::from_milli(2.0),
-            SimDuration::from_secs(30),
-            &mut now,
-        );
+        let out =
+            sys.draw_with_harvesting(Watts::from_milli(2.0), SimDuration::from_secs(30), &mut now);
         assert!(out.is_complete());
         assert!(sys.rail_voltage(now) > Volts::new(2.7));
     }
@@ -1310,7 +1336,10 @@ mod tests {
         let mut now = SimTime::ZERO;
         sys.charge_until_full(&mut now).unwrap();
         sys.inject_fault(
-            HardwareFault::Switch { bank: BankId(0), fault: SwitchFault::StuckOpen },
+            HardwareFault::Switch {
+                bank: BankId(0),
+                fault: SwitchFault::StuckOpen,
+            },
             now,
         )
         .unwrap();
@@ -1330,7 +1359,11 @@ mod tests {
             .build();
         sys.schedule_fault(
             SimTime::from_secs(10),
-            HardwareFault::BankDegraded { bank: BankId(0), cap_derate: 0.0, esr_scale: 1.0 },
+            HardwareFault::BankDegraded {
+                bank: BankId(0),
+                cap_derate: 0.0,
+                esr_scale: 1.0,
+            },
         );
         let mut now = SimTime::ZERO;
         sys.charge_until_full(&mut now).unwrap();
@@ -1347,7 +1380,10 @@ mod tests {
         let mut sys = one_bank_system();
         assert_eq!(
             sys.inject_fault(
-                HardwareFault::Switch { bank: BankId(9), fault: SwitchFault::StuckOpen },
+                HardwareFault::Switch {
+                    bank: BankId(9),
+                    fault: SwitchFault::StuckOpen
+                },
                 SimTime::ZERO,
             )
             .unwrap_err(),
@@ -1367,12 +1403,19 @@ mod tests {
                 SwitchKind::NormallyClosed,
             )
             .build();
-        sys.set_wear_model(Some(WearModel { cap_fade_at_eol: 0.5, esr_growth_at_eol: 2.0 }));
+        sys.set_wear_model(Some(WearModel {
+            cap_fade_at_eol: 0.5,
+            esr_growth_at_eol: 2.0,
+        }));
         let nominal = sys.bank(BankId(0)).unwrap().nominal_capacitance();
         let mut now = SimTime::ZERO;
         for _ in 0..3 {
             sys.charge_until_full(&mut now).unwrap();
-            let _ = sys.draw(Watts::from_milli(10.0), SimDuration::from_secs(60), &mut now);
+            let _ = sys.draw(
+                Watts::from_milli(10.0),
+                SimDuration::from_secs(60),
+                &mut now,
+            );
         }
         let bank = sys.bank(BankId(0)).unwrap();
         assert!(bank.cycles() >= 2);
@@ -1435,7 +1478,10 @@ mod tests {
             let before = sys.charge_segments();
             sys.charge_until_full(&mut now).unwrap();
             let used = sys.charge_segments() - before;
-            assert!(now > SimTime::from_secs(60), "expected a long charge, now = {now}");
+            assert!(
+                now > SimTime::from_secs(60),
+                "expected a long charge, now = {now}"
+            );
             assert!(used <= 10, "segments = {used} under {tuning:?}");
             counts.push(used);
         }
@@ -1460,8 +1506,16 @@ mod tests {
                 base.charge_until(Volts::new(2.5), &mut tb)
             );
             assert_eq!(
-                opt.draw(Watts::from_milli(8.0), SimDuration::from_millis(40), &mut ta),
-                base.draw(Watts::from_milli(8.0), SimDuration::from_millis(40), &mut tb)
+                opt.draw(
+                    Watts::from_milli(8.0),
+                    SimDuration::from_millis(40),
+                    &mut ta
+                ),
+                base.draw(
+                    Watts::from_milli(8.0),
+                    SimDuration::from_millis(40),
+                    &mut tb
+                )
             );
             // Sleep-style micro-draw: from the second cycle on, the memo
             // key repeats verbatim and the optimized side answers from
@@ -1478,8 +1532,10 @@ mod tests {
         }
         // Reconfiguration invalidates the derived cache on the optimized
         // side; both must keep agreeing afterwards.
-        opt.command_switch(BankId(1), SwitchState::Closed, ta).unwrap();
-        base.command_switch(BankId(1), SwitchState::Closed, tb).unwrap();
+        opt.command_switch(BankId(1), SwitchState::Closed, ta)
+            .unwrap();
+        base.command_switch(BankId(1), SwitchState::Closed, tb)
+            .unwrap();
         assert_eq!(
             opt.charge_until(Volts::new(1.8), &mut ta),
             base.charge_until(Volts::new(1.8), &mut tb)

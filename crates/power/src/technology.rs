@@ -229,7 +229,9 @@ mod tests {
 
     #[test]
     fn edlc_has_much_higher_esr() {
-        assert!(parts::edlc_cph3225a().esr().get() > 1000.0 * parts::ceramic_x5r_100uf().esr().get());
+        assert!(
+            parts::edlc_cph3225a().esr().get() > 1000.0 * parts::ceramic_x5r_100uf().esr().get()
+        );
     }
 
     #[test]

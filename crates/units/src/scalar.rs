@@ -444,8 +444,8 @@ impl Mul<SimDuration> for Amps {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimDuration;
     use crate::rng::DetRng;
+    use crate::time::SimDuration;
 
     #[test]
     fn ohms_law_round_trips() {
@@ -492,7 +492,10 @@ mod tests {
     #[test]
     fn voltage_for_zero_or_negative_energy_is_bottom() {
         let c = Farads::from_micro(400.0);
-        assert_eq!(c.voltage_for_energy(Joules::ZERO, Volts::new(1.1)), Volts::new(1.1));
+        assert_eq!(
+            c.voltage_for_energy(Joules::ZERO, Volts::new(1.1)),
+            Volts::new(1.1)
+        );
         assert_eq!(
             c.voltage_for_energy(Joules::new(-1.0), Volts::new(1.1)),
             Volts::new(1.1)
@@ -537,9 +540,13 @@ mod tests {
 
     #[test]
     fn square_mm_accumulates_board_area() {
-        let total: SquareMm = [SquareMm::new(700.0), SquareMm::new(640.0), SquareMm::new(80.0)]
-            .into_iter()
-            .sum();
+        let total: SquareMm = [
+            SquareMm::new(700.0),
+            SquareMm::new(640.0),
+            SquareMm::new(80.0),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total, SquareMm::new(1420.0));
         assert!((SquareMm::new(32.0) / SquareMm::new(160.0) - 0.2).abs() < 1e-12);
     }
@@ -602,7 +609,10 @@ mod tests {
         for _ in 0..256 {
             let a = rng.gen_range(-1e6f64..1e6);
             let b = rng.gen_range(-1e6f64..1e6);
-            assert_eq!(Joules::new(a) + Joules::new(b), Joules::new(b) + Joules::new(a));
+            assert_eq!(
+                Joules::new(a) + Joules::new(b),
+                Joules::new(b) + Joules::new(a)
+            );
         }
     }
 }

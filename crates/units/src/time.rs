@@ -339,7 +339,10 @@ mod tests {
 
     #[test]
     fn saturating_arithmetic_does_not_overflow() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::MAX.saturating_add(SimDuration::from_secs(1)),
             SimDuration::MAX

@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release --example auto_provision`
 
+use capy_units::{SimDuration, SimTime, Volts, Watts};
 use capybara_suite::core::allocate::{allocate, AllocationOptions, TaskDemand};
 use capybara_suite::device::peripherals::{BleRadio, Tmp36};
 use capybara_suite::power::booster::OutputBooster;
 use capybara_suite::prelude::*;
-use capy_units::{SimDuration, SimTime, Volts, Watts};
 
 struct App {
     alarms: NvVar<u32>,
@@ -39,7 +39,9 @@ fn main() {
         .sample()
         .plus_power(mcu.active_power())
         .then(mcu.compute_for(SimDuration::from_millis(5)));
-    let alarm_load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    let alarm_load = BleRadio::cc2650()
+        .tx_packet(25)
+        .plus_power(mcu.active_power());
 
     // 2. Let the allocator derive banks and modes.
     let plan = allocate(

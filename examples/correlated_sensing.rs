@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --release --example correlated_sensing`
 
+use capy_units::rng::DetRng;
 use capybara_suite::apps::csr;
 use capybara_suite::apps::events::grc_schedule;
 use capybara_suite::apps::metrics::{
     accuracy_fractions, classify_reported, event_latencies, latency_stats,
 };
 use capybara_suite::prelude::*;
-use capy_units::rng::DetRng;
 
 fn main() {
     let seed = 2018;

@@ -6,13 +6,13 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
+use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
 use capybara_suite::core::provision::provision_bank_units;
 use capybara_suite::device::peripherals::BleRadio;
 use capybara_suite::power::booster::OutputBooster;
 use capybara_suite::power::capacitor;
 use capybara_suite::prelude::*;
 use capybara_suite::sweep::{map_points, run_sweep, SweepSpec};
-use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
 
 struct SamplerCtx {
     n: NvVar<u64>,
@@ -43,8 +43,10 @@ fn main() {
         "{:>12} {:>14} {:>16}",
         "C (µF)", "atomicity(kops)", "recharge @1mW (s)"
     );
-    let analytic = SweepSpec::new("design-space-analytic", SimTime::ZERO)
-        .grid("c_uf", &[100.0, 330.0, 1_000.0, 3_300.0, 10_000.0, 33_000.0]);
+    let analytic = SweepSpec::new("design-space-analytic", SimTime::ZERO).grid(
+        "c_uf",
+        &[100.0, 330.0, 1_000.0, 3_300.0, 10_000.0, 33_000.0],
+    );
     let rows = map_points(&analytic, |point| {
         let c_uf = point.expect_param("c_uf");
         let c = Farads::from_micro(c_uf);
@@ -58,7 +60,9 @@ fn main() {
     }
 
     println!("\n== Provisioning a bank for a BLE packet (§6.1 methodology) ==\n");
-    let load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    let load = BleRadio::cc2650()
+        .tx_packet(25)
+        .plus_power(mcu.active_power());
     for unit in [
         parts::ceramic_x5r_100uf(),
         parts::tantalum_1000uf(),

@@ -13,17 +13,20 @@
 //! Run with: `cargo run --release --example faults`
 //! (or `-- --smoke` for the quick subsampled CI configuration).
 
+use capy_units::SimTime;
 use capybara_suite::apps::ta;
 use capybara_suite::faults::{explore_kill_grid, FaultPlan, KillGridOptions};
 use capybara_suite::prelude::*;
-use capy_units::SimTime;
 
 const SEED: u64 = 0x417;
 const HORIZON: SimTime = SimTime::from_secs(600);
 
 /// Three temperature excursions in a ten-minute mission.
 fn schedule() -> Vec<SimTime> {
-    [100, 260, 430].iter().map(|&s| SimTime::from_secs(s)).collect()
+    [100, 260, 430]
+        .iter()
+        .map(|&s| SimTime::from_secs(s))
+        .collect()
 }
 
 fn main() {

@@ -3,11 +3,11 @@
 //!
 //! Run with: `cargo run --release --example gesture_remote`
 
+use capy_units::rng::DetRng;
 use capybara_suite::apps::events::grc_schedule;
 use capybara_suite::apps::grc::{self, GrcVariant};
 use capybara_suite::apps::metrics::{accuracy_fractions, event_latencies, latency_stats};
 use capybara_suite::prelude::*;
-use capy_units::rng::DetRng;
 
 fn main() {
     let seed = 2018;

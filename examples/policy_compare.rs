@@ -12,9 +12,9 @@
 //! Run with: `cargo run --release --example policy_compare`
 //! (or `-- --smoke` for the quick single-scenario CI configuration).
 
+use capy_units::Watts;
 use capybara_suite::apps::adaptive::{compare_policies, TrackerScenario};
 use capybara_suite::sweep::available_workers;
-use capy_units::Watts;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -27,8 +27,14 @@ fn main() {
     }
     let mut scenarios = vec![("square", square)];
     if !smoke {
-        scenarios.push(("steady-strong", TrackerScenario::steady(Watts::from_milli(50.0))));
-        scenarios.push(("steady-weak", TrackerScenario::steady(Watts::from_micro(200.0))));
+        scenarios.push((
+            "steady-strong",
+            TrackerScenario::steady(Watts::from_milli(50.0)),
+        ));
+        scenarios.push((
+            "steady-weak",
+            TrackerScenario::steady(Watts::from_micro(200.0)),
+        ));
     }
 
     let (cmp, oracle_reports) = compare_policies(&scenarios, available_workers());

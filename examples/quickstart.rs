@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use capybara_suite::prelude::*;
 use capy_units::{SimDuration, SimTime, Volts, Watts};
+use capybara_suite::prelude::*;
 
 /// Application state: a count of alerts delivered, kept in non-volatile
 /// memory so power failures cannot double- or under-count.
@@ -37,7 +37,10 @@ fn build_sim(variant: Variant) -> Simulator<ConstantHarvester, App> {
         .build();
     let big = Bank::builder("big").with(parts::edlc_7_5mf()).build();
     let power = PowerSystem::builder()
-        .harvester(ConstantHarvester::new(Watts::from_milli(5.0), Volts::new(3.0)))
+        .harvester(ConstantHarvester::new(
+            Watts::from_milli(5.0),
+            Volts::new(3.0),
+        ))
         .bank(small, SwitchKind::NormallyClosed)
         .bank(big, SwitchKind::NormallyOpen)
         .build();

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example temperature_alarm`
 
+use capy_units::rng::DetRng;
 use capybara_suite::apps::events::ta_schedule;
 use capybara_suite::apps::metrics::{
     accuracy_fractions, classify_reported, event_latencies, intersample_histogram,
@@ -11,7 +12,6 @@ use capybara_suite::apps::metrics::{
 };
 use capybara_suite::apps::ta;
 use capybara_suite::prelude::*;
-use capy_units::rng::DetRng;
 
 fn main() {
     let seed = 2018;

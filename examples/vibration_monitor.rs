@@ -8,14 +8,17 @@
 //!
 //! Run with: `cargo run --release --example vibration_monitor`
 
+use capy_units::SimTime;
 use capybara_suite::apps::vibration;
 use capybara_suite::prelude::*;
-use capy_units::SimTime;
 
 fn main() {
     let events: Vec<SimTime> = (1..=12).map(|i| SimTime::from_secs(i * 150)).collect();
     let horizon = SimTime::from_secs(1_900);
-    println!("== Vibration monitor: {} shake events over ~32 minutes ==\n", events.len());
+    println!(
+        "== Vibration monitor: {} shake events over ~32 minutes ==\n",
+        events.len()
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "system", "committed", "uploaded", "dropped", "queued", "uploads", "failures"

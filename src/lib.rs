@@ -12,6 +12,7 @@ pub use capy_apps as apps;
 pub use capy_capysat as capysat;
 pub use capy_device as device;
 pub use capy_intermittent as intermittent;
+pub use capy_manifest as manifest;
 pub use capy_power as power;
 pub use capy_units as units;
 pub use capybara as core;

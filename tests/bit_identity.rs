@@ -11,6 +11,8 @@
 
 use std::time::Duration;
 
+use capy_units::rng::DetRng;
+use capy_units::{SimDuration, SimTime};
 use capybara_suite::apps::events::{fit_span, poisson_events};
 use capybara_suite::apps::grc::{self, GrcVariant};
 use capybara_suite::apps::ta;
@@ -18,18 +20,13 @@ use capybara_suite::power::harvester::Harvester;
 use capybara_suite::power::prelude::KernelTuning;
 use capybara_suite::prelude::*;
 use capybara_suite::sweep::{run_sweep_extract, RunSummary, SweepSpec};
-use capy_units::rng::DetRng;
-use capy_units::{SimDuration, SimTime};
 
 const SEED: u64 = 0xB171D;
 
 /// Runs the same scenario under both kernel tunings and asserts the two
 /// executions are observationally identical, bit for bit.
-fn assert_bit_identical<H, C>(
-    build: impl Fn() -> Simulator<H, C>,
-    horizon: SimTime,
-    label: &str,
-) where
+fn assert_bit_identical<H, C>(build: impl Fn() -> Simulator<H, C>, horizon: SimTime, label: &str)
+where
     H: Harvester,
     C: SimContext,
 {

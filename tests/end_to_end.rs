@@ -1,6 +1,8 @@
 //! Cross-crate integration tests checking the paper's headline claims
 //! (abstract + §6) on shortened but complete experiment runs.
 
+use capy_units::rng::DetRng;
+use capy_units::{SimDuration, SimTime};
 use capybara_suite::apps::events::{fit_span, poisson_events};
 use capybara_suite::apps::grc::{self, GrcVariant};
 use capybara_suite::apps::metrics::{
@@ -8,8 +10,6 @@ use capybara_suite::apps::metrics::{
 };
 use capybara_suite::apps::{csr, ta};
 use capybara_suite::prelude::*;
-use capy_units::{SimDuration, SimTime};
-use capy_units::rng::DetRng;
 
 const SEED: u64 = 0xE2E;
 
@@ -44,7 +44,13 @@ fn detection_accuracy_improves_2x_to_4x_over_fixed() {
 
     // GRC is the application where the factor is largest.
     let events = grc_events(38, span);
-    let fixed = grc::run_for(Variant::Fixed, GrcVariant::Fast, events.clone(), SEED, horizon);
+    let fixed = grc::run_for(
+        Variant::Fixed,
+        GrcVariant::Fast,
+        events.clone(),
+        SEED,
+        horizon,
+    );
     let capy = grc::run_for(Variant::CapyP, GrcVariant::Fast, events, SEED, horizon);
     let f_fixed = accuracy_fractions(&fixed.classify()).correct;
     let f_capy = accuracy_fractions(&capy.classify()).correct;
@@ -83,12 +89,24 @@ fn grc_is_intractable_without_bursts() {
     let span = SimDuration::from_secs(1200);
     let horizon = SimTime::ZERO + span;
     let events = grc_events(38, span);
-    let capy_r = grc::run_for(Variant::CapyR, GrcVariant::Fast, events.clone(), SEED, horizon);
+    let capy_r = grc::run_for(
+        Variant::CapyR,
+        GrcVariant::Fast,
+        events.clone(),
+        SEED,
+        horizon,
+    );
     let capy_p = grc::run_for(Variant::CapyP, GrcVariant::Fast, events, SEED, horizon);
     let r_correct = accuracy_fractions(&capy_r.classify()).correct;
     let p_correct = accuracy_fractions(&capy_p.classify()).correct;
-    assert!(r_correct < 0.1, "CB-R should report ~no gestures, got {r_correct:.2}");
-    assert!(p_correct > 0.5, "CB-P should report most gestures, got {p_correct:.2}");
+    assert!(
+        r_correct < 0.1,
+        "CB-R should report ~no gestures, got {r_correct:.2}"
+    );
+    assert!(
+        p_correct > 0.5,
+        "CB-P should report most gestures, got {p_correct:.2}"
+    );
 }
 
 /// §6.3: Capy-P's pre-charge moves the TA alarm charge off the critical

@@ -4,12 +4,12 @@
 //! no matter how adversarial the input-power timing (§5.2 worries about
 //! exactly such adversarial timing).
 
+use capy_units::rng::DetRng;
+use capy_units::{SimDuration, SimTime, Volts, Watts};
 use capybara_suite::apps::ta;
 use capybara_suite::core::sim::validate_event_log;
 use capybara_suite::policy::{EwmaAdaptive, ReactiveDownsize, ReconfigPolicy, StaticAnnotation};
 use capybara_suite::prelude::*;
-use capy_units::{SimDuration, SimTime, Volts, Watts};
-use capy_units::rng::DetRng;
 
 /// Builds an outage-ridden harvester: random on/off segments.
 fn outage_trace(seed: u64, segments: usize) -> TraceHarvester {
@@ -53,7 +53,9 @@ fn outage_sim(seed: u64, variant: Variant) -> Simulator<TraceHarvester, Ctx> {
     let power = PowerSystem::builder()
         .harvester(outage_trace(seed, 24))
         .bank(
-            Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+            Bank::builder("small")
+                .with(parts::ceramic_x5r_400uf())
+                .build(),
             SwitchKind::NormallyClosed,
         )
         .bank(
@@ -106,7 +108,10 @@ fn prop_outages_never_corrupt_execution() {
         let variant = Variant::ALL[rng.gen_range(0usize..4)];
         let mut sim = outage_sim(seed, variant);
         let result = sim.run_until(SimTime::from_secs(2_500));
-        assert!(matches!(result, StepResult::Progress | StepResult::Stalled { .. }));
+        assert!(matches!(
+            result,
+            StepResult::Progress | StepResult::Stalled { .. }
+        ));
         if let Some(violation) = validate_event_log(sim.events()) {
             panic!("seed {seed} variant {variant}: {violation}");
         }
@@ -120,11 +125,16 @@ fn prop_outages_never_corrupt_execution() {
 /// Like [`outage_sim`] but with a `Config`-annotated sense task (so an
 /// adaptive policy can override its capacity tier) and `policy`
 /// installed.
-fn adaptive_outage_sim(seed: u64, policy: Box<dyn ReconfigPolicy>) -> Simulator<TraceHarvester, Ctx> {
+fn adaptive_outage_sim(
+    seed: u64,
+    policy: Box<dyn ReconfigPolicy>,
+) -> Simulator<TraceHarvester, Ctx> {
     let power = PowerSystem::builder()
         .harvester(outage_trace(seed, 24))
         .bank(
-            Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+            Bank::builder("small")
+                .with(parts::ceramic_x5r_400uf())
+                .build(),
             SwitchKind::NormallyClosed,
         )
         .bank(
@@ -175,7 +185,11 @@ fn adaptive_policies() -> Vec<(&'static str, PolicyCtor)> {
             Box::new(ReactiveDownsize::new(ladder(), SimDuration::from_secs(60)))
         }),
         ("ewma", || {
-            Box::new(EwmaAdaptive::new(ladder(), vec![Watts::from_micro(900.0)], 0.3))
+            Box::new(EwmaAdaptive::new(
+                ladder(),
+                vec![Watts::from_micro(900.0)],
+                0.3,
+            ))
         }),
     ]
 }
@@ -231,17 +245,15 @@ fn static_policy_matches_unpoliced_ta_run_bit_for_bit() {
     let events: Vec<SimTime> = (1..=6).map(|i| SimTime::from_secs(i * 150)).collect();
     let horizon = SimTime::from_secs(1_000);
     let mut plain = ta::build(Variant::CapyP, events.clone(), 77);
-    let mut policed = ta::build_with_policy(
-        Variant::CapyP,
-        events,
-        77,
-        Box::new(StaticAnnotation),
-    );
+    let mut policed = ta::build_with_policy(Variant::CapyP, events, 77, Box::new(StaticAnnotation));
     plain.run_until(horizon);
     policed.run_until(horizon);
     assert_eq!(plain.events(), policed.events());
     assert_eq!(plain.exec_stats(), policed.exec_stats());
-    assert_eq!(plain.ctx().packets.packets(), policed.ctx().packets.packets());
+    assert_eq!(
+        plain.ctx().packets.packets(),
+        policed.ctx().packets.packets()
+    );
 }
 
 /// The full TA application under a long run also keeps a valid timeline.
@@ -269,7 +281,11 @@ fn twenty_four_hour_endurance() {
     assert_eq!(result, StepResult::Progress);
     assert!(sim.now() >= day);
     let stats = sim.exec_stats();
-    assert!(stats.completions > 100_000, "completions = {}", stats.completions);
+    assert!(
+        stats.completions > 100_000,
+        "completions = {}",
+        stats.completions
+    );
     assert_eq!(validate_event_log(sim.events()), None);
     // Alarm count tracks the event count to within losses.
     let alarms = sim.ctx().packets.len();

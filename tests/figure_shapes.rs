@@ -3,6 +3,8 @@
 //! the regression guards for the reproduction — if a refactor of the
 //! physics or runtime breaks a figure, one of these fails.
 
+use capy_units::rng::DetRng;
+use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
 use capybara_suite::apps::events::{fit_span, poisson_events};
 use capybara_suite::apps::grc::{self, GrcVariant};
 use capybara_suite::apps::metrics::{
@@ -17,8 +19,6 @@ use capybara_suite::power::capacitor::{self};
 use capybara_suite::power::mechanism::Mechanism;
 use capybara_suite::power::technology::parts;
 use capybara_suite::prelude::*;
-use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
-use capy_units::rng::DetRng;
 
 const SEED: u64 = 0xF165;
 
@@ -66,8 +66,7 @@ fn fig4_supercap_dominates_but_esr_strands_energy() {
     let booster = OutputBooster::prototype();
     let p = booster.input_power_for(mcu.active_power());
     let mops_for = |c: Farads, esr: Ohms, vmax: Volts| {
-        let (t, _) =
-            capacitor::sustain_time(c, esr, vmax, p, booster.min_operating_voltage());
+        let (t, _) = capacitor::sustain_time(c, esr, vmax, p, booster.min_operating_voltage());
         t.as_secs_f64() * mcu.ops_per_second() / 1e6
     };
     let edlc = parts::edlc_cph3225a();
@@ -80,7 +79,10 @@ fn fig4_supercap_dominates_but_esr_strands_energy() {
     let ceramic = parts::ceramic_x5r_100uf();
     let ceramic_big = mops_for(ceramic.capacitance() * 3.0, Ohms::ZERO, Volts::new(2.8));
     // Order-of-magnitude dominance at comparable volume (3 ceramics ≈ 1 EDLC × 9).
-    assert!(one > 10.0 * ceramic_big, "edlc {one} vs ceramic {ceramic_big}");
+    assert!(
+        one > 10.0 * ceramic_big,
+        "edlc {one} vs ceramic {ceramic_big}"
+    );
     // ESR handicap: doubling the array more than doubles atomicity.
     assert!(two > 2.05 * one, "1u={one} 2u={two}");
 }
@@ -115,7 +117,10 @@ fn fig8_orderings() {
     let g_fixed = g(Variant::Fixed);
     let g_r = g(Variant::CapyR);
     let g_p = g(Variant::CapyP);
-    assert!(g_p >= 1.7 * g_fixed.max(0.01), "CB-P {g_p} vs Fixed {g_fixed}");
+    assert!(
+        g_p >= 1.7 * g_fixed.max(0.01),
+        "CB-P {g_p} vs Fixed {g_fixed}"
+    );
     assert!(g_r < 0.1, "CB-R reports (almost) no gestures: {g_r}");
 }
 
@@ -172,7 +177,9 @@ fn mechanism_cold_start_ordering() {
 fn provisioning_matches_paper_bank_scale() {
     let mcu = Mcu::msp430fr5969();
     let booster = OutputBooster::prototype();
-    let load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    let load = BleRadio::cc2650()
+        .tx_packet(25)
+        .plus_power(mcu.active_power());
     let report = provision_bank_units(&parts::edlc_7_5mf(), &load, &booster, Volts::new(2.8), 8)
         .expect("provisionable");
     // Paper's alarm bank is 8.5 mF; ours should land within a small factor.

@@ -3,17 +3,20 @@
 //! fault with graceful degradation (§5.2's adversarial-timing and
 //! component-failure concerns, checked end to end).
 
+use capy_units::SimTime;
 use capybara_suite::apps::ta;
 use capybara_suite::core::sim::validate_event_log;
 use capybara_suite::faults::{explore_kill_grid, FaultPlan, KillGridOptions};
 use capybara_suite::prelude::*;
-use capy_units::SimTime;
 
 const SEED: u64 = 0x417;
 
 /// A short TA excursion schedule: three alarms in ten minutes.
 fn short_schedule() -> Vec<SimTime> {
-    [100, 260, 430].iter().map(|&s| SimTime::from_secs(s)).collect()
+    [100, 260, 430]
+        .iter()
+        .map(|&s| SimTime::from_secs(s))
+        .collect()
 }
 
 const HORIZON: SimTime = SimTime::from_secs(600);
@@ -35,12 +38,19 @@ fn ta_kill_grid_is_clean_and_worker_count_invariant() {
         serial.digest(),
         serial.violations()
     );
-    assert!(serial.grid_points > 12, "the full grid is larger than the subsample");
+    assert!(
+        serial.grid_points > 12,
+        "the full grid is larger than the subsample"
+    );
     assert_eq!(serial.outcomes.len(), 12);
     // Every explored kill actually perturbed the run and recovered:
     // power failures happened, work still completed.
     for o in &serial.outcomes {
-        assert!(o.summary.completions > 0, "no post-kill progress at {}", o.kill_at);
+        assert!(
+            o.summary.completions > 0,
+            "no post-kill progress at {}",
+            o.kill_at
+        );
         assert_eq!(
             o.summary.attempts,
             o.summary.completions + o.summary.failures
@@ -49,7 +59,10 @@ fn ta_kill_grid_is_clean_and_worker_count_invariant() {
 
     options.workers = 4;
     let parallel = explore_kill_grid(HORIZON, &options, build, |_| Ok(()));
-    assert_eq!(serial, parallel, "kill report must not depend on worker count");
+    assert_eq!(
+        serial, parallel,
+        "kill report must not depend on worker count"
+    );
 }
 
 /// §5.2 graceful degradation at application scale: the TA large (alarm)

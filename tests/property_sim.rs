@@ -2,9 +2,9 @@
 //! robust (no panics, no hangs, conserved accounting) across randomized
 //! hardware configurations, harvester strengths, and task shapes.
 
-use capybara_suite::prelude::*;
-use capy_units::{SimDuration, SimTime, Volts, Watts};
 use capy_units::rng::DetRng;
+use capy_units::{SimDuration, SimTime, Volts, Watts};
+use capybara_suite::prelude::*;
 
 #[derive(Default)]
 struct Ctx {
@@ -58,9 +58,7 @@ fn build(
                 burst: EnergyMode(1),
                 exec: EnergyMode(0),
             },
-            move |_, mcu| {
-                TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(task_ms)))
-            },
+            move |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(task_ms))),
             |c: &mut Ctx| {
                 c.done.update(|n| n + 1);
                 Transition::To(TaskId(1))
@@ -94,7 +92,10 @@ fn prop_sim_is_robust_across_configurations() {
         let variant = Variant::ALL[rng.gen_range(0usize..4)];
         let mut sim = build(harvest_uw, small_units, big_units, task_ms, variant);
         let result = sim.run_until(SimTime::from_secs(120));
-        assert!(matches!(result, StepResult::Progress | StepResult::Stalled { .. }));
+        assert!(matches!(
+            result,
+            StepResult::Progress | StepResult::Stalled { .. }
+        ));
         assert_eq!(sim.ctx().done.get(), sim.exec_stats().completions);
         // Time moved (even a stall takes simulated time to detect) unless
         // the device stalled immediately on a dead harvester.

@@ -2,11 +2,11 @@
 //! actual application task loads: the bank sizes the methodology derives
 //! should be consistent with the paper's chosen banks.
 
+use capy_units::Volts;
 use capybara_suite::core::provision::{bank_sustains, provision_bank_units};
 use capybara_suite::device::peripherals::{Apds9960, BleRadio, Tmp36};
 use capybara_suite::power::booster::OutputBooster;
 use capybara_suite::prelude::*;
-use capy_units::Volts;
 
 const FULL: Volts = Volts::new(2.8);
 
@@ -34,11 +34,19 @@ fn ta_small_bank_sustains_a_sample_loop_iteration() {
 #[test]
 fn ta_alarm_needs_the_large_bank_not_the_small_one() {
     let mcu = Mcu::msp430fr5969();
-    let load = BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power());
+    let load = BleRadio::cc2650()
+        .tx_packet(25)
+        .plus_power(mcu.active_power());
     let booster = OutputBooster::prototype();
 
     // The small bank (400 µF total) cannot carry the alarm.
-    assert!(!bank_sustains(&parts::ceramic_x5r_400uf(), 1, &load, &booster, FULL));
+    assert!(!bank_sustains(
+        &parts::ceramic_x5r_400uf(),
+        1,
+        &load,
+        &booster,
+        FULL
+    ));
 
     // The paper's large bank (1000 µF tantalum + 7.5 mF EDLC ≈ 8.5 mF)
     // can. Check via an 8.5 mF-equivalent EDLC provisioning.
@@ -62,7 +70,9 @@ fn grc_gesture_energy_sits_between_sample_and_joined_task() {
         .recognize_gesture()
         .chain(BleRadio::cc2650().tx_packet_warm(8))
         .plus_power(mcu.active_power());
-    let separate_tx = BleRadio::cc2650().tx_packet(8).plus_power(mcu.active_power());
+    let separate_tx = BleRadio::cc2650()
+        .tx_packet(8)
+        .plus_power(mcu.active_power());
 
     let units_for = |load| {
         provision_bank_units(&parts::edlc_22_5mf(), load, &booster, FULL, 16)
@@ -91,7 +101,13 @@ fn fixed_bank_is_sized_for_the_worst_task() {
         .chain(BleRadio::cc2650().tx_packet_warm(8))
         .plus_power(mcu.active_power());
     // 3 × 22.5 mF EDLC (the fixed bank's EDLC content).
-    assert!(bank_sustains(&parts::edlc_22_5mf(), 3, &joined, &booster, FULL));
+    assert!(bank_sustains(
+        &parts::edlc_22_5mf(),
+        3,
+        &joined,
+        &booster,
+        FULL
+    ));
 }
 
 #[test]
@@ -102,11 +118,19 @@ fn provisioned_bank_always_sustains_its_load() {
     let mcu = Mcu::msp430fr5969();
     let loads = vec![
         Tmp36::new().sample().plus_power(mcu.active_power()),
-        BleRadio::cc2650().tx_packet(25).plus_power(mcu.active_power()),
-        Apds9960::new().recognize_gesture().plus_power(mcu.active_power()),
+        BleRadio::cc2650()
+            .tx_packet(25)
+            .plus_power(mcu.active_power()),
+        Apds9960::new()
+            .recognize_gesture()
+            .plus_power(mcu.active_power()),
     ];
     for load in &loads {
-        for unit in [parts::ceramic_x5r_100uf(), parts::tantalum_1000uf(), parts::edlc_7_5mf()] {
+        for unit in [
+            parts::ceramic_x5r_100uf(),
+            parts::tantalum_1000uf(),
+            parts::edlc_7_5mf(),
+        ] {
             if let Some(report) = provision_bank_units(&unit, load, &booster, FULL, 512) {
                 assert!(
                     bank_sustains(&unit, report.units, load, &booster, FULL),

@@ -3,8 +3,8 @@
 //! interactions — exercised through the full simulator rather than module
 //! unit tests.
 
-use capybara_suite::prelude::*;
 use capy_units::{Joules, SimDuration, SimTime, Volts, Watts};
+use capybara_suite::prelude::*;
 
 struct Ctx {
     bursts: NvVar<u32>,
@@ -30,7 +30,9 @@ fn two_bank_power(harvest_mw: f64) -> PowerSystem<ConstantHarvester> {
             Volts::new(3.0),
         ))
         .bank(
-            Bank::builder("small").with(parts::ceramic_x5r_400uf()).build(),
+            Bank::builder("small")
+                .with(parts::ceramic_x5r_400uf())
+                .build(),
             SwitchKind::NormallyClosed,
         )
         .bank(
@@ -41,30 +43,34 @@ fn two_bank_power(harvest_mw: f64) -> PowerSystem<ConstantHarvester> {
 }
 
 fn looping_burst_sim(harvest_mw: f64) -> Simulator<ConstantHarvester, Ctx> {
-    Simulator::builder(Variant::CapyP, two_bank_power(harvest_mw), Mcu::msp430fr5969())
-        .mode("small", &[BankId(0)])
-        .mode("big", &[BankId(1)])
-        .task(
-            "prep",
-            TaskEnergy::Preburst {
-                burst: EnergyMode(1),
-                exec: EnergyMode(0),
-            },
-            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
-            |_c: &mut Ctx| Transition::To(TaskId(1)),
-        )
-        .task(
-            "burst",
-            TaskEnergy::Burst(EnergyMode(1)),
-            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_secs(2))),
-            |c: &mut Ctx| {
-                c.bursts.update(|n| n + 1);
-                Transition::To(TaskId(0))
-            },
-        )
-        .build(Ctx {
-            bursts: NvVar::new(0),
-        })
+    Simulator::builder(
+        Variant::CapyP,
+        two_bank_power(harvest_mw),
+        Mcu::msp430fr5969(),
+    )
+    .mode("small", &[BankId(0)])
+    .mode("big", &[BankId(1)])
+    .task(
+        "prep",
+        TaskEnergy::Preburst {
+            burst: EnergyMode(1),
+            exec: EnergyMode(0),
+        },
+        |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+        |_c: &mut Ctx| Transition::To(TaskId(1)),
+    )
+    .task(
+        "burst",
+        TaskEnergy::Burst(EnergyMode(1)),
+        |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_secs(2))),
+        |c: &mut Ctx| {
+            c.bursts.update(|n| n + 1);
+            Transition::To(TaskId(0))
+        },
+    )
+    .build(Ctx {
+        bursts: NvVar::new(0),
+    })
 }
 
 #[test]
@@ -76,7 +82,15 @@ fn every_burst_is_preceded_by_its_own_precharge() {
     let precharges = sim
         .events()
         .iter()
-        .filter(|e| matches!(e, SimEvent::Charge { precharge: true, .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                SimEvent::Charge {
+                    precharge: true,
+                    ..
+                }
+            )
+        })
         .count();
     let activations = sim
         .events()
@@ -159,10 +173,16 @@ fn burst_failure_consumes_the_precharge_and_recovers() {
                 bursts: NvVar::new(0),
             });
     sim.run_until(SimTime::from_secs(300));
-    assert_eq!(sim.ctx().bursts.get(), 0, "infeasible burst must never commit");
+    assert_eq!(
+        sim.ctx().bursts.get(),
+        0,
+        "infeasible burst must never commit"
+    );
     assert!(sim.exec_stats().failures > 2);
     // The precharge reservation was consumed by the failed attempt.
-    assert!(!sim.runtime_state().is_precharged(capybara_suite::core::mode::EnergyMode(1)));
+    assert!(!sim
+        .runtime_state()
+        .is_precharged(capybara_suite::core::mode::EnergyMode(1)));
 }
 
 #[test]
