@@ -45,6 +45,12 @@ for artifact in manifests/*.result.json; do
     run "$CAPY_RUN" --validate-json "$artifact" --schema capy-result/v1
 done
 
+# Seeded fuzz smoke gate: a fixed master seed and a small case budget of
+# randomized kill/fault schedules (including correlated rail surges)
+# must recover cleanly; any violation's digest prints the
+# (master_seed, case_index) reproducer. Cheap enough for the quick gate.
+run cargo run --release --example fuzz -- --smoke
+
 if [[ "$QUICK" == "1" ]]; then
     echo "==> ci.sh: quick gate passed (benches skipped)"
     exit 0

@@ -47,6 +47,7 @@ pub const M_SAMPLE: EnergyMode = EnergyMode(0);
 pub const M_REPORT: EnergyMode = EnergyMode(1);
 
 /// Application context.
+#[derive(Clone)]
 pub struct CsrCtx {
     now: SimTime,
     rig: PendulumRig,

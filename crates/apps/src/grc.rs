@@ -91,6 +91,7 @@ const P_EARLY_MISCLASSIFIED: f64 = 0.05;
 const P_LATE_MISCLASSIFIED: f64 = 0.55;
 
 /// Application context.
+#[derive(Clone)]
 pub struct GrcCtx {
     now: SimTime,
     rig: PendulumRig,

@@ -58,6 +58,7 @@ pub const M_ALARM: EnergyMode = EnergyMode(1);
 
 /// Application context: device-resident non-volatile state, the stimulus
 /// rig, and the external measurement instrumentation.
+#[derive(Clone)]
 pub struct TaCtx {
     now: SimTime,
     rig: HeatsinkRig,

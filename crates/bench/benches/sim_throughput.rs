@@ -26,6 +26,7 @@ use capy_power::capacitor;
 use capy_power::harvester::Harvester;
 use capy_power::prelude::{Bank, ConstantHarvester, KernelTuning, PowerSystem};
 use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
+use capybara::faults::{explore_kill_grid, explore_kill_grid_replay, KillGridOptions};
 use capybara::sweep::{run_sweep_extract, SweepSpec};
 
 // --- timing harness -----------------------------------------------------
@@ -280,6 +281,70 @@ fn bench_sweep(horizon: SimTime) -> SweepStats {
     stats
 }
 
+struct KillGridStats {
+    points: usize,
+    wall: Duration,
+    points_per_sec: f64,
+    stepped_sim_s: f64,
+}
+
+/// A/B-runs the snapshot-based kill-grid explorer against the
+/// replay-from-zero reference on a short TA mission: same report (the
+/// explorers are gated bit-identical), very different cost. The
+/// `kill_grid_points_per_s` series records the O(boundary-gap) win in
+/// the perf trajectory.
+fn bench_kill_grid(quick: bool) -> (KillGridStats, KillGridStats) {
+    let horizon = SimTime::from_secs(600);
+    let events: Vec<SimTime> = [100, 260, 430]
+        .iter()
+        .map(|&s| SimTime::from_secs(s))
+        .collect();
+    // A coarse checkpoint stride keeps the record pass cheap (capturing
+    // at every boundary clones the growing event log O(boundaries)
+    // times); kill points between checkpoints re-step the short gap.
+    let options = KillGridOptions {
+        snapshot_stride: 64,
+        ..KillGridOptions::smoke(1, if quick { 16 } else { 48 })
+    };
+    let run = |snapshot: bool| {
+        let build = || ta::build(Variant::CapyP, events.clone(), FIGURE_SEED);
+        let t0 = Instant::now();
+        let report = if snapshot {
+            explore_kill_grid(horizon, &options, build, |_| Ok(()))
+        } else {
+            explore_kill_grid_replay(horizon, &options, build, |_| Ok(()))
+        };
+        let wall = t0.elapsed();
+        assert!(report.is_clean(), "kill grid bench found violations");
+        let stats = KillGridStats {
+            points: report.outcomes.len(),
+            wall,
+            points_per_sec: report.outcomes.len() as f64 / wall.as_secs_f64().max(1e-9),
+            stepped_sim_s: report.stats.stepped_sim().as_secs_f64(),
+        };
+        println!(
+            "{:<40} {:>9} points  {:>9.0} sim-s stepped  {:>11.1} points/s",
+            format!(
+                "ta_kill_grid [{}]",
+                if snapshot { "snapshot" } else { "replay" }
+            ),
+            stats.points,
+            stats.stepped_sim_s,
+            stats.points_per_sec
+        );
+        stats
+    };
+    let snap = run(true);
+    let replay = run(false);
+    println!(
+        "{:<40} speedup {:.2}x points/s ({:.1}x fewer simulated seconds)",
+        "ta_kill_grid",
+        snap.points_per_sec / replay.points_per_sec.max(1e-9),
+        replay.stepped_sim_s / snap.stepped_sim_s.max(1e-9)
+    );
+    (snap, replay)
+}
+
 // --- JSON emission ------------------------------------------------------
 
 fn json_timing(t: &Timing) -> String {
@@ -350,6 +415,7 @@ fn main() {
         build_sleeper,
     );
     let sweep = bench_sweep(sweep_horizon);
+    let (kill_snap, kill_replay) = bench_kill_grid(quick);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -405,12 +471,30 @@ fn main() {
         json,
         "    {{\"name\": \"ta_variant_sweep\", \"kind\": \"sweep\", \"points\": {}, \
          \"workers\": {}, \"wall_ms\": {:.2}, \"points_per_sec\": {:.1}, \
-         \"worker_utilization\": {:.3}}}",
+         \"worker_utilization\": {:.3}}},",
         sweep.points,
         sweep.workers,
         sweep.wall.as_secs_f64() * 1e3,
         sweep.points_per_sec,
         sweep.utilization
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"ta_kill_grid\", \"kind\": \"kill_grid\", \"points\": {}, \
+         \"snapshot\": {{\"wall_ms\": {:.2}, \"kill_grid_points_per_s\": {:.1}, \
+         \"stepped_sim_s\": {:.1}}}, \
+         \"replay\": {{\"wall_ms\": {:.2}, \"kill_grid_points_per_s\": {:.1}, \
+         \"stepped_sim_s\": {:.1}}}, \
+         \"speedup_points_per_s\": {:.2}, \"stepped_sim_ratio\": {:.2}}}",
+        kill_snap.points,
+        kill_snap.wall.as_secs_f64() * 1e3,
+        kill_snap.points_per_sec,
+        kill_snap.stepped_sim_s,
+        kill_replay.wall.as_secs_f64() * 1e3,
+        kill_replay.points_per_sec,
+        kill_replay.stepped_sim_s,
+        kill_snap.points_per_sec / kill_replay.points_per_sec.max(1e-9),
+        kill_replay.stepped_sim_s / kill_snap.stepped_sim_s.max(1e-9)
     );
     json.push_str("  ]\n}\n");
 

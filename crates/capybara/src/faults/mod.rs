@@ -13,15 +13,29 @@
 //!   simulated physics, so experiments can ask "what does the mission
 //!   look like when the big bank's switch dies at minute 30?".
 //! * **[`explore_kill_grid`]** — the exhaustive kill-point explorer. A
-//!   *record pass* runs the scenario once and collects every task
+//!   *record pass* runs the scenario once, collecting every task
 //!   boundary plus every switch-latch decay deadline (±ε, the instants
-//!   where reconfiguration state is most fragile). A *kill pass* then
-//!   re-runs the scenario once per grid point, force-killing power at
-//!   that instant with [`Simulator::inject_power_failure`] and letting
-//!   the scenario recover to its horizon. Every resumed run is checked
-//!   for a clean event log ([`validate_event_log`]), a caller-supplied
-//!   application invariant, execution-statistics conservation, and
-//!   Zeno-style livelock (reboot cycles that never complete a task).
+//!   where reconfiguration state is most fragile) **and a
+//!   [`SimSnapshot`] checkpoint at each boundary**. The *kill pass* then
+//!   handles each grid point by restoring the nearest prior snapshot and
+//!   stepping only the boundary gap to the kill instant — O(points ×
+//!   boundary-gap) instead of the O(points × horizon) of replaying every
+//!   prefix from t = 0 — before force-killing power with
+//!   [`Simulator::inject_power_failure`] and letting the scenario
+//!   recover to its horizon. Every resumed run is checked for a clean
+//!   event log ([`validate_event_log`]), a caller-supplied application
+//!   invariant, execution-statistics conservation, and Zeno-style
+//!   livelock (reboot cycles that never complete a task). The
+//!   replay-from-zero explorer survives as
+//!   [`explore_kill_grid_replay`], the reference implementation the
+//!   snapshot rebuild is gated against: both must produce bit-identical
+//!   [`KillReport`]s (equality excludes the measured
+//!   [`ExplorationStats`], exactly like `RunSummary::wall`).
+//! * **[`fuzz`]** — seeded randomized kill/fault schedules beyond the
+//!   exhaustive grid, including correlated multi-bank rail surges
+//!   ([`FaultPlan::rail_surge`]); every case re-derives from
+//!   `(master_seed, case_index)` alone, so any violation replays
+//!   deterministically.
 //!
 //! # Kill granularity
 //!
@@ -48,8 +62,10 @@ use capy_power::switch::SwitchFault;
 use capy_power::system::{HardwareFault, PowerSystem};
 use capy_units::{SimDuration, SimTime, Volts};
 
-use crate::sim::{validate_event_log, SimContext, Simulator, StepResult};
+use crate::sim::{validate_event_log, SimContext, SimSnapshot, Simulator, StepResult};
 use crate::sweep::{available_workers, map_points_on, RunSummary, SweepSpec};
+
+pub mod fuzz;
 
 /// A declarative schedule of hardware faults plus ambient degradation
 /// models, armed onto a power system in one call.
@@ -144,6 +160,39 @@ impl FaultPlan {
         )
     }
 
+    /// Schedules a correlated shared-rail surge at `at`: one transient
+    /// strikes every bank in `banks` at the same instant, applying
+    /// `effect` to each. Models the common-cause failures a per-bank
+    /// fault schedule cannot express — a voltage spike on the shared
+    /// power rail welds several latch switches shut (or burns them
+    /// open), or an over-voltage event derates several banks' capacitors
+    /// at once.
+    #[must_use]
+    pub fn rail_surge(mut self, at: SimTime, banks: &[BankId], effect: SurgeEffect) -> Self {
+        for &bank in banks {
+            let fault = match effect {
+                SurgeEffect::StickClosed => HardwareFault::Switch {
+                    bank,
+                    fault: SwitchFault::StuckClosed,
+                },
+                SurgeEffect::StickOpen => HardwareFault::Switch {
+                    bank,
+                    fault: SwitchFault::StuckOpen,
+                },
+                SurgeEffect::Derate {
+                    cap_derate,
+                    esr_scale,
+                } => HardwareFault::BankDegraded {
+                    bank,
+                    cap_derate,
+                    esr_scale,
+                },
+            };
+            self.faults.push((at, fault));
+        }
+        self
+    }
+
     /// Installs a wear model: every bank continuously derates with its
     /// accumulated deep cycles (ESR drift and capacitance fade from the
     /// [`capy_power::lifetime`] accounting).
@@ -196,6 +245,23 @@ impl FaultPlan {
     }
 }
 
+/// What one shared-rail surge does to every bank it strikes (see
+/// [`FaultPlan::rail_surge`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SurgeEffect {
+    /// Every struck switch latches permanently closed (welded contacts).
+    StickClosed,
+    /// Every struck switch latches permanently open (burned-out driver).
+    StickOpen,
+    /// Every struck bank's capacitors degrade in one step.
+    Derate {
+        /// Remaining capacitance as a fraction of nominal.
+        cap_derate: f64,
+        /// ESR growth factor.
+        esr_scale: f64,
+    },
+}
+
 /// Tuning knobs of the kill-grid explorer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KillGridOptions {
@@ -214,6 +280,12 @@ pub struct KillGridOptions {
     pub zeno_boot_limit: u64,
     /// Worker threads for the kill pass; `0` uses one per core.
     pub workers: usize,
+    /// Checkpoint every `snapshot_stride`-th task boundary during the
+    /// record pass (`1` = every boundary). Larger strides bound snapshot
+    /// memory on very long scenarios; a kill point between checkpoints
+    /// simply re-steps the skipped boundaries from the nearest prior
+    /// snapshot, so the report is identical for any stride.
+    pub snapshot_stride: usize,
 }
 
 impl Default for KillGridOptions {
@@ -224,6 +296,7 @@ impl Default for KillGridOptions {
             epsilon: SimDuration::from_millis(1),
             zeno_boot_limit: 64,
             workers: 0,
+            snapshot_stride: 1,
         }
     }
 }
@@ -255,8 +328,38 @@ pub struct KillOutcome {
     pub violation: Option<String>,
 }
 
+/// Simulated-time cost accounting for one exploration pass — how many
+/// simulated seconds the explorer actually had to step. Measured
+/// telemetry, **excluded from [`KillReport`] equality** (exactly like
+/// `RunSummary::wall`): the snapshot-based and replay-based explorers
+/// produce equal reports with very different stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Simulated time stepped by the record pass (one full scenario).
+    pub record_sim: SimDuration,
+    /// Simulated time stepped to *reach* each kill point — the prefix
+    /// cost. Replay-from-zero pays the full `Σ kill_at`; snapshot resume
+    /// pays only the boundary gaps.
+    pub prefix_sim: SimDuration,
+    /// Simulated time stepped from each kill to the horizon (the
+    /// recovery suffix — identical work for both explorers).
+    pub resumed_sim: SimDuration,
+    /// Snapshots captured by the record pass.
+    pub snapshots: usize,
+}
+
+impl ExplorationStats {
+    /// The stepping the snapshot rebuild optimizes: record pass plus
+    /// every kill-point prefix (the recovery suffix is excluded — both
+    /// explorers must simulate it in full).
+    #[must_use]
+    pub fn stepped_sim(&self) -> SimDuration {
+        self.record_sim.saturating_add(self.prefix_sim)
+    }
+}
+
 /// The result of one [`explore_kill_grid`] exploration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KillReport {
     /// The fault-free run's record (the record pass).
     pub baseline: RunSummary,
@@ -265,8 +368,29 @@ pub struct KillReport {
     pub baseline_violation: Option<String>,
     /// Size of the full recorded grid before subsampling.
     pub grid_points: usize,
+    /// Grid points the [`KillGridOptions`] stride/cap subsampling
+    /// dropped without exploring. Always `grid_points - outcomes.len()`;
+    /// recorded explicitly (and printed by [`KillReport::digest`]) so
+    /// truncation is never silent — strict callers gate on
+    /// [`KillReport::is_clean_strict`].
+    pub dropped_points: usize,
     /// One outcome per explored kill point, in kill-time order.
     pub outcomes: Vec<KillOutcome>,
+    /// Measured stepping cost of this exploration (excluded from
+    /// equality).
+    pub stats: ExplorationStats,
+}
+
+impl PartialEq for KillReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `stats`, which measures how the exploration
+        // was executed rather than what it found.
+        self.baseline == other.baseline
+            && self.baseline_violation == other.baseline_violation
+            && self.grid_points == other.grid_points
+            && self.dropped_points == other.dropped_points
+            && self.outcomes == other.outcomes
+    }
 }
 
 impl KillReport {
@@ -286,14 +410,38 @@ impl KillReport {
         self.baseline_violation.is_none() && self.outcomes.iter().all(|o| o.violation.is_none())
     }
 
-    /// A one-line digest for logs: explored/total points and violation
-    /// count.
+    /// Strict-mode cleanliness: [`KillReport::is_clean`] *and* no grid
+    /// point was dropped by subsampling. Exhaustive gates (release CI,
+    /// certification runs) use this so a silently truncated grid cannot
+    /// masquerade as full coverage.
+    #[must_use]
+    pub fn is_clean_strict(&self) -> bool {
+        self.is_clean() && self.dropped_points == 0
+    }
+
+    /// The strict-mode truncation complaint, if any: `Some` when
+    /// subsampling dropped grid points, describing how many. Callers of
+    /// [`KillReport::violations`] opt into strict mode by also failing
+    /// on this.
+    #[must_use]
+    pub fn strict_violation(&self) -> Option<String> {
+        (self.dropped_points > 0).then(|| {
+            format!(
+                "{} of {} grid points dropped by subsampling (stride/max_points)",
+                self.dropped_points, self.grid_points
+            )
+        })
+    }
+
+    /// A one-line digest for logs: explored/dropped/total points and
+    /// violation count.
     #[must_use]
     pub fn digest(&self) -> String {
         format!(
-            "{} of {} kill points explored, {} violations{}",
+            "{} of {} kill points explored ({} dropped by subsampling), {} violations{}",
             self.outcomes.len(),
             self.grid_points,
+            self.dropped_points,
             self.violations().len(),
             if self.baseline_violation.is_some() {
                 " (baseline broken)"
@@ -306,18 +454,33 @@ impl KillReport {
 
 /// Runs the record pass: steps `sim` to `horizon` collecting every task
 /// boundary plus every finite switch-latch decay deadline ±`epsilon`,
-/// clamped to `(0, horizon)`. Returns the sorted, deduplicated grid.
-fn record_grid<H: Harvester, C: SimContext>(
+/// clamped to `(0, horizon)`. Returns the sorted, deduplicated grid
+/// plus — when `capture` is set — a [`SimSnapshot`] at t = 0 and after
+/// every [`KillGridOptions::snapshot_stride`]-th task boundary, in time
+/// order, for the kill pass to resume from.
+fn record_timeline<H, C>(
     sim: &mut Simulator<H, C>,
     horizon: SimTime,
-    epsilon: SimDuration,
-) -> Vec<SimTime> {
+    options: &KillGridOptions,
+    capture: bool,
+) -> (Vec<SimTime>, Vec<SimSnapshot<H, C>>)
+where
+    H: Harvester + Clone,
+    C: SimContext + Clone,
+{
+    let epsilon = options.epsilon;
+    let stride = options.snapshot_stride.max(1);
+    let mut snapshots = Vec::new();
+    if capture {
+        snapshots.push(sim.snapshot());
+    }
     let mut grid = Vec::new();
     let mut push = |t: SimTime| {
         if t > SimTime::ZERO && t < horizon {
             grid.push(t);
         }
     };
+    let mut boundaries = 0usize;
     while sim.now() < horizon {
         match sim.step() {
             StepResult::Progress => {}
@@ -335,10 +498,14 @@ fn record_grid<H: Harvester, C: SimContext>(
             push(deadline.saturating_sub(epsilon));
             push(deadline.saturating_add(epsilon));
         }
+        boundaries += 1;
+        if capture && boundaries.is_multiple_of(stride) {
+            snapshots.push(sim.snapshot());
+        }
     }
     grid.sort_unstable();
     grid.dedup();
-    grid
+    (grid, snapshots)
 }
 
 /// Subsamples `grid` per `options`: every `stride`-th point, then an
@@ -378,6 +545,12 @@ fn subsample(grid: &[SimTime], options: &KillGridOptions) -> Vec<SimTime> {
 ///
 /// Work is sharded across `options.workers` threads; the report is
 /// bit-identical for any worker count.
+///
+/// Each kill resumes from the nearest recorded snapshot *strictly
+/// before* the kill instant (stepping only the boundary gap), so the
+/// whole grid costs O(points × boundary-gap) simulated time. The
+/// produced report is bit-identical to [`explore_kill_grid_replay`]'s —
+/// only the measured [`KillReport::stats`] differ.
 pub fn explore_kill_grid<H, C, B, V>(
     horizon: SimTime,
     options: &KillGridOptions,
@@ -385,21 +558,59 @@ pub fn explore_kill_grid<H, C, B, V>(
     invariant: V,
 ) -> KillReport
 where
-    H: Harvester,
-    C: SimContext,
+    H: Harvester + Clone + Sync,
+    C: SimContext + Clone + Sync,
+    B: Fn() -> Simulator<H, C> + Sync,
+    V: Fn(&Simulator<H, C>) -> Result<(), String> + Sync,
+{
+    explore(horizon, options, &build, &invariant, true)
+}
+
+/// The replay-from-zero reference explorer: identical record pass and
+/// checks, but every kill point re-simulates its whole prefix from
+/// t = 0 — O(points × horizon). Kept as the ground truth
+/// [`explore_kill_grid`] is gated against; use it when auditing the
+/// snapshot path itself, never for routine exploration.
+pub fn explore_kill_grid_replay<H, C, B, V>(
+    horizon: SimTime,
+    options: &KillGridOptions,
+    build: B,
+    invariant: V,
+) -> KillReport
+where
+    H: Harvester + Clone + Sync,
+    C: SimContext + Clone + Sync,
+    B: Fn() -> Simulator<H, C> + Sync,
+    V: Fn(&Simulator<H, C>) -> Result<(), String> + Sync,
+{
+    explore(horizon, options, &build, &invariant, false)
+}
+
+fn explore<H, C, B, V>(
+    horizon: SimTime,
+    options: &KillGridOptions,
+    build: &B,
+    invariant: &V,
+    use_snapshots: bool,
+) -> KillReport
+where
+    H: Harvester + Clone + Sync,
+    C: SimContext + Clone + Sync,
     B: Fn() -> Simulator<H, C> + Sync,
     V: Fn(&Simulator<H, C>) -> Result<(), String> + Sync,
 {
     // Record pass: the fault-free timeline defines the kill grid and
     // must itself be clean.
     let mut recorder = build();
-    let grid = record_grid(&mut recorder, horizon, options.epsilon);
+    let (grid, snapshots) = record_timeline(&mut recorder, horizon, options, use_snapshots);
+    let record_sim = recorder.now().saturating_since(SimTime::ZERO);
     let baseline = RunSummary::from_sim(&recorder, std::time::Duration::ZERO);
     let baseline_violation = validate_event_log(recorder.events())
         .or_else(|| invariant(&recorder).err())
         .or_else(|| conservation_violation(&baseline));
 
     let selected = subsample(&grid, options);
+    let dropped_points = grid.len() - selected.len();
     #[allow(clippy::cast_precision_loss)]
     let spec = selected
         .iter()
@@ -411,36 +622,68 @@ where
     } else {
         options.workers
     };
-    let outcomes = map_points_on(&spec, workers, |point| {
+    let results = map_points_on(&spec, workers, |point| {
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let kill_at = SimTime::from_micros(point.expect_param("kill_us") as u64);
-        run_one_kill(&build, &invariant, kill_at, horizon, options)
+        // The resume point is the last snapshot strictly before the
+        // kill: a replay from zero passes through every boundary
+        // < kill_at, so resuming from the latest of them (and stepping
+        // the rest of the gap) reproduces the identical pre-kill state.
+        // Strictness matters when a snapshot sits exactly at kill_at —
+        // `run_until` stops at its first check with now >= kill_at, and
+        // resuming *at* the kill would skip that check's side ordering.
+        let resume = use_snapshots.then(|| {
+            let idx = snapshots.partition_point(|s| s.now() < kill_at);
+            &snapshots[idx - 1] // idx >= 1: the t=0 snapshot precedes every grid point
+        });
+        run_one_kill(build, invariant, kill_at, horizon, options, resume)
     });
+    let mut stats = ExplorationStats {
+        record_sim,
+        snapshots: snapshots.len(),
+        ..ExplorationStats::default()
+    };
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (outcome, prefix, resumed) in results {
+        stats.prefix_sim = stats.prefix_sim.saturating_add(prefix);
+        stats.resumed_sim = stats.resumed_sim.saturating_add(resumed);
+        outcomes.push(outcome);
+    }
     KillReport {
         baseline,
         baseline_violation,
         grid_points: grid.len(),
+        dropped_points,
         outcomes,
+        stats,
     }
 }
 
-/// One kill experiment: run to the kill point, cut power, resume to the
-/// horizon, check everything.
+/// One kill experiment: reach the kill point (from `resume` when given,
+/// from scratch otherwise), cut power, resume to the horizon, check
+/// everything. Also returns the simulated prefix (start → kill) and
+/// suffix (kill → end) spans this experiment stepped.
 fn run_one_kill<H, C, B, V>(
     build: &B,
     invariant: &V,
     kill_at: SimTime,
     horizon: SimTime,
     options: &KillGridOptions,
-) -> KillOutcome
+    resume: Option<&SimSnapshot<H, C>>,
+) -> (KillOutcome, SimDuration, SimDuration)
 where
-    H: Harvester,
-    C: SimContext,
+    H: Harvester + Clone,
+    C: SimContext + Clone,
     B: Fn() -> Simulator<H, C>,
     V: Fn(&Simulator<H, C>) -> Result<(), String>,
 {
     let mut sim = build();
+    if let Some(snap) = resume {
+        sim.restore(snap);
+    }
+    let start = sim.now();
     let pre = sim.run_until(kill_at);
+    let landed = sim.now();
     let mut violation = match pre {
         StepResult::Stalled { steps } => Some(format!(
             "stalled before the kill at {kill_at} ({steps} stuck steps)"
@@ -472,11 +715,14 @@ where
                 )
             })
         });
-    KillOutcome {
+    let outcome = KillOutcome {
         kill_at,
         summary,
         violation,
-    }
+    };
+    let prefix = landed.saturating_since(start);
+    let resumed_sim = sim.now().saturating_since(landed);
+    (outcome, prefix, resumed_sim)
 }
 
 /// The execution machine's conservation law, checked from a summary.
@@ -506,6 +752,7 @@ mod tests {
     use capy_power::technology::parts;
     use capy_units::Watts;
 
+    #[derive(Clone)]
     struct Ctx {
         n: NvVar<u64>,
     }
@@ -678,12 +925,114 @@ mod tests {
         assert!(smoke.outcomes.len() <= 8);
         assert!(smoke.outcomes.len() < full.outcomes.len());
         assert!(smoke.is_clean());
+        // Truncation is never silent: the drop count is recorded, shown
+        // in the digest, and fails the strict gate.
+        assert_eq!(
+            smoke.dropped_points,
+            smoke.grid_points - smoke.outcomes.len()
+        );
+        assert!(smoke.dropped_points > 0);
+        assert!(smoke.digest().contains("dropped by subsampling"));
+        assert!(!smoke.is_clean_strict());
+        assert!(smoke
+            .strict_violation()
+            .expect("subsampled grid must complain in strict mode")
+            .contains("dropped"));
+        // The exhaustive run is strict-clean.
+        assert_eq!(full.dropped_points, 0);
+        assert!(full.is_clean_strict());
+        assert_eq!(full.strict_violation(), None);
         // The subsample is a subset of the full grid.
         let full_times: Vec<SimTime> = full.outcomes.iter().map(|o| o.kill_at).collect();
         assert!(smoke
             .outcomes
             .iter()
             .all(|o| full_times.contains(&o.kill_at)));
+    }
+
+    #[test]
+    fn snapshot_explorer_matches_replay_and_steps_far_less() {
+        let options = KillGridOptions {
+            workers: 2,
+            ..KillGridOptions::default()
+        };
+        let snap = explore_kill_grid(HORIZON, &options, steady, counter_invariant);
+        let replay = explore_kill_grid_replay(HORIZON, &options, steady, counter_invariant);
+        // Same report, bit for bit (equality excludes the stats).
+        assert_eq!(snap, replay);
+        assert_eq!(snap.digest(), replay.digest());
+        assert!(
+            snap.is_clean_strict(),
+            "violations: {:?}",
+            snap.violations()
+        );
+        // Same recovery work, radically less prefix work.
+        assert!(snap.stats.snapshots > 0);
+        assert_eq!(replay.stats.snapshots, 0);
+        assert_eq!(snap.stats.record_sim, replay.stats.record_sim);
+        assert_eq!(snap.stats.resumed_sim, replay.stats.resumed_sim);
+        assert!(
+            replay.stats.stepped_sim().as_micros() >= 5 * snap.stats.stepped_sim().as_micros(),
+            "snapshot resume must step >= 5x fewer simulated seconds: \
+             replay {:?} vs snapshot {:?}",
+            replay.stats,
+            snap.stats
+        );
+    }
+
+    #[test]
+    fn snapshot_stride_changes_memory_but_not_the_report() {
+        let options = KillGridOptions {
+            workers: 2,
+            ..KillGridOptions::default()
+        };
+        let dense = explore_kill_grid(HORIZON, &options, steady, counter_invariant);
+        let sparse = explore_kill_grid(
+            HORIZON,
+            &KillGridOptions {
+                snapshot_stride: 7,
+                ..options
+            },
+            steady,
+            counter_invariant,
+        );
+        assert_eq!(dense, sparse);
+        assert!(sparse.stats.snapshots < dense.stats.snapshots);
+        // The sparse pass re-steps skipped boundaries but still beats
+        // replay-from-zero asymptotics by a wide margin.
+        assert!(sparse.stats.prefix_sim >= dense.stats.prefix_sim);
+    }
+
+    #[test]
+    fn rail_surge_strikes_every_listed_bank_at_one_instant() {
+        let surge_at = SimTime::from_secs(2);
+        let plan = FaultPlan::new().rail_surge(
+            surge_at,
+            &[BankId(0), BankId(1)],
+            SurgeEffect::Derate {
+                cap_derate: 0.5,
+                esr_scale: 2.0,
+            },
+        );
+        assert_eq!(plan.len(), 2, "one discrete fault per struck bank");
+        let mut sim = steady();
+        plan.arm(&mut sim);
+        sim.run_until(SimTime::from_secs(3));
+        for i in 0..2 {
+            let bank = sim.power().bank(BankId(i)).expect("bank exists");
+            assert_eq!(bank.derating().0, 0.5, "bank {i} missed the surge");
+        }
+        // Stick variants expand to the matching switch faults.
+        let stick = FaultPlan::new().rail_surge(surge_at, &[BankId(1)], SurgeEffect::StickClosed);
+        assert_eq!(
+            stick,
+            FaultPlan::new().switch_stuck_closed(surge_at, BankId(1))
+        );
+        let open = FaultPlan::new().rail_surge(surge_at, &[BankId(0)], SurgeEffect::StickOpen);
+        assert_eq!(
+            open,
+            FaultPlan::new().switch_stuck_open(surge_at, BankId(0))
+        );
     }
 
     #[test]

@@ -97,8 +97,13 @@ pub use variant::Variant;
 pub mod prelude {
     pub use crate::allocate::{allocate, AllocationOptions, AllocationPlan, TaskDemand};
     pub use crate::annotation::TaskEnergy;
+    pub use crate::faults::fuzz::{
+        derive_case, fuzz_faults, fuzz_policy_grid_on, replay_case, FuzzCase, FuzzGrid,
+        FuzzOptions, FuzzOutcome, FuzzReport,
+    };
     pub use crate::faults::{
-        explore_kill_grid, FaultPlan, KillGridOptions, KillOutcome, KillReport,
+        explore_kill_grid, explore_kill_grid_replay, ExplorationStats, FaultPlan, KillGridOptions,
+        KillOutcome, KillReport, SurgeEffect,
     };
     pub use crate::mode::{EnergyMode, ModeTable};
     pub use crate::policy::{
@@ -108,8 +113,8 @@ pub mod prelude {
     };
     pub use crate::provision::{provision_bank_units, ProvisioningReport};
     pub use crate::sim::{
-        BuildError, RunLimits, RunOutcome, SimContext, SimEvent, Simulator, SimulatorBuilder,
-        StepResult,
+        BuildError, RunLimits, RunOutcome, SimContext, SimEvent, SimSnapshot, Simulator,
+        SimulatorBuilder, StepResult,
     };
     pub use crate::sweep::{
         run_sweep, run_sweep_tally, run_sweep_with, AxisError, AxisTable, AxisValue, RunSummary,

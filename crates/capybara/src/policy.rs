@@ -98,7 +98,12 @@ pub struct PolicyObservation<'a> {
 /// cells and only stage (never publish) inside `decide`, so a power
 /// failure between `decide` and `commit` rolls the policy back to a
 /// consistent pre-decision state.
-pub trait ReconfigPolicy: Send {
+///
+/// Policies are `Send + Sync` and cloneable through
+/// [`ReconfigPolicy::clone_box`] so a whole simulator — policy state
+/// included — can be checkpointed ([`Simulator::snapshot`]) and the
+/// snapshots shared across sweep worker threads.
+pub trait ReconfigPolicy: Send + Sync {
     /// A short stable name for reports and labels.
     fn name(&self) -> &'static str;
 
@@ -112,6 +117,12 @@ pub trait ReconfigPolicy: Send {
     /// Discards state staged by the last [`ReconfigPolicy::decide`] (the
     /// device lost power before the decision took effect).
     fn abort(&mut self);
+
+    /// An independent copy of this policy with its full decision state
+    /// (the object-safe `Clone`). [`Simulator::snapshot`] uses this to
+    /// capture policy state; restoring the clone must reproduce the
+    /// original's future decisions bit for bit.
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy>;
 }
 
 impl<P: ReconfigPolicy + ?Sized> ReconfigPolicy for Box<P> {
@@ -126,6 +137,9 @@ impl<P: ReconfigPolicy + ?Sized> ReconfigPolicy for Box<P> {
     }
     fn abort(&mut self) {
         (**self).abort();
+    }
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        (**self).clone_box()
     }
 }
 
@@ -154,6 +168,9 @@ impl ReconfigPolicy for StaticAnnotation {
     }
     fn commit(&mut self) {}
     fn abort(&mut self) {}
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Pins every capacity-constrained task to one energy mode — the "what if
@@ -181,6 +198,9 @@ impl ReconfigPolicy for Pinned {
     }
     fn commit(&mut self) {}
     fn abort(&mut self) {}
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Sheds capacity when on-path charges run long, regrows it after a
@@ -287,6 +307,10 @@ impl ReconfigPolicy for ReactiveDownsize {
         self.fast_streak.abort();
         self.seen.abort();
     }
+
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Picks the capacity tier from an EWMA of the harvested input power.
@@ -370,6 +394,10 @@ impl ReconfigPolicy for EwmaAdaptive {
     fn abort(&mut self) {
         self.ewma.abort();
     }
+
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Replays a recorded decision sequence — the per-trace upper bound.
@@ -438,6 +466,10 @@ impl ReconfigPolicy for Oracle {
     fn abort(&mut self) {
         self.cursor.abort();
     }
+
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Wraps a policy and records every *committed* decision — the first
@@ -500,6 +532,18 @@ impl<P: ReconfigPolicy> ReconfigPolicy for Recorder<P> {
     fn abort(&mut self) {
         self.inner.abort();
         self.staged.clear();
+    }
+
+    /// The clone keeps writing into the *same* [`DecisionLog`] as the
+    /// original: the log is an observer channel that never feeds back
+    /// into decisions, so sharing it cannot perturb determinism, and a
+    /// restored snapshot keeps recording where the original would have.
+    fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+        Box::new(Recorder {
+            inner: self.inner.clone_box(),
+            staged: self.staged.clone(),
+            log: Arc::clone(&self.log),
+        })
     }
 }
 

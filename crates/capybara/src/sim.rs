@@ -404,6 +404,79 @@ pub struct Simulator<H, C> {
     plan_buf: Vec<Step>,
 }
 
+/// Complete simulation state at one instant, captured by
+/// [`Simulator::snapshot`] and replayed by [`Simulator::restore`].
+///
+/// A snapshot clones every piece of state a run mutates: the power
+/// system (bank charge, switch latches, pending faults, wear, kernel
+/// caches), the execution machine's data state, the mode table (remapped
+/// on degradation), the runtime state, the application context (with its
+/// non-volatile cells and any [`DetRng`] streams it owns), the event log
+/// and voltage trace, and the reconfiguration policy with its decision
+/// state. Task bodies and load closures are *not* captured — they stay
+/// with the live simulator, which is why restore targets a simulator
+/// built from the same scenario.
+///
+/// The contract is **bit identity**: `restore` followed by `run_until(h)`
+/// produces byte-for-byte the same events, summaries, and rail voltages
+/// as an uninterrupted run to `h`, under every
+/// [`capy_power::system::KernelTuning`] combination (the PR 5 memo
+/// caches are cloned with the power system, and both are pure
+/// memoization, so a stale-free clone is automatic).
+///
+/// [`DetRng`]: capy_units::rng::DetRng
+pub struct SimSnapshot<H, C> {
+    power: PowerSystem<H>,
+    machine: capy_intermittent::machine::MachineSnapshot,
+    modes: ModeTable,
+    state: RuntimeState,
+    ctx: C,
+    now: SimTime,
+    on: bool,
+    needs_charge: bool,
+    stalled: bool,
+    events: Vec<SimEvent>,
+    trace: Option<Vec<(SimTime, Volts)>>,
+    consecutive_failures: u32,
+    degradation: bool,
+    policy: Box<dyn ReconfigPolicy>,
+}
+
+impl<H, C> SimSnapshot<H, C> {
+    /// The simulated instant the snapshot was captured at.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// How many timeline events the captured run had recorded.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl<H: Clone, C: Clone> Clone for SimSnapshot<H, C> {
+    fn clone(&self) -> Self {
+        Self {
+            power: self.power.clone(),
+            machine: self.machine,
+            modes: self.modes.clone(),
+            state: self.state.clone(),
+            ctx: self.ctx.clone(),
+            now: self.now,
+            on: self.on,
+            needs_charge: self.needs_charge,
+            stalled: self.stalled,
+            events: self.events.clone(),
+            trace: self.trace.clone(),
+            consecutive_failures: self.consecutive_failures,
+            degradation: self.degradation,
+            policy: self.policy.clone_box(),
+        }
+    }
+}
+
 /// Builder assembling the task graph, annotations, loads, and mode table
 /// in one place so task ids stay aligned (§C-BUILDER).
 pub struct SimulatorBuilder<H, C> {
@@ -527,6 +600,73 @@ impl<H: Harvester, C: SimContext> Simulator<H, C> {
     /// harnesses flip it on when arming an already-built scenario).
     pub fn set_degradation(&mut self, enable: bool) {
         self.degradation = enable;
+    }
+
+    /// Captures the complete simulation state as a [`SimSnapshot`].
+    ///
+    /// Everything a run mutates is cloned — power system (including
+    /// kernel memo caches and pending faults), execution statistics,
+    /// mode table, runtime state, application context, event log, trace,
+    /// and the policy's decision state. See [`SimSnapshot`] for the bit
+    /// -identity contract.
+    #[must_use]
+    pub fn snapshot(&self) -> SimSnapshot<H, C>
+    where
+        H: Clone,
+        C: Clone,
+    {
+        SimSnapshot {
+            power: self.power.clone(),
+            machine: self.machine.snapshot(),
+            modes: self.modes.clone(),
+            state: self.state.clone(),
+            ctx: self.ctx.clone(),
+            now: self.now,
+            on: self.on,
+            needs_charge: self.needs_charge,
+            stalled: self.stalled,
+            events: self.events.clone(),
+            trace: self.trace.clone(),
+            consecutive_failures: self.consecutive_failures,
+            degradation: self.degradation,
+            policy: self
+                .policy
+                .as_ref()
+                .expect("policy present outside decisions")
+                .clone_box(),
+        }
+    }
+
+    /// Rewinds (or fast-forwards) this simulator to `snap`.
+    ///
+    /// The snapshot must come from a simulator built from the same
+    /// scenario: task bodies and load models are not part of the
+    /// snapshot, so restoring onto a different application pairs the
+    /// wrong closures with the captured state (the task-pointer check
+    /// catches grossly mismatched graphs).
+    ///
+    /// After `restore`, stepping is byte-for-byte identical to the
+    /// captured run continuing uninterrupted.
+    pub fn restore(&mut self, snap: &SimSnapshot<H, C>)
+    where
+        H: Clone,
+        C: Clone,
+    {
+        self.power = snap.power.clone();
+        self.machine.restore(snap.machine);
+        self.modes = snap.modes.clone();
+        self.state = snap.state.clone();
+        self.ctx = snap.ctx.clone();
+        self.now = snap.now;
+        self.on = snap.on;
+        self.needs_charge = snap.needs_charge;
+        self.stalled = snap.stalled;
+        self.events.clear();
+        self.events.extend_from_slice(&snap.events);
+        self.trace = snap.trace.clone();
+        self.consecutive_failures = snap.consecutive_failures;
+        self.degradation = snap.degradation;
+        self.policy = Some(snap.policy.clone_box());
     }
 
     /// Runs steps until `end` (simulated), the application stops, or the
@@ -2126,6 +2266,9 @@ mod tests {
             fn commit(&mut self) {}
             fn abort(&mut self) {
                 self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            fn clone_box(&self) -> Box<dyn ReconfigPolicy> {
+                Box::new(AbortProbe(Arc::clone(&self.0)))
             }
         }
 

@@ -37,6 +37,18 @@ impl ExecStats {
     }
 }
 
+/// The machine's data state at one instant — everything except the task
+/// graph (whose bodies are closures and cannot be cloned). Captured by
+/// [`ExecutionMachine::snapshot`] and replayed onto the *same* graph by
+/// [`ExecutionMachine::restore`], so a simulator can checkpoint and
+/// resume at a task boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    current: TaskId,
+    stopped: bool,
+    stats: ExecStats,
+}
+
 /// The per-device execution machine.
 ///
 /// See the [crate-level example](crate) for a full commit/abort round trip.
@@ -89,6 +101,37 @@ impl<C: NvState> ExecutionMachine<C> {
     #[must_use]
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Captures the machine's data state (task pointer, stop flag,
+    /// statistics). The task graph itself is not part of the snapshot —
+    /// bodies are closures owned by the live machine.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            current: self.current,
+            stopped: self.stopped,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a state previously captured by
+    /// [`ExecutionMachine::snapshot`] from a machine over the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's task pointer does not exist in this
+    /// machine's graph (the snapshot came from a different application).
+    pub fn restore(&mut self, snap: MachineSnapshot) {
+        assert!(
+            snap.current.0 < self.graph.len(),
+            "snapshot task pointer {} outside this graph ({} tasks)",
+            snap.current.0,
+            self.graph.len()
+        );
+        self.current = snap.current;
+        self.stopped = snap.stopped;
+        self.stats = snap.stats;
     }
 
     /// Records the start of an execution attempt.
@@ -250,5 +293,33 @@ mod tests {
     #[test]
     fn waste_ratio_zero_without_attempts() {
         assert_eq!(ExecStats::default().waste_ratio(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_machine_state() {
+        let mut m = ExecutionMachine::new(two_task_graph());
+        let mut ctx = Counter { n: NvVar::new(0) };
+        m.run_current(&mut ctx);
+        let snap = m.snapshot();
+        m.run_current(&mut ctx);
+        m.run_current(&mut ctx);
+        assert_ne!(m.snapshot(), snap);
+        m.restore(snap);
+        assert_eq!(m.snapshot(), snap);
+        assert_eq!(m.current_name(), "pong");
+        assert_eq!(m.stats().completions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside this graph")]
+    fn restore_rejects_foreign_snapshots() {
+        let big = ExecutionMachine::new(two_task_graph());
+        let mut snap = big.snapshot();
+        snap.current = TaskId(1);
+        let graph: TaskGraph<Counter> = TaskGraph::builder()
+            .task("only", |_| Transition::Stay)
+            .build(TaskId(0));
+        let mut small = ExecutionMachine::new(graph);
+        small.restore(snap);
     }
 }

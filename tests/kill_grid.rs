@@ -1,10 +1,13 @@
-//! Systematic fault injection on the TempAlarm application: a
-//! subsampled exhaustive power-kill grid and a mid-mission hardware
-//! fault with graceful degradation (§5.2's adversarial-timing and
-//! component-failure concerns, checked end to end).
+//! Systematic fault injection on the paper's applications: subsampled
+//! exhaustive power-kill grids for TA, GRC, and CSR, plus a mid-mission
+//! hardware fault with graceful degradation (§5.2's adversarial-timing
+//! and component-failure concerns, checked end to end).
 
-use capy_units::SimTime;
-use capybara_suite::apps::ta;
+use capy_units::rng::DetRng;
+use capy_units::{SimDuration, SimTime};
+use capybara_suite::apps::events::{fit_span, poisson_events};
+use capybara_suite::apps::grc::{self, GrcVariant};
+use capybara_suite::apps::{csr, ta};
 use capybara_suite::core::sim::validate_event_log;
 use capybara_suite::faults::{explore_kill_grid, FaultPlan, KillGridOptions};
 use capybara_suite::prelude::*;
@@ -63,6 +66,102 @@ fn ta_kill_grid_is_clean_and_worker_count_invariant() {
         serial, parallel,
         "kill report must not depend on worker count"
     );
+
+    // Strict mode: subsampling is never silent. The smoke grid records
+    // exactly how many points it skipped and refuses the strict gate.
+    assert_eq!(
+        serial.dropped_points,
+        serial.grid_points - serial.outcomes.len()
+    );
+    assert!(serial.dropped_points > 0);
+    assert!(!serial.is_clean_strict());
+    assert!(serial
+        .strict_violation()
+        .expect("a truncated grid must carry a strict-mode complaint")
+        .contains("dropped"));
+    assert!(serial.digest().contains("dropped by subsampling"));
+}
+
+/// A bursty event schedule sized for a short GRC/CSR excursion.
+fn pendulum_schedule() -> Vec<SimTime> {
+    let mut events = poisson_events(
+        &mut DetRng::seed_from_u64(SEED),
+        SimDuration::from_secs(30),
+        8,
+        SimDuration::from_secs(4),
+    );
+    fit_span(&mut events, SimDuration::from_secs(300));
+    events
+}
+
+const PENDULUM_HORIZON: SimTime = SimTime::from_secs(360);
+
+/// Application-level invariant shared by the GRC and CSR grids: the
+/// sniffer's packet record is causally consistent on every resumed run.
+fn packet_log_consistent(
+    now: SimTime,
+    packets: &[capybara_suite::apps::observer::Packet],
+) -> Result<(), String> {
+    if packets.windows(2).any(|w| w[0].at > w[1].at) {
+        return Err("packet log out of order".into());
+    }
+    if packets.iter().any(|p| p.at > now) {
+        return Err("packet from the future".into());
+    }
+    Ok(())
+}
+
+/// The GRC gesture pipeline survives every explored power-failure
+/// instant, for both the fast and compact recognizer variants: no
+/// stall, ordered log, conserved accounting, and the packet record
+/// stays causally consistent on every resumed run.
+#[test]
+fn grc_kill_grid_is_clean_for_both_recognizer_variants() {
+    for gv in [GrcVariant::Fast, GrcVariant::Compact] {
+        let build = || grc::build(Variant::CapyR, gv, pendulum_schedule(), SEED);
+        let report = explore_kill_grid(
+            PENDULUM_HORIZON,
+            &KillGridOptions::smoke(1, 8),
+            build,
+            |sim| packet_log_consistent(sim.now(), sim.ctx().packets.packets()),
+        );
+        assert!(
+            report.is_clean(),
+            "{gv:?} kill grid must be violation-free: {}\n{:?}",
+            report.digest(),
+            report.violations()
+        );
+        assert_eq!(report.baseline_violation, None);
+        assert!(report.grid_points > report.outcomes.len());
+        for o in &report.outcomes {
+            assert!(o.summary.power_failures >= 1, "kill at {}", o.kill_at);
+            assert!(o.summary.completions > 0, "no progress after {}", o.kill_at);
+        }
+    }
+}
+
+/// The CSR correlated-sensing pipeline survives every explored
+/// power-failure instant under the same checks.
+#[test]
+fn csr_kill_grid_is_clean() {
+    let build = || csr::build(Variant::CapyR, pendulum_schedule(), SEED);
+    let report = explore_kill_grid(
+        PENDULUM_HORIZON,
+        &KillGridOptions::smoke(1, 8),
+        build,
+        |sim| packet_log_consistent(sim.now(), sim.ctx().packets.packets()),
+    );
+    assert!(
+        report.is_clean(),
+        "CSR kill grid must be violation-free: {}\n{:?}",
+        report.digest(),
+        report.violations()
+    );
+    assert_eq!(report.baseline_violation, None);
+    for o in &report.outcomes {
+        assert!(o.summary.power_failures >= 1, "kill at {}", o.kill_at);
+        assert!(o.summary.completions > 0, "no progress after {}", o.kill_at);
+    }
 }
 
 /// §5.2 graceful degradation at application scale: the TA large (alarm)
