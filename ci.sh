@@ -51,10 +51,21 @@ done
 # (master_seed, case_index) reproducer. Cheap enough for the quick gate.
 run cargo run --release --example fuzz -- --smoke
 
+# Fleet smoke gate: a 1k-device population must stream through the
+# fleet engine, and --check pins the parallel-vs-serial bit-identity of
+# the merged report. The checked-in perf artifact must also carry the
+# fleet_devices_per_s series (the schema validator rejects it without).
+run cargo run --release --example fleet -- --devices 1000 --check
+run "$CAPY_RUN" --validate-json BENCH_sim_throughput.json --schema capybara-sim-throughput/v1
+
 if [[ "$QUICK" == "1" ]]; then
     echo "==> ci.sh: quick gate passed (benches skipped)"
     exit 0
 fi
+
+# Full gate scales the fleet smoke to 100k devices: the streaming
+# accumulator keeps peak memory flat no matter the population size.
+run cargo run --release --example fleet -- --devices 100000
 
 run cargo bench --no-run --workspace
 run cargo run --release --example policy_compare -- --smoke

@@ -103,22 +103,42 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
 
 /// Computes latency statistics from raw per-event latencies.
 ///
+/// Sorts one shared buffer and indexes it per quantile — the previous
+/// implementation cloned and re-sorted the vector once per statistic —
+/// and takes `max` from the last sorted element directly instead of
+/// routing it through the `round((n − 1) · q)` nearest-rank rule.
+///
 /// Returns `None` when no events were reported.
 #[must_use]
 pub fn latency_stats(latencies: &[SimDuration]) -> Option<LatencyStats> {
     if latencies.is_empty() {
         return None;
     }
-    let secs: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64()).collect();
+    let mut secs: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64()).collect();
+    secs.sort_by(f64::total_cmp);
     let n = secs.len();
-    let pct = |q: f64| percentile(&secs, q).expect("non-empty");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = |q: f64| ((n as f64 - 1.0) * q).round() as usize;
     Some(LatencyStats {
         count: n,
         mean: secs.iter().sum::<f64>() / n as f64,
-        median: pct(0.5),
-        p95: pct(0.95),
-        max: pct(1.0),
+        median: secs[idx(0.5)],
+        p95: secs[idx(0.95)],
+        max: *secs.last().expect("non-empty"),
     })
+}
+
+/// Folds raw per-event latencies into a mergeable
+/// [`QuantileSketch`](capy_units::sketch::QuantileSketch) keyed in
+/// integer microseconds — the cross-device aggregation form the fleet
+/// engine merges across workers.
+#[must_use]
+pub fn latency_sketch(latencies: &[SimDuration]) -> capy_units::sketch::QuantileSketch {
+    let mut sketch = capy_units::sketch::QuantileSketch::new();
+    for d in latencies {
+        sketch.record(d.as_micros());
+    }
+    sketch
 }
 
 /// Latency of the first report of each event: `packet.at − event`.
@@ -263,6 +283,33 @@ mod tests {
         assert!((s.p95 - 95.0).abs() < 1.01);
         assert_eq!(s.max, 100.0);
         assert!(latency_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn latency_stats_match_percentile_convention_on_unsorted_input() {
+        // Unsorted input whose maximum is *not* the last element: the
+        // single-sort implementation must agree with `percentile` on the
+        // quantiles and report the true maximum.
+        let lats: Vec<SimDuration> = [7u64, 100, 3, 42, 99, 1, 55]
+            .into_iter()
+            .map(SimDuration::from_secs)
+            .collect();
+        let s = latency_stats(&lats).unwrap();
+        let secs: Vec<f64> = lats.iter().map(|d| d.as_secs_f64()).collect();
+        assert_eq!(s.median, percentile(&secs, 0.5).unwrap());
+        assert_eq!(s.p95, percentile(&secs, 0.95).unwrap());
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn latency_sketch_matches_raw_quantiles() {
+        let lats: Vec<SimDuration> = (1..=1000).map(SimDuration::from_millis).collect();
+        let sketch = latency_sketch(&lats);
+        assert_eq!(sketch.count(), 1000);
+        assert_eq!(sketch.max(), Some(1_000_000));
+        let p99 = sketch.quantile(0.99).unwrap();
+        // 990 ms within the sketch's 3.2 % bound.
+        assert!((958_000..=1_022_000).contains(&p99), "p99 = {p99}");
     }
 
     #[test]

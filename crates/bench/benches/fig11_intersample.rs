@@ -53,7 +53,7 @@ fn main() {
         .base_seed(FIGURE_SEED)
         .axis("variant", &VARIANTS);
     let events_ref = &events;
-    let (report, details) = run_sweep_with(&spec, |point| {
+    let (mut report, details) = run_sweep_with(&spec, |point| {
         let v = point.expect_axis::<Variant>("variant");
         let mut sim = ta::build(v, events_ref.clone(), FIGURE_SEED);
         sim.run_until(horizon);
@@ -108,6 +108,9 @@ fn main() {
         };
         (sim, detail)
     });
+    // Stamp the report so the footer surfaces intervals the histograms
+    // above leave out (the [5 s, 10 s) band between the two ranges).
+    report.out_of_range = details.iter().map(|d| d.out_of_range as u64).sum();
 
     for (run, detail) in report.runs.iter().zip(&details) {
         println!("-- {} --", run.point.label);

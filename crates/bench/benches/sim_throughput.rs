@@ -27,6 +27,7 @@ use capy_power::harvester::Harvester;
 use capy_power::prelude::{Bank, ConstantHarvester, KernelTuning, PowerSystem};
 use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
 use capybara::faults::{explore_kill_grid, explore_kill_grid_replay, KillGridOptions};
+use capybara::fleet::{run_fleet, DeviceOutcome, FleetSpec, SharedEnvironment};
 use capybara::sweep::{run_sweep_extract, SweepSpec};
 
 // --- timing harness -----------------------------------------------------
@@ -345,6 +346,80 @@ fn bench_kill_grid(quick: bool) -> (KillGridStats, KillGridStats) {
     (snap, replay)
 }
 
+struct FleetBenchStats {
+    devices: u64,
+    workers: usize,
+    wall: Duration,
+    devices_per_sec: f64,
+    availability: f64,
+    footprint_bytes: usize,
+}
+
+/// Runs a whole device population through the fleet engine: every device
+/// is the duty-cycle sleeper perturbed by its derived panel scale and
+/// placement under a shared day/night cycle. The `fleet_devices_per_s`
+/// series records population throughput; the constant accumulator
+/// footprint is reported alongside (the O(workers) memory claim).
+fn bench_fleet(quick: bool) -> FleetBenchStats {
+    let devices: u64 = if quick { 2_000 } else { 20_000 };
+    let horizon = SimTime::from_secs(600);
+    let env = SharedEnvironment::orbital(SimDuration::from_secs(90), 0.7).shading(0.25);
+    let spec = FleetSpec::new("fleet_population", devices, horizon)
+        .fleet_seed(FIGURE_SEED)
+        .panel_jitter(0.15)
+        .rate_jitter(0.1)
+        .environment(env);
+    let t0 = Instant::now();
+    let report = run_fleet(&spec, |point| {
+        let power = PowerSystem::builder()
+            .harvester(spec.harvester_for(
+                ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0)),
+                point,
+            ))
+            .bank(
+                Bank::builder("sleeper")
+                    .with(parts::ceramic_x5r_400uf())
+                    .with(parts::tantalum_330uf())
+                    .build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        let sleep = SimDuration::from_secs_f64(1_000.0 / point.task_rate_scale);
+        let mut sim = Simulator::builder(Variant::Fixed, power, Mcu::msp430fr5969())
+            .task(
+                "duty-cycle",
+                TaskEnergy::Unannotated,
+                |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(5))),
+                move |_c: &mut ()| Transition::Sleep {
+                    duration: sleep,
+                    then: TaskId(0),
+                },
+            )
+            .build(());
+        sim.run_until(horizon);
+        DeviceOutcome::from_sim(&sim)
+    });
+    let wall = t0.elapsed();
+    assert_eq!(report.devices, devices, "every device must be folded");
+    let stats = FleetBenchStats {
+        devices,
+        workers: report.workers,
+        wall,
+        devices_per_sec: devices as f64 / wall.as_secs_f64().max(1e-9),
+        availability: report.availability(),
+        footprint_bytes: report.acc.footprint_bytes(),
+    };
+    println!(
+        "{:<40} {:>9} devices {:>9} workers  {:>11.1} devices/s   {:>8.1}% available",
+        "fleet_population",
+        stats.devices,
+        stats.workers,
+        stats.devices_per_sec,
+        stats.availability * 100.0
+    );
+    stats
+}
+
 // --- JSON emission ------------------------------------------------------
 
 fn json_timing(t: &Timing) -> String {
@@ -416,6 +491,7 @@ fn main() {
     );
     let sweep = bench_sweep(sweep_horizon);
     let (kill_snap, kill_replay) = bench_kill_grid(quick);
+    let fleet = bench_fleet(quick);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -485,7 +561,7 @@ fn main() {
          \"stepped_sim_s\": {:.1}}}, \
          \"replay\": {{\"wall_ms\": {:.2}, \"kill_grid_points_per_s\": {:.1}, \
          \"stepped_sim_s\": {:.1}}}, \
-         \"speedup_points_per_s\": {:.2}, \"stepped_sim_ratio\": {:.2}}}",
+         \"speedup_points_per_s\": {:.2}, \"stepped_sim_ratio\": {:.2}}},",
         kill_snap.points,
         kill_snap.wall.as_secs_f64() * 1e3,
         kill_snap.points_per_sec,
@@ -495,6 +571,18 @@ fn main() {
         kill_replay.stepped_sim_s,
         kill_snap.points_per_sec / kill_replay.points_per_sec.max(1e-9),
         kill_replay.stepped_sim_s / kill_snap.stepped_sim_s.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fleet_population\", \"kind\": \"fleet\", \"devices\": {}, \
+         \"workers\": {}, \"wall_ms\": {:.2}, \"fleet_devices_per_s\": {:.1}, \
+         \"availability\": {:.4}, \"accumulator_bytes\": {}}}",
+        fleet.devices,
+        fleet.workers,
+        fleet.wall.as_secs_f64() * 1e3,
+        fleet.devices_per_sec,
+        fleet.availability,
+        fleet.footprint_bytes
     );
     json.push_str("  ]\n}\n");
 

@@ -35,6 +35,10 @@ pub fn pct(x: f64) -> String {
 /// so plot scripts consuming the bench's stable rows skip it; the wall
 /// time, worker count, and utilization are the only nondeterministic
 /// fields any figure bench emits.
+///
+/// A report carrying dropped or out-of-range tallies gets a second
+/// trailer line naming them, so a bench that truncates its analysis can
+/// never do so silently.
 pub fn sweep_footer(report: &SweepReport) {
     println!(
         "# sweep '{}': {} runs on {} workers in {:.0} ms, {:.0}% utilized ({} completions, {} power failures, {:.1} s simulated charging)",
@@ -47,6 +51,13 @@ pub fn sweep_footer(report: &SweepReport) {
         report.total_power_failures(),
         report.total_charge_time().as_secs_f64(),
     );
+    if report.dropped > 0 || report.out_of_range > 0 {
+        println!(
+            "# sweep '{}': {} samples dropped, {} outside histogram ranges — \
+             the rows above do not account for every sample",
+            report.name, report.dropped, report.out_of_range,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1140 @@
+//! Fleet-scale population simulation with streaming aggregation.
+//!
+//! The sweep engine ([`crate::sweep`]) shards *independent* parameter
+//! points; this module scales the same machinery to a **population of
+//! devices** — a CapySat constellation sharing one orbital eclipse
+//! trace, or a city-block sensor fleet under one solar/weather
+//! environment — while keeping peak memory `O(shards)`, never
+//! `O(devices)`:
+//!
+//! * [`FleetSpec`] describes `N` devices derived from one template plus
+//!   per-device perturbations (seed-derived placement, panel scale,
+//!   task-rate jitter), every one reproducible from
+//!   `(fleet_seed, device_index)` alone;
+//! * [`SharedEnvironment`] is the correlated part: one eclipse/day-night
+//!   cycle sampled per device position, fleet-wide harvest dips
+//!   (weather fronts, RF outages) striking every device at the same
+//!   instants, and spatial shading;
+//! * [`run_fleet_on`] executes the population sharded on the sweep
+//!   engine. Each shard **folds** its devices into a mergeable
+//!   [`FleetAccumulator`] as they finish — per-device results are
+//!   dropped immediately — and the shard accumulators merge into one
+//!   [`FleetReport`].
+//!
+//! # Determinism and the merge laws
+//!
+//! The report is **bit-identical for any worker count**, by two
+//! reinforcing mechanisms:
+//!
+//! 1. The device→shard partition is a fixed striping over
+//!    [`FLEET_SHARDS`] shards, independent of the worker count; workers
+//!    claim whole shards dynamically, and shard accumulators merge in
+//!    shard order.
+//! 2. Every accumulator field is an *integer* quantity (counters,
+//!    microsecond totals, nanojoule totals, sketch buckets), so
+//!    [`FleetAccumulator::merge`] is a commutative, associative monoid
+//!    action — the merged result is independent of how the devices were
+//!    partitioned in the first place. (The streaming-vs-materialized
+//!    and fold-order tests pin this stronger property directly.)
+//!
+//! Cross-device latency quantiles come from a
+//! [`QuantileSketch`](capy_units::sketch::QuantileSketch) (≤ 3.2 %
+//! relative error, constant footprint); wear-out is tracked as a
+//! [`SURVIVAL_BUCKETS`]-bucket death histogram over the horizon.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use capy_power::harvester::Harvester;
+use capy_units::rng::{derive_seed, DetRng};
+use capy_units::sketch::QuantileSketch;
+use capy_units::{SimDuration, SimTime, Volts, Watts};
+
+use crate::sim::{SimContext, SimEvent, Simulator};
+use crate::sweep::{available_workers, map_points_on, RunSummary, SweepSpec, DEFAULT_BASE_SEED};
+
+/// Number of shards a fleet is striped over — fixed (not derived from
+/// the worker count) so the shard partition, and therefore the report,
+/// is identical for any parallelism. Workers claim shards dynamically;
+/// 64 shards keep every realistic core count load-balanced while peak
+/// accumulator memory stays `O(64)` regardless of fleet size.
+pub const FLEET_SHARDS: u64 = 64;
+
+/// Buckets of the wear-out survival histogram: device deaths are
+/// tallied into equal slices of the fleet horizon.
+pub const SURVIVAL_BUCKETS: usize = 16;
+
+/// The correlated environment every device of a fleet shares: one
+/// eclipse/day-night cycle (phase-shifted by device placement),
+/// fleet-wide harvest dips striking all devices at the same instants,
+/// and spatial shading. All sampling is a pure function of
+/// `(time, placement)`, so devices can be simulated in any order on any
+/// worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedEnvironment {
+    /// Eclipse/day-night period; `ZERO` disables the cycle.
+    period: SimDuration,
+    /// Sunlit fraction of the period, in `[0, 1]`.
+    sunlit: f64,
+    /// Fleet-wide dip onsets, sorted ascending (shared, not cloned per
+    /// device).
+    dips: Arc<Vec<SimTime>>,
+    /// How long each dip lasts.
+    dip_hold: SimDuration,
+    /// Harvest multiplier while a dip is active, in `[0, 1]`.
+    dip_factor: f64,
+    /// Spatial shading strength in `[0, 1]`: a device at placement `p`
+    /// harvests `1 − shading · p` of nominal.
+    shading: f64,
+}
+
+impl SharedEnvironment {
+    /// A featureless environment: full sun, no cycle, no dips.
+    #[must_use]
+    pub fn steady() -> Self {
+        Self {
+            period: SimDuration::ZERO,
+            sunlit: 1.0,
+            dips: Arc::new(Vec::new()),
+            dip_hold: SimDuration::ZERO,
+            dip_factor: 1.0,
+            shading: 0.0,
+        }
+    }
+
+    /// An orbital (or diurnal) cycle: each device sees `sunlit`
+    /// fraction of `period` lit and the rest dark, phase-shifted by its
+    /// placement (devices at different positions enter eclipse at
+    /// different instants, but the *trace* is the one shared cycle).
+    ///
+    /// # Panics
+    ///
+    /// When `sunlit` is outside `[0, 1]`.
+    #[must_use]
+    pub fn orbital(period: SimDuration, sunlit: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&sunlit),
+            "sunlit {sunlit} outside [0, 1]"
+        );
+        Self {
+            period,
+            sunlit,
+            ..Self::steady()
+        }
+    }
+
+    /// Adds `count` correlated fleet-wide harvest dips (weather fronts,
+    /// interference bursts): onsets are derived from `seed` with mean
+    /// spacing `mean_gap`, each holding for `hold` at `factor`× nominal
+    /// harvest. Every device sees the same dip instants — the
+    /// correlated-event-stream half of the shared environment.
+    ///
+    /// # Panics
+    ///
+    /// When `factor` is outside `[0, 1]` or `mean_gap` is zero with a
+    /// nonzero `count`.
+    #[must_use]
+    pub fn with_dips(
+        mut self,
+        seed: u64,
+        count: usize,
+        mean_gap: SimDuration,
+        hold: SimDuration,
+        factor: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "dip factor {factor} outside [0, 1]"
+        );
+        assert!(
+            count == 0 || mean_gap > SimDuration::ZERO,
+            "mean_gap must be positive"
+        );
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut at = SimTime::ZERO;
+        let mut dips = Vec::with_capacity(count);
+        let gap_us = mean_gap.as_micros();
+        for _ in 0..count {
+            // Uniform gap in [gap/2, 3·gap/2): mean `mean_gap`, and the
+            // half-gap floor keeps dips from overlapping for any
+            // hold <= mean_gap/2.
+            let gap = rng.gen_range((gap_us / 2).max(1)..(gap_us + gap_us / 2).max(2));
+            at = at.saturating_add(SimDuration::from_micros(gap).saturating_add(hold));
+            dips.push(at);
+        }
+        self.dips = Arc::new(dips);
+        self.dip_hold = hold;
+        self.dip_factor = factor;
+        self
+    }
+
+    /// Sets the spatial shading strength (`[0, 1]`): a device at
+    /// placement `p` harvests `1 − shading · p` of nominal.
+    ///
+    /// # Panics
+    ///
+    /// When `shading` is outside `[0, 1]`.
+    #[must_use]
+    pub fn shading(mut self, shading: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&shading),
+            "shading {shading} outside [0, 1]"
+        );
+        self.shading = shading;
+        self
+    }
+
+    /// This device's phase offset into the shared cycle, from its
+    /// placement.
+    fn phase_offset(&self, placement: f64) -> u64 {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let off = (placement * self.period.as_micros() as f64) as u64;
+        off
+    }
+
+    /// The sunlit span of the period, in microseconds.
+    fn sunlit_micros(&self) -> u64 {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let lit = (self.sunlit * self.period.as_micros() as f64) as u64;
+        lit
+    }
+
+    /// The dip active at `t`, if any: the last dip with onset `<= t`
+    /// that is still holding.
+    fn active_dip(&self, t: SimTime) -> Option<SimTime> {
+        let i = self.dips.partition_point(|&d| d <= t);
+        let onset = *self.dips.get(i.checked_sub(1)?)?;
+        (t < onset.saturating_add(self.dip_hold)).then_some(onset)
+    }
+
+    /// The harvest multiplier a device at `placement` sees at `t`:
+    /// `0` in eclipse, otherwise spatial shading × any active dip.
+    #[must_use]
+    pub fn factor_at(&self, t: SimTime, placement: f64) -> f64 {
+        if self.period > SimDuration::ZERO {
+            let phase = (t.as_micros() + self.phase_offset(placement)) % self.period.as_micros();
+            if phase >= self.sunlit_micros() {
+                return 0.0;
+            }
+        }
+        let mut f = 1.0 - self.shading * placement;
+        if self.active_dip(t).is_some() {
+            f *= self.dip_factor;
+        }
+        f
+    }
+
+    /// The earliest instant after `t` at which [`Self::factor_at`] may
+    /// change for a device at `placement` — the piecewise-constant
+    /// contract the [`Harvester`] trait needs for analytic charging.
+    #[must_use]
+    pub fn valid_until(&self, t: SimTime, placement: f64) -> SimTime {
+        let mut next = SimTime::MAX;
+        if self.period > SimDuration::ZERO {
+            let p = self.period.as_micros();
+            let phase = (t.as_micros() + self.phase_offset(placement)) % p;
+            let lit = self.sunlit_micros();
+            let to_boundary = if phase < lit { lit - phase } else { p - phase };
+            next = next.min(t.saturating_add(SimDuration::from_micros(to_boundary.max(1))));
+        }
+        if let Some(onset) = self.active_dip(t) {
+            next = next.min(onset.saturating_add(self.dip_hold));
+        } else {
+            let i = self.dips.partition_point(|&d| d <= t);
+            if let Some(&upcoming) = self.dips.get(i) {
+                next = next.min(upcoming);
+            }
+        }
+        next
+    }
+}
+
+/// Wraps any harvester with a device's panel scale and the fleet's
+/// shared environment: the inner source modulated by
+/// `panel_scale × factor_at(t, placement)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHarvester<H> {
+    inner: H,
+    panel_scale: f64,
+    env: SharedEnvironment,
+    placement: f64,
+}
+
+impl<H: Harvester> FleetHarvester<H> {
+    /// Wraps `inner` for the device at `placement` with `panel_scale`.
+    #[must_use]
+    pub fn new(inner: H, panel_scale: f64, env: SharedEnvironment, placement: f64) -> Self {
+        Self {
+            inner,
+            panel_scale,
+            env,
+            placement,
+        }
+    }
+}
+
+impl<H: Harvester> Harvester for FleetHarvester<H> {
+    fn power_at(&self, t: SimTime) -> Watts {
+        self.inner.power_at(t) * (self.panel_scale * self.env.factor_at(t, self.placement))
+    }
+
+    fn valid_until(&self, t: SimTime) -> SimTime {
+        self.inner
+            .valid_until(t)
+            .min(self.env.valid_until(t, self.placement))
+    }
+
+    fn open_voltage(&self, t: SimTime) -> Volts {
+        // In eclipse (or a total dip) the panel floats at zero: the
+        // bypass path must not see the inner source's voltage.
+        if self.env.factor_at(t, self.placement) <= 0.0 {
+            Volts::ZERO
+        } else {
+            self.inner.open_voltage(t)
+        }
+    }
+}
+
+/// One device of the fleet, fully derived from
+/// `(fleet_seed, device_index)` — the seeded-loop property test pins
+/// that nothing else (fleet size, horizon, name) leaks in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePoint {
+    /// The device's index in `0..devices`.
+    pub index: u64,
+    /// The device's own deterministic seed,
+    /// `derive_seed(fleet_seed, index)`.
+    pub seed: u64,
+    /// Position in the shared environment, in `[0, 1)`: phase into the
+    /// eclipse cycle and shading coordinate.
+    pub placement: f64,
+    /// Panel/harvester scale, `1 ± panel_jitter`.
+    pub panel_scale: f64,
+    /// Task-rate scale, `1 ± rate_jitter`: `> 1` means the device runs
+    /// its workload faster (shorter sleeps).
+    pub task_rate_scale: f64,
+}
+
+/// A population of `N` perturbed copies of one device template under a
+/// [`SharedEnvironment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    name: &'static str,
+    devices: u64,
+    fleet_seed: u64,
+    horizon: SimTime,
+    panel_jitter: f64,
+    rate_jitter: f64,
+    env: SharedEnvironment,
+}
+
+impl FleetSpec {
+    /// A fleet of `devices` devices named `name`, simulated to
+    /// `horizon`, with no jitter and a steady environment.
+    #[must_use]
+    pub fn new(name: &'static str, devices: u64, horizon: SimTime) -> Self {
+        Self {
+            name,
+            devices,
+            fleet_seed: DEFAULT_BASE_SEED,
+            horizon,
+            panel_jitter: 0.0,
+            rate_jitter: 0.0,
+            env: SharedEnvironment::steady(),
+        }
+    }
+
+    /// Sets the fleet seed every per-device stream derives from.
+    #[must_use]
+    pub fn fleet_seed(mut self, seed: u64) -> Self {
+        self.fleet_seed = seed;
+        self
+    }
+
+    /// Sets the relative panel-scale jitter (`0.1` → scales uniform in
+    /// `[0.9, 1.1)`).
+    ///
+    /// # Panics
+    ///
+    /// When `jitter` is outside `[0, 1]`.
+    #[must_use]
+    pub fn panel_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "panel jitter {jitter} outside [0, 1]"
+        );
+        self.panel_jitter = jitter;
+        self
+    }
+
+    /// Sets the relative task-rate jitter (`0.1` → rate scales uniform
+    /// in `[0.9, 1.1)`).
+    ///
+    /// # Panics
+    ///
+    /// When `jitter` is outside `[0, 1]`.
+    #[must_use]
+    pub fn rate_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "rate jitter {jitter} outside [0, 1]"
+        );
+        self.rate_jitter = jitter;
+        self
+    }
+
+    /// Sets the shared environment.
+    #[must_use]
+    pub fn environment(mut self, env: SharedEnvironment) -> Self {
+        self.env = env;
+        self
+    }
+
+    /// The fleet's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn devices(&self) -> u64 {
+        self.devices
+    }
+
+    /// The fleet seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.fleet_seed
+    }
+
+    /// The simulation horizon every device runs to.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// The shared environment.
+    #[must_use]
+    pub fn env(&self) -> &SharedEnvironment {
+        &self.env
+    }
+
+    /// Derives device `index` — a pure function of
+    /// `(fleet_seed, index)` plus the jitter amplitudes; independent of
+    /// the fleet's size, horizon, and name, so growing a fleet never
+    /// reshuffles the devices already in it.
+    #[must_use]
+    pub fn device(&self, index: u64) -> DevicePoint {
+        let seed = derive_seed(self.fleet_seed, index);
+        let mut rng = DetRng::seed_from_u64(seed);
+        // Draw order is part of the protocol: placement, panel, rate.
+        let placement = rng.gen_f64();
+        let panel_scale = 1.0 + self.panel_jitter * (2.0 * rng.gen_f64() - 1.0);
+        let task_rate_scale = 1.0 + self.rate_jitter * (2.0 * rng.gen_f64() - 1.0);
+        DevicePoint {
+            index,
+            seed,
+            placement,
+            panel_scale,
+            task_rate_scale,
+        }
+    }
+
+    /// Wraps a template harvester for device `point`.
+    #[must_use]
+    pub fn harvester_for<H: Harvester>(&self, inner: H, point: &DevicePoint) -> FleetHarvester<H> {
+        FleetHarvester::new(inner, point.panel_scale, self.env.clone(), point.placement)
+    }
+}
+
+/// What one device's run contributes to the fleet aggregate. Built by
+/// the caller's device closure (usually via [`DeviceOutcome::from_sim`])
+/// and folded into a [`FleetAccumulator`] immediately — never stored
+/// per device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceOutcome {
+    /// The run's standard observability record.
+    pub summary: RunSummary,
+    /// Per-event latencies (for the cross-device quantile sketch). The
+    /// [`DeviceOutcome::from_sim`] convention records each on-path
+    /// charge pause — the outage a device-side event waits out.
+    pub latencies: Vec<SimDuration>,
+    /// The instant the device died (first bank failure or stall), if it
+    /// did — feeds the wear-out survival histogram.
+    pub death: Option<SimTime>,
+    /// Per-task committed completions, template task order (may be
+    /// empty when the caller does not track tasks).
+    pub task_completions: Vec<u64>,
+}
+
+impl DeviceOutcome {
+    /// Extracts the standard outcome from a finished simulator: the
+    /// run summary, one latency per on-path charge pause, and the first
+    /// bank-failure/stall instant as the death time.
+    #[must_use]
+    pub fn from_sim<H: Harvester, C: SimContext>(sim: &Simulator<H, C>) -> Self {
+        let summary = RunSummary::from_sim(sim, Duration::ZERO);
+        let mut latencies = Vec::new();
+        let mut death = None;
+        for e in sim.events() {
+            match e {
+                SimEvent::Charge {
+                    start,
+                    end,
+                    precharge: false,
+                    ..
+                } => latencies.push(*end - *start),
+                SimEvent::BankFailed { at, .. } | SimEvent::Stalled { at } if death.is_none() => {
+                    death = Some(*at);
+                }
+                _ => {}
+            }
+        }
+        Self {
+            summary,
+            latencies,
+            death,
+            task_completions: Vec::new(),
+        }
+    }
+
+    /// Attaches per-task completion counts (template task order).
+    #[must_use]
+    pub fn with_task_completions(mut self, completions: Vec<u64>) -> Self {
+        self.task_completions = completions;
+        self
+    }
+}
+
+/// The streaming fleet aggregate: every field is an **integer**
+/// quantity, so [`FleetAccumulator::merge`] is commutative and
+/// associative and the merged result is independent of how devices were
+/// partitioned across workers. Footprint is constant in the device
+/// count (the memory-bound test pins [`Self::footprint_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetAccumulator {
+    /// Devices folded in.
+    pub devices: u64,
+    /// Summed [`RunSummary::boots`].
+    pub boots: u64,
+    /// Summed on-path charge pauses.
+    pub charges: u64,
+    /// Summed burst pre-charges.
+    pub precharges: u64,
+    /// Summed reconfigurations.
+    pub reconfigurations: u64,
+    /// Summed burst activations.
+    pub bursts: u64,
+    /// Summed intermittent power failures.
+    pub power_failures: u64,
+    /// Summed retired banks.
+    pub bank_failures: u64,
+    /// Summed mode remaps.
+    pub mode_remaps: u64,
+    /// Summed task attempts.
+    pub attempts: u64,
+    /// Summed committed completions.
+    pub completions: u64,
+    /// Summed power-failure-truncated attempts.
+    pub failures: u64,
+    /// Summed reboots.
+    pub reboots: u64,
+    /// Devices whose run ended in a harvester stall.
+    pub stalled_devices: u64,
+    /// Devices that died (bank failure or stall) before the horizon.
+    pub dead_devices: u64,
+    /// Total simulated charging time, integer microseconds.
+    pub charge_micros: u128,
+    /// Total simulated device time, integer microseconds.
+    pub end_micros: u128,
+    /// Total delivered energy, integer nanojoules (rounded once per
+    /// device, then summed exactly).
+    pub delivered_nanojoules: u128,
+    /// Cross-device event-latency sketch (integer microseconds).
+    pub latency: QuantileSketch,
+    /// Wear-out deaths per horizon bucket.
+    pub survival: [u64; SURVIVAL_BUCKETS],
+    /// Per-task completions, template task order (grown to the longest
+    /// outcome seen; absent tasks count 0).
+    pub task_completions: Vec<u64>,
+    /// Fewest completions any single device committed (`u64::MAX` when
+    /// empty).
+    pub min_device_completions: u64,
+    /// Most completions any single device committed.
+    pub max_device_completions: u64,
+}
+
+impl Default for FleetAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetAccumulator {
+    /// An empty accumulator (the monoid identity: merging it changes
+    /// nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            devices: 0,
+            boots: 0,
+            charges: 0,
+            precharges: 0,
+            reconfigurations: 0,
+            bursts: 0,
+            power_failures: 0,
+            bank_failures: 0,
+            mode_remaps: 0,
+            attempts: 0,
+            completions: 0,
+            failures: 0,
+            reboots: 0,
+            stalled_devices: 0,
+            dead_devices: 0,
+            charge_micros: 0,
+            end_micros: 0,
+            delivered_nanojoules: 0,
+            latency: QuantileSketch::new(),
+            survival: [0; SURVIVAL_BUCKETS],
+            task_completions: Vec::new(),
+            min_device_completions: u64::MAX,
+            max_device_completions: 0,
+        }
+    }
+
+    /// Folds one device's outcome in. `horizon` scales the survival
+    /// histogram's buckets.
+    pub fn fold(&mut self, horizon: SimTime, outcome: &DeviceOutcome) {
+        let s = &outcome.summary;
+        self.devices += 1;
+        self.boots += s.boots;
+        self.charges += s.charges;
+        self.precharges += s.precharges;
+        self.reconfigurations += s.reconfigurations;
+        self.bursts += s.bursts;
+        self.power_failures += s.power_failures;
+        self.bank_failures += s.bank_failures;
+        self.mode_remaps += s.mode_remaps;
+        self.attempts += s.attempts;
+        self.completions += s.completions;
+        self.failures += s.failures;
+        self.reboots += s.reboots;
+        self.stalled_devices += u64::from(s.stalled);
+        self.charge_micros += u128::from(s.charge_time.as_micros());
+        self.end_micros += u128::from(s.end.as_micros());
+        // Round once per device, sum exactly: integer addition keeps
+        // the total independent of fold order.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let nj = (s.delivered_energy.get() * 1e9).round().max(0.0) as u128;
+        self.delivered_nanojoules += nj;
+        for l in &outcome.latencies {
+            self.latency.record(l.as_micros());
+        }
+        if let Some(death) = outcome.death {
+            self.dead_devices += 1;
+            let h = horizon.as_micros().max(1);
+            let bucket = ((death.as_micros().min(h - 1) as u128 * SURVIVAL_BUCKETS as u128)
+                / u128::from(h)) as usize;
+            self.survival[bucket.min(SURVIVAL_BUCKETS - 1)] += 1;
+        }
+        if self.task_completions.len() < outcome.task_completions.len() {
+            self.task_completions
+                .resize(outcome.task_completions.len(), 0);
+        }
+        for (acc, n) in self
+            .task_completions
+            .iter_mut()
+            .zip(&outcome.task_completions)
+        {
+            *acc += n;
+        }
+        self.min_device_completions = self.min_device_completions.min(s.completions);
+        self.max_device_completions = self.max_device_completions.max(s.completions);
+    }
+
+    /// Merges another accumulator in: elementwise integer addition plus
+    /// `min`/`max` — commutative and associative, so any partition of
+    /// the fleet merges to the same result.
+    pub fn merge(&mut self, other: &Self) {
+        self.devices += other.devices;
+        self.boots += other.boots;
+        self.charges += other.charges;
+        self.precharges += other.precharges;
+        self.reconfigurations += other.reconfigurations;
+        self.bursts += other.bursts;
+        self.power_failures += other.power_failures;
+        self.mode_remaps += other.mode_remaps;
+        self.bank_failures += other.bank_failures;
+        self.attempts += other.attempts;
+        self.completions += other.completions;
+        self.failures += other.failures;
+        self.reboots += other.reboots;
+        self.stalled_devices += other.stalled_devices;
+        self.dead_devices += other.dead_devices;
+        self.charge_micros += other.charge_micros;
+        self.end_micros += other.end_micros;
+        self.delivered_nanojoules += other.delivered_nanojoules;
+        self.latency.merge(&other.latency);
+        for (a, b) in self.survival.iter_mut().zip(&other.survival) {
+            *a += b;
+        }
+        if self.task_completions.len() < other.task_completions.len() {
+            self.task_completions
+                .resize(other.task_completions.len(), 0);
+        }
+        for (a, b) in self
+            .task_completions
+            .iter_mut()
+            .zip(&other.task_completions)
+        {
+            *a += b;
+        }
+        self.min_device_completions = self
+            .min_device_completions
+            .min(other.min_device_completions);
+        self.max_device_completions = self
+            .max_device_completions
+            .max(other.max_device_completions);
+    }
+
+    /// Fleet availability: the fraction of total simulated device time
+    /// not spent charging, computed from the exact integer totals.
+    /// `1.0` when nothing has been simulated.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.end_micros == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let frac = self.charge_micros as f64 / self.end_micros as f64;
+        1.0 - frac
+    }
+
+    /// The accumulator's total footprint in bytes — constant in the
+    /// number of devices folded (the `O(workers)`-memory claim, pinned
+    /// by test).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.latency.footprint_bytes()
+            + self.task_completions.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// The merged result of a fleet run. Equality covers the aggregate and
+/// the fleet identity; worker count and wall time are telemetry,
+/// excluded exactly as in [`crate::sweep::SweepReport`].
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The fleet's name.
+    pub name: &'static str,
+    /// Devices simulated.
+    pub devices: u64,
+    /// The horizon every device ran to.
+    pub horizon: SimTime,
+    /// The merged aggregate.
+    pub acc: FleetAccumulator,
+    /// Worker threads used (excluded from equality).
+    pub workers: usize,
+    /// Host wall-clock time (excluded from equality).
+    pub wall: Duration,
+}
+
+impl PartialEq for FleetReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.devices == other.devices
+            && self.horizon == other.horizon
+            && self.acc == other.acc
+    }
+}
+
+impl FleetReport {
+    /// Fleet availability (see [`FleetAccumulator::availability`]).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.acc.availability()
+    }
+
+    /// The cross-device `q`-quantile event latency, within the sketch's
+    /// 3.2 % relative error bound. `None` when no latencies were
+    /// recorded.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<SimDuration> {
+        self.acc.latency.quantile(q).map(SimDuration::from_micros)
+    }
+
+    /// The wear-out survival curve: the fraction of the fleet still
+    /// alive at the *end* of each of the [`SURVIVAL_BUCKETS`] horizon
+    /// slices.
+    #[must_use]
+    pub fn survival_curve(&self) -> [f64; SURVIVAL_BUCKETS] {
+        let mut curve = [1.0; SURVIVAL_BUCKETS];
+        if self.devices == 0 {
+            return curve;
+        }
+        let mut dead = 0u64;
+        for (i, &deaths) in self.acc.survival.iter().enumerate() {
+            dead += deaths;
+            #[allow(clippy::cast_precision_loss)]
+            let alive = (self.devices - dead) as f64 / self.devices as f64;
+            curve[i] = alive;
+        }
+        curve
+    }
+}
+
+/// Runs the fleet on `workers` threads: devices are striped over
+/// [`FLEET_SHARDS`] fixed shards, each shard folds its devices into a
+/// [`FleetAccumulator`] as they finish, and the shard accumulators
+/// merge in shard order — see the module docs for why the result is
+/// bit-identical for any worker count.
+///
+/// `device_fn` simulates one device and returns its outcome; it sees
+/// only the [`DevicePoint`] (and whatever template it captured), never
+/// shared mutable state.
+pub fn run_fleet_on<F>(spec: &FleetSpec, workers: usize, device_fn: F) -> FleetReport
+where
+    F: Fn(&DevicePoint) -> DeviceOutcome + Sync,
+{
+    let started = Instant::now();
+    let shards = FLEET_SHARDS.min(spec.devices).max(1);
+    let mut sweep = SweepSpec::new(spec.name, spec.horizon).base_seed(spec.fleet_seed);
+    for s in 0..shards {
+        #[allow(clippy::cast_precision_loss)]
+        let shard_param = s as f64;
+        sweep = sweep.point(format!("shard={s}"), &[("shard", shard_param)]);
+    }
+    let accs = map_points_on(&sweep, workers, |point| {
+        let shard = point.index as u64;
+        let mut acc = FleetAccumulator::new();
+        let mut index = shard;
+        while index < spec.devices {
+            let device = spec.device(index);
+            let outcome = device_fn(&device);
+            acc.fold(spec.horizon, &outcome);
+            index += shards;
+        }
+        acc
+    });
+    let mut merged = FleetAccumulator::new();
+    for acc in &accs {
+        merged.merge(acc);
+    }
+    FleetReport {
+        name: spec.name,
+        devices: spec.devices,
+        horizon: spec.horizon,
+        acc: merged,
+        workers: workers.max(1),
+        wall: started.elapsed(),
+    }
+}
+
+/// [`run_fleet_on`] with [`available_workers`].
+pub fn run_fleet<F>(spec: &FleetSpec, device_fn: F) -> FleetReport
+where
+    F: Fn(&DevicePoint) -> DeviceOutcome + Sync,
+{
+    run_fleet_on(spec, available_workers(), device_fn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capy_power::harvester::ConstantHarvester;
+
+    fn env_with_everything() -> SharedEnvironment {
+        SharedEnvironment::orbital(SimDuration::from_secs(5400), 0.62)
+            .with_dips(
+                9,
+                4,
+                SimDuration::from_secs(3000),
+                SimDuration::from_secs(120),
+                0.3,
+            )
+            .shading(0.4)
+    }
+
+    #[test]
+    fn steady_environment_is_transparent() {
+        let env = SharedEnvironment::steady();
+        assert_eq!(env.factor_at(SimTime::from_secs(100), 0.7), 1.0);
+        assert_eq!(env.valid_until(SimTime::from_secs(100), 0.7), SimTime::MAX);
+    }
+
+    #[test]
+    fn eclipse_cycle_alternates_and_is_phase_shifted() {
+        let env = SharedEnvironment::orbital(SimDuration::from_secs(100), 0.5);
+        // Device at placement 0: lit for the first 50 s of each period.
+        assert!(env.factor_at(SimTime::from_secs(10), 0.0) > 0.0);
+        assert_eq!(env.factor_at(SimTime::from_secs(60), 0.0), 0.0);
+        // A device half a period away sees the opposite.
+        assert_eq!(env.factor_at(SimTime::from_secs(10), 0.5), 0.0);
+        assert!(env.factor_at(SimTime::from_secs(60), 0.5) > 0.0);
+    }
+
+    #[test]
+    fn valid_until_is_piecewise_constant() {
+        let env = env_with_everything();
+        // Walk boundary to boundary for a while: the factor must be
+        // constant strictly inside each segment.
+        let placement = 0.37;
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            let until = env.valid_until(t, placement);
+            assert!(until > t);
+            if until == SimTime::MAX {
+                break;
+            }
+            let f = env.factor_at(t, placement);
+            let span = until - t;
+            let mid = t.saturating_add(span / 2);
+            let probe = env.factor_at(mid, placement);
+            assert!(
+                (f - probe).abs() < 1e-12,
+                "factor changed inside [{t:?}, {until:?}): {f} -> {probe}"
+            );
+            t = until;
+        }
+    }
+
+    #[test]
+    fn dips_strike_every_placement_at_the_same_instants() {
+        let env = SharedEnvironment::steady().with_dips(
+            3,
+            5,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            0.5,
+        );
+        let onset = env.dips[0];
+        for placement in [0.0, 0.3, 0.9] {
+            let during = env.factor_at(onset, placement);
+            let before = env.factor_at(onset.saturating_sub(SimDuration::from_secs(1)), placement);
+            assert!((during - before * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fleet_harvester_scales_and_gates_voltage() {
+        let inner = ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0));
+        let env = SharedEnvironment::orbital(SimDuration::from_secs(100), 0.5);
+        let h = FleetHarvester::new(inner, 0.8, env, 0.0);
+        let lit = SimTime::from_secs(10);
+        let dark = SimTime::from_secs(60);
+        assert!((h.power_at(lit).get() - 0.008).abs() < 1e-12);
+        assert_eq!(h.power_at(dark), Watts::ZERO);
+        assert_eq!(h.open_voltage(lit), Volts::new(3.0));
+        assert_eq!(h.open_voltage(dark), Volts::ZERO);
+        assert!(h.valid_until(lit) <= SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn device_points_derive_from_seed_and_index_alone() {
+        let a = FleetSpec::new("a", 10, SimTime::from_secs(60))
+            .fleet_seed(42)
+            .panel_jitter(0.2)
+            .rate_jitter(0.1);
+        let b = FleetSpec::new(
+            "completely-different-name",
+            1_000_000,
+            SimTime::from_secs(9),
+        )
+        .fleet_seed(42)
+        .panel_jitter(0.2)
+        .rate_jitter(0.1)
+        .environment(env_with_everything());
+        for i in [0u64, 1, 7, 9] {
+            assert_eq!(a.device(i), b.device(i));
+        }
+        let reseeded = FleetSpec::new("a", 10, SimTime::from_secs(60)).fleet_seed(43);
+        assert_ne!(a.device(0).seed, reseeded.device(0).seed);
+        let d = a.device(3);
+        assert_eq!(d.seed, derive_seed(42, 3));
+        assert!((0.0..1.0).contains(&d.placement));
+        assert!((0.8..1.2).contains(&d.panel_scale));
+        assert!((0.9..1.1).contains(&d.task_rate_scale));
+    }
+
+    fn synthetic_outcome(point: &DevicePoint) -> DeviceOutcome {
+        // A cheap deterministic stand-in for a simulated device, rich
+        // enough to exercise every accumulator field.
+        let mut rng = DetRng::seed_from_u64(point.seed);
+        let completions = rng.gen_range(5u64..50);
+        let mut summary = RunSummary {
+            boots: 1,
+            charges: completions,
+            completions,
+            attempts: completions + 1,
+            failures: 1,
+            charge_time: SimDuration::from_millis(completions * 7),
+            end: SimTime::from_secs(60),
+            ..RunSummary::default()
+        };
+        let latencies: Vec<SimDuration> = (0..completions)
+            .map(|_| SimDuration::from_micros(rng.gen_range(100u64..1_000_000)))
+            .collect();
+        let death = rng
+            .gen_bool(0.25)
+            .then(|| SimTime::from_secs(rng.gen_range(1u64..60)));
+        if death.is_some() {
+            summary.stalled = true;
+        }
+        DeviceOutcome {
+            summary,
+            latencies,
+            death,
+            task_completions: vec![completions, completions / 2],
+        }
+    }
+
+    #[test]
+    fn report_is_identical_for_one_and_many_workers() {
+        let spec = FleetSpec::new("identity", 257, SimTime::from_secs(60))
+            .fleet_seed(7)
+            .panel_jitter(0.1);
+        let one = run_fleet_on(&spec, 1, synthetic_outcome);
+        let many = run_fleet_on(&spec, 8, synthetic_outcome);
+        assert_eq!(one, many);
+        assert_eq!(one.acc.devices, 257);
+    }
+
+    #[test]
+    fn streaming_equals_materialized_aggregation() {
+        let spec = FleetSpec::new("stream", 64, SimTime::from_secs(60)).fleet_seed(11);
+        let streamed = run_fleet_on(&spec, 4, synthetic_outcome);
+
+        // Materialize every outcome, fold serially — and in reverse —
+        // into one accumulator.
+        let outcomes: Vec<DeviceOutcome> = (0..spec.devices())
+            .map(|i| synthetic_outcome(&spec.device(i)))
+            .collect();
+        let mut forward = FleetAccumulator::new();
+        for o in &outcomes {
+            forward.fold(spec.horizon(), o);
+        }
+        let mut reverse = FleetAccumulator::new();
+        for o in outcomes.iter().rev() {
+            reverse.fold(spec.horizon(), o);
+        }
+        assert_eq!(streamed.acc, forward);
+        assert_eq!(streamed.acc, reverse);
+    }
+
+    #[test]
+    fn accumulator_footprint_is_independent_of_devices() {
+        let small_spec = FleetSpec::new("small", 8, SimTime::from_secs(60)).fleet_seed(5);
+        let big_spec = FleetSpec::new("big", 4096, SimTime::from_secs(60)).fleet_seed(5);
+        let small = run_fleet_on(&small_spec, 2, synthetic_outcome);
+        let big = run_fleet_on(&big_spec, 2, synthetic_outcome);
+        assert_eq!(small.acc.footprint_bytes(), big.acc.footprint_bytes());
+        assert_eq!(big.acc.devices, 4096);
+    }
+
+    #[test]
+    fn survival_curve_is_monotone_and_counts_deaths() {
+        let spec = FleetSpec::new("wear", 512, SimTime::from_secs(60)).fleet_seed(3);
+        let report = run_fleet_on(&spec, 4, synthetic_outcome);
+        assert!(
+            report.acc.dead_devices > 0,
+            "the synthetic fleet must lose devices"
+        );
+        assert_eq!(
+            report.acc.survival.iter().sum::<u64>(),
+            report.acc.dead_devices
+        );
+        let curve = report.survival_curve();
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0], "survival can only decrease");
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let final_alive = (report.devices - report.acc.dead_devices) as f64 / report.devices as f64;
+        assert!((curve[SURVIVAL_BUCKETS - 1] - final_alive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_and_quantiles_come_from_integer_totals() {
+        let spec = FleetSpec::new("metrics", 100, SimTime::from_secs(60)).fleet_seed(2);
+        let report = run_fleet_on(&spec, 3, synthetic_outcome);
+        let a = report.availability();
+        assert!(a > 0.0 && a < 1.0, "availability = {a}");
+        let p50 = report.latency_quantile(0.5).unwrap();
+        let p99 = report.latency_quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(report.acc.min_device_completions <= report.acc.max_device_completions);
+        assert_eq!(report.acc.task_completions.len(), 2);
+        assert_eq!(report.acc.task_completions[0], report.acc.completions);
+    }
+
+    #[test]
+    fn outcome_from_sim_extracts_charge_latencies() {
+        // A real (tiny) simulator: weak harvest forces charge pauses.
+        use crate::annotation::TaskEnergy;
+        use crate::mode::EnergyMode;
+        use crate::sim::Simulator;
+        use crate::variant::Variant;
+        use capy_device::load::TaskLoad;
+        use capy_device::mcu::Mcu;
+        use capy_intermittent::nv::{NvState, NvVar};
+        use capy_intermittent::task::Transition;
+        use capy_power::bank::{Bank, BankId};
+        use capy_power::switch::SwitchKind;
+        use capy_power::system::PowerSystem;
+        use capy_power::technology::parts;
+
+        struct Ctx {
+            n: NvVar<u64>,
+        }
+        impl NvState for Ctx {
+            fn commit_all(&mut self) {
+                self.n.commit();
+            }
+            fn abort_all(&mut self) {
+                self.n.abort();
+            }
+        }
+        impl SimContext for Ctx {
+            fn set_now(&mut self, _now: SimTime) {}
+        }
+
+        let power = PowerSystem::builder()
+            .harvester(ConstantHarvester::new(
+                Watts::from_micro(500.0),
+                Volts::new(3.0),
+            ))
+            .bank(
+                Bank::builder("small")
+                    .with(parts::ceramic_x5r_400uf())
+                    .build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        let mut sim = Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+            .mode("small", &[BankId(0)])
+            .task(
+                "sample",
+                TaskEnergy::Config(EnergyMode(0)),
+                |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(20))),
+                |c: &mut Ctx| {
+                    c.n.update(|x| x + 1);
+                    Transition::Stay
+                },
+            )
+            .build(Ctx { n: NvVar::new(0) });
+        sim.run_until(SimTime::from_secs(30));
+        let outcome = DeviceOutcome::from_sim(&sim);
+        assert_eq!(outcome.summary.charges as usize, outcome.latencies.len());
+        assert!(!outcome.latencies.is_empty());
+        assert!(outcome.death.is_none());
+    }
+}

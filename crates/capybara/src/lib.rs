@@ -80,6 +80,7 @@
 pub mod allocate;
 pub mod annotation;
 pub mod faults;
+pub mod fleet;
 pub mod mode;
 pub mod policy;
 pub mod provision;
@@ -104,6 +105,10 @@ pub mod prelude {
     pub use crate::faults::{
         explore_kill_grid, explore_kill_grid_replay, ExplorationStats, FaultPlan, KillGridOptions,
         KillOutcome, KillReport, SurgeEffect,
+    };
+    pub use crate::fleet::{
+        run_fleet, run_fleet_on, DeviceOutcome, DevicePoint, FleetAccumulator, FleetHarvester,
+        FleetReport, FleetSpec, SharedEnvironment, FLEET_SHARDS, SURVIVAL_BUCKETS,
     };
     pub use crate::mode::{EnergyMode, ModeTable};
     pub use crate::policy::{

@@ -827,6 +827,18 @@ pub struct SweepReport {
     pub name: &'static str,
     /// One run per spec point, in point-index order.
     pub runs: Vec<SweepRun>,
+    /// Samples the producing bench deliberately left out of its analysis
+    /// (subsampled points, truncated series). The engine initializes it
+    /// to 0; benches that drop anything must stamp the tally so
+    /// [`sweep_footer`](https://docs.rs/capy-bench) prints it —
+    /// silent truncation is a bug class this field exists to surface.
+    /// **Included in equality**, unlike the wall-clock telemetry.
+    pub dropped: u64,
+    /// Samples that fell outside every histogram range the producing
+    /// bench binned into (the fig11 class of tally). Engine-initialized
+    /// to 0, stamped by the bench, printed by the footer, and
+    /// **included in equality**.
+    pub out_of_range: u64,
     /// Number of worker threads used (excluded from equality).
     pub workers: usize,
     /// Total host wall-clock time (excluded from equality).
@@ -837,7 +849,10 @@ pub struct SweepReport {
 
 impl PartialEq for SweepReport {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.runs == other.runs
+        self.name == other.name
+            && self.runs == other.runs
+            && self.dropped == other.dropped
+            && self.out_of_range == other.out_of_range
     }
 }
 
@@ -879,14 +894,32 @@ impl SweepReport {
     /// Mean worker utilization: busy time summed over workers divided by
     /// `workers × wall`. 1.0 means every worker computed for the whole
     /// sweep; low values mean workers idled at the tail of the queue.
+    ///
+    /// The raw ratio can never legitimately exceed 1 + ε (busy time is
+    /// measured strictly inside the wall interval), so a larger value
+    /// means busy time was double-counted somewhere — asserted in debug
+    /// builds rather than silently clamped away.
+    ///
+    /// Zero-wall edge: when the sweep finished faster than the host
+    /// clock resolves, `wall` is zero and the ratio is undefined. A
+    /// report that nevertheless recorded busy work returns 1.0 (the
+    /// workers were busy the whole — unmeasurably short — sweep), while
+    /// a genuinely idle report (no busy time either) returns 0.0, so
+    /// the two cases stay distinguishable.
     #[must_use]
     pub fn worker_utilization(&self) -> f64 {
+        let busy: f64 = self.worker_stats.iter().map(|w| w.busy.as_secs_f64()).sum();
         let denom = self.wall.as_secs_f64() * self.workers as f64;
         if denom <= 0.0 {
-            return 0.0;
+            return if busy > 0.0 { 1.0 } else { 0.0 };
         }
-        let busy: f64 = self.worker_stats.iter().map(|w| w.busy.as_secs_f64()).sum();
-        (busy / denom).min(1.0)
+        let raw = busy / denom;
+        debug_assert!(
+            raw <= 1.0 + 1e-3,
+            "worker busy time exceeds workers x wall ({busy:.6} s busy over {denom:.6} s \
+             capacity) — busy intervals are being double-counted"
+        );
+        raw.min(1.0)
     }
 }
 
@@ -1128,6 +1161,8 @@ where
     let report = SweepReport {
         name: spec.name(),
         runs,
+        dropped: 0,
+        out_of_range: 0,
         workers: workers.clamp(1, spec.points().len().max(1)),
         wall: started.elapsed(),
         worker_stats,
@@ -1400,6 +1435,53 @@ mod tests {
         assert_eq!(serial, parallel);
         let u = parallel.worker_utilization();
         assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn utilization_distinguishes_zero_wall_from_idle() {
+        let spec = demo_spec();
+        let mut report = run_sweep_on(&spec, 2, build);
+        // Sub-resolution wall clock but real busy time: full utilization,
+        // not a silent 0.0.
+        report.wall = Duration::ZERO;
+        assert!(report.worker_stats.iter().any(|w| w.busy > Duration::ZERO));
+        assert_eq!(report.worker_utilization(), 1.0);
+        // Truly idle (no busy time either) stays 0.0.
+        for w in &mut report.worker_stats {
+            w.busy = Duration::ZERO;
+        }
+        assert_eq!(report.worker_utilization(), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double-counted")]
+    fn utilization_rejects_double_counted_busy_time() {
+        let spec = demo_spec();
+        let mut report = run_sweep_on(&spec, 1, build);
+        report.wall = Duration::from_millis(1);
+        report.worker_stats = vec![WorkerStats {
+            worker: 0,
+            points: 9,
+            busy: Duration::from_millis(10),
+        }];
+        let _ = report.worker_utilization();
+    }
+
+    #[test]
+    fn dropped_and_out_of_range_tallies_break_equality() {
+        let spec = demo_spec();
+        let clean = run_sweep_on(&spec, 1, build);
+        let mut truncated = clean.clone();
+        assert_eq!(clean, truncated);
+        truncated.dropped = 3;
+        assert_ne!(clean, truncated, "a dropped tally is part of the result");
+        truncated.dropped = 0;
+        truncated.out_of_range = 1;
+        assert_ne!(
+            clean, truncated,
+            "an out-of-range tally is part of the result"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use capy_power::harvester::{
 use capy_power::technology::parts;
 use capy_units::{Joules, SimDuration, SimTime, Volts, Watts};
 use capybara::faults::FaultPlan;
+use capybara::fleet::{DevicePoint, FleetHarvester, SharedEnvironment};
 use capybara::policy::{EwmaAdaptive, Pinned, ReactiveDownsize, ReconfigPolicy, StaticAnnotation};
 use capybara::sim::{RunLimits, SimContext, Simulator};
 use capybara::{EnergyMode, TaskEnergy};
@@ -38,6 +39,9 @@ pub enum ManifestHarvester {
     Trace(TraceHarvester),
     /// `kind = solar-trisolx`.
     Solar(SolarPanel),
+    /// Any of the above wrapped with one fleet device's panel scale and
+    /// the population's shared environment.
+    Fleet(Box<FleetHarvester<ManifestHarvester>>),
 }
 
 impl Harvester for ManifestHarvester {
@@ -47,6 +51,7 @@ impl Harvester for ManifestHarvester {
             Self::Regulated(h) => h.power_at(t),
             Self::Trace(h) => h.power_at(t),
             Self::Solar(h) => h.power_at(t),
+            Self::Fleet(h) => h.power_at(t),
         }
     }
 
@@ -56,6 +61,7 @@ impl Harvester for ManifestHarvester {
             Self::Regulated(h) => h.valid_until(t),
             Self::Trace(h) => h.valid_until(t),
             Self::Solar(h) => h.valid_until(t),
+            Self::Fleet(h) => h.valid_until(t),
         }
     }
 
@@ -65,6 +71,7 @@ impl Harvester for ManifestHarvester {
             Self::Regulated(h) => h.open_voltage(t),
             Self::Trace(h) => h.open_voltage(t),
             Self::Solar(h) => h.open_voltage(t),
+            Self::Fleet(h) => h.open_voltage(t),
         }
     }
 }
@@ -126,6 +133,38 @@ pub struct CompiledScenario {
 
 fn leak(s: &str) -> &'static str {
     Box::leak(s.to_string().into_boxed_str())
+}
+
+/// A manifest's names leaked to the `&'static str` the builder APIs
+/// require — **once per manifest**, so fleet runs compiling thousands of
+/// per-device simulators from one template do not grow the leak with the
+/// device count.
+pub struct LeakedNames {
+    banks: Vec<&'static str>,
+    modes: Vec<&'static str>,
+    tasks: Vec<&'static str>,
+}
+
+impl LeakedNames {
+    /// Leaks `manifest`'s bank, mode, and task names.
+    #[must_use]
+    pub fn from_manifest(manifest: &ScenarioManifest) -> Self {
+        Self {
+            banks: manifest.banks.iter().map(|b| leak(&b.name)).collect(),
+            modes: manifest.modes.iter().map(|m| leak(&m.name)).collect(),
+            tasks: manifest.tasks.iter().map(|t| leak(&t.name)).collect(),
+        }
+    }
+}
+
+/// The per-device perturbation a fleet applies on top of the template
+/// manifest: the device's [`DevicePoint`] plus the population's shared
+/// environment.
+pub struct DeviceTweak<'a> {
+    /// The shared environment the device's harvester samples.
+    pub env: &'a SharedEnvironment,
+    /// The device's derived placement/scales.
+    pub point: &'a DevicePoint,
 }
 
 fn duration_ms(ms: f64) -> SimDuration {
@@ -194,6 +233,23 @@ fn harvester(spec: &HarvesterSpec) -> ManifestHarvester {
 /// Returns [`ManifestError::Build`] when the simulator builder rejects
 /// the scenario.
 pub fn compile(manifest: &ScenarioManifest) -> Result<CompiledScenario, ManifestError> {
+    compile_with(manifest, &LeakedNames::from_manifest(manifest), None)
+}
+
+/// [`compile`] with the leak amortized across calls ([`LeakedNames`])
+/// and an optional per-device fleet perturbation: the harvester is
+/// wrapped in a [`FleetHarvester`] and declared sleeps scale by the
+/// reciprocal of the device's task rate.
+///
+/// # Errors
+///
+/// Returns [`ManifestError::Build`] when the simulator builder rejects
+/// the scenario.
+pub fn compile_with(
+    manifest: &ScenarioManifest,
+    names: &LeakedNames,
+    tweak: Option<&DeviceTweak<'_>>,
+) -> Result<CompiledScenario, ManifestError> {
     let bank_id = |name: &str| -> BankId {
         BankId(
             manifest
@@ -222,10 +278,18 @@ pub fn compile(manifest: &ScenarioManifest) -> Result<CompiledScenario, Manifest
         )
     };
 
-    let mut power =
-        capy_power::system::PowerSystem::builder().harvester(harvester(&manifest.harvester));
-    for spec in &manifest.banks {
-        let mut bank = Bank::builder(leak(&spec.name));
+    let source = match tweak {
+        None => harvester(&manifest.harvester),
+        Some(t) => ManifestHarvester::Fleet(Box::new(FleetHarvester::new(
+            harvester(&manifest.harvester),
+            t.point.panel_scale,
+            t.env.clone(),
+            t.point.placement,
+        ))),
+    };
+    let mut power = capy_power::system::PowerSystem::builder().harvester(source);
+    for (i, spec) in manifest.banks.iter().enumerate() {
+        let mut bank = Bank::builder(names.banks[i]);
         for &p in &spec.parts {
             bank = bank.with(part(p));
         }
@@ -240,10 +304,14 @@ pub fn compile(manifest: &ScenarioManifest) -> Result<CompiledScenario, Manifest
     };
 
     let mut builder = Simulator::builder(manifest.variant, power, mcu);
-    for mode in &manifest.modes {
+    for (i, mode) in manifest.modes.iter().enumerate() {
         let banks: Vec<BankId> = mode.banks.iter().map(|n| bank_id(n)).collect();
-        builder = builder.mode(leak(&mode.name), &banks);
+        builder = builder.mode(names.modes[i], &banks);
     }
+
+    // A faster device (rate scale > 1) paces itself with shorter sleeps;
+    // compute time is the task's physics and does not scale.
+    let rate_scale = tweak.map_or(1.0, |t| t.point.task_rate_scale);
 
     for (index, task) in manifest.tasks.iter().enumerate() {
         let energy = match &task.energy {
@@ -264,7 +332,7 @@ pub fn compile(manifest: &ScenarioManifest) -> Result<CompiledScenario, Manifest
             ThenSpec::Stop => Some(None),
             ThenSpec::To(name) => Some(Some(task_id(name))),
         };
-        let sleep = task.sleep_ms.map(duration_ms);
+        let sleep = task.sleep_ms.map(|ms| duration_ms(ms / rate_scale));
         let repeat = task.repeat;
         let this = TaskId(index);
         // The synthetic body: count the completion, then take the
@@ -288,7 +356,7 @@ pub fn compile(manifest: &ScenarioManifest) -> Result<CompiledScenario, Manifest
                 },
             }
         };
-        builder = builder.task(leak(&task.name), energy, load, body);
+        builder = builder.task(names.tasks[index], energy, load, body);
     }
 
     let policy: Box<dyn ReconfigPolicy> = match &manifest.policy {

@@ -85,15 +85,19 @@ pub mod model;
 pub mod parse;
 pub mod run;
 
-pub use compile::{compile, CompiledScenario, ManifestCtx, ManifestHarvester};
+pub use compile::{
+    compile, compile_with, CompiledScenario, DeviceTweak, LeakedNames, ManifestCtx,
+    ManifestHarvester,
+};
 pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use model::{
-    AssertionSpec, BankSpec, CmpOp, EnergySpec, EventKind, FaultSpec, HarvesterSpec, LimitsSpec,
-    McuKind, ModeSpec, PartKind, PolicySpec, ScenarioManifest, TaskSpec, ThenSpec, SCHEMA,
+    AssertionSpec, BankSpec, CmpOp, EnergySpec, EventKind, FaultSpec, FleetStanza, HarvesterSpec,
+    LimitsSpec, McuKind, ModeSpec, PartKind, PolicySpec, ScenarioManifest, TaskSpec, ThenSpec,
+    SCHEMA,
 };
 pub use parse::{parse_manifest, ManifestError};
 pub use run::{
-    error_result_json, result_path_for, run_batch, run_file, run_manifest, validate_json,
-    AssertionResult, BatchEntry, BatchOutcome, ScenarioResult, EXIT_ASSERT, EXIT_INTERNAL,
-    EXIT_LIMIT, EXIT_MANIFEST, EXIT_PASS, RESULT_SCHEMA,
+    error_result_json, result_path_for, run_batch, run_file, run_manifest, run_manifest_on,
+    validate_json, AssertionResult, BatchEntry, BatchOutcome, FleetResult, ScenarioResult,
+    EXIT_ASSERT, EXIT_INTERNAL, EXIT_LIMIT, EXIT_MANIFEST, EXIT_PASS, RESULT_SCHEMA,
 };

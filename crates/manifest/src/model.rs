@@ -49,6 +49,9 @@ pub struct ScenarioManifest {
     /// Cold-start supervisor margin above the booster's startup voltage,
     /// in volts.
     pub startup_margin_v: Option<f64>,
+    /// Optional fleet population: run `devices` perturbed copies of this
+    /// scenario under a shared environment instead of one device.
+    pub fleet: Option<FleetStanza>,
     /// Execution limits.
     pub limits: LimitsSpec,
     /// Pass/fail assertions evaluated after the run.
@@ -302,6 +305,52 @@ pub enum FaultSpec {
         /// Strike time, seconds.
         at_s: f64,
     },
+}
+
+/// The `[fleet]` stanza: this scenario becomes the *template* for a
+/// population of `devices` perturbed copies run under one shared
+/// environment ([`capybara::fleet`]); the result aggregates the whole
+/// population instead of reporting one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStanza {
+    /// Population size (required).
+    pub devices: u64,
+    /// Relative panel-scale jitter, percent (default 0).
+    pub panel_jitter_pct: f64,
+    /// Relative task-rate jitter, percent (default 0): sleeps scale by
+    /// the reciprocal of each device's rate.
+    pub rate_jitter_pct: f64,
+    /// Shared eclipse/day-night period, seconds (absent = no cycle).
+    pub eclipse_period_s: Option<f64>,
+    /// Sunlit fraction of the eclipse period (default 0.5; only
+    /// meaningful with `eclipse_period_s`).
+    pub eclipse_sunlit: f64,
+    /// Number of correlated fleet-wide harvest dips (default 0).
+    pub dips: u32,
+    /// How long each dip holds, seconds (default 0).
+    pub dip_hold_s: f64,
+    /// Harvest multiplier during a dip (default 1).
+    pub dip_factor: f64,
+    /// Spatial shading strength in `[0, 1]` (default 0).
+    pub shading: f64,
+}
+
+impl FleetStanza {
+    /// A fleet of `devices` with every perturbation disabled.
+    #[must_use]
+    pub fn new(devices: u64) -> Self {
+        Self {
+            devices,
+            panel_jitter_pct: 0.0,
+            rate_jitter_pct: 0.0,
+            eclipse_period_s: None,
+            eclipse_sunlit: 0.5,
+            dips: 0,
+            dip_hold_s: 0.0,
+            dip_factor: 1.0,
+            shading: 0.0,
+        }
+    }
 }
 
 /// Execution limits ([`capybara::sim::RunLimits`] in manifest clothing).
@@ -611,6 +660,33 @@ impl ScenarioManifest {
             }
             if let Some(margin) = self.startup_margin_v {
                 let _ = writeln!(out, "startup_margin_v = {}", fmt_f64(margin));
+            }
+        }
+
+        if let Some(fleet) = &self.fleet {
+            out.push_str("\n[fleet]\n");
+            let _ = writeln!(out, "devices = {}", fleet.devices);
+            if fleet.panel_jitter_pct != 0.0 {
+                let _ = writeln!(
+                    out,
+                    "panel_jitter_pct = {}",
+                    fmt_f64(fleet.panel_jitter_pct)
+                );
+            }
+            if fleet.rate_jitter_pct != 0.0 {
+                let _ = writeln!(out, "rate_jitter_pct = {}", fmt_f64(fleet.rate_jitter_pct));
+            }
+            if let Some(period) = fleet.eclipse_period_s {
+                let _ = writeln!(out, "eclipse_period_s = {}", fmt_f64(period));
+                let _ = writeln!(out, "eclipse_sunlit = {}", fmt_f64(fleet.eclipse_sunlit));
+            }
+            if fleet.dips > 0 {
+                let _ = writeln!(out, "dips = {}", fleet.dips);
+                let _ = writeln!(out, "dip_hold_s = {}", fmt_f64(fleet.dip_hold_s));
+                let _ = writeln!(out, "dip_factor = {}", fmt_f64(fleet.dip_factor));
+            }
+            if fleet.shading != 0.0 {
+                let _ = writeln!(out, "shading = {}", fmt_f64(fleet.shading));
             }
         }
 

@@ -13,8 +13,9 @@ use capy_power::switch::SwitchKind;
 use capybara::Variant;
 
 use crate::model::{
-    AssertionSpec, BankSpec, CmpOp, EnergySpec, EventKind, FaultSpec, HarvesterSpec, LimitsSpec,
-    McuKind, ModeSpec, PartKind, PolicySpec, ScenarioManifest, TaskSpec, ThenSpec, SCHEMA,
+    AssertionSpec, BankSpec, CmpOp, EnergySpec, EventKind, FaultSpec, FleetStanza, HarvesterSpec,
+    LimitsSpec, McuKind, ModeSpec, PartKind, PolicySpec, ScenarioManifest, TaskSpec, ThenSpec,
+    SCHEMA,
 };
 
 /// Everything that can be wrong with a manifest, with enough location
@@ -155,6 +156,7 @@ enum Section {
     Task(usize),
     Policy,
     Faults,
+    Fleet,
     Limits,
     Assert,
 }
@@ -198,6 +200,19 @@ struct PolicyDraft {
     timeout_ms: Option<f64>,
     thresholds_mw: Option<(usize, Vec<f64>)>,
     alpha: Option<(usize, f64)>,
+}
+
+#[derive(Default)]
+struct FleetDraft {
+    devices: Option<u64>,
+    panel_jitter_pct: Option<f64>,
+    rate_jitter_pct: Option<f64>,
+    eclipse_period_s: Option<f64>,
+    eclipse_sunlit: Option<f64>,
+    dips: Option<u32>,
+    dip_hold_s: Option<f64>,
+    dip_factor: Option<f64>,
+    shading: Option<f64>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -334,6 +349,7 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
     let mut saw_faults = false;
     let mut faults: Vec<FaultSpec> = Vec::new();
     let mut startup_margin_v: Option<f64> = None;
+    let mut fleet: Option<FleetDraft> = None;
     let mut saw_limits = false;
     let mut max_sim_seconds: Option<f64> = None;
     let mut max_steps: Option<u64> = None;
@@ -467,6 +483,17 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
                     saw_faults = true;
                     Section::Faults
                 }
+                ("fleet", None) => {
+                    if fleet.is_some() {
+                        return Err(ManifestError::Duplicate {
+                            line,
+                            kind: "section",
+                            name: "fleet".to_string(),
+                        });
+                    }
+                    fleet = Some(FleetDraft::default());
+                    Section::Fleet
+                }
                 ("limits", None) => {
                     if saw_limits {
                         return Err(ManifestError::Duplicate {
@@ -495,7 +522,7 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
                         message: format!("section `[{kind}]` requires a name: `[{kind} <name>]`"),
                     });
                 }
-                ("harvester" | "policy" | "faults" | "limits" | "assert", Some(_)) => {
+                ("harvester" | "policy" | "faults" | "fleet" | "limits" | "assert", Some(_)) => {
                     return Err(ManifestError::Syntax {
                         line,
                         message: format!("section `[{kind}]` takes no name"),
@@ -859,6 +886,67 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
                     });
                 }
             },
+            Section::Fleet => {
+                let draft = fleet.as_mut().expect("fleet section implies a draft");
+                match key {
+                    "devices" => {
+                        let v = parse_u64(line, key, value)?;
+                        if v == 0 {
+                            return Err(bad_value(line, key, value, "a positive device count"));
+                        }
+                        set_once(&mut draft.devices, v, line, key)?;
+                    }
+                    "panel_jitter_pct" | "rate_jitter_pct" => {
+                        let v = parse_f64(line, key, value)?;
+                        if !(0.0..=100.0).contains(&v) {
+                            return Err(bad_value(line, key, value, "a percentage in [0, 100]"));
+                        }
+                        let slot = if key == "panel_jitter_pct" {
+                            &mut draft.panel_jitter_pct
+                        } else {
+                            &mut draft.rate_jitter_pct
+                        };
+                        set_once(slot, v, line, key)?;
+                    }
+                    "eclipse_period_s" => {
+                        let v = parse_f64(line, key, value)?;
+                        if v <= 0.0 {
+                            return Err(bad_value(line, key, value, "a positive duration"));
+                        }
+                        set_once(&mut draft.eclipse_period_s, v, line, key)?;
+                    }
+                    "eclipse_sunlit" | "dip_factor" | "shading" => {
+                        let v = parse_f64(line, key, value)?;
+                        if !(0.0..=1.0).contains(&v) {
+                            return Err(bad_value(line, key, value, "a fraction in [0, 1]"));
+                        }
+                        let slot = match key {
+                            "eclipse_sunlit" => &mut draft.eclipse_sunlit,
+                            "dip_factor" => &mut draft.dip_factor,
+                            _ => &mut draft.shading,
+                        };
+                        set_once(slot, v, line, key)?;
+                    }
+                    "dips" => {
+                        let v = parse_u32(line, key, value)?;
+                        set_once(&mut draft.dips, v, line, key)?;
+                    }
+                    "dip_hold_s" => {
+                        let v = parse_f64(line, key, value)?;
+                        if v < 0.0 {
+                            return Err(bad_value(line, key, value, "a non-negative duration"));
+                        }
+                        set_once(&mut draft.dip_hold_s, v, line, key)?;
+                    }
+                    _ => {
+                        return Err(ManifestError::UnknownKey {
+                            line,
+                            section: "fleet".to_string(),
+                            key: key.to_string(),
+                        });
+                    }
+                }
+            }
             Section::Limits => match key {
                 "max_sim_seconds" => {
                     let v = parse_f64(line, key, value)?;
@@ -1024,6 +1112,21 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
         Some(draft) => build_policy(draft)?,
     };
 
+    let fleet = match fleet {
+        None => None,
+        Some(draft) => Some(FleetStanza {
+            devices: draft.devices.ok_or_else(|| missing("fleet", "devices"))?,
+            panel_jitter_pct: draft.panel_jitter_pct.unwrap_or(0.0),
+            rate_jitter_pct: draft.rate_jitter_pct.unwrap_or(0.0),
+            eclipse_period_s: draft.eclipse_period_s,
+            eclipse_sunlit: draft.eclipse_sunlit.unwrap_or(0.5),
+            dips: draft.dips.unwrap_or(0),
+            dip_hold_s: draft.dip_hold_s.unwrap_or(0.0),
+            dip_factor: draft.dip_factor.unwrap_or(1.0),
+            shading: draft.shading.unwrap_or(0.0),
+        }),
+    };
+
     if !saw_limits {
         return Err(missing("(document)", "[limits]"));
     }
@@ -1064,6 +1167,7 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
         policy,
         faults,
         startup_margin_v,
+        fleet,
         limits,
         assertions,
     })

@@ -19,12 +19,16 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use capy_units::rng::derive_seed;
+use capy_units::{Joules, SimDuration, SimTime};
+use capybara::fleet::{
+    run_fleet_on, DeviceOutcome, FleetReport, FleetSpec, SharedEnvironment, SURVIVAL_BUCKETS,
+};
 use capybara::sim::{RunOutcome, SimEvent};
-use capybara::sweep::{map_points_on, RunSummary, SweepSpec, DEFAULT_BASE_SEED};
+use capybara::sweep::{available_workers, map_points_on, RunSummary, SweepSpec, DEFAULT_BASE_SEED};
 
-use crate::compile::compile;
+use crate::compile::{compile, compile_with, DeviceTweak, LeakedNames};
 use crate::json::JsonValue;
-use crate::model::{variant_keyword, AssertionSpec, EventKind, ScenarioManifest};
+use crate::model::{variant_keyword, AssertionSpec, EventKind, FleetStanza, ScenarioManifest};
 use crate::parse::{parse_manifest, ManifestError};
 
 /// Exit code: ran to its outcome and every assertion held.
@@ -82,6 +86,33 @@ pub struct ScenarioResult {
     pub task_completions: Vec<(String, u64)>,
     /// Every assertion, in manifest order.
     pub assertions: Vec<AssertionResult>,
+    /// Population aggregates when the manifest declared a `[fleet]`
+    /// stanza; `None` for single-device scenarios.
+    pub fleet: Option<FleetResult>,
+}
+
+/// The population-level aggregate a `[fleet]` scenario reports — all
+/// integer quantities, so the artifact stays bit-identical for any
+/// worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetResult {
+    /// Devices simulated.
+    pub devices: u64,
+    /// Devices that died (bank failure or stall) before the horizon.
+    pub dead_devices: u64,
+    /// Devices whose run ended in a harvester stall.
+    pub stalled_devices: u64,
+    /// Fewest completions any single device committed.
+    pub min_device_completions: u64,
+    /// Most completions any single device committed.
+    pub max_device_completions: u64,
+    /// Cross-device median charge-pause latency, microseconds (0 when no
+    /// pause occurred anywhere in the fleet).
+    pub latency_p50_us: u64,
+    /// Cross-device p99 charge-pause latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Deaths per horizon bucket (the wear-out survival histogram).
+    pub survival: [u64; SURVIVAL_BUCKETS],
 }
 
 fn outcome_keyword(outcome: RunOutcome) -> &'static str {
@@ -123,7 +154,9 @@ fn event_matches(kind: EventKind, event: &SimEvent) -> bool {
 }
 
 /// Runs `manifest` to its limits and evaluates its assertions.
-/// `file` is recorded verbatim in the artifact.
+/// `file` is recorded verbatim in the artifact. A manifest with a
+/// `[fleet]` stanza runs the whole population (on every available
+/// worker) and reports the aggregate.
 ///
 /// # Errors
 ///
@@ -132,6 +165,24 @@ pub fn run_manifest(
     manifest: &ScenarioManifest,
     file: &str,
 ) -> Result<ScenarioResult, ManifestError> {
+    run_manifest_on(manifest, file, available_workers())
+}
+
+/// [`run_manifest`] with an explicit worker count for the fleet path
+/// (single-device scenarios ignore it). The result is bit-identical for
+/// any worker count.
+///
+/// # Errors
+///
+/// Returns [`ManifestError::Build`] when the scenario does not compile.
+pub fn run_manifest_on(
+    manifest: &ScenarioManifest,
+    file: &str,
+    workers: usize,
+) -> Result<ScenarioResult, ManifestError> {
+    if let Some(stanza) = &manifest.fleet {
+        return run_fleet_manifest(manifest, stanza, file, workers);
+    }
     let compiled = compile(manifest)?;
     let mut sim = compiled.sim;
     let outcome = sim.run_limited(&compiled.limits);
@@ -255,6 +306,213 @@ pub fn run_manifest(
         availability,
         task_completions,
         assertions,
+        fleet: None,
+    })
+}
+
+/// Builds the shared environment a `[fleet]` stanza describes. Dip
+/// onsets derive from the run seed, with mean spacing that spreads the
+/// requested count across the horizon.
+fn fleet_environment(stanza: &FleetStanza, run_seed: u64, horizon_s: f64) -> SharedEnvironment {
+    let time = |s: f64| SimDuration::from_micros((s * 1e6).round() as u64);
+    let mut env = match stanza.eclipse_period_s {
+        Some(period) => SharedEnvironment::orbital(time(period), stanza.eclipse_sunlit),
+        None => SharedEnvironment::steady(),
+    };
+    if stanza.dips > 0 {
+        let mean_gap = time(horizon_s / f64::from(stanza.dips + 1));
+        env = env.with_dips(
+            derive_seed(run_seed, 0xD19),
+            stanza.dips as usize,
+            mean_gap,
+            time(stanza.dip_hold_s),
+            stanza.dip_factor,
+        );
+    }
+    env.shading(stanza.shading)
+}
+
+/// The fleet path of [`run_manifest_on`]: the manifest becomes the
+/// device template, each device compiles with its derived perturbation,
+/// and only the streamed aggregate survives. Count assertions evaluate
+/// against the population totals; event and final-mode assertions have
+/// no aggregate meaning and are rejected.
+fn run_fleet_manifest(
+    manifest: &ScenarioManifest,
+    stanza: &FleetStanza,
+    file: &str,
+    workers: usize,
+) -> Result<ScenarioResult, ManifestError> {
+    for a in &manifest.assertions {
+        if matches!(
+            a,
+            AssertionSpec::RequireEvent(_)
+                | AssertionSpec::ForbidEvent(_)
+                | AssertionSpec::FinalMode(_)
+        ) {
+            return Err(ManifestError::Build {
+                message: "event and final-mode assertions are per-device; a [fleet] scenario \
+                          supports only count and availability assertions"
+                    .to_string(),
+            });
+        }
+    }
+
+    let run_seed = derive_seed(DEFAULT_BASE_SEED, manifest.seed);
+    let horizon = SimTime::from_micros((manifest.limits.max_sim_seconds * 1e6).round() as u64);
+    let env = fleet_environment(stanza, run_seed, manifest.limits.max_sim_seconds);
+    let names = LeakedNames::from_manifest(manifest);
+    let spec = FleetSpec::new(
+        Box::leak(manifest.name.clone().into_boxed_str()),
+        stanza.devices,
+        horizon,
+    )
+    .fleet_seed(run_seed)
+    .panel_jitter(stanza.panel_jitter_pct / 100.0)
+    .rate_jitter(stanza.rate_jitter_pct / 100.0)
+    .environment(env.clone());
+
+    // Surface build errors before fanning out: if the template compiles
+    // for one device it compiles for all (perturbations never add modes
+    // or annotations).
+    let probe = spec.device(0);
+    compile_with(
+        manifest,
+        &names,
+        Some(&DeviceTweak {
+            env: &env,
+            point: &probe,
+        }),
+    )?;
+
+    let report: FleetReport = run_fleet_on(&spec, workers, |point| {
+        let compiled = compile_with(manifest, &names, Some(&DeviceTweak { env: &env, point }))
+            .expect("the probe device compiled");
+        let mut sim = compiled.sim;
+        let _ = sim.run_limited(&compiled.limits);
+        let completions = (0..manifest.tasks.len())
+            .map(|i| sim.ctx().completions(i))
+            .collect();
+        DeviceOutcome::from_sim(&sim).with_task_completions(completions)
+    });
+    let acc = &report.acc;
+    let availability = acc.availability();
+
+    // The aggregate in RunSummary clothing, so the artifact's `summary`
+    // object keeps its shape: counters are population totals, `end` is
+    // the per-device horizon, wall stays zero.
+    #[allow(clippy::cast_precision_loss)]
+    let summary = RunSummary {
+        boots: acc.boots,
+        charges: acc.charges,
+        precharges: acc.precharges,
+        reconfigurations: acc.reconfigurations,
+        bursts: acc.bursts,
+        power_failures: acc.power_failures,
+        bank_failures: acc.bank_failures,
+        mode_remaps: acc.mode_remaps,
+        stalled: acc.stalled_devices > 0,
+        charge_time: SimDuration::from_micros(acc.charge_micros.min(u128::from(u64::MAX)) as u64),
+        attempts: acc.attempts,
+        completions: acc.completions,
+        failures: acc.failures,
+        reboots: acc.reboots,
+        delivered_energy: Joules::new(acc.delivered_nanojoules as f64 / 1e9),
+        end: horizon,
+        wall: Duration::ZERO,
+    };
+
+    let task_completions: Vec<(String, u64)> = manifest
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (
+                t.name.clone(),
+                acc.task_completions.get(i).copied().unwrap_or(0),
+            )
+        })
+        .collect();
+
+    let assertions: Vec<AssertionResult> = manifest
+        .assertions
+        .iter()
+        .map(|a| match a {
+            AssertionSpec::TaskCompletions { task, op, count } => {
+                let index = manifest
+                    .tasks
+                    .iter()
+                    .position(|t| t.name == *task)
+                    .expect("parser resolved task references");
+                let got = acc.task_completions.get(index).copied().unwrap_or(0);
+                AssertionResult {
+                    check: format!("completions = {task} {} {count}", op.symbol()),
+                    passed: op.holds(got, *count),
+                    detail: format!("task `{task}` committed {got} completions fleet-wide"),
+                }
+            }
+            AssertionSpec::TotalCompletions { op, count } => AssertionResult {
+                check: format!("total_completions = {} {count}", op.symbol()),
+                passed: op.holds(acc.completions, *count),
+                detail: format!("{} completions committed fleet-wide", acc.completions),
+            },
+            AssertionSpec::Failures { op, count } => AssertionResult {
+                check: format!("failures = {} {count}", op.symbol()),
+                passed: op.holds(acc.failures, *count),
+                detail: format!(
+                    "{} attempts were cut short by power failure fleet-wide",
+                    acc.failures
+                ),
+            },
+            AssertionSpec::MinAvailability(min) => AssertionResult {
+                check: format!("min_availability = {}", crate::model::fmt_f64(*min)),
+                passed: availability >= *min,
+                detail: format!(
+                    "fleet was available {:.1}% of simulated device time",
+                    availability * 100.0
+                ),
+            },
+            AssertionSpec::RequireEvent(_)
+            | AssertionSpec::ForbidEvent(_)
+            | AssertionSpec::FinalMode(_) => unreachable!("rejected above"),
+        })
+        .collect();
+
+    let exit_code = if assertions.iter().any(|a| !a.passed) {
+        EXIT_ASSERT
+    } else {
+        EXIT_PASS
+    };
+
+    let fleet = FleetResult {
+        devices: acc.devices,
+        dead_devices: acc.dead_devices,
+        stalled_devices: acc.stalled_devices,
+        min_device_completions: if acc.min_device_completions == u64::MAX {
+            0
+        } else {
+            acc.min_device_completions
+        },
+        max_device_completions: acc.max_device_completions,
+        latency_p50_us: acc.latency.quantile(0.5).unwrap_or(0),
+        latency_p99_us: acc.latency.quantile(0.99).unwrap_or(0),
+        survival: acc.survival,
+    };
+
+    Ok(ScenarioResult {
+        name: manifest.name.clone(),
+        file: file.to_string(),
+        seed: manifest.seed,
+        run_seed,
+        variant: variant_keyword(manifest.variant),
+        outcome: "fleet",
+        exit_code,
+        passed: exit_code == EXIT_PASS,
+        summary,
+        availability,
+        task_completions,
+        assertions,
+        fleet: Some(fleet),
     })
 }
 
@@ -316,7 +574,28 @@ impl ScenarioResult {
                 })
                 .collect(),
         );
-        JsonValue::Object(vec![
+        let fleet = self.fleet.as_ref().map(|f| {
+            JsonValue::Object(vec![
+                ("devices".to_string(), num(f.devices)),
+                ("dead_devices".to_string(), num(f.dead_devices)),
+                ("stalled_devices".to_string(), num(f.stalled_devices)),
+                (
+                    "min_device_completions".to_string(),
+                    num(f.min_device_completions),
+                ),
+                (
+                    "max_device_completions".to_string(),
+                    num(f.max_device_completions),
+                ),
+                ("latency_p50_us".to_string(), num(f.latency_p50_us)),
+                ("latency_p99_us".to_string(), num(f.latency_p99_us)),
+                (
+                    "survival_deaths".to_string(),
+                    JsonValue::Array(f.survival.iter().map(|&d| num(d)).collect()),
+                ),
+            ])
+        });
+        let mut doc = vec![
             (
                 "schema".to_string(),
                 JsonValue::String(RESULT_SCHEMA.to_string()),
@@ -349,8 +628,12 @@ impl ScenarioResult {
             ),
             ("summary".to_string(), summary),
             ("task_completions".to_string(), tasks),
-            ("assertions".to_string(), assertions),
-        ])
+        ];
+        if let Some(fleet) = fleet {
+            doc.push(("fleet".to_string(), fleet));
+        }
+        doc.push(("assertions".to_string(), assertions));
+        JsonValue::Object(doc)
     }
 }
 
@@ -535,6 +818,12 @@ pub fn validate_json(text: &str, schema: Option<&str>) -> Result<(), String> {
                 .ok_or_else(|| "document has no `cases` array".to_string())?;
             if cases.is_empty() {
                 return Err("`cases` array is empty".to_string());
+            }
+            if !cases.iter().any(|c| c.get("fleet_devices_per_s").is_some()) {
+                return Err(
+                    "no case reports `fleet_devices_per_s` (the fleet population series)"
+                        .to_string(),
+                );
             }
             Ok(())
         }

@@ -36,6 +36,7 @@
 
 pub mod rng;
 mod scalar;
+pub mod sketch;
 mod time;
 
 pub use scalar::{Amps, Celsius, Farads, Joules, Ohms, SquareMm, Volts, Watts};

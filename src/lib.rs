@@ -18,6 +18,7 @@ pub use capy_units as units;
 pub use capybara as core;
 
 pub use capybara::faults;
+pub use capybara::fleet;
 pub use capybara::policy;
 pub use capybara::sweep;
 

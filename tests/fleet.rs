@@ -1,0 +1,218 @@
+//! Fleet determinism and memory-bound gates, at the public-API level.
+//!
+//! The fleet contract has three load-bearing clauses:
+//!
+//! 1. **Bit-identity**: [`FleetReport`] is identical for any worker
+//!    count, because devices are striped over a fixed shard partition
+//!    and the all-integer [`FleetAccumulator`] merge is commutative and
+//!    associative.
+//! 2. **Derivation locality**: a device's perturbations depend on
+//!    `(fleet_seed, index)` alone — never on the fleet's size, name, or
+//!    horizon — so populations can be grown or resharded without
+//!    disturbing existing members.
+//! 3. **O(workers) memory**: the streaming accumulator's footprint is
+//!    constant in the device count.
+
+use capy_units::rng::{derive_seed, DetRng};
+use capy_units::{SimDuration, SimTime, Volts, Watts};
+use capybara_suite::prelude::*;
+use capybara_suite::sweep::RunSummary;
+
+fn shared_env() -> SharedEnvironment {
+    SharedEnvironment::orbital(SimDuration::from_secs(40), 0.6)
+        .with_dips(
+            7,
+            2,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(3),
+            0.2,
+        )
+        .shading(0.35)
+}
+
+/// A real simulated device: duty-cycle sensing on a two-part bank, the
+/// harvester wrapped by the fleet's shared environment and per-device
+/// panel scale.
+fn simulate_device(spec: &FleetSpec, point: &DevicePoint) -> DeviceOutcome {
+    let power = PowerSystem::builder()
+        .harvester(spec.harvester_for(
+            ConstantHarvester::new(Watts::from_milli(5.0), Volts::new(3.0)),
+            point,
+        ))
+        .bank(
+            Bank::builder("store")
+                .with(parts::ceramic_x5r_400uf())
+                .with(parts::tantalum_330uf())
+                .build(),
+            SwitchKind::NormallyClosed,
+        )
+        .build();
+    let sleep = SimDuration::from_secs_f64(0.5 / point.task_rate_scale);
+    let mut sim = Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+        .task(
+            "sense",
+            TaskEnergy::Unannotated,
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(6))),
+            move |_c: &mut ()| Transition::Sleep {
+                duration: sleep,
+                then: TaskId(0),
+            },
+        )
+        .build(());
+    sim.run_until(spec.horizon());
+    DeviceOutcome::from_sim(&sim)
+}
+
+fn real_spec(devices: u64) -> FleetSpec {
+    FleetSpec::new("fleet-gate", devices, SimTime::from_secs(45))
+        .fleet_seed(0xF1EE7)
+        .panel_jitter(0.2)
+        .rate_jitter(0.15)
+        .environment(shared_env())
+}
+
+#[test]
+fn real_fleet_report_is_bit_identical_for_any_worker_count() {
+    let spec = real_spec(97);
+    let serial = run_fleet_on(&spec, 1, |p| simulate_device(&spec, p));
+    for workers in [2, 3, 8] {
+        let parallel = run_fleet_on(&spec, workers, |p| simulate_device(&spec, p));
+        assert_eq!(
+            serial, parallel,
+            "fleet report drifted between 1 and {workers} workers"
+        );
+    }
+    // The run did real work: devices completed tasks and saw outages.
+    assert_eq!(serial.acc.devices, 97);
+    assert!(serial.acc.completions > 0);
+    assert!(serial.acc.charges > 0);
+    assert!(serial.availability() > 0.0 && serial.availability() <= 1.0);
+}
+
+/// A cheap deterministic stand-in for a simulated device, rich enough
+/// to populate every accumulator field (including deaths).
+fn synthetic_outcome(point: &DevicePoint) -> DeviceOutcome {
+    let mut rng = DetRng::seed_from_u64(point.seed);
+    let completions = rng.gen_range(3u64..40);
+    let mut summary = RunSummary {
+        boots: 1,
+        charges: completions,
+        completions,
+        attempts: completions + 1,
+        failures: 1,
+        charge_time: SimDuration::from_millis(completions * 11),
+        end: SimTime::from_secs(120),
+        ..RunSummary::default()
+    };
+    let latencies: Vec<SimDuration> = (0..completions)
+        .map(|_| SimDuration::from_micros(rng.gen_range(50u64..2_000_000)))
+        .collect();
+    let death = rng
+        .gen_bool(0.3)
+        .then(|| SimTime::from_secs(rng.gen_range(1u64..120)));
+    if death.is_some() {
+        summary.stalled = true;
+    }
+    DeviceOutcome {
+        summary,
+        latencies,
+        death,
+        task_completions: vec![completions, completions / 3],
+    }
+}
+
+fn synthetic_spec(devices: u64) -> FleetSpec {
+    FleetSpec::new("fleet-synthetic", devices, SimTime::from_secs(120)).fleet_seed(0xCA9B)
+}
+
+#[test]
+fn streaming_equals_materialized_in_any_merge_order() {
+    let spec = synthetic_spec(311);
+    let horizon = spec.horizon();
+
+    // Streamed: one accumulator folds every device in index order.
+    let mut streamed = FleetAccumulator::new();
+    for i in 0..spec.devices() {
+        streamed.fold(horizon, &synthetic_outcome(&spec.device(i)));
+    }
+
+    // Materialized: one single-device accumulator per device, merged in
+    // forward, reverse, and strided order — all must agree with the
+    // streamed fold (merge is commutative and associative).
+    let singles: Vec<FleetAccumulator> = (0..spec.devices())
+        .map(|i| {
+            let mut acc = FleetAccumulator::new();
+            acc.fold(horizon, &synthetic_outcome(&spec.device(i)));
+            acc
+        })
+        .collect();
+    let merge_all = |order: &mut dyn Iterator<Item = usize>| {
+        let mut merged = FleetAccumulator::new();
+        for i in order {
+            merged.merge(&singles[i]);
+        }
+        merged
+    };
+    let n = singles.len();
+    assert_eq!(streamed, merge_all(&mut (0..n)));
+    assert_eq!(streamed, merge_all(&mut (0..n).rev()));
+    let mut strided = (0..7).flat_map(|s| (s..n).step_by(7));
+    assert_eq!(streamed, merge_all(&mut strided));
+}
+
+#[test]
+fn device_derivation_ignores_fleet_shape() {
+    let small = synthetic_spec(8);
+    let huge = FleetSpec::new("other-name", 4_000_000, SimTime::from_secs(1))
+        .fleet_seed(0xCA9B)
+        .environment(shared_env());
+    for i in [0u64, 3, 7] {
+        assert_eq!(small.device(i), huge.device(i));
+        assert_eq!(small.device(i).seed, derive_seed(0xCA9B, i));
+    }
+    // Jitter knobs change the derived scales, not the seed or placement.
+    let jittered = synthetic_spec(8).panel_jitter(0.5).rate_jitter(0.5);
+    assert_eq!(small.device(2).seed, jittered.device(2).seed);
+    assert_eq!(small.device(2).placement, jittered.device(2).placement);
+    assert_ne!(small.device(2).panel_scale, jittered.device(2).panel_scale);
+}
+
+#[test]
+fn accumulator_footprint_is_independent_of_device_count() {
+    let footprint_after = |devices: u64| {
+        let spec = synthetic_spec(devices);
+        let report = run_fleet_on(&spec, 1, synthetic_outcome);
+        assert_eq!(report.acc.devices, devices);
+        report.acc.footprint_bytes()
+    };
+    let small = footprint_after(16);
+    let large = footprint_after(4096);
+    assert_eq!(
+        small, large,
+        "streaming accumulator must not grow with the population"
+    );
+    assert!(small < 64 * 1024, "accumulator footprint blew past 64 KiB");
+}
+
+#[test]
+fn survival_curve_is_monotone_and_quantiles_are_ordered() {
+    let spec = synthetic_spec(500);
+    let report = run_fleet_on(&spec, 4, synthetic_outcome);
+
+    let curve = report.survival_curve();
+    assert_eq!(curve[0], curve[0].clamp(0.0, 1.0));
+    for w in curve.windows(2) {
+        assert!(w[1] <= w[0], "survival curve must be non-increasing");
+    }
+    let total_deaths: u64 = report.acc.survival.iter().sum();
+    assert_eq!(total_deaths, report.acc.dead_devices);
+
+    let p50 = report.latency_quantile(0.5).expect("latencies recorded");
+    let p99 = report.latency_quantile(0.99).expect("latencies recorded");
+    assert!(p50 <= p99, "quantiles must be ordered");
+    // The sketch promises <= 3.2 % relative error: p50 of a stream
+    // bounded by [50 us, 2 s) must land inside the (slightly widened)
+    // same interval.
+    assert!(p50 >= SimDuration::from_micros(48));
+    assert!(p99 < SimDuration::from_micros(2_064_000));
+}

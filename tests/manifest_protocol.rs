@@ -11,8 +11,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use capybara_suite::manifest::{
-    parse_manifest, run_batch, run_manifest, validate_json, ManifestError, EXIT_ASSERT, EXIT_LIMIT,
-    EXIT_PASS, RESULT_SCHEMA,
+    parse_manifest, run_batch, run_manifest, run_manifest_on, validate_json, ManifestError,
+    EXIT_ASSERT, EXIT_LIMIT, EXIT_PASS, RESULT_SCHEMA,
 };
 
 /// A scenario exercising nearly every grammar production: every
@@ -154,6 +154,7 @@ fn parse_emit_parse_round_trips_checked_in_manifests() {
     for rel in [
         "manifests/quickstart.capy",
         "manifests/temperature_alarm.capy",
+        "manifests/fleet_smoke.capy",
     ] {
         let text = fs::read_to_string(repo_path(rel)).expect("checked-in manifest reads");
         let parsed = parse_manifest(&text).unwrap_or_else(|e| panic!("{rel}: {e}"));
@@ -180,6 +181,7 @@ fn batch_artifacts_identical_for_any_worker_count() {
     let src: Vec<PathBuf> = [
         "manifests/quickstart.capy",
         "manifests/temperature_alarm.capy",
+        "manifests/fleet_smoke.capy",
     ]
     .iter()
     .map(|rel| {
@@ -220,7 +222,11 @@ fn checked_in_artifacts_match_fresh_runs() {
     // The result.json files committed next to the manifests are the
     // golden outputs; a fresh in-process run must reproduce them bit
     // for bit (catches accidental protocol drift in either direction).
-    for rel in ["manifests/quickstart", "manifests/temperature_alarm"] {
+    for rel in [
+        "manifests/quickstart",
+        "manifests/temperature_alarm",
+        "manifests/fleet_smoke",
+    ] {
         let manifest_path = repo_path(&format!("{rel}.capy"));
         let text = fs::read_to_string(&manifest_path).expect("manifest reads");
         let manifest = parse_manifest(&text).expect("parses");
@@ -238,6 +244,32 @@ fn checked_in_artifacts_match_fresh_runs() {
             golden,
             "{rel}.result.json has drifted; regenerate with `capy-run manifests/`"
         );
+    }
+}
+
+#[test]
+fn fleet_artifact_identical_for_any_worker_count() {
+    let text = fs::read_to_string(repo_path("manifests/fleet_smoke.capy")).expect("manifest reads");
+    let manifest = parse_manifest(&text).expect("parses");
+    let serial = run_manifest_on(&manifest, "fleet_smoke.capy", 1).expect("runs");
+    assert!(serial.fleet.is_some(), "fleet stanza must aggregate");
+    for workers in [2, 8] {
+        let parallel = run_manifest_on(&manifest, "fleet_smoke.capy", workers).expect("runs");
+        assert_eq!(serial, parallel, "fleet result must not depend on workers");
+        assert_eq!(serial.to_json().pretty(), parallel.to_json().pretty());
+    }
+}
+
+#[test]
+fn fleet_rejects_per_device_assertions() {
+    let text = fs::read_to_string(repo_path("manifests/fleet_smoke.capy")).expect("manifest reads");
+    let text = text.replace("min_availability = 0.2", "require_event = boot");
+    let manifest = parse_manifest(&text).expect("parses");
+    match run_manifest(&manifest, "m.capy").unwrap_err() {
+        ManifestError::Build { message } => {
+            assert!(message.contains("per-device"), "{message}");
+        }
+        other => panic!("expected Build, got {other:?}"),
     }
 }
 
