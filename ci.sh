@@ -58,6 +58,20 @@ run cargo run --release --example fuzz -- --smoke
 run cargo run --release --example fleet -- --devices 1000 --check
 run "$CAPY_RUN" --validate-json BENCH_sim_throughput.json --schema capybara-sim-throughput/v1
 
+# Trace-driven fleet gate: the checked-in heterogeneous 10k-device
+# manifest (template mix + recorded harvest trace) must reproduce its
+# golden artifact bit-for-bit, and the artifact must be identical
+# whether the batch runs on 1 worker or 8 — the mixed/trace fleet path
+# has no worker-count dependence. The checked-in perf artifact must also
+# carry the trace-driven fleet series (the schema validator above
+# rejects it without).
+FLEET_TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$FLEET_TRACE_TMP"' EXIT
+run "$CAPY_RUN" --workers 1 --out-dir "$FLEET_TRACE_TMP/w1" manifests/fleet_trace.capy
+run "$CAPY_RUN" --workers 8 --out-dir "$FLEET_TRACE_TMP/w8" manifests/fleet_trace.capy
+run cmp manifests/fleet_trace.result.json "$FLEET_TRACE_TMP/w1/fleet_trace.result.json"
+run cmp "$FLEET_TRACE_TMP/w1/fleet_trace.result.json" "$FLEET_TRACE_TMP/w8/fleet_trace.result.json"
+
 if [[ "$QUICK" == "1" ]]; then
     echo "==> ci.sh: quick gate passed (benches skipped)"
     exit 0

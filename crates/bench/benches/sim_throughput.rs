@@ -27,7 +27,9 @@ use capy_power::harvester::Harvester;
 use capy_power::prelude::{Bank, ConstantHarvester, KernelTuning, PowerSystem};
 use capy_units::{Farads, Ohms, SimDuration, SimTime, Volts, Watts};
 use capybara::faults::{explore_kill_grid, explore_kill_grid_replay, KillGridOptions};
-use capybara::fleet::{run_fleet, DeviceOutcome, FleetSpec, SharedEnvironment};
+use capybara::fleet::{
+    parse_harvest_trace, run_fleet, DeviceOutcome, FleetSpec, SharedEnvironment,
+};
 use capybara::sweep::{run_sweep_extract, SweepSpec};
 
 // --- timing harness -----------------------------------------------------
@@ -357,14 +359,14 @@ struct FleetBenchStats {
 
 /// Runs a whole device population through the fleet engine: every device
 /// is the duty-cycle sleeper perturbed by its derived panel scale and
-/// placement under a shared day/night cycle. The `fleet_devices_per_s`
-/// series records population throughput; the constant accumulator
-/// footprint is reported alongside (the O(workers) memory claim).
-fn bench_fleet(quick: bool) -> FleetBenchStats {
+/// placement under the shared environment `env`. The
+/// `fleet_devices_per_s` series records population throughput; the
+/// constant accumulator footprint is reported alongside (the O(workers)
+/// memory claim).
+fn bench_fleet(name: &'static str, quick: bool, env: SharedEnvironment) -> FleetBenchStats {
     let devices: u64 = if quick { 2_000 } else { 20_000 };
     let horizon = SimTime::from_secs(600);
-    let env = SharedEnvironment::orbital(SimDuration::from_secs(90), 0.7).shading(0.25);
-    let spec = FleetSpec::new("fleet_population", devices, horizon)
+    let spec = FleetSpec::new(name, devices, horizon)
         .fleet_seed(FIGURE_SEED)
         .panel_jitter(0.15)
         .rate_jitter(0.1)
@@ -411,7 +413,7 @@ fn bench_fleet(quick: bool) -> FleetBenchStats {
     };
     println!(
         "{:<40} {:>9} devices {:>9} workers  {:>11.1} devices/s   {:>8.1}% available",
-        "fleet_population",
+        name,
         stats.devices,
         stats.workers,
         stats.devices_per_sec,
@@ -491,7 +493,19 @@ fn main() {
     );
     let sweep = bench_sweep(sweep_horizon);
     let (kill_snap, kill_replay) = bench_kill_grid(quick);
-    let fleet = bench_fleet(quick);
+    let orbital_env = SharedEnvironment::orbital(SimDuration::from_secs(90), 0.7)
+        .shading(0.25)
+        .expect("shading in range");
+    let fleet = bench_fleet("fleet_population", quick, orbital_env);
+    // The trace series drives the same population from the checked-in
+    // recorded harvest trace instead of a synthetic day/night cycle.
+    let trace = parse_harvest_trace(include_str!("../../../manifests/traces/cloudy_day.trace"))
+        .expect("checked-in trace parses");
+    let trace_env = SharedEnvironment::from_trace(trace)
+        .expect("checked-in trace is valid")
+        .shading(0.25)
+        .expect("shading in range");
+    let fleet_trace = bench_fleet("fleet_population_trace", quick, trace_env);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -574,15 +588,29 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    {{\"name\": \"fleet_population\", \"kind\": \"fleet\", \"devices\": {}, \
+        "    {{\"name\": \"fleet_population\", \"kind\": \"fleet\", \"trace\": false, \
+         \"devices\": {}, \
          \"workers\": {}, \"wall_ms\": {:.2}, \"fleet_devices_per_s\": {:.1}, \
-         \"availability\": {:.4}, \"accumulator_bytes\": {}}}",
+         \"availability\": {:.4}, \"accumulator_bytes\": {}}},",
         fleet.devices,
         fleet.workers,
         fleet.wall.as_secs_f64() * 1e3,
         fleet.devices_per_sec,
         fleet.availability,
         fleet.footprint_bytes
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fleet_population_trace\", \"kind\": \"fleet\", \"trace\": true, \
+         \"devices\": {}, \
+         \"workers\": {}, \"wall_ms\": {:.2}, \"fleet_devices_per_s\": {:.1}, \
+         \"availability\": {:.4}, \"accumulator_bytes\": {}}}",
+        fleet_trace.devices,
+        fleet_trace.workers,
+        fleet_trace.wall.as_secs_f64() * 1e3,
+        fleet_trace.devices_per_sec,
+        fleet_trace.availability,
+        fleet_trace.footprint_bytes
     );
     json.push_str("  ]\n}\n");
 

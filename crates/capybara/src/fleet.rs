@@ -7,19 +7,31 @@
 //! environment — while keeping peak memory `O(shards)`, never
 //! `O(devices)`:
 //!
-//! * [`FleetSpec`] describes `N` devices derived from one template plus
-//!   per-device perturbations (seed-derived placement, panel scale,
-//!   task-rate jitter), every one reproducible from
+//! * [`FleetSpec`] describes `N` devices drawn from a **mix** of one or
+//!   more [`TemplateSpec`] templates (device counts partition the index
+//!   space) plus per-device perturbations (seed-derived placement,
+//!   panel scale, task-rate jitter), every one reproducible from
 //!   `(fleet_seed, device_index)` alone;
 //! * [`SharedEnvironment`] is the correlated part: one eclipse/day-night
 //!   cycle sampled per device position, fleet-wide harvest dips
 //!   (weather fronts, RF outages) striking every device at the same
-//!   instants, and spatial shading;
+//!   instants, spatial shading, and optionally a **recorded harvest
+//!   trace** ([`SharedEnvironment::from_trace`]) — piecewise-constant
+//!   factor samples every device sees at the same instants, honoring
+//!   the same `factor_at`/`valid_until` skip-ahead contract as the
+//!   analytic cycle;
 //! * [`run_fleet_on`] executes the population sharded on the sweep
 //!   engine. Each shard **folds** its devices into a mergeable
 //!   [`FleetAccumulator`] as they finish — per-device results are
 //!   dropped immediately — and the shard accumulators merge into one
-//!   [`FleetReport`].
+//!   [`FleetReport`];
+//! * [`run_fleet_leg_on`] is the multi-leg variant: it additionally
+//!   returns the [`FleetWear`] (all-integer per-device, per-bank deep
+//!   cycle counts, assembled by device index and therefore independent
+//!   of worker count and merge order) that a back-to-back second
+//!   mission leg resumes from. Wear carryover is the one deliberate
+//!   exception to the `O(shards)` memory bound: it stores a few words
+//!   per device, opt-in, only on the leg API.
 //!
 //! # Determinism and the merge laws
 //!
@@ -42,9 +54,11 @@
 //! relative error, constant footprint); wear-out is tracked as a
 //! [`SURVIVAL_BUCKETS`]-bucket death histogram over the horizon.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use capy_power::bank::{Bank, BankId};
 use capy_power::harvester::Harvester;
 use capy_units::rng::{derive_seed, DetRng};
 use capy_units::sketch::QuantileSketch;
@@ -64,6 +78,123 @@ pub const FLEET_SHARDS: u64 = 64;
 /// tallied into equal slices of the fleet horizon.
 pub const SURVIVAL_BUCKETS: usize = 16;
 
+/// Why a [`SharedEnvironment`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// The spatial shading strength is outside `[0, 1]`.
+    ShadingOutOfRange {
+        /// The rejected value.
+        shading: f64,
+    },
+    /// A harvest trace needs at least one sample.
+    EmptyTrace,
+    /// The first trace sample must be at `t = 0` so the factor is
+    /// defined for every instant.
+    TraceMustStartAtZero {
+        /// Where the first sample actually starts.
+        first: SimTime,
+    },
+    /// Trace sample times must be strictly ascending.
+    TraceNotAscending {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A trace factor must be finite and non-negative.
+    TraceFactorOutOfRange {
+        /// Index of the offending sample.
+        index: usize,
+        /// The rejected factor.
+        factor: f64,
+    },
+    /// A trace file line did not parse as `<seconds> <factor>`.
+    TraceSyntax {
+        /// 1-based line number in the trace text.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShadingOutOfRange { shading } => {
+                write!(f, "shading {shading} outside [0, 1]")
+            }
+            Self::EmptyTrace => write!(f, "harvest trace has no samples"),
+            Self::TraceMustStartAtZero { first } => {
+                write!(
+                    f,
+                    "harvest trace must start at t = 0 (first sample at {first:?})"
+                )
+            }
+            Self::TraceNotAscending { index } => {
+                write!(
+                    f,
+                    "harvest trace sample {index} is not after its predecessor"
+                )
+            }
+            Self::TraceFactorOutOfRange { index, factor } => {
+                write!(
+                    f,
+                    "harvest trace sample {index} factor {factor} is not finite and >= 0"
+                )
+            }
+            Self::TraceSyntax { line, message } => {
+                write!(f, "harvest trace line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Parses the `capy-trace/v1` text format: one `<seconds> <factor>`
+/// pair per line, `#` comments and blank lines ignored. Returns the
+/// samples as `(time, factor)` pairs ready for
+/// [`SharedEnvironment::from_trace`], which performs the structural
+/// validation (ordering, range, coverage of `t = 0`).
+///
+/// # Errors
+///
+/// [`EnvError::TraceSyntax`] with the 1-based line number when a line
+/// is not a pair of numbers or the time is negative or non-finite.
+pub fn parse_harvest_trace(text: &str) -> Result<Vec<(SimTime, f64)>, EnvError> {
+    let mut samples = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        let (Some(secs), Some(factor), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(EnvError::TraceSyntax {
+                line,
+                message: format!("expected `<seconds> <factor>`, got `{body}`"),
+            });
+        };
+        let secs: f64 = secs.parse().map_err(|_| EnvError::TraceSyntax {
+            line,
+            message: format!("bad seconds value `{secs}`"),
+        })?;
+        let factor: f64 = factor.parse().map_err(|_| EnvError::TraceSyntax {
+            line,
+            message: format!("bad factor value `{factor}`"),
+        })?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(EnvError::TraceSyntax {
+                line,
+                message: format!("seconds {secs} must be finite and >= 0"),
+            });
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let at = SimTime::from_micros((secs * 1e6).round() as u64);
+        samples.push((at, factor));
+    }
+    Ok(samples)
+}
+
 /// The correlated environment every device of a fleet shares: one
 /// eclipse/day-night cycle (phase-shifted by device placement),
 /// fleet-wide harvest dips striking all devices at the same instants,
@@ -74,8 +205,12 @@ pub const SURVIVAL_BUCKETS: usize = 16;
 pub struct SharedEnvironment {
     /// Eclipse/day-night period; `ZERO` disables the cycle.
     period: SimDuration,
-    /// Sunlit fraction of the period, in `[0, 1]`.
-    sunlit: f64,
+    /// Sunlit span of the period in **integer microseconds**, computed
+    /// once at construction — `factor_at` and `valid_until` share this
+    /// exact boundary instead of re-deriving it from the float fraction
+    /// per call (which could misplace the eclipse edge by a microsecond
+    /// for long periods).
+    lit_micros: u64,
     /// Fleet-wide dip onsets, sorted ascending (shared, not cloned per
     /// device).
     dips: Arc<Vec<SimTime>>,
@@ -86,6 +221,28 @@ pub struct SharedEnvironment {
     /// Spatial shading strength in `[0, 1]`: a device at placement `p`
     /// harvests `1 − shading · p` of nominal.
     shading: f64,
+    /// Recorded harvest trace: piecewise-constant `(start, factor)`
+    /// samples, strictly ascending from `t = 0`, shared by every device
+    /// (empty = no trace). Each sample's factor holds until the next
+    /// sample's start; the last holds forever.
+    trace: Arc<Vec<(SimTime, f64)>>,
+}
+
+/// Quantizes a `[0, 1]` fraction to parts-per-billion: the single
+/// float→integer conversion the environment performs, so every later
+/// boundary computation is pure integer arithmetic.
+fn fraction_ppb(fraction: f64) -> u64 {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let ppb = (fraction * 1e9).round().clamp(0.0, 1e9) as u64;
+    ppb
+}
+
+/// `micros × ppb / 1e9` in 128-bit integer arithmetic (exact, no float
+/// round-trip).
+fn scale_micros(micros: u64, ppb: u64) -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let scaled = ((u128::from(micros) * u128::from(ppb)) / 1_000_000_000) as u64;
+    scaled
 }
 
 impl SharedEnvironment {
@@ -94,11 +251,12 @@ impl SharedEnvironment {
     pub fn steady() -> Self {
         Self {
             period: SimDuration::ZERO,
-            sunlit: 1.0,
+            lit_micros: 0,
             dips: Arc::new(Vec::new()),
             dip_hold: SimDuration::ZERO,
             dip_factor: 1.0,
             shading: 0.0,
+            trace: Arc::new(Vec::new()),
         }
     }
 
@@ -106,6 +264,10 @@ impl SharedEnvironment {
     /// fraction of `period` lit and the rest dark, phase-shifted by its
     /// placement (devices at different positions enter eclipse at
     /// different instants, but the *trace* is the one shared cycle).
+    ///
+    /// The lit window is fixed here, once, in integer microseconds
+    /// (`sunlit` quantized to parts-per-billion) — the boundary-
+    /// exactness test pins that `factor_at` flips exactly at it.
     ///
     /// # Panics
     ///
@@ -118,9 +280,52 @@ impl SharedEnvironment {
         );
         Self {
             period,
-            sunlit,
+            lit_micros: scale_micros(period.as_micros(), fraction_ppb(sunlit)),
             ..Self::steady()
         }
+    }
+
+    /// An environment driven by a recorded harvest trace: every device
+    /// sees `factor` from each sample's start until the next sample's
+    /// start (the last sample holds forever). Composes with
+    /// [`Self::with_dips`] and [`Self::shading`]; the trace is the
+    /// correlated "weather" every device shares, like the dip stream.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::EmptyTrace`], [`EnvError::TraceMustStartAtZero`],
+    /// [`EnvError::TraceNotAscending`], or
+    /// [`EnvError::TraceFactorOutOfRange`] when the samples do not form
+    /// a valid piecewise-constant trace.
+    pub fn from_trace(samples: Vec<(SimTime, f64)>) -> Result<Self, EnvError> {
+        Self::steady().with_trace(samples)
+    }
+
+    /// Installs a recorded harvest trace on this environment (see
+    /// [`Self::from_trace`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::from_trace`].
+    pub fn with_trace(mut self, samples: Vec<(SimTime, f64)>) -> Result<Self, EnvError> {
+        let Some(&(first, _)) = samples.first() else {
+            return Err(EnvError::EmptyTrace);
+        };
+        if first != SimTime::ZERO {
+            return Err(EnvError::TraceMustStartAtZero { first });
+        }
+        for (index, window) in samples.windows(2).enumerate() {
+            if window[1].0 <= window[0].0 {
+                return Err(EnvError::TraceNotAscending { index: index + 1 });
+            }
+        }
+        for (index, &(_, factor)) in samples.iter().enumerate() {
+            if !factor.is_finite() || factor < 0.0 {
+                return Err(EnvError::TraceFactorOutOfRange { index, factor });
+            }
+        }
+        self.trace = Arc::new(samples);
+        Ok(self)
     }
 
     /// Adds `count` correlated fleet-wide harvest dips (weather fronts,
@@ -171,40 +376,23 @@ impl SharedEnvironment {
     /// Sets the spatial shading strength (`[0, 1]`): a device at
     /// placement `p` harvests `1 − shading · p` of nominal.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// When `shading` is outside `[0, 1]`.
-    #[must_use]
-    pub fn shading(mut self, shading: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&shading),
-            "shading {shading} outside [0, 1]"
-        );
+    /// [`EnvError::ShadingOutOfRange`] when `shading` is outside
+    /// `[0, 1]`.
+    pub fn shading(mut self, shading: f64) -> Result<Self, EnvError> {
+        if !(0.0..=1.0).contains(&shading) {
+            return Err(EnvError::ShadingOutOfRange { shading });
+        }
         self.shading = shading;
-        self
+        Ok(self)
     }
 
     /// This device's phase offset into the shared cycle, from its
-    /// placement.
+    /// placement — the same ppb quantization as the lit window, so the
+    /// offset is exact for every placement.
     fn phase_offset(&self, placement: f64) -> u64 {
-        #[allow(
-            clippy::cast_precision_loss,
-            clippy::cast_possible_truncation,
-            clippy::cast_sign_loss
-        )]
-        let off = (placement * self.period.as_micros() as f64) as u64;
-        off
-    }
-
-    /// The sunlit span of the period, in microseconds.
-    fn sunlit_micros(&self) -> u64 {
-        #[allow(
-            clippy::cast_precision_loss,
-            clippy::cast_possible_truncation,
-            clippy::cast_sign_loss
-        )]
-        let lit = (self.sunlit * self.period.as_micros() as f64) as u64;
-        lit
+        scale_micros(self.period.as_micros(), fraction_ppb(placement))
     }
 
     /// The dip active at `t`, if any: the last dip with onset `<= t`
@@ -215,17 +403,30 @@ impl SharedEnvironment {
         (t < onset.saturating_add(self.dip_hold)).then_some(onset)
     }
 
+    /// Index of the trace sample in effect at `t` (callers guarantee a
+    /// non-empty trace; the first sample starts at `t = 0`).
+    fn trace_index(&self, t: SimTime) -> usize {
+        self.trace.partition_point(|&(at, _)| at <= t) - 1
+    }
+
     /// The harvest multiplier a device at `placement` sees at `t`:
-    /// `0` in eclipse, otherwise spatial shading × any active dip.
+    /// `0` in eclipse, otherwise spatial shading × recorded trace ×
+    /// any active dip.
     #[must_use]
     pub fn factor_at(&self, t: SimTime, placement: f64) -> f64 {
         if self.period > SimDuration::ZERO {
             let phase = (t.as_micros() + self.phase_offset(placement)) % self.period.as_micros();
-            if phase >= self.sunlit_micros() {
+            if phase >= self.lit_micros {
                 return 0.0;
             }
         }
-        let mut f = 1.0 - self.shading * placement;
+        // Shading strength is validated to [0, 1], but placements may
+        // legitimately reach 1.0 and floats accumulate — never let a
+        // negative multiplier escape to the harvester.
+        let mut f = (1.0 - self.shading * placement).max(0.0);
+        if !self.trace.is_empty() {
+            f *= self.trace[self.trace_index(t)].1;
+        }
         if self.active_dip(t).is_some() {
             f *= self.dip_factor;
         }
@@ -235,15 +436,23 @@ impl SharedEnvironment {
     /// The earliest instant after `t` at which [`Self::factor_at`] may
     /// change for a device at `placement` — the piecewise-constant
     /// contract the [`Harvester`] trait needs for analytic charging.
+    /// With a recorded trace installed, the factor is constant between
+    /// consecutive sample starts, so a long constant trace interval
+    /// still charges in O(1) analytic segments.
     #[must_use]
     pub fn valid_until(&self, t: SimTime, placement: f64) -> SimTime {
         let mut next = SimTime::MAX;
         if self.period > SimDuration::ZERO {
             let p = self.period.as_micros();
             let phase = (t.as_micros() + self.phase_offset(placement)) % p;
-            let lit = self.sunlit_micros();
+            let lit = self.lit_micros;
             let to_boundary = if phase < lit { lit - phase } else { p - phase };
             next = next.min(t.saturating_add(SimDuration::from_micros(to_boundary.max(1))));
+        }
+        if !self.trace.is_empty() {
+            if let Some(&(upcoming, _)) = self.trace.get(self.trace_index(t) + 1) {
+                next = next.min(upcoming);
+            }
         }
         if let Some(onset) = self.active_dip(t) {
             next = next.min(onset.saturating_add(self.dip_hold));
@@ -293,9 +502,11 @@ impl<H: Harvester> Harvester for FleetHarvester<H> {
     }
 
     fn open_voltage(&self, t: SimTime) -> Volts {
-        // In eclipse (or a total dip) the panel floats at zero: the
-        // bypass path must not see the inner source's voltage.
-        if self.env.factor_at(t, self.placement) <= 0.0 {
+        // In eclipse (or a total dip), or with a dead panel
+        // (`panel_scale == 0`), the panel floats at zero: the bypass
+        // path must not see the inner source's voltage. The darkness
+        // test is the same product the power path uses.
+        if self.panel_scale * self.env.factor_at(t, self.placement) <= 0.0 {
             Volts::ZERO
         } else {
             self.inner.open_voltage(t)
@@ -313,6 +524,10 @@ pub struct DevicePoint {
     /// The device's own deterministic seed,
     /// `derive_seed(fleet_seed, index)`.
     pub seed: u64,
+    /// Which [`TemplateSpec`] of the fleet's mix this device is drawn
+    /// from (index into [`FleetSpec::templates`]; `0` for homogeneous
+    /// fleets).
+    pub template: usize,
     /// Position in the shared environment, in `[0, 1)`: phase into the
     /// eclipse cycle and shading coordinate.
     pub placement: f64,
@@ -323,44 +538,33 @@ pub struct DevicePoint {
     pub task_rate_scale: f64,
 }
 
-/// A population of `N` perturbed copies of one device template under a
-/// [`SharedEnvironment`].
+/// One template of a fleet mix: a named device class with its own
+/// count and jitter amplitudes. The caller's device closure dispatches
+/// on [`DevicePoint::template`] to give each class its own mode table,
+/// tasks, and policy.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FleetSpec {
+pub struct TemplateSpec {
     name: &'static str,
-    devices: u64,
-    fleet_seed: u64,
-    horizon: SimTime,
+    count: u64,
     panel_jitter: f64,
     rate_jitter: f64,
-    env: SharedEnvironment,
 }
 
-impl FleetSpec {
-    /// A fleet of `devices` devices named `name`, simulated to
-    /// `horizon`, with no jitter and a steady environment.
+impl TemplateSpec {
+    /// A template named `name` contributing `count` devices, with no
+    /// jitter.
     #[must_use]
-    pub fn new(name: &'static str, devices: u64, horizon: SimTime) -> Self {
+    pub fn new(name: &'static str, count: u64) -> Self {
         Self {
             name,
-            devices,
-            fleet_seed: DEFAULT_BASE_SEED,
-            horizon,
+            count,
             panel_jitter: 0.0,
             rate_jitter: 0.0,
-            env: SharedEnvironment::steady(),
         }
     }
 
-    /// Sets the fleet seed every per-device stream derives from.
-    #[must_use]
-    pub fn fleet_seed(mut self, seed: u64) -> Self {
-        self.fleet_seed = seed;
-        self
-    }
-
-    /// Sets the relative panel-scale jitter (`0.1` → scales uniform in
-    /// `[0.9, 1.1)`).
+    /// Sets this template's relative panel-scale jitter (`0.1` →
+    /// scales uniform in `[0.9, 1.1)`).
     ///
     /// # Panics
     ///
@@ -375,8 +579,8 @@ impl FleetSpec {
         self
     }
 
-    /// Sets the relative task-rate jitter (`0.1` → rate scales uniform
-    /// in `[0.9, 1.1)`).
+    /// Sets this template's relative task-rate jitter (`0.1` → rate
+    /// scales uniform in `[0.9, 1.1)`).
     ///
     /// # Panics
     ///
@@ -391,10 +595,111 @@ impl FleetSpec {
         self
     }
 
+    /// The template's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Devices this template contributes to the fleet.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// A population of devices drawn from a mix of perturbed templates
+/// under a [`SharedEnvironment`]. Template counts partition the device
+/// index space in declaration order — indices `[0, c₀)` belong to
+/// template 0, `[c₀, c₀+c₁)` to template 1, and so on — so appending a
+/// template never reshuffles the devices already in the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    name: &'static str,
+    fleet_seed: u64,
+    horizon: SimTime,
+    env: SharedEnvironment,
+    mix: Vec<TemplateSpec>,
+}
+
+impl FleetSpec {
+    /// A homogeneous fleet of `devices` devices named `name`, simulated
+    /// to `horizon`, with no jitter and a steady environment.
+    #[must_use]
+    pub fn new(name: &'static str, devices: u64, horizon: SimTime) -> Self {
+        Self::mixed(name, horizon, vec![TemplateSpec::new(name, devices)])
+    }
+
+    /// A heterogeneous fleet drawn from `templates` (device counts in
+    /// declaration order), named `name`, simulated to `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// When `templates` is empty.
+    #[must_use]
+    pub fn mixed(name: &'static str, horizon: SimTime, templates: Vec<TemplateSpec>) -> Self {
+        assert!(!templates.is_empty(), "a fleet needs at least one template");
+        Self {
+            name,
+            fleet_seed: DEFAULT_BASE_SEED,
+            horizon,
+            env: SharedEnvironment::steady(),
+            mix: templates,
+        }
+    }
+
+    /// Sets the fleet seed every per-device stream derives from.
+    #[must_use]
+    pub fn fleet_seed(mut self, seed: u64) -> Self {
+        self.fleet_seed = seed;
+        self
+    }
+
+    /// Sets the relative panel-scale jitter of **every** template (the
+    /// homogeneous-fleet convenience; build the [`TemplateSpec`]s
+    /// directly for per-template amplitudes).
+    ///
+    /// # Panics
+    ///
+    /// When `jitter` is outside `[0, 1]`.
+    #[must_use]
+    pub fn panel_jitter(mut self, jitter: f64) -> Self {
+        self.mix = self
+            .mix
+            .into_iter()
+            .map(|t| t.panel_jitter(jitter))
+            .collect();
+        self
+    }
+
+    /// Sets the relative task-rate jitter of **every** template (see
+    /// [`Self::panel_jitter`]).
+    ///
+    /// # Panics
+    ///
+    /// When `jitter` is outside `[0, 1]`.
+    #[must_use]
+    pub fn rate_jitter(mut self, jitter: f64) -> Self {
+        self.mix = self
+            .mix
+            .into_iter()
+            .map(|t| t.rate_jitter(jitter))
+            .collect();
+        self
+    }
+
     /// Sets the shared environment.
     #[must_use]
     pub fn environment(mut self, env: SharedEnvironment) -> Self {
         self.env = env;
+        self
+    }
+
+    /// Replaces the horizon (the fleet policy sweep runs the same fleet
+    /// to per-scenario horizons).
+    #[must_use]
+    pub fn at_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
         self
     }
 
@@ -404,10 +709,10 @@ impl FleetSpec {
         self.name
     }
 
-    /// Number of devices.
+    /// Total number of devices across the mix.
     #[must_use]
     pub fn devices(&self) -> u64 {
-        self.devices
+        self.mix.iter().map(TemplateSpec::count).sum()
     }
 
     /// The fleet seed.
@@ -428,21 +733,49 @@ impl FleetSpec {
         &self.env
     }
 
+    /// The template mix, in device-index order.
+    #[must_use]
+    pub fn templates(&self) -> &[TemplateSpec] {
+        &self.mix
+    }
+
+    /// Which template owns device `index` (cumulative-count partition
+    /// of the index space).
+    ///
+    /// # Panics
+    ///
+    /// When `index` is outside the fleet.
+    #[must_use]
+    pub fn template_of(&self, index: u64) -> usize {
+        let mut start = 0u64;
+        for (ti, t) in self.mix.iter().enumerate() {
+            if index < start + t.count {
+                return ti;
+            }
+            start += t.count;
+        }
+        panic!("device index {index} outside fleet of {}", self.devices());
+    }
+
     /// Derives device `index` — a pure function of
-    /// `(fleet_seed, index)` plus the jitter amplitudes; independent of
-    /// the fleet's size, horizon, and name, so growing a fleet never
+    /// `(fleet_seed, index)` plus the owning template's jitter
+    /// amplitudes; independent of the fleet's total size, horizon, and
+    /// name, so growing a fleet (or appending templates) never
     /// reshuffles the devices already in it.
     #[must_use]
     pub fn device(&self, index: u64) -> DevicePoint {
+        let template = self.template_of(index);
+        let t = &self.mix[template];
         let seed = derive_seed(self.fleet_seed, index);
         let mut rng = DetRng::seed_from_u64(seed);
         // Draw order is part of the protocol: placement, panel, rate.
         let placement = rng.gen_f64();
-        let panel_scale = 1.0 + self.panel_jitter * (2.0 * rng.gen_f64() - 1.0);
-        let task_rate_scale = 1.0 + self.rate_jitter * (2.0 * rng.gen_f64() - 1.0);
+        let panel_scale = 1.0 + t.panel_jitter * (2.0 * rng.gen_f64() - 1.0);
+        let task_rate_scale = 1.0 + t.rate_jitter * (2.0 * rng.gen_f64() - 1.0);
         DevicePoint {
             index,
             seed,
+            template,
             placement,
             panel_scale,
             task_rate_scale,
@@ -474,6 +807,11 @@ pub struct DeviceOutcome {
     /// Per-task committed completions, template task order (may be
     /// empty when the caller does not track tasks).
     pub task_completions: Vec<u64>,
+    /// The wear the device carries out of this run (all-integer
+    /// per-bank cycle counts) — consumed by [`run_fleet_leg_on`] to
+    /// seed a back-to-back second mission leg; empty when the caller
+    /// does not track wear.
+    pub wear: DeviceWear,
 }
 
 impl DeviceOutcome {
@@ -504,6 +842,7 @@ impl DeviceOutcome {
             latencies,
             death,
             task_completions: Vec::new(),
+            wear: DeviceWear::from_sim(sim),
         }
     }
 
@@ -512,6 +851,96 @@ impl DeviceOutcome {
     pub fn with_task_completions(mut self, completions: Vec<u64>) -> Self {
         self.task_completions = completions;
         self
+    }
+}
+
+/// The all-integer wear one device carries between mission legs: its
+/// per-bank deep-discharge cycle counts, in [`BankId`] order. Integer
+/// counts (not float deratings) are the carried state so the round trip
+/// is exact: leg 2 seeds the counts and re-derives the electrical
+/// derating from the installed wear model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceWear {
+    /// Deep-discharge cycles per bank, `BankId` order.
+    pub bank_cycles: Vec<u64>,
+}
+
+impl DeviceWear {
+    /// No wear (a fresh device, or a caller that does not track wear).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when every bank is fresh.
+    #[must_use]
+    pub fn is_fresh(&self) -> bool {
+        self.bank_cycles.iter().all(|&c| c == 0)
+    }
+
+    /// Reads the wear out of a finished simulator.
+    #[must_use]
+    pub fn from_sim<H: Harvester, C: SimContext>(sim: &Simulator<H, C>) -> Self {
+        let power = sim.power();
+        let bank_cycles = (0..power.bank_count())
+            .map(|i| power.bank(BankId(i)).map_or(0, Bank::cycles))
+            .collect();
+        Self { bank_cycles }
+    }
+
+    /// Seeds a freshly-built simulator's banks with this wear before
+    /// the leg starts (see
+    /// [`seed_wear`](capy_power::system::PowerSystem::seed_wear)).
+    pub fn apply<H: Harvester, C: SimContext>(&self, sim: &mut Simulator<H, C>) {
+        sim.power_mut().seed_wear(&self.bank_cycles);
+    }
+}
+
+/// Per-device wear for a whole fleet, indexed by global device index —
+/// what one mission leg hands the next. Assembly scatters each shard's
+/// entries to their index positions, so the structure is bit-identical
+/// for any worker count and independent of merge order (pinned by
+/// test). This is the one deliberate `O(devices)` structure in the
+/// module: a few words per device, produced only by the opt-in leg API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetWear {
+    devices: Vec<DeviceWear>,
+}
+
+impl FleetWear {
+    /// Wear for `devices` fresh devices (the implicit carry-in of a
+    /// first leg).
+    #[must_use]
+    pub fn fresh(devices: u64) -> Self {
+        Self {
+            devices: vec![DeviceWear::none(); usize::try_from(devices).unwrap_or(usize::MAX)],
+        }
+    }
+
+    /// Number of devices tracked.
+    #[must_use]
+    pub fn devices(&self) -> u64 {
+        self.devices.len() as u64
+    }
+
+    /// The wear of device `index`.
+    ///
+    /// # Panics
+    ///
+    /// When `index` is outside the fleet.
+    #[must_use]
+    pub fn device(&self, index: u64) -> &DeviceWear {
+        &self.devices[usize::try_from(index).expect("device index fits usize")]
+    }
+
+    /// Total deep-discharge cycles across the fleet (telemetry).
+    #[must_use]
+    pub fn total_cycles(&self) -> u128 {
+        self.devices
+            .iter()
+            .flat_map(|d| d.bank_cycles.iter())
+            .map(|&c| u128::from(c))
+            .sum()
     }
 }
 
@@ -807,7 +1236,8 @@ where
     F: Fn(&DevicePoint) -> DeviceOutcome + Sync,
 {
     let started = Instant::now();
-    let shards = FLEET_SHARDS.min(spec.devices).max(1);
+    let devices = spec.devices();
+    let shards = FLEET_SHARDS.min(devices).max(1);
     let mut sweep = SweepSpec::new(spec.name, spec.horizon).base_seed(spec.fleet_seed);
     for s in 0..shards {
         #[allow(clippy::cast_precision_loss)]
@@ -818,7 +1248,7 @@ where
         let shard = point.index as u64;
         let mut acc = FleetAccumulator::new();
         let mut index = shard;
-        while index < spec.devices {
+        while index < devices {
             let device = spec.device(index);
             let outcome = device_fn(&device);
             acc.fold(spec.horizon, &outcome);
@@ -832,7 +1262,7 @@ where
     }
     FleetReport {
         name: spec.name,
-        devices: spec.devices,
+        devices,
         horizon: spec.horizon,
         acc: merged,
         workers: workers.max(1),
@@ -846,6 +1276,92 @@ where
     F: Fn(&DevicePoint) -> DeviceOutcome + Sync,
 {
     run_fleet_on(spec, available_workers(), device_fn)
+}
+
+/// One leg of a multi-leg mission: like [`run_fleet_on`], but the
+/// device closure additionally receives the wear its device carried out
+/// of the previous leg (`carry`; fresh devices when `None`), and the
+/// run returns the [`FleetWear`] the *next* leg resumes from, assembled
+/// from each outcome's [`DeviceOutcome::wear`] by device index.
+///
+/// Both the report and the wear are bit-identical for any worker count:
+/// the wear entries are scattered to their global index positions, so
+/// no ordering from the dynamic shard claiming survives into the
+/// result.
+///
+/// # Panics
+///
+/// When `carry` tracks a different device count than `spec`.
+pub fn run_fleet_leg_on<F>(
+    spec: &FleetSpec,
+    workers: usize,
+    carry: Option<&FleetWear>,
+    device_fn: F,
+) -> (FleetReport, FleetWear)
+where
+    F: Fn(&DevicePoint, &DeviceWear) -> DeviceOutcome + Sync,
+{
+    if let Some(carry) = carry {
+        assert_eq!(
+            carry.devices(),
+            spec.devices(),
+            "wear carry-in tracks a different fleet size"
+        );
+    }
+    let started = Instant::now();
+    let devices = spec.devices();
+    let shards = FLEET_SHARDS.min(devices).max(1);
+    let mut sweep = SweepSpec::new(spec.name, spec.horizon).base_seed(spec.fleet_seed);
+    for s in 0..shards {
+        #[allow(clippy::cast_precision_loss)]
+        let shard_param = s as f64;
+        sweep = sweep.point(format!("shard={s}"), &[("shard", shard_param)]);
+    }
+    let fresh = DeviceWear::none();
+    let shard_results = map_points_on(&sweep, workers, |point| {
+        let shard = point.index as u64;
+        let mut acc = FleetAccumulator::new();
+        let mut wear = Vec::new();
+        let mut index = shard;
+        while index < devices {
+            let device = spec.device(index);
+            let carried = carry.map_or(&fresh, |w| w.device(index));
+            let outcome = device_fn(&device, carried);
+            wear.push((index, outcome.wear.clone()));
+            acc.fold(spec.horizon, &outcome);
+            index += shards;
+        }
+        (acc, wear)
+    });
+    let mut merged = FleetAccumulator::new();
+    let mut wear_out = FleetWear::fresh(devices);
+    for (acc, entries) in shard_results {
+        merged.merge(&acc);
+        for (index, wear) in entries {
+            wear_out.devices[usize::try_from(index).expect("device index fits usize")] = wear;
+        }
+    }
+    let report = FleetReport {
+        name: spec.name,
+        devices,
+        horizon: spec.horizon,
+        acc: merged,
+        workers: workers.max(1),
+        wall: started.elapsed(),
+    };
+    (report, wear_out)
+}
+
+/// [`run_fleet_leg_on`] with [`available_workers`].
+pub fn run_fleet_leg<F>(
+    spec: &FleetSpec,
+    carry: Option<&FleetWear>,
+    device_fn: F,
+) -> (FleetReport, FleetWear)
+where
+    F: Fn(&DevicePoint, &DeviceWear) -> DeviceOutcome + Sync,
+{
+    run_fleet_leg_on(spec, available_workers(), carry, device_fn)
 }
 
 #[cfg(test)]
@@ -863,6 +1379,7 @@ mod tests {
                 0.3,
             )
             .shading(0.4)
+            .unwrap()
     }
 
     #[test]
@@ -995,6 +1512,9 @@ mod tests {
             latencies,
             death,
             task_completions: vec![completions, completions / 2],
+            wear: DeviceWear {
+                bank_cycles: vec![completions, completions / 3],
+            },
         }
     }
 
@@ -1136,5 +1656,239 @@ mod tests {
         assert_eq!(outcome.summary.charges as usize, outcome.latencies.len());
         assert!(!outcome.latencies.is_empty());
         assert!(outcome.death.is_none());
+        // Every deep cycle the weak harvest forced is visible as wear.
+        assert_eq!(outcome.wear.bank_cycles.len(), 1);
+        assert!(!outcome.wear.is_fresh());
+    }
+
+    #[test]
+    fn eclipse_boundary_is_exact_for_long_periods() {
+        // The lit window is fixed in integer micros at construction; at
+        // `lit − 1 µs` the device harvests, at `lit` it is dark —
+        // for periods long enough that the old per-call float
+        // round-trip could land a microsecond off.
+        for (period_s, sunlit) in [
+            (5_400u64, 0.62),
+            (86_400, 1.0 / 3.0),
+            (7 * 86_400, 0.123_456_789),
+            (90, 0.7),
+        ] {
+            let period = SimDuration::from_secs(period_s);
+            let env = SharedEnvironment::orbital(period, sunlit);
+            let lit = scale_micros(period.as_micros(), fraction_ppb(sunlit));
+            assert!(lit > 0 && lit < period.as_micros());
+            let last_lit = SimTime::from_micros(lit - 1);
+            let first_dark = SimTime::from_micros(lit);
+            assert!(
+                env.factor_at(last_lit, 0.0) > 0.0,
+                "period {period_s}s sunlit {sunlit}: dark one micro early"
+            );
+            assert_eq!(
+                env.factor_at(first_dark, 0.0),
+                0.0,
+                "period {period_s}s sunlit {sunlit}: lit one micro late"
+            );
+            // valid_until agrees with the same integer boundary.
+            assert_eq!(env.valid_until(SimTime::ZERO, 0.0), first_dark);
+        }
+        // A fully-sunlit period has no boundary at all.
+        let full = SharedEnvironment::orbital(SimDuration::from_secs(86_400), 1.0);
+        assert!(full.factor_at(SimTime::from_secs(86_399), 0.0) > 0.0);
+        assert!(full.factor_at(SimTime::from_secs(86_400), 0.0) > 0.0);
+    }
+
+    #[test]
+    fn shading_out_of_range_is_a_typed_error() {
+        let err = SharedEnvironment::steady().shading(1.5).unwrap_err();
+        assert_eq!(err, EnvError::ShadingOutOfRange { shading: 1.5 });
+        let err = SharedEnvironment::steady().shading(-0.1).unwrap_err();
+        assert_eq!(err, EnvError::ShadingOutOfRange { shading: -0.1 });
+        assert!(SharedEnvironment::steady().shading(1.0).is_ok());
+    }
+
+    #[test]
+    fn shading_term_never_goes_negative() {
+        // Full shading at placement 1.0 is exactly zero harvest, and
+        // float dust can never push the multiplier below it.
+        let env = SharedEnvironment::steady().shading(1.0).unwrap();
+        assert_eq!(env.factor_at(SimTime::from_secs(1), 1.0), 0.0);
+        let almost = SharedEnvironment::steady().shading(0.999_999).unwrap();
+        assert!(almost.factor_at(SimTime::from_secs(1), 1.0) >= 0.0);
+    }
+
+    #[test]
+    fn dead_panel_gates_open_voltage() {
+        let inner = ConstantHarvester::new(Watts::from_milli(10.0), Volts::new(3.0));
+        let env = SharedEnvironment::steady();
+        let t = SimTime::from_secs(5);
+        // Healthy panel in full sun: inner voltage passes through.
+        let healthy = FleetHarvester::new(inner, 1.0, env.clone(), 0.0);
+        assert_eq!(healthy.open_voltage(t), Volts::new(3.0));
+        // A panel_scale == 0 device is dark even in full sun: the
+        // bypass path must not see the inner source.
+        let dead = FleetHarvester::new(inner, 0.0, env, 0.0);
+        assert_eq!(dead.open_voltage(t), Volts::ZERO);
+        assert_eq!(dead.power_at(t), Watts::ZERO);
+    }
+
+    #[test]
+    fn trace_validation_is_typed() {
+        assert_eq!(
+            SharedEnvironment::from_trace(Vec::new()).unwrap_err(),
+            EnvError::EmptyTrace
+        );
+        assert_eq!(
+            SharedEnvironment::from_trace(vec![(SimTime::from_secs(1), 0.5)]).unwrap_err(),
+            EnvError::TraceMustStartAtZero {
+                first: SimTime::from_secs(1)
+            }
+        );
+        assert_eq!(
+            SharedEnvironment::from_trace(vec![
+                (SimTime::ZERO, 0.5),
+                (SimTime::from_secs(2), 0.7),
+                (SimTime::from_secs(2), 0.9),
+            ])
+            .unwrap_err(),
+            EnvError::TraceNotAscending { index: 2 }
+        );
+        let err = SharedEnvironment::from_trace(vec![
+            (SimTime::ZERO, 0.5),
+            (SimTime::from_secs(2), -0.25),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EnvError::TraceFactorOutOfRange {
+                index: 1,
+                factor: -0.25
+            }
+        );
+    }
+
+    #[test]
+    fn trace_factor_is_piecewise_constant_with_exact_boundaries() {
+        let env = SharedEnvironment::from_trace(vec![
+            (SimTime::ZERO, 0.25),
+            (SimTime::from_secs(100), 1.0),
+            (SimTime::from_secs(250), 0.0),
+            (SimTime::from_secs(400), 0.6),
+        ])
+        .unwrap();
+        let p = 0.0;
+        assert_eq!(env.factor_at(SimTime::ZERO, p), 0.25);
+        assert_eq!(env.factor_at(SimTime::from_secs(99), p), 0.25);
+        assert_eq!(env.factor_at(SimTime::from_secs(100), p), 1.0);
+        assert_eq!(env.factor_at(SimTime::from_secs(250), p), 0.0);
+        assert_eq!(env.factor_at(SimTime::from_secs(1_000_000), p), 0.6);
+        // valid_until lands exactly on the next sample start, and the
+        // final sample holds forever.
+        assert_eq!(env.valid_until(SimTime::ZERO, p), SimTime::from_secs(100));
+        assert_eq!(
+            env.valid_until(SimTime::from_secs(150), p),
+            SimTime::from_secs(250)
+        );
+        assert_eq!(env.valid_until(SimTime::from_secs(400), p), SimTime::MAX);
+        // Every device sees the same trace at the same instants.
+        for placement in [0.0, 0.4, 0.99] {
+            assert_eq!(env.factor_at(SimTime::from_secs(150), placement), 1.0);
+        }
+    }
+
+    #[test]
+    fn parse_harvest_trace_reads_the_text_format() {
+        let text = "# capy-trace/v1 — seconds factor\n\n0 0.1\n600 0.85  # morning\n1200\t0.3\n";
+        let samples = parse_harvest_trace(text).unwrap();
+        assert_eq!(
+            samples,
+            vec![
+                (SimTime::ZERO, 0.1),
+                (SimTime::from_secs(600), 0.85),
+                (SimTime::from_secs(1200), 0.3),
+            ]
+        );
+        let err = parse_harvest_trace("0 0.1\nnonsense\n").unwrap_err();
+        assert!(matches!(err, EnvError::TraceSyntax { line: 2, .. }));
+        let err = parse_harvest_trace("0 0.1 extra\n").unwrap_err();
+        assert!(matches!(err, EnvError::TraceSyntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn mix_partitions_the_index_space_in_declaration_order() {
+        let spec = FleetSpec::mixed(
+            "mixed",
+            SimTime::from_secs(60),
+            vec![
+                TemplateSpec::new("sensor", 3).panel_jitter(0.2),
+                TemplateSpec::new("relay", 2).rate_jitter(0.1),
+            ],
+        )
+        .fleet_seed(42);
+        assert_eq!(spec.devices(), 5);
+        assert_eq!(spec.templates().len(), 2);
+        for i in 0..3 {
+            assert_eq!(spec.device(i).template, 0);
+        }
+        for i in 3..5 {
+            assert_eq!(spec.device(i).template, 1);
+        }
+        // Template 0 has panel jitter only; template 1 rate jitter only.
+        let sensor = spec.device(1);
+        let relay = spec.device(4);
+        assert_eq!(sensor.task_rate_scale, 1.0);
+        assert_eq!(relay.panel_scale, 1.0);
+        // Appending a template never reshuffles existing devices.
+        let grown = FleetSpec::mixed(
+            "mixed-grown",
+            SimTime::from_secs(600),
+            vec![
+                TemplateSpec::new("sensor", 3).panel_jitter(0.2),
+                TemplateSpec::new("relay", 2).rate_jitter(0.1),
+                TemplateSpec::new("camera", 100),
+            ],
+        )
+        .fleet_seed(42);
+        for i in 0..5 {
+            assert_eq!(spec.device(i), grown.device(i));
+        }
+        assert_eq!(grown.device(5).template, 2);
+    }
+
+    fn synthetic_leg(point: &DevicePoint, carry: &DeviceWear) -> DeviceOutcome {
+        // Wear grows deterministically from the carried state.
+        let mut out = synthetic_outcome(point);
+        let carried = carry.bank_cycles.first().copied().unwrap_or(0);
+        out.wear = DeviceWear {
+            bank_cycles: vec![carried + out.summary.completions],
+        };
+        // Carried wear visibly changes the leg's outcome.
+        out.summary.completions += carried / 2;
+        out
+    }
+
+    #[test]
+    fn fleet_wear_is_identical_for_any_worker_count() {
+        let spec = FleetSpec::new("legs", 131, SimTime::from_secs(60)).fleet_seed(13);
+        let (r1, w1) = run_fleet_leg_on(&spec, 1, None, synthetic_leg);
+        let (r8, w8) = run_fleet_leg_on(&spec, 8, None, synthetic_leg);
+        assert_eq!(r1, r8);
+        assert_eq!(w1, w8);
+        assert_eq!(w1.devices(), 131);
+        assert!(w1.total_cycles() > 0);
+    }
+
+    #[test]
+    fn second_leg_resumes_from_carried_wear() {
+        let spec = FleetSpec::new("legs", 64, SimTime::from_secs(60)).fleet_seed(21);
+        let (leg1, wear1) = run_fleet_leg_on(&spec, 4, None, synthetic_leg);
+        let (leg2, wear2) = run_fleet_leg_on(&spec, 4, Some(&wear1), synthetic_leg);
+        // Same spec, but the carried wear changed the outcomes…
+        assert!(leg2.acc.completions > leg1.acc.completions);
+        // …and wear keeps accumulating monotonically.
+        assert!(wear2.total_cycles() > wear1.total_cycles());
+        // Resuming is deterministic for any worker count too.
+        let (leg2b, wear2b) = run_fleet_leg_on(&spec, 1, Some(&wear1), synthetic_leg);
+        assert_eq!(leg2, leg2b);
+        assert_eq!(wear2, wear2b);
     }
 }

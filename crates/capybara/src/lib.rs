@@ -107,12 +107,15 @@ pub mod prelude {
         KillOutcome, KillReport, SurgeEffect,
     };
     pub use crate::fleet::{
-        run_fleet, run_fleet_on, DeviceOutcome, DevicePoint, FleetAccumulator, FleetHarvester,
-        FleetReport, FleetSpec, SharedEnvironment, FLEET_SHARDS, SURVIVAL_BUCKETS,
+        parse_harvest_trace, run_fleet, run_fleet_leg, run_fleet_leg_on, run_fleet_on,
+        DeviceOutcome, DevicePoint, DeviceWear, EnvError, FleetAccumulator, FleetHarvester,
+        FleetReport, FleetSpec, FleetWear, SharedEnvironment, TemplateSpec, FLEET_SHARDS,
+        SURVIVAL_BUCKETS,
     };
     pub use crate::mode::{EnergyMode, ModeTable};
     pub use crate::policy::{
-        oracle_offline, run_policy_sweep, EwmaAdaptive, NamedPolicy, Oracle, Pinned,
+        oracle_offline, run_fleet_policy_sweep, run_fleet_policy_sweep_on, run_policy_sweep,
+        EwmaAdaptive, FleetPolicyComparison, FleetScenario, NamedPolicy, Oracle, Pinned,
         PolicyComparison, PolicyObservation, ReactiveDownsize, ReconfigPolicy, Scenario,
         StaticAnnotation,
     };

@@ -49,11 +49,15 @@ use capy_power::harvester::Harvester;
 use capy_units::{SimDuration, SimTime, Volts, Watts};
 
 use crate::annotation::TaskEnergy;
+use crate::fleet::{
+    run_fleet_on, DeviceOutcome, DevicePoint, FleetReport, FleetSpec, SharedEnvironment,
+};
 use crate::mode::EnergyMode;
 use crate::runtime::RuntimeState;
 use crate::sim::{SimContext, SimEvent, Simulator};
 use crate::sweep::{
-    available_workers, run_sweep_on, AxisValue, RunSummary, SweepPoint, SweepReport, SweepSpec,
+    available_workers, map_points_on, run_sweep_on, AxisValue, RunSummary, SweepPoint, SweepReport,
+    SweepSpec,
 };
 
 /// What a policy sees at a task boundary, immediately before the runtime
@@ -815,6 +819,177 @@ where
         policies: policies.iter().map(|p| p.label).collect(),
         scenarios: scenarios.iter().map(|s| s.label.clone()).collect(),
     }
+}
+
+/// A labeled fleet-wide condition of the fleet policy comparison: one
+/// [`SharedEnvironment`] every device of the fleet sees (correlated
+/// dips, eclipse cycle, recorded trace), plus an optional per-scenario
+/// horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Column label in reports.
+    pub label: String,
+    /// The shared environment this scenario installs on the fleet.
+    pub env: SharedEnvironment,
+    /// Per-scenario horizon; `None` runs to the fleet spec's horizon.
+    pub horizon: Option<SimTime>,
+}
+
+impl FleetScenario {
+    /// Names a fleet scenario with its shared environment.
+    #[must_use]
+    pub fn new(label: impl Into<String>, env: SharedEnvironment) -> Self {
+        Self {
+            label: label.into(),
+            env,
+            horizon: None,
+        }
+    }
+
+    /// Runs this scenario's column to its own horizon.
+    #[must_use]
+    pub fn at_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+}
+
+impl AxisValue for FleetScenario {
+    fn axis_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The result of a fleet-wide {policy × scenario} comparison: one full
+/// [`FleetReport`] per grid cell (policy-major), ranked by **fleet**
+/// metrics — dead devices, committed completions, availability — not
+/// per-device summaries.
+#[derive(Debug, Clone)]
+pub struct FleetPolicyComparison {
+    /// Cell `p * scenarios + s` holds policy `p` on scenario `s`.
+    pub fleets: Vec<FleetReport>,
+    /// Policy labels, in row order.
+    pub policies: Vec<&'static str>,
+    /// Scenario labels, in column order.
+    pub scenarios: Vec<String>,
+}
+
+impl FleetPolicyComparison {
+    fn idx(&self, policy: usize, scenario: usize) -> usize {
+        policy * self.scenarios.len() + scenario
+    }
+
+    /// The fleet report of `policy` on `scenario`.
+    #[must_use]
+    pub fn fleet(&self, policy: usize, scenario: usize) -> &FleetReport {
+        &self.fleets[self.idx(policy, scenario)]
+    }
+
+    /// Fleet-wide ordering of two policies on `scenario` — all-integer
+    /// so the verdict is exact: fewer dead devices wins, then more
+    /// committed completions, then higher availability (compared by
+    /// cross-multiplied integer µs totals).
+    #[must_use]
+    pub fn compare(&self, a: usize, b: usize, scenario: usize) -> core::cmp::Ordering {
+        let x = &self.fleet(a, scenario).acc;
+        let y = &self.fleet(b, scenario).acc;
+        y.dead_devices
+            .cmp(&x.dead_devices)
+            .then(x.completions.cmp(&y.completions))
+            .then(
+                // availability(x) > availability(y)
+                //   ⇔ charge_x/end_x < charge_y/end_y
+                //   ⇔ charge_y·end_x > charge_x·end_y
+                (y.charge_micros * x.end_micros).cmp(&(x.charge_micros * y.end_micros)),
+            )
+    }
+
+    /// The policy that wins fleet-wide on `scenario` (ties favor the
+    /// earlier row).
+    #[must_use]
+    pub fn best_policy(&self, scenario: usize) -> usize {
+        (0..self.policies.len())
+            .max_by(|&a, &b| self.compare(a, b, scenario).then(b.cmp(&a)))
+            .unwrap_or(0)
+    }
+
+    /// Every policy index, best first, on `scenario`.
+    #[must_use]
+    pub fn ranking(&self, scenario: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.policies.len()).collect();
+        order.sort_by(|&a, &b| self.compare(a, b, scenario).reverse().then(a.cmp(&b)));
+        order
+    }
+}
+
+/// Runs the fleet-wide {policy × scenario} grid: every cell installs
+/// one scenario's [`SharedEnvironment`] on `base` and runs the **whole
+/// fleet** under one policy, sharded on the sweep engine with `workers`
+/// threads ([`run_fleet_on`] — each cell's report is bit-identical for
+/// any worker count, so the comparison is too). The cells themselves
+/// run serially; parallelism lives inside each fleet.
+///
+/// `device_fn` simulates one device: it receives the device point, the
+/// cell's fully-resolved [`FleetSpec`] (environment and horizon already
+/// installed), and a fresh policy instance.
+///
+/// Every cell derives its devices from the same `base` seed, so the
+/// comparison is paired: policy A and policy B meet exactly the same
+/// device population under exactly the same environment.
+pub fn run_fleet_policy_sweep_on<F>(
+    base: &FleetSpec,
+    policies: &[NamedPolicy],
+    scenarios: &[FleetScenario],
+    workers: usize,
+    device_fn: F,
+) -> FleetPolicyComparison
+where
+    F: Fn(&DevicePoint, &FleetSpec, Box<dyn ReconfigPolicy>) -> DeviceOutcome + Sync,
+{
+    let mut grid = SweepSpec::new(base.name(), base.horizon())
+        .base_seed(base.seed())
+        .declare_axis("policy", policies)
+        .declare_axis("scenario", scenarios);
+    for (pi, policy) in policies.iter().enumerate() {
+        for (si, scenario) in scenarios.iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            let params = vec![("policy", pi as f64), ("scenario", si as f64)];
+            let label = format!("{}/{}", policy.label, scenario.label);
+            grid = match scenario.horizon {
+                Some(h) => grid.point_at(label, &params, h),
+                None => grid.point(label, &params),
+            };
+        }
+    }
+    let fleets = map_points_on(&grid, 1, |cell| {
+        let policy = cell.expect_axis::<NamedPolicy>("policy");
+        let scenario = cell.expect_axis::<FleetScenario>("scenario");
+        let spec = base
+            .clone()
+            .environment(scenario.env.clone())
+            .at_horizon(scenario.horizon.unwrap_or_else(|| base.horizon()));
+        run_fleet_on(&spec, workers, |point| {
+            device_fn(point, &spec, policy.instantiate(cell))
+        })
+    });
+    FleetPolicyComparison {
+        fleets,
+        policies: policies.iter().map(|p| p.label).collect(),
+        scenarios: scenarios.iter().map(|s| s.label.clone()).collect(),
+    }
+}
+
+/// [`run_fleet_policy_sweep_on`] with one worker per available core.
+pub fn run_fleet_policy_sweep<F>(
+    base: &FleetSpec,
+    policies: &[NamedPolicy],
+    scenarios: &[FleetScenario],
+    device_fn: F,
+) -> FleetPolicyComparison
+where
+    F: Fn(&DevicePoint, &FleetSpec, Box<dyn ReconfigPolicy>) -> DeviceOutcome + Sync,
+{
+    run_fleet_policy_sweep_on(base, policies, scenarios, available_workers(), device_fn)
 }
 
 /// [`run_policy_sweep_on`] with one worker per available core.

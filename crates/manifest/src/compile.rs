@@ -155,6 +155,12 @@ impl LeakedNames {
             tasks: manifest.tasks.iter().map(|t| leak(&t.name)).collect(),
         }
     }
+
+    /// The leaked name of task `index` (manifest order).
+    #[must_use]
+    pub fn task(&self, index: usize) -> &'static str {
+        self.tasks[index]
+    }
 }
 
 /// The per-device perturbation a fleet applies on top of the template
@@ -165,6 +171,9 @@ pub struct DeviceTweak<'a> {
     pub env: &'a SharedEnvironment,
     /// The device's derived placement/scales.
     pub point: &'a DevicePoint,
+    /// Task this device boots into instead of the manifest's first task
+    /// (a heterogeneous fleet's per-template entry point).
+    pub entry: Option<&'static str>,
 }
 
 fn duration_ms(ms: f64) -> SimDuration {
@@ -357,6 +366,9 @@ pub fn compile_with(
             }
         };
         builder = builder.task(names.tasks[index], energy, load, body);
+    }
+    if let Some(entry) = tweak.and_then(|t| t.entry) {
+        builder = builder.entry(entry);
     }
 
     let policy: Box<dyn ReconfigPolicy> = match &manifest.policy {

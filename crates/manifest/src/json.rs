@@ -47,6 +47,15 @@ impl JsonValue {
         }
     }
 
+    /// The boolean payload, when `self` is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric payload, when `self` is a number.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {

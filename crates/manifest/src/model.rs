@@ -313,8 +313,18 @@ pub enum FaultSpec {
 /// population instead of reporting one device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetStanza {
-    /// Population size (required).
+    /// Population size. With a `mix` this is the sum of the template
+    /// counts (the parser derives it); otherwise it comes straight from
+    /// the required `devices` key.
     pub devices: u64,
+    /// Heterogeneous population: `(task name, count)` per template, in
+    /// declaration order. Each template's devices boot into the named
+    /// task instead of the manifest's first task. Empty = homogeneous.
+    pub mix: Vec<(String, u64)>,
+    /// Recorded harvest trace driving the shared environment, as a path
+    /// relative to the manifest file (`capy-trace/v1` text). Mutually
+    /// exclusive with `eclipse_period_s`.
+    pub trace: Option<String>,
     /// Relative panel-scale jitter, percent (default 0).
     pub panel_jitter_pct: f64,
     /// Relative task-rate jitter, percent (default 0): sleeps scale by
@@ -341,6 +351,8 @@ impl FleetStanza {
     pub fn new(devices: u64) -> Self {
         Self {
             devices,
+            mix: Vec::new(),
+            trace: None,
             panel_jitter_pct: 0.0,
             rate_jitter_pct: 0.0,
             eclipse_period_s: None,
@@ -665,7 +677,21 @@ impl ScenarioManifest {
 
         if let Some(fleet) = &self.fleet {
             out.push_str("\n[fleet]\n");
-            let _ = writeln!(out, "devices = {}", fleet.devices);
+            if fleet.mix.is_empty() {
+                let _ = writeln!(out, "devices = {}", fleet.devices);
+            } else {
+                // `devices` is derived from the mix; emitting only the
+                // mix keeps parse(emit(m)) == m.
+                let templates: Vec<String> = fleet
+                    .mix
+                    .iter()
+                    .map(|(name, count)| format!("{name}:{count}"))
+                    .collect();
+                let _ = writeln!(out, "mix = {}", templates.join(", "));
+            }
+            if let Some(trace) = &fleet.trace {
+                let _ = writeln!(out, "trace = {trace}");
+            }
             if fleet.panel_jitter_pct != 0.0 {
                 let _ = writeln!(
                     out,

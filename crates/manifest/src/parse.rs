@@ -204,7 +204,9 @@ struct PolicyDraft {
 
 #[derive(Default)]
 struct FleetDraft {
-    devices: Option<u64>,
+    devices: Option<(usize, u64)>,
+    mix: Option<(usize, Vec<(String, u64)>)>,
+    trace: Option<(usize, String)>,
     panel_jitter_pct: Option<f64>,
     rate_jitter_pct: Option<f64>,
     eclipse_period_s: Option<f64>,
@@ -894,7 +896,56 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
                         if v == 0 {
                             return Err(bad_value(line, key, value, "a positive device count"));
                         }
-                        set_once(&mut draft.devices, v, line, key)?;
+                        set_once(&mut draft.devices, (line, v), line, key)?;
+                    }
+                    "mix" => {
+                        let mut templates: Vec<(String, u64)> = Vec::new();
+                        for word in parse_list(value) {
+                            let Some((task, count)) = word.split_once(':') else {
+                                return Err(bad_value(
+                                    line,
+                                    key,
+                                    &word,
+                                    "`<task>:<count>` template entries",
+                                ));
+                            };
+                            let task = task.trim();
+                            let count = parse_u64(line, key, count.trim())?;
+                            if task.is_empty() || count == 0 {
+                                return Err(bad_value(
+                                    line,
+                                    key,
+                                    &word,
+                                    "a task name and a positive count",
+                                ));
+                            }
+                            if templates.iter().any(|(t, _)| t == task) {
+                                return Err(ManifestError::Duplicate {
+                                    line,
+                                    kind: "mix template",
+                                    name: task.to_string(),
+                                });
+                            }
+                            refs.push(NameRef {
+                                line,
+                                field: "mix",
+                                name: task.to_string(),
+                                kind: RefKind::Task,
+                            });
+                            templates.push((task.to_string(), count));
+                        }
+                        if templates.is_empty() {
+                            return Err(bad_value(
+                                line,
+                                key,
+                                value,
+                                "at least one `<task>:<count>` template",
+                            ));
+                        }
+                        set_once(&mut draft.mix, (line, templates), line, key)?;
+                    }
+                    "trace" => {
+                        set_once(&mut draft.trace, (line, value.to_string()), line, key)?;
                     }
                     "panel_jitter_pct" | "rate_jitter_pct" => {
                         let v = parse_f64(line, key, value)?;
@@ -1114,17 +1165,45 @@ pub fn parse_manifest(text: &str) -> Result<ScenarioManifest, ManifestError> {
 
     let fleet = match fleet {
         None => None,
-        Some(draft) => Some(FleetStanza {
-            devices: draft.devices.ok_or_else(|| missing("fleet", "devices"))?,
-            panel_jitter_pct: draft.panel_jitter_pct.unwrap_or(0.0),
-            rate_jitter_pct: draft.rate_jitter_pct.unwrap_or(0.0),
-            eclipse_period_s: draft.eclipse_period_s,
-            eclipse_sunlit: draft.eclipse_sunlit.unwrap_or(0.5),
-            dips: draft.dips.unwrap_or(0),
-            dip_hold_s: draft.dip_hold_s.unwrap_or(0.0),
-            dip_factor: draft.dip_factor.unwrap_or(1.0),
-            shading: draft.shading.unwrap_or(0.0),
-        }),
+        Some(draft) => {
+            // `devices` and `mix` both size the population; exactly one
+            // may appear. A trace and an eclipse period both drive the
+            // shared light cycle; at most one may appear.
+            let (devices, mix) = match (draft.devices, draft.mix) {
+                (Some((line, _)), Some(_)) => {
+                    return Err(bad_value(
+                        line,
+                        "devices",
+                        "devices",
+                        "either `devices` or `mix`, not both",
+                    ));
+                }
+                (Some((_, devices)), None) => (devices, Vec::new()),
+                (None, Some((_, mix))) => (mix.iter().map(|(_, n)| n).sum(), mix),
+                (None, None) => return Err(missing("fleet", "devices (or mix)")),
+            };
+            if let (Some((line, trace)), Some(_)) = (&draft.trace, draft.eclipse_period_s) {
+                return Err(bad_value(
+                    *line,
+                    "trace",
+                    trace,
+                    "no `eclipse_period_s` alongside a trace (both drive the shared light cycle)",
+                ));
+            }
+            Some(FleetStanza {
+                devices,
+                mix,
+                trace: draft.trace.map(|(_, file)| file),
+                panel_jitter_pct: draft.panel_jitter_pct.unwrap_or(0.0),
+                rate_jitter_pct: draft.rate_jitter_pct.unwrap_or(0.0),
+                eclipse_period_s: draft.eclipse_period_s,
+                eclipse_sunlit: draft.eclipse_sunlit.unwrap_or(0.5),
+                dips: draft.dips.unwrap_or(0),
+                dip_hold_s: draft.dip_hold_s.unwrap_or(0.0),
+                dip_factor: draft.dip_factor.unwrap_or(1.0),
+                shading: draft.shading.unwrap_or(0.0),
+            })
+        }
     };
 
     if !saw_limits {

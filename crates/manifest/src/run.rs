@@ -21,7 +21,8 @@ use std::time::Duration;
 use capy_units::rng::derive_seed;
 use capy_units::{Joules, SimDuration, SimTime};
 use capybara::fleet::{
-    run_fleet_on, DeviceOutcome, FleetReport, FleetSpec, SharedEnvironment, SURVIVAL_BUCKETS,
+    parse_harvest_trace, run_fleet_on, DeviceOutcome, FleetReport, FleetSpec, SharedEnvironment,
+    TemplateSpec, SURVIVAL_BUCKETS,
 };
 use capybara::sim::{RunOutcome, SimEvent};
 use capybara::sweep::{available_workers, map_points_on, RunSummary, SweepSpec, DEFAULT_BASE_SEED};
@@ -113,6 +114,11 @@ pub struct FleetResult {
     pub latency_p99_us: u64,
     /// Deaths per horizon bucket (the wear-out survival histogram).
     pub survival: [u64; SURVIVAL_BUCKETS],
+    /// The heterogeneous mix, echoed from the manifest (empty for a
+    /// homogeneous fleet).
+    pub mix: Vec<(String, u64)>,
+    /// The harvest-trace file, echoed from the manifest.
+    pub trace: Option<String>,
 }
 
 fn outcome_keyword(outcome: RunOutcome) -> &'static str {
@@ -312,13 +318,33 @@ pub fn run_manifest_on(
 
 /// Builds the shared environment a `[fleet]` stanza describes. Dip
 /// onsets derive from the run seed, with mean spacing that spreads the
-/// requested count across the horizon.
-fn fleet_environment(stanza: &FleetStanza, run_seed: u64, horizon_s: f64) -> SharedEnvironment {
+/// requested count across the horizon. A `trace` file resolves relative
+/// to the manifest's directory.
+fn fleet_environment(
+    stanza: &FleetStanza,
+    run_seed: u64,
+    horizon_s: f64,
+    manifest_file: &str,
+) -> Result<SharedEnvironment, ManifestError> {
+    let build_err = |message: String| ManifestError::Build { message };
     let time = |s: f64| SimDuration::from_micros((s * 1e6).round() as u64);
     let mut env = match stanza.eclipse_period_s {
         Some(period) => SharedEnvironment::orbital(time(period), stanza.eclipse_sunlit),
         None => SharedEnvironment::steady(),
     };
+    if let Some(trace_file) = &stanza.trace {
+        let path = Path::new(manifest_file)
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(trace_file);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| build_err(format!("cannot read trace {}: {e}", path.display())))?;
+        let samples = parse_harvest_trace(&text)
+            .map_err(|e| build_err(format!("trace {}: {e}", path.display())))?;
+        env = env
+            .with_trace(samples)
+            .map_err(|e| build_err(format!("trace {}: {e}", path.display())))?;
+    }
     if stanza.dips > 0 {
         let mean_gap = time(horizon_s / f64::from(stanza.dips + 1));
         env = env.with_dips(
@@ -330,6 +356,7 @@ fn fleet_environment(stanza: &FleetStanza, run_seed: u64, horizon_s: f64) -> Sha
         );
     }
     env.shading(stanza.shading)
+        .map_err(|e| build_err(e.to_string()))
 }
 
 /// The fleet path of [`run_manifest_on`]: the manifest becomes the
@@ -360,13 +387,34 @@ fn run_fleet_manifest(
 
     let run_seed = derive_seed(DEFAULT_BASE_SEED, manifest.seed);
     let horizon = SimTime::from_micros((manifest.limits.max_sim_seconds * 1e6).round() as u64);
-    let env = fleet_environment(stanza, run_seed, manifest.limits.max_sim_seconds);
+    let env = fleet_environment(stanza, run_seed, manifest.limits.max_sim_seconds, file)?;
     let names = LeakedNames::from_manifest(manifest);
-    let spec = FleetSpec::new(
-        Box::leak(manifest.name.clone().into_boxed_str()),
-        stanza.devices,
-        horizon,
-    )
+    let fleet_name: &'static str = Box::leak(manifest.name.clone().into_boxed_str());
+
+    // A mix template's entry task gives its name to the template, so a
+    // device's template index maps straight to its boot task.
+    let entries: Vec<&'static str> = stanza
+        .mix
+        .iter()
+        .map(|(task, _)| {
+            let index = manifest
+                .tasks
+                .iter()
+                .position(|t| t.name == *task)
+                .expect("parser resolved mix references");
+            names.task(index)
+        })
+        .collect();
+    let spec = if stanza.mix.is_empty() {
+        FleetSpec::new(fleet_name, stanza.devices, horizon)
+    } else {
+        let templates = entries
+            .iter()
+            .zip(&stanza.mix)
+            .map(|(&name, (_, count))| TemplateSpec::new(name, *count))
+            .collect();
+        FleetSpec::mixed(fleet_name, horizon, templates)
+    }
     .fleet_seed(run_seed)
     .panel_jitter(stanza.panel_jitter_pct / 100.0)
     .rate_jitter(stanza.rate_jitter_pct / 100.0)
@@ -382,12 +430,21 @@ fn run_fleet_manifest(
         Some(&DeviceTweak {
             env: &env,
             point: &probe,
+            entry: entries.get(probe.template).copied(),
         }),
     )?;
 
     let report: FleetReport = run_fleet_on(&spec, workers, |point| {
-        let compiled = compile_with(manifest, &names, Some(&DeviceTweak { env: &env, point }))
-            .expect("the probe device compiled");
+        let compiled = compile_with(
+            manifest,
+            &names,
+            Some(&DeviceTweak {
+                env: &env,
+                point,
+                entry: entries.get(point.template).copied(),
+            }),
+        )
+        .expect("the probe device compiled");
         let mut sim = compiled.sim;
         let _ = sim.run_limited(&compiled.limits);
         let completions = (0..manifest.tasks.len())
@@ -497,6 +554,8 @@ fn run_fleet_manifest(
         latency_p50_us: acc.latency.quantile(0.5).unwrap_or(0),
         latency_p99_us: acc.latency.quantile(0.99).unwrap_or(0),
         survival: acc.survival,
+        mix: stanza.mix.clone(),
+        trace: stanza.trace.clone(),
     };
 
     Ok(ScenarioResult {
@@ -575,7 +634,7 @@ impl ScenarioResult {
                 .collect(),
         );
         let fleet = self.fleet.as_ref().map(|f| {
-            JsonValue::Object(vec![
+            let mut doc = vec![
                 ("devices".to_string(), num(f.devices)),
                 ("dead_devices".to_string(), num(f.dead_devices)),
                 ("stalled_devices".to_string(), num(f.stalled_devices)),
@@ -593,7 +652,22 @@ impl ScenarioResult {
                     "survival_deaths".to_string(),
                     JsonValue::Array(f.survival.iter().map(|&d| num(d)).collect()),
                 ),
-            ])
+            ];
+            if !f.mix.is_empty() {
+                doc.push((
+                    "mix".to_string(),
+                    JsonValue::Object(
+                        f.mix
+                            .iter()
+                            .map(|(name, count)| (name.clone(), num(*count)))
+                            .collect(),
+                    ),
+                ));
+            }
+            if let Some(trace) = &f.trace {
+                doc.push(("trace".to_string(), JsonValue::String(trace.clone())));
+            }
+            JsonValue::Object(doc)
         });
         let mut doc = vec![
             (
@@ -822,6 +896,16 @@ pub fn validate_json(text: &str, schema: Option<&str>) -> Result<(), String> {
             if !cases.iter().any(|c| c.get("fleet_devices_per_s").is_some()) {
                 return Err(
                     "no case reports `fleet_devices_per_s` (the fleet population series)"
+                        .to_string(),
+                );
+            }
+            if !cases.iter().any(|c| {
+                c.get("fleet_devices_per_s").is_some()
+                    && c.get("trace").and_then(JsonValue::as_bool) == Some(true)
+            }) {
+                return Err(
+                    "no trace-driven `fleet_devices_per_s` case (a fleet case with \
+                            `\"trace\": true`)"
                         .to_string(),
                 );
             }

@@ -170,6 +170,13 @@ impl Bank {
         self.state.record_cycle();
     }
 
+    /// Seeds the lifetime cycle count wholesale (wear carryover from an
+    /// earlier mission leg). Does not touch the derating — callers that
+    /// model wear electrically re-derive it from the seeded count.
+    pub fn seed_cycles(&mut self, cycles: u64) {
+        self.state.seed_cycles(cycles);
+    }
+
     /// Stored charge `Q = C·V` in coulombs — the conserved quantity when
     /// banks are connected in parallel.
     #[must_use]

@@ -215,6 +215,12 @@ impl CapacitorState {
     pub fn record_cycle(&mut self) {
         self.cycles += 1;
     }
+
+    /// Seeds the lifetime cycle count wholesale — resuming a device
+    /// whose wear history was recorded by an earlier mission leg.
+    pub fn seed_cycles(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
 }
 
 /// Closed-form charging: the voltage reached after pushing constant power

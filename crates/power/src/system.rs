@@ -395,6 +395,27 @@ impl<H: Harvester> PowerSystem<H> {
         self.wear_model = model;
     }
 
+    /// Seeds per-bank lifetime cycle counts from an earlier mission leg
+    /// (wear carryover): bank `i` resumes with `cycles[i]` deep cycles
+    /// already on the clock. When a wear model is installed the
+    /// electrical derating implied by the seeded count is applied
+    /// immediately, so the leg starts on aged capacitors rather than
+    /// discovering the wear at its first deep cycle. Extra entries
+    /// beyond the bank count are ignored; missing entries leave the
+    /// bank untouched.
+    pub fn seed_wear(&mut self, cycles: &[u64]) {
+        let model = self.wear_model;
+        for (slot, &n) in self.banks.iter_mut().zip(cycles) {
+            slot.bank.seed_cycles(n);
+            if let Some(model) = model {
+                let (cap, esr) = model.derating(&bank_wear(&slot.bank));
+                slot.bank.set_derating(cap, esr);
+            }
+        }
+        // Deratings may have moved; the derived rail cache is stale.
+        self.rail_derived = None;
+    }
+
     /// Requires `margin` extra rail voltage above the output booster's
     /// startup threshold before [`PowerSystem::can_boot`] reports true
     /// (models cold-start brownout on marginal supervisors).

@@ -1,10 +1,11 @@
-//! Fleet-scale population simulation: thousands of copies of one
-//! duty-cycle sensing device, each perturbed by seed-derived placement,
-//! panel scale, and task-rate jitter, all under a shared day/night
-//! cycle with correlated harvest dips and spatial shading. Devices are
-//! folded into a streaming [`FleetAccumulator`] as they finish, so peak
-//! memory is O(workers) — never O(devices) — and the merged
-//! [`FleetReport`] is bit-identical for any worker count.
+//! Fleet-scale population simulation: thousands of devices drawn from a
+//! heterogeneous mix of templates (duty-cycle sensors plus heavier
+//! relays), each perturbed by seed-derived placement, panel scale, and
+//! task-rate jitter, all under a shared day/night cycle with correlated
+//! harvest dips and spatial shading. Devices are folded into a streaming
+//! [`FleetAccumulator`] as they finish, so peak memory is O(workers) —
+//! never O(devices) — and the merged [`FleetReport`] is bit-identical
+//! for any worker count.
 //!
 //! Run with: `cargo run --release --example fleet -- [--devices N] [--check]`
 //!
@@ -19,8 +20,9 @@ use capybara_suite::prelude::*;
 
 /// One device of the population: a 4 mW panel (scaled by the device's
 /// derived panel factor and the shared environment) feeding a two-part
-/// bank, running an 8 ms sense task on a ~200 ms duty cycle (scaled by
-/// the device's derived rate factor).
+/// bank. Template 0 ("sense") runs an 8 ms task on a ~200 ms duty
+/// cycle; template 1 ("relay") runs a heavier 25 ms task on a ~500 ms
+/// cycle — both scaled by the device's derived rate factor.
 fn simulate_device(spec: &FleetSpec, point: &DevicePoint, horizon: SimTime) -> DeviceOutcome {
     let power = PowerSystem::builder()
         .harvester(spec.harvester_for(
@@ -35,12 +37,19 @@ fn simulate_device(spec: &FleetSpec, point: &DevicePoint, horizon: SimTime) -> D
             SwitchKind::NormallyClosed,
         )
         .build();
-    let sleep = SimDuration::from_secs_f64(0.2 / point.task_rate_scale);
+    let (name, compute_ms, cycle_s) = if point.template == 0 {
+        ("sense", 8, 0.2)
+    } else {
+        ("relay", 25, 0.5)
+    };
+    let sleep = SimDuration::from_secs_f64(cycle_s / point.task_rate_scale);
     let mut sim = Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
         .task(
-            "sense",
+            name,
             TaskEnergy::Unannotated,
-            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(8))),
+            move |_, mcu| {
+                TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(compute_ms)))
+            },
             move |_c: &mut ()| Transition::Sleep {
                 duration: sleep,
                 then: TaskId(0),
@@ -79,13 +88,29 @@ fn main() {
             SimDuration::from_secs(6),
             0.25,
         )
-        .shading(0.3);
-    let spec = FleetSpec::new("fleet-example", devices, horizon)
-        .panel_jitter(0.15)
-        .rate_jitter(0.10)
-        .environment(env);
+        .shading(0.3)
+        .expect("shading in range");
+    // Four sensors for every relay, in one index space: appending a
+    // template never reshuffles earlier devices.
+    let relays = devices / 5;
+    let sensors = devices - relays;
+    let spec = FleetSpec::mixed(
+        "fleet-example",
+        horizon,
+        vec![
+            TemplateSpec::new("sense", sensors),
+            TemplateSpec::new("relay", relays.max(1)),
+        ],
+    )
+    .panel_jitter(0.15)
+    .rate_jitter(0.10)
+    .environment(env);
+    let devices = spec.devices();
 
-    println!("== Fleet population: {devices} perturbed copies of one device ==\n");
+    println!(
+        "== Fleet population: {sensors} sensors + {} relays ==\n",
+        relays.max(1)
+    );
     let t0 = Instant::now();
     let report = run_fleet(&spec, |point| simulate_device(&spec, point, horizon));
     let wall = t0.elapsed();

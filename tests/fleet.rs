@@ -13,6 +13,7 @@
 //! 3. **O(workers) memory**: the streaming accumulator's footprint is
 //!    constant in the device count.
 
+use capy_power::prelude::{KernelTuning, WearModel};
 use capy_units::rng::{derive_seed, DetRng};
 use capy_units::{SimDuration, SimTime, Volts, Watts};
 use capybara_suite::prelude::*;
@@ -28,6 +29,7 @@ fn shared_env() -> SharedEnvironment {
             0.2,
         )
         .shading(0.35)
+        .expect("shading in range")
 }
 
 /// A real simulated device: duty-cycle sensing on a two-part bank, the
@@ -118,6 +120,9 @@ fn synthetic_outcome(point: &DevicePoint) -> DeviceOutcome {
         latencies,
         death,
         task_completions: vec![completions, completions / 3],
+        wear: DeviceWear {
+            bank_cycles: vec![completions, completions % 7],
+        },
     }
 }
 
@@ -215,4 +220,315 @@ fn survival_curve_is_monotone_and_quantiles_are_ordered() {
     // same interval.
     assert!(p50 >= SimDuration::from_micros(48));
     assert!(p99 < SimDuration::from_micros(2_064_000));
+}
+
+/// A random but valid `capy-trace/v1` sample list: starts at zero,
+/// strictly ascending, factors in `[0, 1.2]`, last factor pinned to 1
+/// so an analytic charge across the trace always completes.
+fn random_trace(rng: &mut DetRng) -> Vec<(SimTime, f64)> {
+    let n = rng.gen_range(3u64..10);
+    let mut at = 0u64;
+    let mut samples = Vec::new();
+    for _ in 0..n {
+        samples.push((SimTime::from_micros(at), rng.gen_f64() * 1.2));
+        at += rng.gen_range(2_000_000u64..20_000_000);
+    }
+    samples.last_mut().expect("n >= 3").1 = 1.0;
+    samples
+}
+
+/// Seeded-loop property gate for the trace-driven environment: on
+/// random traces (composed with correlated dips and spatial shading),
+/// `factor_at` must hold exactly constant on every
+/// `[t, valid_until(t))` window, and `charge_until` across the trace
+/// must cost O(1) analytic segments per constant interval — identical
+/// in both kernel tunings — never O(duration).
+#[test]
+fn trace_env_is_piecewise_constant_and_charges_in_bounded_segments() {
+    let mut rng = DetRng::seed_from_u64(0x7A5E);
+    for case in 0u64..6 {
+        let samples = random_trace(&mut rng);
+        let placement = rng.gen_f64();
+        let env = SharedEnvironment::from_trace(samples.clone())
+            .expect("random trace is structurally valid")
+            .with_dips(
+                case,
+                2,
+                SimDuration::from_secs(15),
+                SimDuration::from_secs(2),
+                0.4,
+            )
+            .shading(0.3)
+            .expect("shading in range");
+
+        // Piecewise-constant contract: walk boundary to boundary well
+        // past the last sample; the factor may not move strictly inside
+        // any window the environment declares constant.
+        let last = samples.last().expect("non-empty").0;
+        let end = last.saturating_add(SimDuration::from_secs(30));
+        let mut t = SimTime::ZERO;
+        let mut hops = 0u32;
+        while t < end {
+            let f = env.factor_at(t, placement);
+            let next = env.valid_until(t, placement);
+            assert!(next > t, "valid_until must make progress at {t}");
+            let span = next.min(end) - t;
+            for _ in 0..4 {
+                let probe =
+                    t.saturating_add(SimDuration::from_micros(rng.gen_range(0..span.as_micros())));
+                assert_eq!(
+                    env.factor_at(probe, placement),
+                    f,
+                    "case {case}: factor moved inside [{t}, {next}) at {probe}"
+                );
+            }
+            t = next;
+            hops += 1;
+            assert!(hops < 10_000, "case {case}: walk did not terminate");
+        }
+
+        // Exact boundaries: at each sample start the composed factor is
+        // precisely shading × sample (dips stripped so the product has
+        // one term per knob).
+        let plain = SharedEnvironment::from_trace(samples.clone())
+            .expect("random trace is structurally valid")
+            .shading(0.3)
+            .expect("shading in range");
+        for &(at, factor) in &samples {
+            assert_eq!(
+                plain.factor_at(at, placement),
+                (1.0 - 0.3 * placement).max(0.0) * factor,
+                "case {case}: boundary factor wrong at {at}"
+            );
+        }
+
+        // O(1) segments per constant interval, in both tunings, with
+        // the same count (segmentation is tuning-independent).
+        let mut counts = Vec::new();
+        for tuning in [KernelTuning::optimized(), KernelTuning::baseline()] {
+            let mut sys = PowerSystem::builder()
+                .harvester(FleetHarvester::new(
+                    ConstantHarvester::new(Watts::from_milli(1.0), Volts::new(3.0)),
+                    0.9,
+                    plain.clone(),
+                    placement,
+                ))
+                .bank(
+                    Bank::builder("store").with(parts::edlc_7_5mf()).build(),
+                    SwitchKind::NormallyClosed,
+                )
+                .build();
+            sys.set_tuning(tuning);
+            let mut now = SimTime::ZERO;
+            let before = sys.charge_segments();
+            sys.charge_until(Volts::new(2.7), &mut now)
+                .expect("trace ends at full sun, so the charge completes");
+            let used = sys.charge_segments() - before;
+            let budget = 4 * samples.len() as u64 + 8;
+            assert!(
+                used <= budget,
+                "case {case}: {used} segments for {} trace samples under {tuning:?}",
+                samples.len()
+            );
+            counts.push((used, now));
+        }
+        assert_eq!(counts[0], counts[1], "case {case}: tunings disagree");
+    }
+}
+
+/// One policy-steered fleet device: duty-cycle sensing over a
+/// small/big capacity ladder, the harvester wrapped by the cell's
+/// shared environment.
+fn policy_device(
+    point: &DevicePoint,
+    spec: &FleetSpec,
+    policy: Box<dyn ReconfigPolicy>,
+) -> DeviceOutcome {
+    let power = PowerSystem::builder()
+        .harvester(spec.harvester_for(
+            ConstantHarvester::new(Watts::from_milli(2.0), Volts::new(3.0)),
+            point,
+        ))
+        .bank(
+            Bank::builder("small")
+                .with(parts::ceramic_x5r_400uf())
+                .with(parts::tantalum_330uf())
+                .build(),
+            SwitchKind::NormallyClosed,
+        )
+        .bank(
+            Bank::builder("big").with(parts::edlc_7_5mf()).build(),
+            SwitchKind::NormallyOpen,
+        )
+        .build();
+    let sleep = SimDuration::from_secs_f64(0.4 / point.task_rate_scale);
+    let mut sim = Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+        .mode("small", &[BankId(0)])
+        .mode("big", &[BankId(1)])
+        .task(
+            "sense",
+            TaskEnergy::Config(EnergyMode(0)),
+            |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(10))),
+            move |_c: &mut ()| Transition::Sleep {
+                duration: sleep,
+                then: TaskId(0),
+            },
+        )
+        .policy(policy)
+        .build(());
+    sim.run_until(spec.horizon());
+    DeviceOutcome::from_sim(&sim)
+}
+
+/// The fleet-wide policy grid: three policies crossed with a steady and
+/// a correlated-dip scenario, every cell a full deterministic fleet.
+/// The ranking is all-integer, identical for any worker count, and the
+/// winner under correlated dips is pinned.
+#[test]
+fn fleet_policy_sweep_ranks_policies_and_pins_the_winner() {
+    let base = FleetSpec::new("policy-fleet", 24, SimTime::from_secs(40))
+        .fleet_seed(0x90CF)
+        .panel_jitter(0.2)
+        .rate_jitter(0.2);
+    let policies = [
+        NamedPolicy::new("pin-small", |_| Box::new(Pinned::new(EnergyMode(0)))),
+        NamedPolicy::new("pin-big", |_| Box::new(Pinned::new(EnergyMode(1)))),
+        NamedPolicy::new("reactive", |_| {
+            Box::new(ReactiveDownsize::new(
+                vec![EnergyMode(0), EnergyMode(1)],
+                SimDuration::from_secs(5),
+            ))
+        }),
+    ];
+    let scenarios = [
+        FleetScenario::new("steady", SharedEnvironment::steady()),
+        FleetScenario::new(
+            "dips",
+            SharedEnvironment::steady()
+                .with_dips(
+                    5,
+                    3,
+                    SimDuration::from_secs(9),
+                    SimDuration::from_secs(3),
+                    0.05,
+                )
+                .shading(0.2)
+                .expect("shading in range"),
+        ),
+    ];
+
+    let cmp = run_fleet_policy_sweep_on(&base, &policies, &scenarios, 4, policy_device);
+    assert_eq!(cmp.policies, vec!["pin-small", "pin-big", "reactive"]);
+    assert_eq!(cmp.scenarios, vec!["steady", "dips"]);
+    assert_eq!(cmp.fleets.len(), 6);
+    for s in 0..scenarios.len() {
+        // Every cell ran the whole paired population.
+        for p in 0..policies.len() {
+            assert_eq!(cmp.fleet(p, s).acc.devices, 24);
+        }
+        // The ranking is a permutation consistent with the pairwise
+        // all-integer comparison, and the winner heads it.
+        let order = cmp.ranking(s);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(order[0], cmp.best_policy(s));
+        for w in order.windows(2) {
+            assert_ne!(
+                cmp.compare(w[0], w[1], s),
+                core::cmp::Ordering::Less,
+                "ranking out of order on scenario {s}"
+            );
+        }
+    }
+
+    // Under correlated dips the small capacity tier keeps committing
+    // through the troughs while the pinned big array sits in charge
+    // debt, so pin-small wins the fleet verdict and pin-big loses to
+    // both adaptive-or-small rows.
+    let dips = 1;
+    let winner = cmp.best_policy(dips);
+    assert_eq!(
+        cmp.policies[winner],
+        "pin-small",
+        "expected pin-small to win under correlated dips, ranking {:?}",
+        cmp.ranking(dips)
+    );
+    assert!(
+        cmp.fleet(winner, dips).acc.completions > cmp.fleet(1, dips).acc.completions,
+        "the winner must out-commit the pinned big array under dips"
+    );
+
+    // The grid itself is worker-count independent, cell by cell.
+    let serial = run_fleet_policy_sweep_on(&base, &policies, &scenarios, 1, policy_device);
+    for (a, b) in cmp.fleets.iter().zip(&serial.fleets) {
+        assert_eq!(a, b, "a sweep cell drifted between 4 and 1 workers");
+    }
+}
+
+/// Back-to-back mission legs over real simulated devices: leg 2 seeds
+/// every bank with leg 1's integer cycle counts (re-derated through the
+/// installed wear model), wear accumulates monotonically, and the whole
+/// carry round trip is bit-identical for any worker count.
+#[test]
+fn wear_carries_across_real_mission_legs() {
+    let spec = real_spec(32).at_horizon(SimTime::from_secs(25));
+    let device = |point: &DevicePoint, carry: &DeviceWear| {
+        let power = PowerSystem::builder()
+            .harvester(spec.harvester_for(
+                ConstantHarvester::new(Watts::from_milli(5.0), Volts::new(3.0)),
+                point,
+            ))
+            .bank(
+                Bank::builder("store")
+                    .with(parts::ceramic_x5r_400uf())
+                    .with(parts::tantalum_330uf())
+                    .build(),
+                SwitchKind::NormallyClosed,
+            )
+            .build();
+        let sleep = SimDuration::from_secs_f64(0.5 / point.task_rate_scale);
+        let mut sim = Simulator::builder(Variant::CapyR, power, Mcu::msp430fr5969())
+            .task(
+                "sense",
+                TaskEnergy::Unannotated,
+                |_, mcu| TaskLoad::new().then(mcu.compute_for(SimDuration::from_millis(6))),
+                move |_c: &mut ()| Transition::Sleep {
+                    duration: sleep,
+                    then: TaskId(0),
+                },
+            )
+            .build(());
+        sim.power_mut().set_wear_model(Some(WearModel::prototype()));
+        carry.apply(&mut sim);
+        sim.run_until(spec.horizon());
+        DeviceOutcome::from_sim(&sim)
+    };
+
+    let (leg1, wear1) = run_fleet_leg_on(&spec, 4, None, device);
+    assert!(leg1.acc.completions > 0);
+    assert!(
+        wear1.total_cycles() > 0,
+        "a real leg must record deep-discharge cycles"
+    );
+    let (leg2, wear2) = run_fleet_leg_on(&spec, 4, Some(&wear1), device);
+    assert!(
+        wear2.total_cycles() > wear1.total_cycles(),
+        "wear must accumulate across legs"
+    );
+    // Every device's carried count is monotone, not just the total.
+    for i in 0..wear1.devices() {
+        for (a, b) in wear1
+            .device(i)
+            .bank_cycles
+            .iter()
+            .zip(&wear2.device(i).bank_cycles)
+        {
+            assert!(b >= a, "device {i} lost cycles between legs");
+        }
+    }
+    // The resumed leg is deterministic for any worker count.
+    let (leg2b, wear2b) = run_fleet_leg_on(&spec, 1, Some(&wear1), device);
+    assert_eq!(leg2, leg2b);
+    assert_eq!(wear2, wear2b);
 }

@@ -155,6 +155,7 @@ fn parse_emit_parse_round_trips_checked_in_manifests() {
         "manifests/quickstart.capy",
         "manifests/temperature_alarm.capy",
         "manifests/fleet_smoke.capy",
+        "manifests/fleet_trace.capy",
     ] {
         let text = fs::read_to_string(repo_path(rel)).expect("checked-in manifest reads");
         let parsed = parse_manifest(&text).unwrap_or_else(|e| panic!("{rel}: {e}"));
@@ -226,6 +227,7 @@ fn checked_in_artifacts_match_fresh_runs() {
         "manifests/quickstart",
         "manifests/temperature_alarm",
         "manifests/fleet_smoke",
+        "manifests/fleet_trace",
     ] {
         let manifest_path = repo_path(&format!("{rel}.capy"));
         let text = fs::read_to_string(&manifest_path).expect("manifest reads");
@@ -257,6 +259,131 @@ fn fleet_artifact_identical_for_any_worker_count() {
         let parallel = run_manifest_on(&manifest, "fleet_smoke.capy", workers).expect("runs");
         assert_eq!(serial, parallel, "fleet result must not depend on workers");
         assert_eq!(serial.to_json().pretty(), parallel.to_json().pretty());
+    }
+}
+
+#[test]
+fn trace_fleet_artifact_identical_for_any_worker_count() {
+    // The 10k-device heterogeneous, trace-driven population: the fleet
+    // v2 acceptance gate. The label is absolute so the trace file
+    // resolves regardless of the test harness's working directory.
+    let path = repo_path("manifests/fleet_trace.capy");
+    let text = fs::read_to_string(&path).expect("manifest reads");
+    let manifest = parse_manifest(&text).expect("parses");
+    let label = path.display().to_string();
+    let serial = run_manifest_on(&manifest, &label, 1).expect("runs");
+    let fleet = serial.fleet.as_ref().expect("fleet stanza aggregates");
+    assert_eq!(fleet.devices, 10_240);
+    assert_eq!(
+        fleet.mix,
+        vec![("sense".to_string(), 7_168), ("relay".to_string(), 3_072)]
+    );
+    assert_eq!(fleet.trace.as_deref(), Some("traces/cloudy_day.trace"));
+    // `then = stay` means a device only ever runs its entry task, so
+    // relay completions prove the mix's per-template entry points took.
+    let relay = serial
+        .task_completions
+        .iter()
+        .find(|(name, _)| name == "relay")
+        .expect("relay counted");
+    assert!(relay.1 > 0, "relay devices must boot into `relay`");
+    for workers in [2, 8] {
+        let parallel = run_manifest_on(&manifest, &label, workers).expect("runs");
+        assert_eq!(
+            serial.to_json().pretty(),
+            parallel.to_json().pretty(),
+            "trace fleet artifact must be byte-identical on {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn fleet_mix_and_devices_are_mutually_exclusive() {
+    let text = fs::read_to_string(repo_path("manifests/fleet_trace.capy")).expect("reads");
+    let text = text.replace("[fleet]", "[fleet]\ndevices = 10");
+    match parse_manifest(&text).unwrap_err() {
+        ManifestError::BadValue { key, expected, .. } => {
+            assert_eq!(key, "devices");
+            assert!(expected.contains("not both"), "{expected}");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn fleet_trace_and_eclipse_are_mutually_exclusive() {
+    let text = fs::read_to_string(repo_path("manifests/fleet_trace.capy")).expect("reads");
+    let text = text.replace("[fleet]", "[fleet]\neclipse_period_s = 60");
+    match parse_manifest(&text).unwrap_err() {
+        ManifestError::BadValue { key, expected, .. } => {
+            assert_eq!(key, "trace");
+            assert!(expected.contains("eclipse_period_s"), "{expected}");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn fleet_mix_rejects_bad_templates() {
+    // Malformed entry: no count.
+    let make = |mix: &str| {
+        minimal(|t| {
+            t.push_str(&format!("\n[fleet]\nmix = {mix}\n"));
+        })
+    };
+    match parse_manifest(&make("sense")).unwrap_err() {
+        ManifestError::BadValue { key, expected, .. } => {
+            assert_eq!(key, "mix");
+            assert!(expected.contains("<task>:<count>"), "{expected}");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+    // Zero count.
+    assert!(matches!(
+        parse_manifest(&make("sense:0")).unwrap_err(),
+        ManifestError::BadValue { .. }
+    ));
+    // The same template twice.
+    match parse_manifest(&make("sense:3, sense:4")).unwrap_err() {
+        ManifestError::Duplicate { kind, name, .. } => {
+            assert_eq!(kind, "mix template");
+            assert_eq!(name, "sense");
+        }
+        other => panic!("expected Duplicate, got {other:?}"),
+    }
+    // A template task that is never declared.
+    match parse_manifest(&make("sense:3, transmit:4")).unwrap_err() {
+        ManifestError::UnknownName { field, name, .. } => {
+            assert_eq!(field, "mix");
+            assert_eq!(name, "transmit");
+        }
+        other => panic!("expected UnknownName, got {other:?}"),
+    }
+}
+
+#[test]
+fn fleet_missing_population_names_both_keys() {
+    let text = minimal(|t| t.push_str("\n[fleet]\npanel_jitter_pct = 5\n"));
+    assert_eq!(
+        parse_manifest(&text).unwrap_err(),
+        ManifestError::MissingField {
+            section: "fleet".to_string(),
+            field: "devices (or mix)".to_string()
+        }
+    );
+}
+
+#[test]
+fn unreadable_trace_is_a_build_error() {
+    let text = minimal(|t| {
+        t.push_str("\n[fleet]\ndevices = 4\ntrace = does/not/exist.trace\n");
+    });
+    let manifest = parse_manifest(&text).expect("parses");
+    match run_manifest(&manifest, "m.capy").unwrap_err() {
+        ManifestError::Build { message } => {
+            assert!(message.contains("cannot read trace"), "{message}");
+        }
+        other => panic!("expected Build, got {other:?}"),
     }
 }
 
